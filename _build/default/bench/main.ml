@@ -1,0 +1,122 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (Section 5) on the simulated testbed, then micro-benchmarks
+   each experiment kernel with Bechamel (one Test.make per table/figure).
+
+   Absolute numbers come from the simulator's calibrated cost model; the
+   reproduction target is the paper's shape: who wins, by how much, where
+   the crossovers are.  EXPERIMENTS.md records paper-vs-measured. *)
+
+open Artemis_experiments
+
+let section title body =
+  Printf.printf "\n=== %s ===\n%s\n" title body;
+  flush stdout
+
+let reproduce_all () =
+  section "Figure 12: total execution time vs charging time (1-10 min)"
+    (Fig12.render (Fig12.run ()));
+  section "Figure 13: ARTEMIS prevents non-termination (6 min charging)"
+    (Fig13.render (Fig13.run ()));
+  let fig14 = Fig14.run () in
+  section "Figure 14: execution time on continuous power (seconds)"
+    (Fig14.render fig14);
+  section "Figure 15: overhead breakdown on continuous power (milliseconds)"
+    (Fig14.render_overheads fig14);
+  section "Figure 16: energy consumption per completed run"
+    (Fig16.render (Fig16.run ()));
+  section "Table 2: memory requirements (bytes)" (Table2.render (Table2.run ()));
+  section "Table 3: feature comparison with prior art" (Table3.render ());
+  section
+    "Ablation A: monitor deployment alternatives (Section 7), health benchmark"
+    (Ablation.render_deployments (Ablation.deployments ()));
+  section "Ablation B: collect-counter semantics (DESIGN.md decision 1)"
+    (Ablation.render_collect (Ablation.collect_semantics ()));
+  section
+    "Baseline: checkpoint-based system (TICS-style) on the benchmark workload"
+    (Baseline_checkpoint.render (Baseline_checkpoint.run ()));
+  section "Timekeeper quality vs property enforcement (6 min charging)"
+    (Timekeeper_sweep.render (Timekeeper_sweep.run ()));
+  section "Harvester study: emergent charging delays (duty-cycled harvester)"
+    (Harvester_study.render (Harvester_study.run ()));
+  section "Scalability: monitor overhead vs deployed property count (P3)"
+    (Scalability.render (Scalability.run ()));
+  section "Yield study: reactive soil station, 20 rounds per harvest level"
+    (Yield_study.render (Yield_study.run ()))
+
+(* --- Bechamel micro-benchmarks over the experiment kernels --- *)
+
+open Bechamel
+open Toolkit
+
+let stagedf f = Staged.stage f
+
+let tests =
+  Test.make_grouped ~name:"experiments"
+    [
+      Test.make ~name:"fig12-one-delay"
+        (stagedf (fun () -> ignore (Fig12.run ~delays:[ 2 ] ())));
+      Test.make ~name:"fig13-timeline"
+        (stagedf (fun () -> ignore (Fig13.run ~delay_min:6 ())));
+      Test.make ~name:"fig14-fig15-continuous"
+        (stagedf (fun () -> ignore (Fig14.run ())));
+      Test.make ~name:"fig16-energy-2min"
+        (stagedf (fun () ->
+             ignore
+               (Fig16.run
+                  ~scenarios:
+                    [
+                      {
+                        Fig16.label = "2 min";
+                        supply = Config.Intermittent (Artemis.Time.of_min 2);
+                      };
+                    ]
+                  ())));
+      Test.make ~name:"table2-memory" (stagedf (fun () -> ignore (Table2.run ())));
+      Test.make ~name:"ablation-deployments"
+        (stagedf (fun () -> ignore (Ablation.deployments ())));
+      Test.make ~name:"ablation-collect"
+        (stagedf (fun () -> ignore (Ablation.collect_semantics ())));
+      Test.make ~name:"baseline-checkpoint"
+        (stagedf (fun () -> ignore (Baseline_checkpoint.run ~delays:[ 1 ] ())));
+      Test.make ~name:"timekeeper-sweep"
+        (stagedf (fun () -> ignore (Timekeeper_sweep.run ())));
+      Test.make ~name:"harvester-study"
+        (stagedf (fun () -> ignore (Harvester_study.run ~rates_uw:[ 200. ] ())));
+      Test.make ~name:"scalability"
+        (stagedf (fun () -> ignore (Scalability.run ~factors:[ 2 ] ())));
+      Test.make ~name:"yield-study"
+        (stagedf (fun () -> ignore (Yield_study.run ~rounds:3 ~rates_uw:[ 100. ] ())));
+      Test.make ~name:"table3-features" (stagedf (fun () -> ignore (Table3.render ())));
+    ]
+
+let benchmark () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:(Some 100) ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Printf.printf "\n=== Bechamel micro-benchmarks (ns per kernel run) ===\n";
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  List.iter
+    (fun (name, ols) ->
+      let estimate =
+        match Analyze.OLS.estimates ols with
+        | Some [ e ] -> Printf.sprintf "%.0f ns" e
+        | Some _ | None -> "n/a"
+      in
+      let r2 =
+        match Analyze.OLS.r_square ols with
+        | Some r -> Printf.sprintf " (r2=%.3f)" r
+        | None -> ""
+      in
+      Printf.printf "%-32s %s%s\n" name estimate r2)
+    (List.sort (fun (a, _) (b, _) -> String.compare a b) rows);
+  flush stdout
+
+let () =
+  reproduce_all ();
+  benchmark ()

@@ -1,0 +1,1 @@
+bin/artemis_sim.ml: Arg Artemis Artemis_experiments Cmd Cmdliner Config Format Out_channel Printf Term

@@ -1,0 +1,1 @@
+bin/artemis_sim.mli:

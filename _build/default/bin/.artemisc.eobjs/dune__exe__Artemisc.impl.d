@@ -1,0 +1,1 @@
+bin/artemisc.ml: Arg Artemis Cmd Cmdliner Fun Hashtbl In_channel List Out_channel Printf String Term

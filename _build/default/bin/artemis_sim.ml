@@ -1,0 +1,102 @@
+(* artemis_sim: run the health-monitoring benchmark on the simulated
+   intermittent device under either runtime, printing statistics and
+   (optionally) the execution trace. *)
+
+open Cmdliner
+open Artemis_experiments
+
+let run system_name delay_min continuous temp_base show_trace trace_limit show_summary csv_path =
+  let system =
+    match system_name with
+    | "artemis" -> Ok Config.Artemis_runtime
+    | "mayfly" -> Ok Config.Mayfly_runtime
+    | other -> Error (Printf.sprintf "unknown system %S (artemis|mayfly)" other)
+  in
+  match system with
+  | Error msg ->
+      prerr_endline msg;
+      1
+  | Ok system ->
+      let supply =
+        if continuous then Config.Continuous
+        else Config.Intermittent (Artemis.Time.of_min delay_min)
+      in
+      let { Config.stats; device; handles } =
+        Config.run_health ?temp_base system supply
+      in
+      Format.printf "%a@." Artemis.Stats.pp stats;
+      Format.printf "messages sent: %d, avgTemp: %.2f C@."
+        (handles.Artemis.Health_app.sent_messages ())
+        (handles.Artemis.Health_app.read_avg_temp ());
+      if show_summary then begin
+        print_endline "--- summary ---";
+        print_endline (Artemis.Summary.render (Artemis.Device.log device))
+      end;
+      if show_trace then begin
+        print_endline "--- trace ---";
+        print_endline
+          (Artemis.Log.render_timeline ~limit:trace_limit
+             (Artemis.Device.log device))
+      end;
+      (match csv_path with
+      | None -> ()
+      | Some path ->
+          Out_channel.with_open_bin path (fun oc ->
+              output_string oc (Artemis.Export.log_to_csv (Artemis.Device.log device)));
+          Printf.printf "trace CSV written to %s\n" path);
+      0
+
+let system_arg =
+  Arg.(
+    value & opt string "artemis"
+    & info [ "s"; "system" ] ~docv:"SYSTEM"
+        ~doc:"Runtime to use: $(b,artemis) (default) or $(b,mayfly).")
+
+let delay_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "d"; "delay" ] ~docv:"MIN"
+        ~doc:"Charging delay in minutes after each power failure (default 1).")
+
+let continuous_arg =
+  Arg.(
+    value & flag
+    & info [ "continuous" ] ~doc:"Continuous power (no power failures).")
+
+let temp_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "temp-base" ] ~docv:"CELSIUS"
+        ~doc:"Synthetic body-temperature baseline; 39.2 triggers the \
+              dpData emergency property.")
+
+let trace_arg =
+  Arg.(value & flag & info [ "t"; "trace" ] ~doc:"Print the execution trace.")
+
+let trace_limit_arg =
+  Arg.(
+    value & opt int 200
+    & info [ "trace-limit" ] ~docv:"N" ~doc:"Trace lines to print (default 200).")
+
+let summary_arg =
+  Arg.(
+    value & flag
+    & info [ "summary" ]
+        ~doc:"Print per-monitor violation and per-action counts.")
+
+let csv_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "csv" ] ~docv:"FILE" ~doc:"Write the trace as CSV to $(docv).")
+
+let cmd =
+  let doc = "simulate the health-monitoring benchmark on intermittent power" in
+  Cmd.v
+    (Cmd.info "artemis_sim" ~doc)
+    Term.(
+      const run $ system_arg $ delay_arg $ continuous_arg $ temp_arg $ trace_arg
+      $ trace_limit_arg $ summary_arg $ csv_arg)
+
+let () = exit (Cmd.eval' cmd)

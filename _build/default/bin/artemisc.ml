@@ -1,0 +1,133 @@
+(* artemisc: the ARTEMIS monitor compiler CLI.
+
+   Reads a property specification and emits, per the chosen stage of the
+   Figure 3 pipeline: the re-printed specification ("spec"), the
+   intermediate-language state machines ("fsm", the model-to-model
+   transformation), or the generated C monitors ("c", the model-to-text
+   transformation). *)
+
+open Cmdliner
+
+type emit = Spec | Fsm | C | Lint | Project
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let run emit reset_on_fail input output =
+  let text = if input = "-" then In_channel.input_all stdin else read_file input in
+  let options = { Artemis.To_fsm.collect_reset_on_fail = reset_on_fail } in
+  let result =
+    match Artemis.Spec.Parser.parse text with
+    | Error msg -> Error msg
+    | Ok spec -> (
+        match emit with
+        | Spec -> Ok (Artemis.Spec.Printer.to_string spec)
+        | Fsm ->
+            Ok
+              (Artemis.Fsm.Printer.machines_to_string
+                 (Artemis.To_fsm.spec ~options spec))
+        | C -> Ok (Artemis.To_c.suite (Artemis.To_fsm.spec ~options spec))
+        | Lint ->
+            let findings = Artemis.Spec.Consistency.check_spec spec in
+            if findings = [] then Ok "no consistency findings\n"
+            else Ok (Artemis.Spec.Consistency.to_string findings ^ "\n")
+        | Project ->
+            (* a skeleton application derived from the specification: every
+               mentioned task on one path, placeholder calibration *)
+            let mentioned =
+              List.concat_map
+                (fun { Artemis.Spec.Ast.task; properties } ->
+                  task
+                  :: List.filter_map
+                       (function
+                         | Artemis.Spec.Ast.Mitd { dp_task; _ }
+                         | Artemis.Spec.Ast.Collect { dp_task; _ } ->
+                             Some dp_task
+                         | _ -> None)
+                       properties)
+                spec
+            in
+            let seen = Hashtbl.create 8 in
+            let tasks =
+              List.filter_map
+                (fun name ->
+                  if Hashtbl.mem seen name then None
+                  else begin
+                    Hashtbl.add seen name ();
+                    Some
+                      (Artemis.Task.make ~name
+                         ~duration:(Artemis.Time.of_ms 100)
+                         ~power:(Artemis.Energy.mw 1.2) ())
+                  end)
+                mentioned
+            in
+            let app =
+              Artemis.Task.app ~name:"generated"
+                [ { Artemis.Task.index = 1; tasks } ]
+            in
+            let machines = Artemis.To_fsm.spec ~options spec in
+            let files = Artemis.To_c_project.project ~app ~machines in
+            Ok
+              (String.concat ""
+                 (List.map
+                    (fun f ->
+                      Printf.sprintf "/* ===== %s ===== */\n%s\n"
+                        f.Artemis.To_c_project.path f.Artemis.To_c_project.contents)
+                    files)))
+  in
+  match result with
+  | Error msg ->
+      prerr_endline msg;
+      1
+  | Ok out -> (
+      match output with
+      | None ->
+          print_string out;
+          0
+      | Some path ->
+          Out_channel.with_open_bin path (fun oc -> output_string oc out);
+          0)
+
+let emit_arg =
+  let stage_conv =
+    Arg.enum
+      [ ("spec", Spec); ("fsm", Fsm); ("c", C); ("lint", Lint); ("project", Project) ]
+  in
+  Arg.(
+    value
+    & opt stage_conv C
+    & info [ "e"; "emit" ] ~docv:"STAGE"
+        ~doc:"Output stage: $(b,spec) (re-printed specification), $(b,fsm) \
+              (intermediate-language machines), $(b,c) (generated C \
+              monitors, default), $(b,lint) (consistency findings) or \
+              $(b,project) (a complete C project tree, concatenated).")
+
+let reset_arg =
+  Arg.(
+    value & flag
+    & info [ "collect-reset-on-fail" ]
+        ~doc:"Compile $(b,collect) with the literal Figure 7 semantics \
+              (counter zeroed on failure) instead of the accumulate \
+              default.")
+
+let input_arg =
+  Arg.(
+    value & pos 0 string "-"
+    & info [] ~docv:"SPEC" ~doc:"Property specification file ('-' = stdin).")
+
+let output_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write output to $(docv).")
+
+let cmd =
+  let doc = "compile ARTEMIS property specifications into runtime monitors" in
+  Cmd.v
+    (Cmd.info "artemisc" ~doc)
+    Term.(const run $ emit_arg $ reset_arg $ input_arg $ output_arg)
+
+let () = exit (Cmd.eval' cmd)

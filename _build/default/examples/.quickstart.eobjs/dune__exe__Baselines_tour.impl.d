@@ -1,0 +1,1 @@
+examples/baselines_tour.ml: Artemis Capacitor Charging_policy Checkpoint Device Energy Ink Mayfly Printf Runtime Spec Stats Task Time

@@ -1,0 +1,1 @@
+examples/custom_fsm.ml: Artemis Capacitor Charging_policy Device Energy Fsm Log Printf Runtime Stats Task Time

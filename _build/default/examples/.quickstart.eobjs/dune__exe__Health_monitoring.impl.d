@@ -1,0 +1,1 @@
+examples/health_monitoring.ml: Artemis Artemis_experiments Config Device Event Fig13 Health_app Log Printf Stats Time

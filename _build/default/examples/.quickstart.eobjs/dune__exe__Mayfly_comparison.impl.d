@@ -1,0 +1,1 @@
+examples/mayfly_comparison.ml: Artemis_experiments Fig12 Fig16

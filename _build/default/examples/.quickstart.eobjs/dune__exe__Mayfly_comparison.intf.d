@@ -1,0 +1,1 @@
+examples/mayfly_comparison.mli:

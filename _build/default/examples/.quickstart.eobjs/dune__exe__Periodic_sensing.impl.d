@@ -1,0 +1,1 @@
+examples/periodic_sensing.ml: Artemis Capacitor Channel Charging_policy Device Energy List Log Printf Prng Runtime Spec Stats Task Time

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Artemis Capacitor Channel Charging_policy Device Energy Format Log Printf Runtime Stats Task Time

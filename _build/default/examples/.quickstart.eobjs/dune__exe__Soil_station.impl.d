@@ -1,0 +1,1 @@
+examples/soil_station.ml: Artemis Capacitor Charging_policy Device Energy Harvester Printf Runtime Soil_app Stats Summary Time

@@ -1,0 +1,1 @@
+examples/soil_station.mli:

@@ -1,0 +1,116 @@
+(* A tour of the four intermittent execution models in this repository
+   (the executable version of the paper's Table 3), all running the same
+   two-step sense-then-transmit workload on identical devices:
+
+   - ARTEMIS: task-based runtime + generated monitors; maxTries bounds
+     the doomed re-executions instead of looping;
+   - Mayfly:  task-based runtime with fused expiration checks and a fixed
+     restart reaction - non-termination under long outages;
+   - TICS-style checkpointing: sequential segments, freshness annotation,
+     restart-from-producer reaction - also non-terminating;
+   - InK: reactive kernel; the fixed reaction evicts the whole thread,
+     which terminates but delivers nothing.
+
+   Run with: dune exec examples/baselines_tour.exe *)
+
+open Artemis
+
+let sense_ms = 100
+let transmit_ms = 200
+
+(* every model runs on this device: sense fits a charge, transmit (0.6 mJ)
+   exceeds even a full one (0.5 mJ usable) - the doomed-peripheral
+   scenario of Section 2 - and each failure costs a 6-minute recharge
+   against a 2-minute freshness window *)
+let device () =
+  let capacitor =
+    Capacitor.create ~capacity:(Energy.mj 0.75) ~on_threshold:(Energy.mj 0.7)
+      ~off_threshold:(Energy.mj 0.25) ()
+  in
+  Device.create ~capacitor
+    ~policy:(Charging_policy.Fixed_delay (Time.of_min 6))
+    ~horizon:(Time.of_min 90) ()
+
+let sense_task () =
+  Task.make ~name:"sense" ~duration:(Time.of_ms sense_ms) ~power:(Energy.mw 2.) ()
+
+let transmit_task () =
+  Task.make ~name:"transmit" ~duration:(Time.of_ms transmit_ms)
+    ~power:(Energy.mw 3.) ()
+
+let describe label (stats : Stats.t) extra =
+  Printf.printf "%-24s %-44s %s\n" label
+    (match stats.Stats.outcome with
+    | Stats.Completed ->
+        Printf.sprintf "completed in %.1f min (%d power failures)"
+          (Time.to_min_f stats.Stats.total_time)
+          stats.Stats.power_failures
+    | Stats.Did_not_finish reason -> "DNF: " ^ reason)
+    extra
+
+let run_artemis () =
+  let d = device () in
+  let app = Task.app ~name:"tour" [ { Task.index = 1; tasks = [ sense_task (); transmit_task () ] } ] in
+  let spec =
+    "transmit: { maxTries: 3 onFail: skipPath; MITD: 2min dpTask: sense \
+     onFail: restartPath maxAttempt: 2 onFail: skipPath; }"
+  in
+  let stats = Runtime.run d app (compile_and_deploy_exn d app spec) in
+  describe "ARTEMIS" stats "(maxTries bounds the attempts, path skipped)"
+
+let run_mayfly () =
+  let d = device () in
+  let app = Task.app ~name:"tour" [ { Task.index = 1; tasks = [ sense_task (); transmit_task () ] } ] in
+  let annotations =
+    Mayfly.annotations_of_spec
+      (Spec.Parser.parse_exn
+         "transmit: { MITD: 2min dpTask: sense onFail: restartPath; }")
+  in
+  describe "Mayfly" (Mayfly.run d app annotations) "(fixed restart, loops forever)"
+
+let run_checkpointed () =
+  let d = device () in
+  let program =
+    {
+      Checkpoint.program_name = "tour";
+      segments =
+        [
+          Checkpoint.segment ~name:"sense" ~duration:(Time.of_ms sense_ms)
+            ~power:(Energy.mw 2.) ();
+          Checkpoint.segment ~name:"transmit" ~duration:(Time.of_ms transmit_ms)
+            ~power:(Energy.mw 3.)
+            ~freshness:
+              {
+                Checkpoint.data_from = "sense";
+                within = Time.of_min 2;
+                on_expire = Checkpoint.Restart_from "sense";
+              }
+            ();
+        ];
+    }
+  in
+  describe "TICS-style checkpoints" (Checkpoint.run d program)
+    "(restart-from-producer, loops forever)"
+
+let run_ink () =
+  let d = device () in
+  let thread =
+    {
+      Ink.thread_name = "sample";
+      priority = 1;
+      tasks = [ sense_task (); transmit_task () ];
+      expiry = Some (Time.of_min 2);
+    }
+  in
+  let outcome = Ink.run d [ { Ink.thread; arrival = Time.zero } ] in
+  describe "InK" outcome.Ink.stats
+    (Printf.sprintf "(thread evicted: %b, nothing delivered)"
+       (outcome.Ink.evicted_threads <> []))
+
+let () =
+  Printf.printf "sense (fits one charge) -> transmit (never fits even a full charge);\n";
+  Printf.printf "every failure costs a 6 min recharge against a 2 min freshness window\n\n";
+  run_artemis ();
+  run_mayfly ();
+  run_checkpointed ();
+  run_ink ()

@@ -1,0 +1,13 @@
+(* A compact Figure 12/16 sweep: ARTEMIS vs Mayfly across charging delays,
+   showing the non-termination crossover at the 5-minute MITD limit.
+
+   Run with: dune exec examples/mayfly_comparison.exe *)
+
+open Artemis_experiments
+
+let () =
+  let rows = Fig12.run ~delays:[ 1; 3; 5; 7; 9 ] () in
+  print_endline "execution time vs charging delay (Figure 12 shape):";
+  print_endline (Fig12.render rows);
+  print_endline "\nenergy per completed run (Figure 16 shape):";
+  print_endline (Fig16.render (Fig16.run ()))

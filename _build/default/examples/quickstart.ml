@@ -1,0 +1,53 @@
+(* Quickstart: the smallest complete ARTEMIS program.
+
+   A two-task sensing app (sample -> transmit) runs on a harvested-energy
+   device whose capacitor cannot power [transmit] from a partial charge,
+   so transmit fails repeatedly after a cold start; a [maxTries] property
+   bounds the retries and skips the path instead of hanging forever.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Artemis
+
+let () =
+  (* 1. a tiny device: 3 mJ of usable energy per charge, 30 s to recharge *)
+  let capacitor =
+    Capacitor.create ~capacity:(Energy.mj 3.2) ~on_threshold:(Energy.mj 3.1)
+      ~off_threshold:(Energy.mj 0.2) ()
+  in
+  let device =
+    Device.create ~capacitor
+      ~policy:(Charging_policy.Fixed_delay (Time.of_sec 30))
+      ()
+  in
+  let nvm = Device.nvm device in
+
+  (* 2. the application: two tasks on one path, linked by a channel *)
+  let samples = Channel.create nvm ~name:"samples" ~bytes_per_item:4 ~capacity:4 in
+  let sample =
+    Task.make ~name:"sample" ~duration:(Time.of_ms 100) ~power:(Energy.mw 2.)
+      ~body:(fun _ -> Channel.push samples 21.5)
+      ()
+  in
+  (* transmit needs 3.12 mJ: more than one full charge can provide, so it
+     can never complete - exactly the non-termination hazard of Section 2 *)
+  let transmit =
+    Task.make ~name:"transmit" ~duration:(Time.of_ms 120) ~power:(Energy.mw 26.)
+      ()
+  in
+  let app = Task.app ~name:"quickstart" [ { Task.index = 1; tasks = [ sample; transmit ] } ] in
+
+  (* 3. the property, in the ARTEMIS specification language *)
+  let spec = "transmit: { maxTries: 3 onFail: skipPath; }" in
+  let suite = compile_and_deploy_exn device app spec in
+
+  (* 4. run, and look at what happened *)
+  let stats = Runtime.run device app suite in
+  Format.printf "%a@.@." Stats.pp stats;
+  print_endline (Log.render_timeline (Device.log device));
+  match stats.Stats.outcome with
+  | Stats.Completed ->
+      Printf.printf
+        "\ncompleted: maxTries skipped the doomed transmit after %d failures\n"
+        stats.Stats.power_failures
+  | Stats.Did_not_finish reason -> Printf.printf "\nDNF: %s\n" reason

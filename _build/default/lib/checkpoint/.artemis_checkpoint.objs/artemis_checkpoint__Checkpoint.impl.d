@@ -1,0 +1,1 @@
+lib/checkpoint/checkpoint.ml: Array Artemis_device Artemis_nvm Artemis_task Artemis_trace Artemis_util Energy List Option Printf Prng Result Stdlib String Time

@@ -1,0 +1,1 @@
+lib/checkpoint/checkpoint.mli: Artemis_device Artemis_task Artemis_trace Artemis_util Device Energy Task Time

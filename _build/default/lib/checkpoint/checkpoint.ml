@@ -1,0 +1,263 @@
+open Artemis_util
+module Nvm = Artemis_nvm.Nvm
+module Device = Artemis_device.Device
+module Report = Artemis_device.Report
+module Event = Artemis_trace.Event
+module Stats = Artemis_trace.Stats
+module Task = Artemis_task.Task
+
+type expiration_action = Restart_from of string | Skip_segment
+
+type annotation = {
+  data_from : string;
+  within : Time.t;
+  on_expire : expiration_action;
+}
+
+type segment = {
+  name : string;
+  duration : Time.t;
+  power : Energy.power;
+  body : Task.context -> unit;
+  snapshot_bytes : int;
+  freshness : annotation option;
+}
+
+let segment ~name ~duration ~power ?(body = fun _ -> ()) ?(snapshot_bytes = 64)
+    ?freshness () =
+  if String.length name = 0 then invalid_arg "Checkpoint.segment: empty name";
+  if Time.is_negative duration then
+    invalid_arg "Checkpoint.segment: negative duration";
+  if snapshot_bytes < 0 then
+    invalid_arg "Checkpoint.segment: negative snapshot size";
+  { name; duration; power; body; snapshot_bytes; freshness }
+
+type program = { program_name : string; segments : segment list }
+
+let index_of segments name =
+  let rec go i = function
+    | [] -> None
+    | s :: rest -> if String.equal s.name name then Some i else go (i + 1) rest
+  in
+  go 0 segments
+
+let validate p =
+  let ( let* ) r f = Result.bind r f in
+  let* () = if p.segments = [] then Error "program has no segments" else Ok () in
+  let names = List.map (fun s -> s.name) p.segments in
+  let* () =
+    if List.length (List.sort_uniq String.compare names) = List.length names
+    then Ok ()
+    else Error "segment names must be unique"
+  in
+  List.fold_left
+    (fun acc (i, s) ->
+      let* () = acc in
+      match s.freshness with
+      | None -> Ok ()
+      | Some { data_from; on_expire; _ } -> (
+          let* () =
+            match index_of p.segments data_from with
+            | Some j when j < i -> Ok ()
+            | Some _ ->
+                Error
+                  (Printf.sprintf
+                     "segment %S: freshness producer %S does not precede it"
+                     s.name data_from)
+            | None ->
+                Error
+                  (Printf.sprintf "segment %S: unknown freshness producer %S"
+                     s.name data_from)
+          in
+          match on_expire with
+          | Skip_segment -> Ok ()
+          | Restart_from target -> (
+              match index_of p.segments target with
+              | Some j when j <= i -> Ok ()
+              | Some _ ->
+                  Error
+                    (Printf.sprintf
+                       "segment %S: Restart_from %S jumps forward" s.name target)
+              | None ->
+                  Error
+                    (Printf.sprintf "segment %S: unknown restart target %S"
+                       s.name target))))
+    (Ok ())
+    (List.mapi (fun i s -> (i, s)) p.segments)
+
+type config = {
+  checkpoint_cycles : int;
+  restore_cycles : int;
+  mcu_power : Energy.power;
+  mcu_frequency_hz : int;
+  max_loop_iterations : int;
+  seed : int;
+}
+
+let default_config =
+  {
+    checkpoint_cycles = 900;
+    restore_cycles = 600;
+    mcu_power = Energy.mw 1.2;
+    mcu_frequency_hz = 1_000_000;
+    max_loop_iterations = 200_000;
+    seed = 42;
+  }
+
+type state = {
+  device : Device.t;
+  segments : segment array;
+  config : config;
+  (* persistent: index of the next segment to run = the checkpoint *)
+  position : int Nvm.cell;
+  (* persistent completion timestamps, one per producing segment *)
+  completed_at : (string * Time.t option Nvm.cell) list;
+  (* volatile marker: true while running between checkpoints; reset by a
+     power failure, which is how the runtime knows it must restore *)
+  live : bool Nvm.cell;
+  prng : Prng.t;
+  mutable iterations : int;
+}
+
+let cycles_to_time st cycles =
+  Time.of_us (cycles * 1_000_000 / st.config.mcu_frequency_hz)
+
+let consume_runtime st ~cycles =
+  Device.consume st.device Device.Runtime_work ~power:st.config.mcu_power
+    ~duration:(cycles_to_time st cycles)
+    ()
+
+let make_state ~config device p =
+  (match validate p with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Checkpoint.run: invalid program: " ^ msg));
+  let nvm = Device.nvm device in
+  let segments = Array.of_list p.segments in
+  let position = Nvm.cell nvm ~region:Runtime ~name:"cp.position" ~bytes:2 0 in
+  let completed_at =
+    List.map
+      (fun s ->
+        ( s.name,
+          Nvm.cell nvm ~region:Runtime ~name:("cp.done." ^ s.name) ~bytes:9 None ))
+      p.segments
+  in
+  let live =
+    Nvm.cell nvm ~region:Runtime ~kind:Artemis_nvm.Nvm.Ram ~name:"cp.live" ~bytes:1
+      false
+  in
+  (* the double-buffered snapshot area, sized by the largest segment *)
+  let snapshot =
+    2 * Array.fold_left (fun acc s -> Stdlib.max acc s.snapshot_bytes) 0 segments
+  in
+  ignore (Nvm.cell nvm ~region:Runtime ~name:"cp.snapshot" ~bytes:snapshot ());
+  {
+    device;
+    segments;
+    config;
+    position;
+    completed_at;
+    live;
+    prng = Prng.create ~seed:config.seed;
+    iterations = 0;
+  }
+
+let expired st (s : segment) =
+  match s.freshness with
+  | None -> None
+  | Some ({ data_from; within; _ } as annotation) -> (
+      match Nvm.read (List.assoc data_from st.completed_at) with
+      | None -> None  (* producer not run yet this pass: nothing to expire *)
+      | Some finished ->
+          if Time.(Time.sub (Device.now st.device) finished > within) then
+            Some annotation
+          else None)
+
+let run ?(config = default_config) device p =
+  let st = make_state ~config device p in
+  Device.record device Event.Boot;
+  let rec loop () =
+    st.iterations <- st.iterations + 1;
+    if st.iterations > config.max_loop_iterations then begin
+      let reason = "iteration limit (no progress)" in
+      Device.record device (Event.Horizon_reached { reason });
+      Report.stats device ~outcome:(Stats.Did_not_finish reason)
+    end
+    else if Device.horizon_exceeded device then begin
+      let reason = "simulation time horizon" in
+      Device.record device (Event.Horizon_reached { reason });
+      Report.stats device ~outcome:(Stats.Did_not_finish reason)
+    end
+    else begin
+      let i = Nvm.read st.position in
+      if i >= Array.length st.segments then begin
+        Device.record device Event.App_completed;
+        Report.stats device ~outcome:Stats.Completed
+      end
+      else begin
+        let s = st.segments.(i) in
+        (* a cold entry (after boot or failure) pays the restore cost *)
+        (if not (Nvm.read st.live) then
+           match consume_runtime st ~cycles:config.restore_cycles with
+           | Device.Completed -> Nvm.write st.live true
+           | Device.Interrupted | Device.Starved -> ());
+        if not (Nvm.read st.live) then loop ()
+        else begin
+          match expired st s with
+          | Some { on_expire; data_from; _ } -> (
+              Device.record device
+                (Event.Runtime_action
+                   {
+                     action =
+                       (match on_expire with
+                       | Restart_from target -> "restartFrom " ^ target
+                       | Skip_segment -> "skipSegment");
+                     task = s.name;
+                   });
+              match on_expire with
+              | Restart_from target ->
+                  let j = Option.get (index_of p.segments target) in
+                  Device.record device
+                    (Event.Path_restarted
+                       { path = 1; reason = "stale data from " ^ data_from });
+                  Nvm.write st.position j;
+                  loop ()
+              | Skip_segment ->
+                  Nvm.write st.position (i + 1);
+                  loop ())
+          | None -> (
+              Device.record device
+                (Event.Task_started { task = s.name; attempt = 1 });
+              let nvm = Device.nvm device in
+              Nvm.begin_tx nvm;
+              match
+                Device.consume device Device.App ~during:s.name ~power:s.power
+                  ~duration:s.duration ()
+              with
+              | Device.Interrupted | Device.Starved ->
+                  (* rolled back to the checkpoint; [live] was reset *)
+                  loop ()
+              | Device.Completed -> (
+                  s.body { Task.nvm; now = Device.now device; prng = st.prng };
+                  Nvm.tx_write
+                    (List.assoc s.name st.completed_at)
+                    (Some (Device.now device));
+                  (* the segment's data and its checkpoint commit
+                     atomically (double-buffered snapshot): a failure
+                     during the checkpoint discards the data too, so
+                     re-execution cannot duplicate effects *)
+                  match consume_runtime st ~cycles:config.checkpoint_cycles with
+                  | Device.Completed ->
+                      Nvm.tx_write st.position (i + 1);
+                      Nvm.commit_tx nvm;
+                      Device.record device (Event.Task_completed { task = s.name });
+                      loop ()
+                  | Device.Interrupted | Device.Starved -> loop ()))
+        end
+      end
+    end
+  in
+  loop ()
+
+let runtime_fram_bytes device =
+  Nvm.footprint (Device.nvm device) ~kind:Artemis_nvm.Nvm.Fram
+    ~region:Artemis_nvm.Nvm.Runtime

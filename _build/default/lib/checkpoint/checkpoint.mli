@@ -1,0 +1,91 @@
+(** TICS-style checkpoint-based intermittent runtime (the other system
+    family of Section 2 and Table 3).
+
+    Checkpointing systems snapshot volatile state at programmer-defined
+    points and resume from the last snapshot after a power failure; TICS
+    additionally enforces time consistency through source-code annotations
+    that bound the age of the data a code region consumes, running a
+    programmer-specified handler on expiration.
+
+    The simulated model: a {e program} is a sequence of {e segments}
+    (code between checkpoints).  Completing a segment takes a checkpoint
+    (with a configurable cycle cost and a declared snapshot size); a power
+    failure rolls execution back to the last checkpoint.  A segment may
+    carry a {e freshness annotation}: when it is about to (re-)execute and
+    the data produced by an earlier segment is older than the window, the
+    annotation's handler runs - restart from a named segment, or skip the
+    current one (the two reactions TICS's expiration code typically
+    implements).  Like TICS - and unlike ARTEMIS - there is no bounded-
+    attempt construct, so a freshness window shorter than the charging
+    delay loops forever.
+
+    A segment's data effects and its checkpoint commit atomically (the
+    double-buffered snapshot commit real checkpointing systems use to
+    close the WAR window): a power failure anywhere between the segment's
+    start and its checkpoint completion discards both, so re-execution
+    never duplicates effects - property-tested under random failure
+    injection. *)
+
+open Artemis_util
+open Artemis_device
+open Artemis_task
+
+type expiration_action =
+  | Restart_from of string  (** jump back to the named segment *)
+  | Skip_segment  (** drop the stale consumer and continue *)
+
+type annotation = {
+  data_from : string;  (** producing segment *)
+  within : Time.t;  (** maximum data age at consumer (re-)start *)
+  on_expire : expiration_action;
+}
+
+type segment = {
+  name : string;
+  duration : Time.t;
+  power : Energy.power;
+  body : Task.context -> unit;
+  snapshot_bytes : int;  (** volatile state captured by its checkpoint *)
+  freshness : annotation option;
+}
+
+val segment :
+  name:string ->
+  duration:Time.t ->
+  power:Energy.power ->
+  ?body:(Task.context -> unit) ->
+  ?snapshot_bytes:int ->
+  ?freshness:annotation ->
+  unit ->
+  segment
+(** [snapshot_bytes] defaults to 64 (registers + a small stack frame).
+    @raise Invalid_argument on an empty name or negative duration. *)
+
+type program = { program_name : string; segments : segment list }
+
+val validate : program -> (unit, string) result
+(** Segment names unique and non-empty; annotation references resolve to
+    earlier segments; [Restart_from] targets exist and precede the
+    annotated segment. *)
+
+type config = {
+  checkpoint_cycles : int;  (** cost of taking one checkpoint *)
+  restore_cycles : int;  (** cost of restoring after a reboot *)
+  mcu_power : Energy.power;
+  mcu_frequency_hz : int;
+  max_loop_iterations : int;
+  seed : int;
+}
+
+val default_config : config
+
+val run : ?config:config -> Device.t -> program -> Artemis_trace.Stats.t
+(** One program execution.  Checkpoint/restore work is accounted as
+    [Runtime_work]; segment bodies as [App].  Events are logged into the
+    device trace using the task-event vocabulary (a segment is logged as
+    a task; a rollback shows as a repeated start).
+    @raise Invalid_argument if {!validate} rejects the program. *)
+
+val runtime_fram_bytes : Device.t -> int
+(** FRAM occupied by the checkpointing runtime: bookkeeping plus the
+    largest snapshot (double-buffered). *)

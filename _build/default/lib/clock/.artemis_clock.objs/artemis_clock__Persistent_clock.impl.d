@@ -1,0 +1,1 @@
+lib/clock/persistent_clock.ml: Artemis_util Time

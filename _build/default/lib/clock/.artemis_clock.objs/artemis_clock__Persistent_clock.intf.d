@@ -1,0 +1,1 @@
+lib/clock/persistent_clock.mli: Artemis_util Time

@@ -1,0 +1,1 @@
+lib/clock/remanence_timekeeper.ml: Artemis_util Prng Time

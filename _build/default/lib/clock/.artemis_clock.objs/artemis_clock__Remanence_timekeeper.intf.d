@@ -1,0 +1,1 @@
+lib/clock/remanence_timekeeper.mli: Artemis_util Time

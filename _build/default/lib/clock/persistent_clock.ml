@@ -1,0 +1,45 @@
+open Artemis_util
+
+type t = {
+  granularity : Time.t;
+  drift_ppm : int;
+  off_estimator : Time.t -> Time.t;
+  mutable elapsed : Time.t;  (* ground truth *)
+  mutable visible : Time.t;  (* what the timekeeper reports *)
+  mutable reboot_count : int;
+}
+
+let create ?(granularity = Time.of_ms 1) ?(drift_ppm = 0)
+    ?(off_estimator = fun dt -> dt) () =
+  if Time.(granularity <= zero) then
+    invalid_arg "Persistent_clock.create: non-positive granularity";
+  {
+    granularity;
+    drift_ppm;
+    off_estimator;
+    elapsed = Time.zero;
+    visible = Time.zero;
+    reboot_count = 0;
+  }
+
+let advance t dt =
+  if Time.is_negative dt then
+    invalid_arg "Persistent_clock.advance: negative duration";
+  t.elapsed <- Time.add t.elapsed dt;
+  t.visible <- Time.add t.visible dt
+
+let advance_off t dt =
+  if Time.is_negative dt then
+    invalid_arg "Persistent_clock.advance_off: negative duration";
+  t.elapsed <- Time.add t.elapsed dt;
+  t.visible <- Time.add t.visible (t.off_estimator dt)
+
+let now t =
+  let us = Time.to_us t.visible in
+  let drifted = us + (us / 1_000_000 * t.drift_ppm) in
+  let g = Time.to_us t.granularity in
+  Time.of_us (drifted / g * g)
+
+let elapsed_ground_truth t = t.elapsed
+let record_reboot t = t.reboot_count <- t.reboot_count + 1
+let reboots t = t.reboot_count

@@ -1,0 +1,48 @@
+(** Persistent timekeeping for the simulated device.
+
+    ARTEMIS (like TICS, InK and Mayfly) assumes a persistent timekeeper
+    [22,31,35,51 in the paper]: the notion of time is not lost across power
+    failures, so charging delays are visible to time-related properties.
+    In simulation the ground truth is the discrete-event simulation time;
+    this module models the imperfections a real persistent clock adds - a
+    read granularity and a static drift - so tests can show the monitors
+    tolerate them. *)
+
+open Artemis_util
+
+type t
+
+val create :
+  ?granularity:Time.t ->
+  ?drift_ppm:int ->
+  ?off_estimator:(Time.t -> Time.t) ->
+  unit ->
+  t
+(** [granularity] (default 1 ms, typical of LC-circuit timekeepers)
+    quantizes reads; [drift_ppm] (default 0) applies a static rate error;
+    [off_estimator] (default: identity) maps the true power-off interval
+    to what the timekeeper reports at reboot - pass
+    {!Remanence_timekeeper.as_off_estimator} for a realistic one.
+    @raise Invalid_argument if granularity is not positive. *)
+
+val advance : t -> Time.t -> unit
+(** Advance powered time (visible and ground-truth alike).
+    @raise Invalid_argument on a negative duration. *)
+
+val advance_off : t -> Time.t -> unit
+(** Advance across a power-off (charging) interval: ground truth moves by
+    the actual duration, the visible time by [off_estimator duration] -
+    the whole point of persistent timekeeping, with its real-world
+    imprecision. @raise Invalid_argument on a negative duration. *)
+
+val now : t -> Time.t
+(** The timestamp the runtime and monitors observe (granularity and drift
+    applied). *)
+
+val elapsed_ground_truth : t -> Time.t
+(** Exact simulated time (unaffected by the off estimator), for tests,
+    trace rendering and the simulation horizon. *)
+
+val record_reboot : t -> unit
+val reboots : t -> int
+(** Number of reboots survived, a cheap persistence witness for tests. *)

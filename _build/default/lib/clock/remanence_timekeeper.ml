@@ -1,0 +1,26 @@
+open Artemis_util
+
+type t = {
+  prng : Prng.t;
+  relative_error : float;
+  max_measurable_interval : Time.t;
+}
+
+let create ?(seed = 1) ?(relative_error = 0.05)
+    ?(max_measurable = Time.of_min 10) () =
+  if relative_error < 0. || relative_error >= 1. then
+    invalid_arg "Remanence_timekeeper.create: relative_error out of [0, 1)";
+  { prng = Prng.create ~seed; relative_error; max_measurable_interval = max_measurable }
+
+let estimate t ~actual =
+  if Time.(actual <= Time.zero) then Time.zero
+  else begin
+    let e = t.relative_error in
+    let factor = Prng.float_range t.prng ~lo:(1. -. e) ~hi:(1. +. e) in
+    let estimated = Time.of_sec_f (Time.to_sec_f actual *. factor) in
+    Time.min estimated t.max_measurable_interval
+  end
+
+let max_measurable t = t.max_measurable_interval
+let as_off_estimator t actual = estimate t ~actual
+let ideal actual = actual

@@ -1,0 +1,42 @@
+(** Remanence-decay off-time estimation.
+
+    Real persistent timekeepers for intermittent systems (CusTARD-style
+    capacitor decay, SRAM-remanence timers - the paper's citations
+    [22, 51]) do not measure the power-off interval exactly: they read
+    the decay of some charge at boot, giving an estimate with a bounded
+    relative error, and the decay saturates beyond a maximum measurable
+    interval (after which every longer outage reads the same).
+
+    This module models exactly those two imperfections, deterministically
+    (seeded), so experiments can quantify how timekeeper quality affects
+    time-window properties: a timekeeper that saturates below an MITD
+    window silently under-reports long outages and lets stale data
+    through (tested in [test_timekeeper.ml]). *)
+
+open Artemis_util
+
+type t
+
+val create :
+  ?seed:int ->
+  ?relative_error:float ->
+  ?max_measurable:Time.t ->
+  unit ->
+  t
+(** Defaults: 5% relative error, 10-minute saturation (generous
+    CusTARD-class figures); [seed] defaults to 1.
+    @raise Invalid_argument if [relative_error] is outside [0, 1). *)
+
+val estimate : t -> actual:Time.t -> Time.t
+(** Estimated off interval: uniformly within
+    [(1 - e) * actual, (1 + e) * actual], then clamped to
+    [max_measurable].  Monotone in expectation but individual draws are
+    not; never negative. *)
+
+val max_measurable : t -> Time.t
+
+val as_off_estimator : t -> Time.t -> Time.t
+(** For {!Persistent_clock.create}'s [off_estimator]. *)
+
+val ideal : Time.t -> Time.t
+(** The identity estimator (a perfect timekeeper). *)

@@ -1,0 +1,1 @@
+lib/device/cost_model.ml: Artemis_util Energy Time

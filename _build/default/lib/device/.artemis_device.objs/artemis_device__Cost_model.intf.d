@@ -1,0 +1,1 @@
+lib/device/cost_model.mli: Artemis_util Energy Time

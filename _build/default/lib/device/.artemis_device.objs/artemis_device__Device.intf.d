@@ -1,0 +1,1 @@
+lib/device/device.mli: Artemis_clock Artemis_energy Artemis_nvm Artemis_trace Artemis_util Energy Time

@@ -1,0 +1,1 @@
+lib/device/report.ml: Artemis_trace Device

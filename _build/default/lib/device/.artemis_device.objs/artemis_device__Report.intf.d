@@ -1,0 +1,1 @@
+lib/device/report.mli: Artemis_trace Device

@@ -1,0 +1,171 @@
+open Artemis_util
+module Nvm = Artemis_nvm.Nvm
+module Capacitor = Artemis_energy.Capacitor
+module Charging_policy = Artemis_energy.Charging_policy
+module Clock = Artemis_clock.Persistent_clock
+module Log = Artemis_trace.Log
+module Event = Artemis_trace.Event
+
+type category = App | Runtime_work | Monitor_work
+type consume_result = Completed | Interrupted | Starved
+
+type t = {
+  nvm : Nvm.t;
+  clock : Clock.t;
+  capacitor : Capacitor.t;
+  policy : Charging_policy.t;
+  log : Log.t;
+  horizon : Time.t;
+  mutable scheduled_failures : Time.t list;  (* sorted ascending *)
+  mutable off : Time.t;
+  mutable time_app : Time.t;
+  mutable time_runtime : Time.t;
+  mutable time_monitor : Time.t;
+  mutable energy_app : Energy.energy;
+  mutable energy_runtime : Energy.energy;
+  mutable energy_monitor : Energy.energy;
+  mutable failures : int;
+  mutable starved : bool;
+}
+
+let default_capacitor () =
+  Capacitor.create
+    ~capacity:(Energy.mj 100.)
+    ~on_threshold:(Energy.mj 95.)
+    ~off_threshold:(Energy.mj 10.)
+    ()
+
+let create ?capacitor ?policy ?clock ?horizon () =
+  let capacitor =
+    match capacitor with Some c -> c | None -> default_capacitor ()
+  in
+  let policy =
+    match policy with
+    | Some p -> p
+    | None -> Charging_policy.Fixed_delay (Time.of_min 1)
+  in
+  let clock = match clock with Some c -> c | None -> Clock.create () in
+  let horizon = match horizon with Some h -> h | None -> Time.of_min 360 in
+  {
+    nvm = Nvm.create ();
+    clock;
+    capacitor;
+    policy;
+    log = Log.create ();
+    horizon;
+    scheduled_failures = [];
+    off = Time.zero;
+    time_app = Time.zero;
+    time_runtime = Time.zero;
+    time_monitor = Time.zero;
+    energy_app = Energy.zero;
+    energy_runtime = Energy.zero;
+    energy_monitor = Energy.zero;
+    failures = 0;
+    starved = false;
+  }
+
+let nvm t = t.nvm
+let log t = t.log
+let capacitor t = t.capacitor
+let now t = Clock.now t.clock
+let sim_time t = Clock.elapsed_ground_truth t.clock
+let record t event = Log.record t.log ~at:(now t) event
+
+let account t category dt energy =
+  match category with
+  | App ->
+      t.time_app <- Time.add t.time_app dt;
+      t.energy_app <- Energy.add t.energy_app energy
+  | Runtime_work ->
+      t.time_runtime <- Time.add t.time_runtime dt;
+      t.energy_runtime <- Energy.add t.energy_runtime energy
+  | Monitor_work ->
+      t.time_monitor <- Time.add t.time_monitor dt;
+      t.energy_monitor <- Energy.add t.energy_monitor energy
+
+let schedule_failure t ~at =
+  t.scheduled_failures <-
+    List.sort Time.compare (at :: t.scheduled_failures)
+
+(* Pop the first scheduled failure that lands strictly inside the window
+   [start, start + duration).  Entries already in the past (e.g. times
+   that fell into an off-period) are dropped so they cannot shadow later
+   ones. *)
+let rec pop_scheduled_failure t ~start ~duration =
+  match t.scheduled_failures with
+  | at :: rest when Time.(at < start) ->
+      t.scheduled_failures <- rest;
+      pop_scheduled_failure t ~start ~duration
+  | at :: rest when Time.(at < Time.add start duration) ->
+      t.scheduled_failures <- rest;
+      Some (Time.sub at start)
+  | _ -> None
+
+let handle_power_failure t ~during =
+  t.failures <- t.failures + 1;
+  record t (Event.Power_failure { during_task = during });
+  Nvm.power_failure t.nvm;
+  match Charging_policy.recharge t.policy ~now:(sim_time t) ~capacitor:t.capacitor with
+  | None ->
+      t.starved <- true;
+      record t (Event.Horizon_reached { reason = "harvester starved" });
+      Starved
+  | Some delay ->
+      Clock.advance_off t.clock delay;
+      t.off <- Time.add t.off delay;
+      Clock.record_reboot t.clock;
+      record t (Event.Reboot { charging_delay = delay });
+      Interrupted
+
+let consume t category ?during ~power ~duration () =
+  if Time.is_negative duration then invalid_arg "Device.consume: negative duration";
+  if t.starved then Starved
+  else
+    let forced = pop_scheduled_failure t ~start:(sim_time t) ~duration in
+    match forced with
+    | Some offset ->
+        (* Run up to the injected failure point, then brown out. *)
+        let partial_energy = Energy.consumed power offset in
+        ignore (Capacitor.drain t.capacitor partial_energy);
+        Clock.advance t.clock offset;
+        account t category offset partial_energy;
+        handle_power_failure t ~during
+    | None ->
+        if Energy.to_uw power <= 0. then begin
+          Clock.advance t.clock duration;
+          account t category duration Energy.zero;
+          Completed
+        end
+        else
+          let want = Energy.consumed power duration in
+          (match Capacitor.drain t.capacitor want with
+          | Capacitor.Drained ->
+              Clock.advance t.clock duration;
+              account t category duration want;
+              Completed
+          | Capacitor.Depleted drawn ->
+              let partial = Energy.time_to_consume power drawn in
+              Clock.advance t.clock partial;
+              account t category partial drawn;
+              handle_power_failure t ~during)
+
+let horizon_exceeded t = t.starved || Time.(sim_time t > t.horizon)
+
+let time_in t = function
+  | App -> t.time_app
+  | Runtime_work -> t.time_runtime
+  | Monitor_work -> t.time_monitor
+
+let energy_in t = function
+  | App -> t.energy_app
+  | Runtime_work -> t.energy_runtime
+  | Monitor_work -> t.energy_monitor
+
+let off_time t = t.off
+
+let total_energy t =
+  Energy.add t.energy_app (Energy.add t.energy_runtime t.energy_monitor)
+
+let power_failures t = t.failures
+let reboots t = Clock.reboots t.clock

@@ -1,0 +1,77 @@
+(** Discrete-event simulator of an intermittently powered MCU.
+
+    This is the substitute for the paper's MSP430FR5994 testbed.  The
+    device owns the simulated FRAM ({!Artemis_nvm.Nvm}), the persistent
+    clock, the capacitor and the charging policy; runtimes execute work by
+    calling {!consume}, which advances time while draining the capacitor
+    and transparently models brown-outs:
+
+    - the partial work up to depletion still costs its time and energy;
+    - volatile state and the open NVM transaction are lost;
+    - the charging policy decides how long the device stays dark;
+    - a reboot is logged and the caller is told the work was interrupted.
+
+    All time and energy is accounted per {!category} so the overhead
+    breakdowns of Figures 14-16 fall out of the accounting directly. *)
+
+open Artemis_util
+
+type t
+
+type category =
+  | App  (** application task bodies *)
+  | Runtime_work  (** intermittent-runtime bookkeeping *)
+  | Monitor_work  (** property checking *)
+
+type consume_result =
+  | Completed  (** the whole duration ran without interruption *)
+  | Interrupted  (** a power failure cut the work short; device rebooted *)
+  | Starved  (** power failed and the harvester can never recharge *)
+
+val create :
+  ?capacitor:Artemis_energy.Capacitor.t ->
+  ?policy:Artemis_energy.Charging_policy.t ->
+  ?clock:Artemis_clock.Persistent_clock.t ->
+  ?horizon:Time.t ->
+  unit ->
+  t
+(** Defaults: a 100 mJ capacitor with 90 mJ usable budget, a fixed
+    1-minute charging delay, a 1 ms-granularity drift-free clock, and a
+    6-hour simulation horizon. *)
+
+val nvm : t -> Artemis_nvm.Nvm.t
+val log : t -> Artemis_trace.Log.t
+val capacitor : t -> Artemis_energy.Capacitor.t
+
+val now : t -> Time.t
+(** Timestamp as the software observes it (persistent-clock read). *)
+
+val sim_time : t -> Time.t
+(** Exact simulation time. *)
+
+val record : t -> Artemis_trace.Event.t -> unit
+(** Log an event at the current time. *)
+
+val consume :
+  t -> category -> ?during:string -> power:Energy.power -> duration:Time.t ->
+  unit -> consume_result
+(** Execute work of the given constant power draw and duration.
+    [during] names the task for the power-failure log entry.  A
+    non-positive power advances time without draining.
+    @raise Invalid_argument on a negative duration. *)
+
+val schedule_failure : t -> at:Time.t -> unit
+(** Test hook: force a power failure the next time [consume] crosses the
+    given absolute simulation time (the capacitor is drained at that
+    point regardless of its level). *)
+
+val horizon_exceeded : t -> bool
+
+(* Accounting *)
+
+val time_in : t -> category -> Time.t
+val energy_in : t -> category -> Energy.energy
+val off_time : t -> Time.t
+val total_energy : t -> Energy.energy
+val power_failures : t -> int
+val reboots : t -> int

@@ -1,0 +1,4 @@
+(** Build run statistics from the device's accounting and trace log
+    (shared by the ARTEMIS runtime and the Mayfly baseline). *)
+
+val stats : Device.t -> outcome:Artemis_trace.Stats.outcome -> Artemis_trace.Stats.t

@@ -1,0 +1,1 @@
+lib/energy/charging_policy.ml: Artemis_util Capacitor Harvester Time

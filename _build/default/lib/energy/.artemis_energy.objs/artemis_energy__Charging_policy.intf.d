@@ -1,0 +1,1 @@
+lib/energy/charging_policy.mli: Artemis_util Capacitor Harvester Time

@@ -1,0 +1,1 @@
+lib/energy/harvester.ml: Array Artemis_util Energy Float Stdlib Time

@@ -1,0 +1,42 @@
+open Artemis_util
+
+type t = {
+  capacity : Energy.energy;
+  on_threshold : Energy.energy;
+  off_threshold : Energy.energy;
+  mutable level : Energy.energy;
+}
+
+type drain_result = Drained | Depleted of Energy.energy
+
+let create ~capacity ~on_threshold ~off_threshold ?initial () =
+  let open Energy in
+  if not (off_threshold < on_threshold && on_threshold <= capacity) then
+    invalid_arg "Capacitor.create: need off < on <= capacity";
+  let initial = match initial with Some i -> i | None -> capacity in
+  if not (off_threshold <= initial && initial <= capacity) then
+    invalid_arg "Capacitor.create: initial level out of range";
+  { capacity; on_threshold; off_threshold; level = initial }
+
+let capacity t = t.capacity
+let level t = t.level
+let usable t = Energy.sub t.level t.off_threshold
+let usable_budget t = Energy.sub t.capacity t.off_threshold
+
+let drain t e =
+  let available = usable t in
+  if Energy.(e <= available) then begin
+    t.level <- Energy.sub t.level e;
+    Drained
+  end
+  else begin
+    t.level <- t.off_threshold;
+    Depleted available
+  end
+
+let charge t e = t.level <- Energy.min t.capacity (Energy.add t.level e)
+let recharge_full t = t.level <- t.capacity
+let can_turn_on t = Energy.(t.on_threshold <= t.level)
+
+let deficit_to_turn_on t =
+  if can_turn_on t then Energy.zero else Energy.sub t.on_threshold t.level

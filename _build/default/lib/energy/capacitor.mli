@@ -1,0 +1,53 @@
+(** Energy-storage capacitor of the simulated batteryless device.
+
+    The device runs from the capacitor alone (the standard intermittent-
+    computing assumption: harvesting while computing is negligible next to
+    the active draw).  Execution drains it; when the level falls to the
+    turn-off threshold the device browns out, and it may boot again only
+    once the level has been charged back up to the turn-on threshold. *)
+
+open Artemis_util
+
+type t
+
+val create :
+  capacity:Energy.energy ->
+  on_threshold:Energy.energy ->
+  off_threshold:Energy.energy ->
+  ?initial:Energy.energy ->
+  unit ->
+  t
+(** @raise Invalid_argument unless
+    [off_threshold < on_threshold <= capacity] and the optional initial
+    level is within [off_threshold, capacity] (default: full). *)
+
+val capacity : t -> Energy.energy
+val level : t -> Energy.energy
+
+val usable : t -> Energy.energy
+(** Energy available before brown-out: [level - off_threshold]. *)
+
+val usable_budget : t -> Energy.energy
+(** Usable energy of a fully charged capacitor:
+    [capacity - off_threshold].  This is the per-charge task budget. *)
+
+type drain_result =
+  | Drained            (** the full request was satisfied *)
+  | Depleted of Energy.energy
+      (** brown-out: only this much was drawn before the level hit the
+          off threshold *)
+
+val drain : t -> Energy.energy -> drain_result
+
+val charge : t -> Energy.energy -> unit
+(** Add energy, clamped at capacity. *)
+
+val recharge_full : t -> unit
+(** Used by the fixed-charging-delay policy: after the modelled delay the
+    capacitor is back at capacity. *)
+
+val can_turn_on : t -> bool
+(** Level has reached the turn-on threshold. *)
+
+val deficit_to_turn_on : t -> Energy.energy
+(** Energy still to harvest before the device can boot (zero if it can). *)

@@ -1,0 +1,16 @@
+open Artemis_util
+
+type t = Fixed_delay of Time.t | From_harvester of Harvester.t
+
+let recharge policy ~now ~capacitor =
+  match policy with
+  | Fixed_delay d ->
+      Capacitor.recharge_full capacitor;
+      Some d
+  | From_harvester h -> (
+      let deficit = Capacitor.deficit_to_turn_on capacitor in
+      match Harvester.time_to_harvest h ~now deficit with
+      | None -> None
+      | Some dt ->
+          Capacitor.charge capacitor (Harvester.harvested h ~from_:now ~until:(Time.add now dt));
+          Some dt)

@@ -1,0 +1,24 @@
+(** How long the device stays dark after a power failure.
+
+    The paper's evaluation treats the charging time as the swept
+    independent variable (1-10 minutes, Figure 12), so the primary policy
+    reproduces exactly that; the harvester-driven policy derives the delay
+    from a {!Harvester.t} model instead, for experiments beyond the
+    paper. *)
+
+open Artemis_util
+
+type t =
+  | Fixed_delay of Time.t
+      (** every power failure costs exactly this charging time, after
+          which the capacitor is fully recharged (the paper's setup) *)
+  | From_harvester of Harvester.t
+      (** charge with the harvester until the capacitor reaches its
+          turn-on threshold; the capacitor level then reflects exactly the
+          harvested energy *)
+
+val recharge :
+  t -> now:Time.t -> capacitor:Capacitor.t -> Time.t option
+(** Apply the policy after a brown-out at absolute time [now]: charges
+    [capacitor] and returns the off-time, or [None] when the harvester can
+    never bring the device back (permanent starvation). *)

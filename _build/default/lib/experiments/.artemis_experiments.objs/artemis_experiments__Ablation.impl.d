@@ -1,0 +1,1 @@
+lib/experiments/ablation.ml: Artemis Config Device Energy Event Health_app List Log Printf Runtime Spec Stats Table Time To_c To_fsm

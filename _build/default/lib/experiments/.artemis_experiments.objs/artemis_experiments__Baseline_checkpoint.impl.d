@@ -1,0 +1,1 @@
+lib/experiments/baseline_checkpoint.ml: Artemis Checkpoint Config Energy List Printf Stats Table Time

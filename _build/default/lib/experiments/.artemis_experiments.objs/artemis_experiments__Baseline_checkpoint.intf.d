@@ -1,0 +1,1 @@
+lib/experiments/baseline_checkpoint.mli: Artemis Config Stats

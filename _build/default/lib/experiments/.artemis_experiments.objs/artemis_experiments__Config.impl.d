@@ -1,0 +1,1 @@
+lib/experiments/config.ml: Artemis Capacitor Charging_policy Device Energy Health_app Mayfly Runtime Spec Stats Time

@@ -1,0 +1,1 @@
+lib/experiments/config.mli: Artemis Capacitor Device Health_app Persistent_clock Runtime Stats Time To_fsm

@@ -1,0 +1,1 @@
+lib/experiments/fig12.ml: Artemis Config List Printf Stats Table Time

@@ -1,0 +1,1 @@
+lib/experiments/fig13.ml: Artemis Config Device Event Format List Log Printf Stats String Time

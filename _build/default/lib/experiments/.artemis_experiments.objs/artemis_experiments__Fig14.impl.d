@@ -1,0 +1,1 @@
+lib/experiments/fig14.ml: Artemis Config List Printf Stats Table Time

@@ -1,0 +1,1 @@
+lib/experiments/harvester_study.ml: Artemis Capacitor Charging_policy Config Device Energy Event Harvester Health_app List Log Mayfly Printf Runtime Spec Stats Table Time

@@ -1,0 +1,1 @@
+lib/experiments/harvester_study.mli: Artemis Stats Time

@@ -1,0 +1,1 @@
+lib/experiments/scalability.ml: Artemis Config Device Fsm Fun Health_app List Nvm Printf Runtime Spec Stats Table Time To_fsm

@@ -1,0 +1,1 @@
+lib/experiments/table2.ml: Artemis Config Device Health_app Nvm Table To_c

@@ -1,0 +1,1 @@
+lib/experiments/timekeeper_sweep.ml: Artemis Config Device Event Health_app List Log Persistent_clock Printf Remanence_timekeeper Stats String Table Time

@@ -1,0 +1,1 @@
+lib/experiments/timekeeper_sweep.mli: Artemis Stats

@@ -1,0 +1,1 @@
+lib/experiments/yield_study.ml: Artemis Capacitor Charging_policy Device Energy Event Harvester List Log Printf Runtime Soil_app Stats Table Time

@@ -1,0 +1,1 @@
+lib/experiments/yield_study.mli: Artemis Stats

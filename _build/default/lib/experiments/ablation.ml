@@ -1,0 +1,130 @@
+open Artemis
+
+type deployment_row = {
+  label : string;
+  continuous : Stats.t;
+  intermittent : Stats.t;
+  est_text_bytes : int;
+  est_monitor_fram : int;
+}
+
+let benchmark_machines () =
+  To_fsm.spec (Spec.Parser.parse_exn Health_app.spec_text)
+
+(* Local-memory estimates per deployment.  Separate: the generated unit as
+   is.  Inlined: every property's step code is woven at both boundary
+   events of its task (x2 duplication), the shared dispatcher disappears.
+   External: only a radio shim and an event buffer stay on-device. *)
+let memory_estimates deployment =
+  let machines = benchmark_machines () in
+  match deployment with
+  | Runtime.Separate_module ->
+      let unit_c = To_c.suite machines in
+      ( To_c.estimated_text_bytes unit_c,
+        List.fold_left (fun acc m -> acc + To_c.fram_bytes m) 0 machines )
+  | Runtime.Inlined ->
+      let per_machine =
+        List.fold_left
+          (fun acc m -> acc + (2 * To_c.estimated_text_bytes (To_c.machine m)))
+          0 machines
+      in
+      ( per_machine,
+        List.fold_left (fun acc m -> acc + To_c.fram_bytes m) 0 machines )
+  | Runtime.External_wireless _ -> (420, 32)
+
+let run_deployment deployment supply =
+  let config = { Runtime.default_config with deployment } in
+  (Config.run_health ~config Config.Artemis_runtime supply).Config.stats
+
+let deployments () =
+  let mk label deployment =
+    let text, fram = memory_estimates deployment in
+    {
+      label;
+      continuous = run_deployment deployment Config.Continuous;
+      intermittent =
+        run_deployment deployment (Config.Intermittent (Time.of_min 6));
+      est_text_bytes = text;
+      est_monitor_fram = fram;
+    }
+  in
+  [
+    mk "separate module (paper)" Runtime.Separate_module;
+    mk "inlined" Runtime.Inlined;
+    mk "external wireless" Runtime.default_external_wireless;
+  ]
+
+let render_deployments rows =
+  let table =
+    Table.create
+      ~headers:
+        [
+          "deployment";
+          "monitor overhead (ms)";
+          "monitor energy (uJ)";
+          "6min run completes";
+          "local .text (B)";
+          "local FRAM (B)";
+        ]
+  in
+  List.iter
+    (fun r ->
+      Table.add_row table
+        [
+          r.label;
+          Printf.sprintf "%.2f" (Time.to_ms_f r.continuous.Stats.monitor_overhead);
+          Printf.sprintf "%.1f" (Energy.to_uj r.continuous.Stats.energy_monitor);
+          (match r.intermittent.Stats.outcome with
+          | Stats.Completed -> "yes"
+          | Stats.Did_not_finish _ -> "no");
+          string_of_int r.est_text_bytes;
+          string_of_int r.est_monitor_fram;
+        ])
+    rows;
+  Table.render table
+
+type collect_row = {
+  reset_on_fail : bool;
+  stats : Stats.t;
+  body_temp_runs : int;
+}
+
+let collect_semantics () =
+  List.map
+    (fun reset_on_fail ->
+      let options = { To_fsm.collect_reset_on_fail = reset_on_fail } in
+      let run =
+        Config.run_health ~options ~horizon:(Time.of_min 20)
+          ~config:{ Runtime.default_config with max_loop_iterations = 5_000 }
+          Config.Artemis_runtime Config.Continuous
+      in
+      {
+        reset_on_fail;
+        stats = run.Config.stats;
+        body_temp_runs =
+          Log.count
+            (Device.log run.Config.device)
+            (function
+              | Event.Task_completed { task = "bodyTemp" } -> true
+              | _ -> false);
+      })
+    [ false; true ]
+
+let render_collect rows =
+  let table =
+    Table.create
+      ~headers:[ "collect counter on failure"; "outcome"; "bodyTemp executions" ]
+  in
+  List.iter
+    (fun r ->
+      Table.add_row table
+        [
+          (if r.reset_on_fail then "reset (literal Figure 7)"
+           else "accumulate (our default)");
+          (match r.stats.Stats.outcome with
+          | Stats.Completed -> "completed"
+          | Stats.Did_not_finish reason -> "DNF: " ^ reason);
+          string_of_int r.body_temp_runs;
+        ])
+    rows;
+  Table.render table

@@ -1,0 +1,37 @@
+(** Ablation studies for the design choices DESIGN.md calls out.
+
+    Two ablations beyond the paper's headline evaluation:
+
+    - {b monitor deployment} (Section 7 "Implementation Alternatives"):
+      the same benchmark under separate-module (the paper's design),
+      inlined, and external-wireless monitors.  Expected trade-off:
+      inlining shaves monitor time at a footprint cost; the external
+      monitor frees local memory but its radio round-trips dwarf every
+      other overhead.
+    - {b collect semantics} (DESIGN.md decision 1): the literal Figure 7
+      collect machine resets its counter on failure, which makes the
+      benchmark's path 1 (one sample per pass, restart until 10 are
+      collected) unable to ever progress - empirical justification for
+      the accumulate-across-restarts default. *)
+
+open Artemis
+
+type deployment_row = {
+  label : string;
+  continuous : Stats.t;
+  intermittent : Stats.t;  (** 6-minute charging delay *)
+  est_text_bytes : int;  (** local monitor code size estimate *)
+  est_monitor_fram : int;  (** local monitor FRAM estimate *)
+}
+
+val deployments : unit -> deployment_row list
+val render_deployments : deployment_row list -> string
+
+type collect_row = {
+  reset_on_fail : bool;
+  stats : Stats.t;
+  body_temp_runs : int;  (** bodyTemp completions before termination/DNF *)
+}
+
+val collect_semantics : unit -> collect_row list
+val render_collect : collect_row list -> string

@@ -1,0 +1,78 @@
+open Artemis
+
+type row = {
+  delay : Config.power_supply;
+  label : string;
+  checkpointed : Stats.t;
+  artemis : Stats.t;
+}
+
+let mcu = Energy.mw 1.2
+let with_peripheral p = Energy.add_power mcu (Energy.mw p)
+
+(* The benchmark flattened into a sequential checkpointed program, same
+   durations and draws as Health_app; the respiration chain carries the
+   5-minute freshness annotation that mirrors the MITD property. *)
+let health_program () =
+  let seg = Checkpoint.segment in
+  {
+    Checkpoint.program_name = "health-monitoring-checkpointed";
+    segments =
+      [
+        seg ~name:"bodyTemp" ~duration:(Time.of_ms 250) ~power:(with_peripheral 3.0) ();
+        seg ~name:"calcAvg" ~duration:(Time.of_ms 30) ~power:mcu ();
+        seg ~name:"heartRate" ~duration:(Time.of_ms 200) ~power:mcu ();
+        seg ~name:"sendVitals" ~duration:(Time.of_ms 80) ~power:(with_peripheral 30.0) ();
+        seg ~name:"accel" ~duration:(Time.of_ms 900) ~power:(with_peripheral 18.0) ();
+        seg ~name:"classify" ~duration:(Time.of_ms 250) ~power:mcu ();
+        seg ~name:"sendBreath" ~duration:(Time.of_ms 80) ~power:(with_peripheral 30.0)
+          ~freshness:
+            {
+              Checkpoint.data_from = "accel";
+              within = Time.of_min 5;
+              on_expire = Checkpoint.Restart_from "accel";
+            }
+          ();
+        seg ~name:"micSense" ~duration:(Time.of_ms 600) ~power:(with_peripheral 12.0) ();
+        seg ~name:"filter" ~duration:(Time.of_ms 150) ~power:mcu ();
+        seg ~name:"sendCough" ~duration:(Time.of_ms 80) ~power:(with_peripheral 30.0) ();
+      ];
+  }
+
+let run_checkpointed supply =
+  let device = Config.device supply in
+  Checkpoint.run device (health_program ())
+
+let run ?(delays = [ 1; 6 ]) () =
+  let scenario label supply =
+    {
+      delay = supply;
+      label;
+      checkpointed = run_checkpointed supply;
+      artemis = (Config.run_health Config.Artemis_runtime supply).Config.stats;
+    }
+  in
+  scenario "continuous" Config.Continuous
+  :: List.map
+       (fun m ->
+         scenario
+           (Printf.sprintf "%d min charging" m)
+           (Config.Intermittent (Time.of_min m)))
+       delays
+
+let cell (s : Stats.t) =
+  match s.Stats.outcome with
+  | Stats.Completed ->
+      Printf.sprintf "%.1f min (rt %.1f ms)" (Config.minutes s)
+        (Time.to_ms_f (Stats.overhead_time s))
+  | Stats.Did_not_finish _ -> "DNF (non-termination)"
+
+let render rows =
+  let table =
+    Table.create
+      ~headers:[ "power supply"; "checkpointed (TICS-style)"; "ARTEMIS" ]
+  in
+  List.iter
+    (fun r -> Table.add_row table [ r.label; cell r.checkpointed; cell r.artemis ])
+    rows;
+  Table.render table

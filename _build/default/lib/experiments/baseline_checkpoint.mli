@@ -1,0 +1,29 @@
+(** The checkpoint-based system family (TICS-style) on the benchmark
+    workload - an executable version of Table 3's third row family.
+
+    The health-monitoring benchmark is re-expressed as a sequential
+    checkpointed program (checkpointing systems have no task graph): the
+    respiration chain carries a TICS-style freshness annotation mirroring
+    the MITD property ([send] data must be younger than 5 minutes,
+    expiration restarts from [accel]).
+
+    Expected shape: like Mayfly - and unlike ARTEMIS - the checkpointed
+    system has no bounded-attempt construct, so charging delays beyond
+    the freshness window drive it into non-termination; on short delays
+    it completes with *less* runtime overhead than ARTEMIS (checkpoints
+    are its only bookkeeping; it evaluates no properties beyond the
+    annotation). *)
+
+open Artemis
+
+type row = {
+  delay : Config.power_supply;
+  label : string;
+  checkpointed : Stats.t;
+  artemis : Stats.t;
+}
+
+val run : ?delays:int list -> unit -> row list
+(** Default: continuous, then 1 and 6 minute delays. *)
+
+val render : row list -> string

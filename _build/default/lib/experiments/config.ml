@@ -1,0 +1,57 @@
+open Artemis
+
+type power_supply = Continuous | Intermittent of Time.t
+
+let benchmark_capacitor () =
+  Capacitor.create
+    ~capacity:(Energy.mj 18.5)
+    ~on_threshold:(Energy.mj 18.0)
+    ~off_threshold:(Energy.mj 1.0)
+    ()
+
+let bench_supply_capacitor () =
+  (* effectively infinite: two orders of magnitude above one run's needs *)
+  Capacitor.create
+    ~capacity:(Energy.mj 100_000.)
+    ~on_threshold:(Energy.mj 99_000.)
+    ~off_threshold:(Energy.mj 0.)
+    ()
+
+let device ?horizon ?clock supply =
+  match supply with
+  | Continuous ->
+      Device.create
+        ~capacitor:(bench_supply_capacitor ())
+        ~policy:(Charging_policy.Fixed_delay Time.zero)
+        ?horizon ?clock ()
+  | Intermittent delay ->
+      Device.create
+        ~capacitor:(benchmark_capacitor ())
+        ~policy:(Charging_policy.Fixed_delay delay)
+        ?horizon ?clock ()
+
+type system = Artemis_runtime | Mayfly_runtime
+
+type run = { stats : Stats.t; device : Device.t; handles : Health_app.handles }
+
+let run_health ?temp_base ?horizon ?clock ?options ?config system supply =
+  let device = device ?horizon ?clock supply in
+  let app, handles = Health_app.make ?temp_base (Device.nvm device) in
+  let stats =
+    match system with
+    | Artemis_runtime ->
+        let suite =
+          compile_and_deploy_exn ?options device app Health_app.spec_text
+        in
+        Runtime.run ?config device app suite
+    | Mayfly_runtime ->
+        let annotations =
+          Mayfly.annotations_of_spec
+            (Spec.Parser.parse_exn Health_app.mayfly_spec_text)
+        in
+        Mayfly.run device app annotations
+  in
+  { stats; device; handles }
+
+let minutes (s : Stats.t) = Time.to_min_f s.Stats.total_time
+let millijoules (s : Stats.t) = Energy.to_mj s.Stats.energy_total

@@ -1,0 +1,29 @@
+open Artemis
+
+type row = { delay_min : int; artemis : Stats.t; mayfly : Stats.t }
+
+let run ?(delays = [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ]) () =
+  List.map
+    (fun delay_min ->
+      let supply = Config.Intermittent (Time.of_min delay_min) in
+      let artemis = (Config.run_health Config.Artemis_runtime supply).Config.stats in
+      let mayfly = (Config.run_health Config.Mayfly_runtime supply).Config.stats in
+      { delay_min; artemis; mayfly })
+    delays
+
+let cell (s : Stats.t) =
+  match s.Stats.outcome with
+  | Stats.Completed -> Printf.sprintf "%.1f min" (Config.minutes s)
+  | Stats.Did_not_finish _ -> "DNF (non-termination)"
+
+let render rows =
+  let table =
+    Table.create
+      ~headers:[ "charging time"; "ARTEMIS total exec"; "Mayfly total exec" ]
+  in
+  List.iter
+    (fun r ->
+      Table.add_row table
+        [ Printf.sprintf "%d min" r.delay_min; cell r.artemis; cell r.mayfly ])
+    rows;
+  Table.render table

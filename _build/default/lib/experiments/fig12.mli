@@ -1,0 +1,17 @@
+(** Figure 12: total execution time under intermittent power as the
+    charging delay sweeps 1-10 minutes.
+
+    Expected shape: both systems degrade linearly with the delay up to
+    5 minutes; beyond that Mayfly never satisfies the [send]/[accel] MITD
+    again and does not terminate, while ARTEMIS's [maxAttempt] bounds the
+    retries and the application still completes. *)
+
+open Artemis
+
+type row = { delay_min : int; artemis : Stats.t; mayfly : Stats.t }
+
+val run : ?delays:int list -> unit -> row list
+(** Default sweep: 1..10 minutes. *)
+
+val render : row list -> string
+(** Paper-style rows: delay, per-system completion time or DNF. *)

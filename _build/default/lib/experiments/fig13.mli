@@ -1,0 +1,17 @@
+(** Figure 13: how ARTEMIS prevents non-termination - the event timeline
+    of the benchmark under a 6-minute charging delay, showing the three
+    MITD attempts on path 2 and the final [skipPath] that lets [send]
+    data from the remaining paths through. *)
+
+open Artemis
+
+type result = {
+  stats : Stats.t;
+  mitd_violations : int;  (** MITD monitor verdicts observed *)
+  path2_restarts : int;
+  path2_skipped : bool;
+  timeline : string;  (** path-2 focused, annotated event timeline *)
+}
+
+val run : ?delay_min:int -> unit -> result
+val render : result -> string

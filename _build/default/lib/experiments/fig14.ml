@@ -1,0 +1,63 @@
+open Artemis
+
+type row = {
+  system : string;
+  app_s : float;
+  runtime_ms : float;
+  monitor_ms : float;
+  total_s : float;
+  stats : Stats.t;
+}
+
+let row system stats =
+  {
+    system;
+    app_s = Time.to_sec_f stats.Stats.app_time;
+    runtime_ms = Time.to_ms_f stats.Stats.runtime_overhead;
+    monitor_ms = Time.to_ms_f stats.Stats.monitor_overhead;
+    total_s = Time.to_sec_f stats.Stats.total_time;
+    stats;
+  }
+
+let run () =
+  let artemis =
+    (Config.run_health Config.Artemis_runtime Config.Continuous).Config.stats
+  in
+  let mayfly =
+    (Config.run_health Config.Mayfly_runtime Config.Continuous).Config.stats
+  in
+  [ row "ARTEMIS" artemis; row "Mayfly" mayfly ]
+
+let render rows =
+  let table =
+    Table.create
+      ~headers:[ "system"; "app logic (s)"; "runtime+monitor overhead (s)"; "total (s)" ]
+  in
+  List.iter
+    (fun r ->
+      Table.add_row table
+        [
+          r.system;
+          Printf.sprintf "%.3f" r.app_s;
+          Printf.sprintf "%.4f" ((r.runtime_ms +. r.monitor_ms) /. 1e3);
+          Printf.sprintf "%.3f" r.total_s;
+        ])
+    rows;
+  Table.render table
+
+let render_overheads rows =
+  let table =
+    Table.create
+      ~headers:[ "system"; "runtime overhead (ms)"; "monitor overhead (ms)"; "total overhead (ms)" ]
+  in
+  List.iter
+    (fun r ->
+      Table.add_row table
+        [
+          r.system;
+          Printf.sprintf "%.2f" r.runtime_ms;
+          Printf.sprintf "%.2f" r.monitor_ms;
+          Printf.sprintf "%.2f" (r.runtime_ms +. r.monitor_ms);
+        ])
+    rows;
+  Table.render table

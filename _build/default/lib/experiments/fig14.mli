@@ -1,0 +1,28 @@
+(** Figures 14 and 15: execution time and overhead breakdown on
+    continuous power.
+
+    With continuous power both systems run the identical task sequence,
+    so the comparison isolates the bookkeeping costs: application time on
+    the seconds scale (Figure 14), runtime/monitor overheads on the
+    milliseconds scale (Figure 15), with ARTEMIS slightly above Mayfly
+    because monitoring is a separate, richer component. *)
+
+open Artemis
+
+type row = {
+  system : string;
+  app_s : float;  (** application logic, seconds *)
+  runtime_ms : float;
+  monitor_ms : float;
+  total_s : float;
+  stats : Stats.t;
+}
+
+val run : unit -> row list
+(** Two rows: ARTEMIS then Mayfly, same benchmark on continuous power. *)
+
+val render : row list -> string
+(** Figure 14 view (seconds). *)
+
+val render_overheads : row list -> string
+(** Figure 15 view (milliseconds). *)

@@ -1,0 +1,42 @@
+open Artemis
+
+type scenario = { label : string; supply : Config.power_supply }
+type row = { scenario : scenario; artemis : Stats.t; mayfly : Stats.t }
+
+let scenarios =
+  { label = "continuous"; supply = Config.Continuous }
+  :: List.map
+       (fun m ->
+         {
+           label = Printf.sprintf "%d min charging" m;
+           supply = Config.Intermittent (Time.of_min m);
+         })
+       [ 1; 2; 5; 10 ]
+
+let run ?(scenarios = scenarios) () =
+  List.map
+    (fun scenario ->
+      let artemis =
+        (Config.run_health Config.Artemis_runtime scenario.supply).Config.stats
+      in
+      let mayfly =
+        (Config.run_health Config.Mayfly_runtime scenario.supply).Config.stats
+      in
+      { scenario; artemis; mayfly })
+    scenarios
+
+let cell (s : Stats.t) =
+  match s.Stats.outcome with
+  | Stats.Completed -> Printf.sprintf "%.1f mJ" (Config.millijoules s)
+  | Stats.Did_not_finish _ ->
+      Printf.sprintf "unbounded (>= %.0f mJ at horizon)" (Config.millijoules s)
+
+let render rows =
+  let table =
+    Table.create ~headers:[ "power supply"; "ARTEMIS energy"; "Mayfly energy" ]
+  in
+  List.iter
+    (fun r ->
+      Table.add_row table [ r.scenario.label; cell r.artemis; cell r.mayfly ])
+    rows;
+  Table.render table

@@ -1,0 +1,20 @@
+(** Figure 16: energy to complete one application run, on continuous
+    power and with 1/2/5/10-minute charging delays.
+
+    Expected shape: parity between the systems up to short delays; beyond
+    the 5-minute MITD limit Mayfly's consumption is unbounded (it keeps
+    re-executing [accel] forever - we report the energy burned up to the
+    simulation horizon), while ARTEMIS lands at roughly 3x its
+    continuous-power consumption thanks to [maxAttempt]. *)
+
+open Artemis
+
+type scenario = { label : string; supply : Config.power_supply }
+
+type row = { scenario : scenario; artemis : Stats.t; mayfly : Stats.t }
+
+val scenarios : scenario list
+(** Continuous, 1, 2, 5, 10 minutes. *)
+
+val run : ?scenarios:scenario list -> unit -> row list
+val render : row list -> string

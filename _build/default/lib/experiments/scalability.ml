@@ -1,0 +1,58 @@
+open Artemis
+
+type row = {
+  copies : int;
+  monitors : int;
+  monitor_ms : float;
+  app_s : float;
+  monitor_fram : int;
+}
+
+(* k independent copies of the benchmark's machines; each copy is renamed
+   so its FRAM cells are distinct, but checks the same events. *)
+let replicated_machines k =
+  let base = To_fsm.spec (Spec.Parser.parse_exn Health_app.spec_text) in
+  List.concat_map
+    (fun i ->
+      List.map
+        (fun (m : Fsm.Ast.machine) ->
+          if i = 0 then m
+          else
+            { m with Fsm.Ast.machine_name = Printf.sprintf "%s_copy%d" m.Fsm.Ast.machine_name i })
+        base)
+    (List.init k Fun.id)
+
+let run_with_copies copies =
+  let device = Config.device Config.Continuous in
+  let app, _ = Health_app.make (Device.nvm device) in
+  let machines = replicated_machines copies in
+  let suite = deploy device machines in
+  let stats = Runtime.run device app suite in
+  {
+    copies;
+    monitors = List.length machines;
+    monitor_ms = Time.to_ms_f stats.Stats.monitor_overhead;
+    app_s = Time.to_sec_f stats.Stats.app_time;
+    monitor_fram = Nvm.footprint (Device.nvm device) ~kind:Nvm.Fram ~region:Nvm.Monitor;
+  }
+
+let run ?(factors = [ 1; 2; 4; 8 ]) () = List.map run_with_copies factors
+
+let render rows =
+  let table =
+    Table.create
+      ~headers:
+        [ "property copies"; "monitors"; "monitor overhead (ms)"; "app time (s)"; "monitor FRAM (B)" ]
+  in
+  List.iter
+    (fun r ->
+      Table.add_row table
+        [
+          string_of_int r.copies;
+          string_of_int r.monitors;
+          Printf.sprintf "%.2f" r.monitor_ms;
+          Printf.sprintf "%.3f" r.app_s;
+          string_of_int r.monitor_fram;
+        ])
+    rows;
+  Table.render table

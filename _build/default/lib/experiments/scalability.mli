@@ -1,0 +1,25 @@
+(** Scalability of property checking (the paper's contribution 3 and
+    problem P3).
+
+    The paper argues that fused designs cannot scale their property set,
+    while ARTEMIS adds properties without touching application or runtime
+    code.  This study deploys the benchmark with its property set
+    replicated k times (every copy is a real, independently evaluated
+    monitor) and measures how the monitor overhead grows while the
+    application time stays untouched: the per-event cost is the dispatch
+    plus a linear per-property term, so overhead should grow linearly in
+    k with everything else constant. *)
+
+
+type row = {
+  copies : int;  (** replication factor of the benchmark property set *)
+  monitors : int;  (** deployed monitor count *)
+  monitor_ms : float;
+  app_s : float;
+  monitor_fram : int;
+}
+
+val run : ?factors:int list -> unit -> row list
+(** Default factors: 1, 2, 4, 8. *)
+
+val render : row list -> string

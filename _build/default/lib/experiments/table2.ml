@@ -1,0 +1,60 @@
+open Artemis
+
+type report = {
+  mayfly_runtime_fram : int;
+  mayfly_runtime_ram : int;
+  artemis_runtime_fram : int;
+  artemis_runtime_ram : int;
+  monitor_fram : int;
+  monitor_ram : int;
+  monitor_text : int;
+}
+
+let footprint device kind region =
+  Nvm.footprint (Device.nvm device) ~kind ~region
+
+let run () =
+  (* a short continuous-power run allocates every persistent structure *)
+  let artemis = Config.run_health Config.Artemis_runtime Config.Continuous in
+  let mayfly = Config.run_health Config.Mayfly_runtime Config.Continuous in
+  let c_unit =
+    match generate_monitor_c Health_app.spec_text with
+    | Ok c -> c
+    | Error msg -> failwith msg
+  in
+  {
+    mayfly_runtime_fram = footprint mayfly.Config.device Nvm.Fram Nvm.Runtime;
+    mayfly_runtime_ram = footprint mayfly.Config.device Nvm.Ram Nvm.Runtime;
+    artemis_runtime_fram = footprint artemis.Config.device Nvm.Fram Nvm.Runtime;
+    artemis_runtime_ram = footprint artemis.Config.device Nvm.Ram Nvm.Runtime;
+    monitor_fram = footprint artemis.Config.device Nvm.Fram Nvm.Monitor;
+    monitor_ram = footprint artemis.Config.device Nvm.Ram Nvm.Monitor;
+    monitor_text = To_c.estimated_text_bytes c_unit;
+  }
+
+let render r =
+  let table =
+    Table.create ~headers:[ "component"; ".text (B)"; "RAM (B)"; "FRAM (B)" ]
+  in
+  Table.add_row table
+    [
+      "Mayfly runtime";
+      "n/a (simulated)";
+      string_of_int r.mayfly_runtime_ram;
+      string_of_int r.mayfly_runtime_fram;
+    ];
+  Table.add_row table
+    [
+      "ARTEMIS runtime";
+      "n/a (simulated)";
+      string_of_int r.artemis_runtime_ram;
+      string_of_int r.artemis_runtime_fram;
+    ];
+  Table.add_row table
+    [
+      "ARTEMIS monitor";
+      string_of_int r.monitor_text;
+      string_of_int r.monitor_ram;
+      string_of_int r.monitor_fram;
+    ];
+  Table.render table

@@ -1,0 +1,23 @@
+(** Table 2: memory requirements of the benchmark deployment.
+
+    FRAM and RAM columns are exact byte counts of the simulated cells each
+    component allocates; the monitor [.text] column is estimated from the
+    generated C translation unit (DESIGN.md decision 6).  The two
+    runtimes' [.text] cannot be measured in simulation (no msp430-gcc
+    here) and is reported as n/a.  The reproduction targets are the
+    orderings the paper draws conclusions from: ARTEMIS's runtime needs
+    less FRAM than Mayfly's fused runtime, and the generated monitors add
+    the largest (application-specific) share. *)
+
+type report = {
+  mayfly_runtime_fram : int;
+  mayfly_runtime_ram : int;
+  artemis_runtime_fram : int;
+  artemis_runtime_ram : int;
+  monitor_fram : int;
+  monitor_ram : int;
+  monitor_text : int;  (** estimated bytes from the generated C *)
+}
+
+val run : unit -> report
+val render : report -> string

@@ -1,0 +1,112 @@
+type spec_support =
+  | No_language_constructs
+  | Limited_temporal
+  | Open_property_language
+
+type checking =
+  | By_programmer
+  | By_compiler
+  | By_runtime_fixed
+  | By_generated_monitors
+
+type adaptation =
+  | Programmer_handled
+  | Compile_time_only
+  | Fixed_runtime_reaction
+  | Programmable_actions
+
+type entry = {
+  name : string;
+  spec : spec_support;
+  checking : checking;
+  adaptation : adaptation;
+}
+
+let entries =
+  [
+    {
+      name = "DINO/Chain/Alpaca/HarvOS/Chinchilla/Coati";
+      spec = No_language_constructs;
+      checking = By_programmer;
+      adaptation = Programmer_handled;
+    };
+    {
+      name = "Capybara";
+      spec = No_language_constructs;
+      checking = By_compiler;
+      adaptation = Compile_time_only;
+    };
+    {
+      name = "Etap";
+      spec = No_language_constructs;
+      checking = By_compiler;
+      adaptation = Compile_time_only;
+    };
+    {
+      name = "Mayfly";
+      spec = Limited_temporal;
+      checking = By_runtime_fixed;
+      adaptation = Fixed_runtime_reaction;
+    };
+    {
+      name = "InK";
+      spec = Limited_temporal;
+      checking = By_runtime_fixed;
+      adaptation = Fixed_runtime_reaction;
+    };
+    {
+      name = "TICS";
+      spec = Limited_temporal;
+      checking = By_runtime_fixed;
+      adaptation = Fixed_runtime_reaction;
+    };
+    {
+      name = "ImmortalThreads";
+      spec = Limited_temporal;
+      checking = By_runtime_fixed;
+      adaptation = Fixed_runtime_reaction;
+    };
+    {
+      name = "ARTEMIS";
+      spec = Open_property_language;
+      checking = By_generated_monitors;
+      adaptation = Programmable_actions;
+    };
+  ]
+
+let artemis_entry = List.nth entries (List.length entries - 1)
+
+let spec_to_string = function
+  | No_language_constructs -> "no language constructs"
+  | Limited_temporal -> "limited temporal properties"
+  | Open_property_language -> "open, extensible property language"
+
+let checking_to_string = function
+  | By_programmer -> "explicitly by programmer"
+  | By_compiler -> "compile-time analysis"
+  | By_runtime_fixed -> "fixed checks fused in runtime"
+  | By_generated_monitors -> "generated application-specific monitors"
+
+let adaptation_to_string = function
+  | Programmer_handled -> "explicitly by programmer"
+  | Compile_time_only -> "compile-time solution (n/a)"
+  | Fixed_runtime_reaction -> "fixed reaction (restart/evict)"
+  | Programmable_actions -> "programmer-specified actions via monitors"
+
+let render () =
+  let table =
+    Artemis.Table.create
+      ~headers:
+        [ "prior art"; "property specification"; "property checking"; "runtime adaptation" ]
+  in
+  List.iter
+    (fun e ->
+      Artemis.Table.add_row table
+        [
+          e.name;
+          spec_to_string e.spec;
+          checking_to_string e.checking;
+          adaptation_to_string e.adaptation;
+        ])
+    entries;
+  Artemis.Table.render table

@@ -1,0 +1,34 @@
+(** Table 3: qualitative comparison of ARTEMIS against prior art, rendered
+    from typed feature descriptors (so tests can assert, e.g., that only
+    ARTEMIS combines open property specification with runtime checking
+    and runtime adaptation). *)
+
+type spec_support =
+  | No_language_constructs
+  | Limited_temporal
+  | Open_property_language
+
+type checking =
+  | By_programmer
+  | By_compiler
+  | By_runtime_fixed  (** fixed set, fused into the runtime *)
+  | By_generated_monitors
+
+type adaptation =
+  | Programmer_handled
+  | Compile_time_only
+  | Fixed_runtime_reaction
+  | Programmable_actions
+
+type entry = {
+  name : string;
+  spec : spec_support;
+  checking : checking;
+  adaptation : adaptation;
+}
+
+val entries : entry list
+(** One row per system (or system family) of the paper's Table 3. *)
+
+val artemis_entry : entry
+val render : unit -> string

@@ -1,0 +1,67 @@
+open Artemis
+
+type row = {
+  label : string;
+  stats : Stats.t;
+  mitd_enforced : bool;
+  transmissions : int;
+}
+
+let run_with ~label ~off_estimator ~delay_min =
+  let clock = Persistent_clock.create ~off_estimator () in
+  let run =
+    Config.run_health ~clock Config.Artemis_runtime
+      (Config.Intermittent (Time.of_min delay_min))
+  in
+  let mitd_enforced =
+    Log.count
+      (Device.log run.Config.device)
+      (function
+        | Event.Monitor_verdict { monitor; _ } ->
+            String.length monitor >= 4 && String.sub monitor 0 4 = "MITD"
+        | _ -> false)
+    > 0
+  in
+  {
+    label;
+    stats = run.Config.stats;
+    mitd_enforced;
+    transmissions = run.Config.handles.Health_app.sent_messages ();
+  }
+
+let run ?(delay_min = 6) () =
+  let saturating minutes_label ceiling =
+    let tk =
+      Remanence_timekeeper.create ~relative_error:0.05 ~max_measurable:ceiling ()
+    in
+    run_with
+      ~label:(Printf.sprintf "saturates at %s" minutes_label)
+      ~off_estimator:(Remanence_timekeeper.as_off_estimator tk)
+      ~delay_min
+  in
+  [
+    run_with ~label:"ideal" ~off_estimator:Remanence_timekeeper.ideal ~delay_min;
+    saturating "10 min" (Time.of_min 10);
+    saturating "2 min" (Time.of_min 2);
+    saturating "30 s" (Time.of_sec 30);
+  ]
+
+let render rows =
+  let table =
+    Table.create
+      ~headers:
+        [ "timekeeper"; "outcome"; "MITD enforced"; "transmissions delivered" ]
+  in
+  List.iter
+    (fun r ->
+      Table.add_row table
+        [
+          r.label;
+          (match r.stats.Stats.outcome with
+          | Stats.Completed -> "completed"
+          | Stats.Did_not_finish reason -> "DNF: " ^ reason);
+          (if r.mitd_enforced then "yes" else "no (stale data delivered)");
+          string_of_int r.transmissions;
+        ])
+    rows;
+  Table.render table

@@ -1,0 +1,24 @@
+(** How persistent-timekeeper quality affects property enforcement.
+
+    ARTEMIS (like Mayfly/TICS/InK) assumes persistent timekeeping; real
+    timekeepers saturate beyond a maximum measurable off-interval.  This
+    sweep runs the benchmark at a 6-minute charging delay under
+    timekeepers with different saturation ceilings: a ceiling below the
+    5-minute MITD window makes every long outage read as "short", so the
+    staleness violation is never detected - the run "succeeds" by
+    delivering stale acceleration data. *)
+
+open Artemis
+
+type row = {
+  label : string;
+  stats : Stats.t;
+  mitd_enforced : bool;  (** any MITD verdict observed *)
+  transmissions : int;  (** completed [send] executions *)
+}
+
+val run : ?delay_min:int -> unit -> row list
+(** Rows: ideal timekeeper, then saturation ceilings of 10 min, 2 min and
+    30 s ([delay_min] defaults to 6). *)
+
+val render : row list -> string

@@ -1,0 +1,65 @@
+open Artemis
+
+type row = {
+  harvest_uw : float;
+  rounds : int;
+  uplinks : int;
+  hours : float;
+  uplinks_per_hour : float;
+  stats : Stats.t;
+}
+
+let station_capacitor () =
+  Capacitor.create ~capacity:(Energy.mj 12.) ~on_threshold:(Energy.mj 11.5)
+    ~off_threshold:(Energy.mj 1.) ()
+
+let run_at ~rounds ~harvest_uw =
+  let device =
+    Device.create
+      ~capacitor:(station_capacitor ())
+      ~policy:
+        (Charging_policy.From_harvester (Harvester.Constant (Energy.uw harvest_uw)))
+      ~horizon:(Time.of_min 720) ()
+  in
+  let app, handles = Soil_app.make (Device.nvm device) in
+  let suite = compile_and_deploy_exn device app Soil_app.spec_text in
+  let config = { Runtime.default_config with rounds } in
+  let stats = Runtime.run ~config device app suite in
+  let completed_rounds =
+    Log.count (Device.log device) (function
+      | Event.Round_completed _ -> true
+      | _ -> false)
+    + (if Stats.completed stats then 1 else 0)
+  in
+  let hours = Time.to_sec_f stats.Stats.total_time /. 3600. in
+  let uplinks = handles.Soil_app.uplinks () in
+  {
+    harvest_uw;
+    rounds = completed_rounds;
+    uplinks;
+    hours;
+    uplinks_per_hour = (if hours > 0. then float_of_int uplinks /. hours else 0.);
+    stats;
+  }
+
+let run ?(rounds = 20) ?(rates_uw = [ 500.; 100.; 50.; 25. ]) () =
+  List.map (fun harvest_uw -> run_at ~rounds ~harvest_uw) rates_uw
+
+let render rows =
+  let table =
+    Table.create
+      ~headers:
+        [ "avg harvest"; "rounds done"; "uplinks"; "sim hours"; "uplinks/hour" ]
+  in
+  List.iter
+    (fun r ->
+      Table.add_row table
+        [
+          Printf.sprintf "%.0f uW" r.harvest_uw;
+          string_of_int r.rounds;
+          string_of_int r.uplinks;
+          Printf.sprintf "%.2f" r.hours;
+          Printf.sprintf "%.1f" r.uplinks_per_hour;
+        ])
+    rows;
+  Table.render table

@@ -1,0 +1,24 @@
+(** Long-horizon yield of a reactive deployment.
+
+    A monitoring station does not run once; it reports for as long as the
+    ambient source feeds it.  This study runs the soil station for many
+    reactive rounds (monitor state persisting across rounds) under
+    different constant harvesting rates and reports the delivered uplink
+    yield: how the same monitored program degrades gracefully from
+    continuous-feeling operation to deep intermittency. *)
+
+open Artemis
+
+type row = {
+  harvest_uw : float;
+  rounds : int;  (** completed passes (Round_completed + final) *)
+  uplinks : int;  (** reports actually delivered *)
+  hours : float;  (** simulated wall-clock *)
+  uplinks_per_hour : float;
+  stats : Stats.t;
+}
+
+val run : ?rounds:int -> ?rates_uw:float list -> unit -> row list
+(** Defaults: 20 rounds at 500, 100, 50 and 25 uW. *)
+
+val render : row list -> string

@@ -1,0 +1,1 @@
+lib/fsm/ast.ml: Artemis_util Format List String Time

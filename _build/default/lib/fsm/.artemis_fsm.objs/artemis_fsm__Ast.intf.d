@@ -1,0 +1,1 @@
+lib/fsm/ast.mli: Artemis_util Format Time

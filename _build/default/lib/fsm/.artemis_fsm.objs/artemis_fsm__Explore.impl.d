@@ -1,0 +1,1 @@
+lib/fsm/explore.ml: Artemis_util Ast Hashtbl Interp List Option Printf String Time

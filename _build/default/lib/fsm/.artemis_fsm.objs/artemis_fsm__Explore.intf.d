@@ -1,0 +1,1 @@
+lib/fsm/explore.mli: Artemis_util Ast Interp Time

@@ -1,0 +1,1 @@
+lib/fsm/interp.ml: Artemis_util Ast Format Hashtbl List String Time

@@ -1,0 +1,1 @@
+lib/fsm/interp.mli: Artemis_util Ast Time

@@ -1,0 +1,1 @@
+lib/fsm/parser.ml: Artemis_util Ast Format List Printf Result Scanner String Time

@@ -1,0 +1,1 @@
+lib/fsm/parser.mli: Ast

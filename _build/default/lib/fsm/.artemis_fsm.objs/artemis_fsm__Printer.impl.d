@@ -1,0 +1,1 @@
+lib/fsm/printer.ml: Artemis_util Ast Buffer Float List Printf String Time

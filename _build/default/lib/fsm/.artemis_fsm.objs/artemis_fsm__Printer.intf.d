@@ -1,0 +1,1 @@
+lib/fsm/printer.mli: Ast

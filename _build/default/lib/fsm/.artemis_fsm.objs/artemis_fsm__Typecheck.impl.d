@@ -1,0 +1,1 @@
+lib/fsm/typecheck.ml: Ast Format Hashtbl List Option Printf Result String

@@ -1,0 +1,1 @@
+lib/fsm/typecheck.mli: Ast

@@ -1,0 +1,174 @@
+open Artemis_util
+open Ast
+
+type snapshot = { state : string; vars : (string * value) list }
+
+let initial (m : machine) =
+  {
+    state = m.initial;
+    vars = List.map (fun v -> (v.var_name, v.init)) m.vars;
+  }
+
+let store_of_snapshot snapshot =
+  let vars = Hashtbl.create 8 in
+  List.iter (fun (name, v) -> Hashtbl.replace vars name v) snapshot.vars;
+  let state = ref snapshot.state in
+  let store =
+    {
+      Interp.get =
+        (fun x ->
+          match Hashtbl.find_opt vars x with
+          | Some v -> v
+          | None -> raise (Interp.Runtime_error (Printf.sprintf "unknown variable %S" x)));
+      set = (fun x v -> Hashtbl.replace vars x v);
+      get_state = (fun () -> !state);
+      set_state = (fun s -> state := s);
+    }
+  in
+  let freeze () =
+    {
+      state = !state;
+      vars =
+        List.filter_map
+          (fun (name, _) -> Option.map (fun v -> (name, v)) (Hashtbl.find_opt vars name))
+          snapshot.vars;
+    }
+  in
+  (store, freeze)
+
+let step_pure m snapshot event =
+  let store, freeze = store_of_snapshot snapshot in
+  match Interp.step m store event with
+  | failures -> Ok (freeze (), failures)
+  | exception Interp.Runtime_error msg -> Error msg
+
+type violation = {
+  trace : Interp.event list;
+  message : string;
+  at : snapshot;
+}
+
+(* --- alphabet derivation --- *)
+
+let rec expr_times acc = function
+  | Lit (Vtime t) -> t :: acc
+  | Lit (Vint _ | Vbool _ | Vfloat _) | Var _ | Timestamp | Event_path
+  | Dep_data _ | Energy_level ->
+      acc
+  | Unop (_, e) -> expr_times acc e
+  | Binop (_, a, b) -> expr_times (expr_times acc a) b
+
+let rec expr_paths acc = function
+  | Binop (Eq, Event_path, Lit (Vint p)) | Binop (Eq, Lit (Vint p), Event_path) ->
+      p :: acc
+  | Binop (_, a, b) -> expr_paths (expr_paths acc a) b
+  | Unop (_, e) -> expr_paths acc e
+  | Lit _ | Var _ | Timestamp | Event_path | Dep_data _ | Energy_level -> acc
+
+let rec expr_data acc = function
+  | Dep_data x -> x :: acc
+  | Unop (_, e) -> expr_data acc e
+  | Binop (_, a, b) -> expr_data (expr_data acc a) b
+  | Lit _ | Var _ | Timestamp | Event_path | Energy_level -> acc
+
+let machine_exprs m =
+  List.concat_map
+    (fun s ->
+      List.concat_map
+        (fun tr ->
+          let rec stmt_exprs = function
+            | Assign (_, e) -> [ e ]
+            | If (c, t, e) ->
+                (c :: List.concat_map stmt_exprs t) @ List.concat_map stmt_exprs e
+            | Fail _ -> []
+          in
+          Option.to_list tr.guard @ List.concat_map stmt_exprs tr.body)
+        s.transitions)
+    m.states
+
+let machine_tasks m =
+  List.sort_uniq String.compare
+    (List.concat_map
+       (fun s ->
+         List.filter_map
+           (fun tr ->
+             match tr.trigger with
+             | On_start t | On_end t -> Some t
+             | On_any -> None)
+           s.transitions)
+       m.states)
+
+let default_alphabet ?(extra_timestamps = []) m =
+  let exprs = machine_exprs m in
+  let times =
+    List.concat_map (expr_times []) exprs @ extra_timestamps
+    |> List.concat_map (fun t -> [ t; Time.add t (Time.of_ms 1) ])
+    |> List.cons Time.zero
+    |> List.sort_uniq Time.compare
+  in
+  let paths =
+    0 :: List.concat_map (expr_paths []) exprs |> List.sort_uniq compare
+  in
+  let data_names =
+    List.concat_map (expr_data []) exprs |> List.sort_uniq String.compare
+  in
+  let dep_data = List.map (fun x -> (x, 1.0)) data_names in
+  let tasks = machine_tasks m @ [ "other__" ] in
+  List.concat_map
+    (fun task ->
+      List.concat_map
+        (fun kind ->
+          List.concat_map
+            (fun timestamp ->
+              List.map
+                (fun path ->
+                  { Interp.kind; task; timestamp; path; dep_data; energy_mj = 50. })
+                paths)
+            times)
+        [ Interp.Start; Interp.End ])
+    tasks
+
+(* --- bounded DFS with non-decreasing timestamps --- *)
+
+exception Found of violation
+
+let check ?(depth = 4) ?(invariant = fun _ -> true) ?alphabet m =
+  let alphabet = match alphabet with Some a -> a | None -> default_alphabet m in
+  let steps = ref 0 in
+  let rec dfs snapshot trace remaining last_ts =
+    if remaining > 0 then
+      List.iter
+        (fun (event : Interp.event) ->
+          if Time.(event.Interp.timestamp >= last_ts) then begin
+            incr steps;
+            let trace' = event :: trace in
+            match step_pure m snapshot event with
+            | Error message ->
+                raise (Found { trace = List.rev trace'; message; at = snapshot })
+            | Ok (snapshot', _) ->
+                if not (invariant snapshot') then
+                  raise
+                    (Found
+                       {
+                         trace = List.rev trace';
+                         message = "invariant violated";
+                         at = snapshot';
+                       });
+                dfs snapshot' trace' (remaining - 1) event.Interp.timestamp
+          end)
+        alphabet
+  in
+  match dfs (initial m) [] depth Time.zero with
+  | () -> Ok !steps
+  | exception Found v -> Error v
+
+let reachable_states ?depth ?alphabet m =
+  let seen = Hashtbl.create 8 in
+  Hashtbl.replace seen m.initial ();
+  let invariant snapshot =
+    Hashtbl.replace seen snapshot.state ();
+    true
+  in
+  match check ?depth ~invariant ?alphabet m with
+  | Ok _ -> List.sort String.compare (Hashtbl.fold (fun k () acc -> k :: acc) seen [])
+  | Error v -> failwith v.message

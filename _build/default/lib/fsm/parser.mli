@@ -1,0 +1,35 @@
+(** Parser for the intermediate language's concrete syntax.
+
+    {v
+    file       ::= machine*
+    machine    ::= "machine" ident "{" var_decl* state* "}"
+    var_decl   ::= ["persistent"] "var" ident ":" type "=" literal ";"
+    type       ::= "int" | "bool" | "float" | "time"
+    state      ::= ["initial"] "state" ident "{" transition* "}"
+    transition ::= "on" trigger ["when" "(" expr ")"]
+                   ["{" stmt* "}"] ["->" ident] ";"
+    trigger    ::= "startTask" "(" ident ")" | "endTask" "(" ident ")"
+                 | "anyEvent"
+    stmt       ::= ident ":=" expr ";"
+                 | "if" "(" expr ")" "{" stmt* "}" ["else" "{" stmt* "}"]
+                 | "fail" action ["Path" int] ";"
+    v}
+
+    Expressions use C-like precedence: [||] < [&&] < comparisons <
+    [+ -] < [* / %] < unary [- !].  Atoms: int/float/duration/bool
+    literals, variables, [t] (event timestamp), [path] (current path),
+    [data(x)] (monitored variable), [energyLevel].  A unary minus applied
+    directly to a literal is folded into the literal.
+
+    Omitting ["->" target] makes the transition a self-loop; exactly one
+    state must be marked [initial]. *)
+
+val parse : string -> (Ast.machine list, string) result
+val parse_exn : string -> Ast.machine list
+(** @raise Failure on parse errors. *)
+
+val parse_machine_exn : string -> Ast.machine
+(** Expects exactly one machine. @raise Failure otherwise. *)
+
+val parse_expr_exn : string -> Ast.expr
+(** Parse a standalone expression (tests). @raise Failure *)

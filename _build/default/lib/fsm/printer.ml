@@ -1,0 +1,106 @@
+open Artemis_util
+open Ast
+
+let float_lit f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+  else
+    (* fixed-point decimal so the scanner (which has no exponent syntax)
+       can read it back; trailing zeros trimmed but one decimal kept *)
+    let s = Printf.sprintf "%.12f" f in
+    let len = String.length s in
+    let rec last i = if i > 0 && s.[i] = '0' && s.[i - 1] <> '.' then last (i - 1) else i in
+    String.sub s 0 (last (len - 1) + 1)
+
+let value_to_string = function
+  | Vint n -> string_of_int n
+  | Vbool b -> if b then "true" else "false"
+  | Vfloat f -> float_lit f
+  | Vtime t -> Time.to_literal t
+
+let unop_to_string = function Neg -> "-" | Not -> "!"
+
+let binop_to_string = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Mod -> "%"
+  | Eq -> "==" | Ne -> "!=" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+  | And -> "&&" | Or -> "||"
+
+(* Fully parenthesized compound expressions: unambiguous to reparse and
+   close to what the C emitter produces. *)
+let rec expr_to_string = function
+  | Lit v -> value_to_string v
+  | Var x -> x
+  | Timestamp -> "t"
+  | Event_path -> "path"
+  | Dep_data x -> Printf.sprintf "data(%s)" x
+  | Energy_level -> "energyLevel"
+  | Unop (op, e) -> Printf.sprintf "%s(%s)" (unop_to_string op) (expr_to_string e)
+  | Binop (op, a, b) ->
+      Printf.sprintf "(%s %s %s)" (expr_to_string a) (binop_to_string op)
+        (expr_to_string b)
+
+let trigger_to_string = function
+  | On_start t -> Printf.sprintf "startTask(%s)" t
+  | On_end t -> Printf.sprintf "endTask(%s)" t
+  | On_any -> "anyEvent"
+
+let rec stmt_lines indent stmt =
+  let pad = String.make indent ' ' in
+  match stmt with
+  | Assign (x, e) -> [ Printf.sprintf "%s%s := %s;" pad x (expr_to_string e) ]
+  | Fail (action, path) ->
+      let suffix =
+        match path with None -> "" | Some p -> Printf.sprintf " Path %d" p
+      in
+      [ Printf.sprintf "%sfail %s%s;" pad (action_to_string action) suffix ]
+  | If (cond, then_, []) ->
+      (Printf.sprintf "%sif (%s) {" pad (expr_to_string cond)
+      :: List.concat_map (stmt_lines (indent + 2)) then_)
+      @ [ pad ^ "}" ]
+  | If (cond, then_, else_) ->
+      (Printf.sprintf "%sif (%s) {" pad (expr_to_string cond)
+      :: List.concat_map (stmt_lines (indent + 2)) then_)
+      @ [ pad ^ "} else {" ]
+      @ List.concat_map (stmt_lines (indent + 2)) else_
+      @ [ pad ^ "}" ]
+
+let transition_lines state_name tr =
+  let guard =
+    match tr.guard with
+    | None -> ""
+    | Some g -> Printf.sprintf " when (%s)" (expr_to_string g)
+  in
+  let arrow =
+    if String.equal tr.target state_name then ""
+    else Printf.sprintf " -> %s" tr.target
+  in
+  match tr.body with
+  | [] -> [ Printf.sprintf "    on %s%s%s;" (trigger_to_string tr.trigger) guard arrow ]
+  | body ->
+      (Printf.sprintf "    on %s%s {" (trigger_to_string tr.trigger) guard
+      :: List.concat_map (stmt_lines 6) body)
+      @ [ Printf.sprintf "    }%s;" arrow ]
+
+let to_string m =
+  let buf = Buffer.create 512 in
+  let line l = Buffer.add_string buf (l ^ "\n") in
+  line (Printf.sprintf "machine %s {" m.machine_name);
+  List.iter
+    (fun v ->
+      line
+        (Printf.sprintf "  %svar %s : %s = %s;"
+           (if v.persistent then "persistent " else "")
+           v.var_name (ty_to_string v.ty) (value_to_string v.init)))
+    m.vars;
+  List.iter
+    (fun s ->
+      let keyword =
+        if String.equal s.state_name m.initial then "initial state" else "state"
+      in
+      line (Printf.sprintf "  %s %s {" keyword s.state_name);
+      List.iter (fun tr -> List.iter line (transition_lines s.state_name tr)) s.transitions;
+      line "  }")
+    m.states;
+  line "}";
+  Buffer.contents buf
+
+let machines_to_string ms = String.concat "\n" (List.map to_string ms)

@@ -1,0 +1,9 @@
+(** Concrete-syntax printer for the intermediate language.
+
+    [Parser.parse_machine_exn (to_string m)] equals [m] (round-trip law,
+    property-tested).  The syntax is the one documented in {!Parser}. *)
+
+val value_to_string : Ast.value -> string
+val expr_to_string : Ast.expr -> string
+val to_string : Ast.machine -> string
+val machines_to_string : Ast.machine list -> string

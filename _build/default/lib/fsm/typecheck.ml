@@ -1,0 +1,133 @@
+open Ast
+
+let rec expr_type ~vars e =
+  let ( let* ) r f = Result.bind r f in
+  match e with
+  | Lit v -> Ok (ty_of_value v)
+  | Var x -> (
+      match vars x with
+      | Some ty -> Ok ty
+      | None -> Error (Printf.sprintf "undeclared variable %S" x))
+  | Timestamp -> Ok Ttime
+  | Event_path -> Ok Tint
+  | Dep_data _ -> Ok Tfloat
+  | Energy_level -> Ok Tfloat
+  | Unop (Neg, e) -> (
+      let* ty = expr_type ~vars e in
+      match ty with
+      | Tint | Tfloat | Ttime -> Ok ty
+      | Tbool -> Error "cannot negate a bool")
+  | Unop (Not, e) -> (
+      let* ty = expr_type ~vars e in
+      match ty with
+      | Tbool -> Ok Tbool
+      | Tint | Tfloat | Ttime -> Error "! expects a bool")
+  | Binop (op, a, b) -> (
+      let* ta = expr_type ~vars a in
+      let* tb = expr_type ~vars b in
+      let same what =
+        if ta = tb then Ok ta
+        else
+          Error
+            (Printf.sprintf "%s expects equal operand types, got %s and %s"
+               what (ty_to_string ta) (ty_to_string tb))
+      in
+      match op with
+      | Add | Sub -> (
+          let* ty = same "arithmetic" in
+          match ty with
+          | Tint | Tfloat | Ttime -> Ok ty
+          | Tbool -> Error "arithmetic on bool")
+      | Mul | Div -> (
+          let* ty = same "arithmetic" in
+          match ty with
+          | Tint | Tfloat -> Ok ty
+          | Ttime -> Error "* and / are not defined on time"
+          | Tbool -> Error "arithmetic on bool")
+      | Mod -> (
+          let* ty = same "%" in
+          match ty with
+          | Tint -> Ok Tint
+          | Tbool | Tfloat | Ttime -> Error "% expects ints")
+      | Eq | Ne | Lt | Le | Gt | Ge ->
+          let* _ = same "comparison" in
+          Ok Tbool
+      | And | Or ->
+          if ta = Tbool && tb = Tbool then Ok Tbool
+          else Error "&& and || expect bools")
+
+let check m =
+  let errors = ref [] in
+  let err fmt = Format.kasprintf (fun s -> errors := s :: !errors) fmt in
+  (* unique names *)
+  let check_unique what names =
+    let tbl = Hashtbl.create 8 in
+    List.iter
+      (fun n ->
+        if Hashtbl.mem tbl n then err "duplicate %s %S" what n
+        else Hashtbl.add tbl n ())
+      names
+  in
+  check_unique "state" (List.map (fun s -> s.state_name) m.states);
+  check_unique "variable" (List.map (fun v -> v.var_name) m.vars);
+  if find_state m m.initial = None then
+    err "initial state %S does not exist" m.initial;
+  List.iter
+    (fun v ->
+      if ty_of_value v.init <> v.ty then
+        err "variable %S: initializer type %s does not match declared %s"
+          v.var_name
+          (ty_to_string (ty_of_value v.init))
+          (ty_to_string v.ty))
+    m.vars;
+  let vars x = Option.map (fun v -> v.ty) (find_var m x) in
+  let in_ctx state_name what = Printf.sprintf "state %S, %s" state_name what in
+  let rec check_stmt ctx = function
+    | Assign (x, e) -> (
+        match (vars x, expr_type ~vars e) with
+        | None, _ -> err "%s: assignment to undeclared variable %S" ctx x
+        | Some _, Error msg -> err "%s: %s" ctx msg
+        | Some ty, Ok te ->
+            if ty <> te then
+              err "%s: assigning %s to variable %S of type %s" ctx
+                (ty_to_string te) x (ty_to_string ty))
+    | If (cond, then_, else_) ->
+        (match expr_type ~vars cond with
+        | Error msg -> err "%s: %s" ctx msg
+        | Ok Tbool -> ()
+        | Ok other ->
+            err "%s: if condition has type %s, expected bool" ctx
+              (ty_to_string other));
+        List.iter (check_stmt ctx) then_;
+        List.iter (check_stmt ctx) else_
+    | Fail (_, Some p) when p <= 0 -> err "%s: fail Path must be positive" ctx
+    | Fail (_, _) -> ()
+  in
+  List.iter
+    (fun s ->
+      List.iter
+        (fun tr ->
+          let ctx = in_ctx s.state_name "transition" in
+          (match tr.guard with
+          | None -> ()
+          | Some g -> (
+              match expr_type ~vars g with
+              | Error msg -> err "%s: %s" ctx msg
+              | Ok Tbool -> ()
+              | Ok other ->
+                  err "%s: guard has type %s, expected bool" ctx
+                    (ty_to_string other)));
+          List.iter (check_stmt ctx) tr.body;
+          if find_state m tr.target = None then
+            err "%s: target state %S does not exist" ctx tr.target)
+        s.transitions)
+    m.states;
+  match List.rev !errors with [] -> Ok () | errs -> Error errs
+
+let check_exn m =
+  match check m with
+  | Ok () -> ()
+  | Error errs ->
+      failwith
+        (Printf.sprintf "machine %S: %s" m.machine_name
+           (String.concat "\n" errs))

@@ -1,0 +1,1 @@
+lib/immortal/immortal.ml: Array Artemis_nvm Nvm

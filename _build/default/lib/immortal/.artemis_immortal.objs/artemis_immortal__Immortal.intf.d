@@ -1,0 +1,1 @@
+lib/immortal/immortal.mli: Artemis_nvm Nvm

@@ -1,0 +1,30 @@
+open Artemis_nvm
+
+type t = { pc_cell : int Nvm.cell; steps : (unit -> unit) array }
+
+type progress = Ran of int | Done
+
+let create nvm ~region ~name ~steps =
+  if Array.length steps = 0 then invalid_arg "Immortal.create: no steps";
+  let pc_cell = Nvm.cell nvm ~region ~name:("ic:" ^ name) ~bytes:2 0 in
+  { pc_cell; steps }
+
+let pc t = Nvm.read t.pc_cell
+let length t = Array.length t.steps
+let fresh t = pc t = 0
+let completed t = pc t >= Array.length t.steps
+let in_progress t = (not (fresh t)) && not (completed t)
+
+let run_step t =
+  let i = pc t in
+  if i >= Array.length t.steps then Done
+  else begin
+    t.steps.(i) ();
+    Nvm.write t.pc_cell (i + 1);
+    Ran i
+  end
+
+let rec run_to_completion t =
+  match run_step t with Done -> () | Ran _ -> run_to_completion t
+
+let reset t = Nvm.write t.pc_cell 0

@@ -1,0 +1,1 @@
+lib/ink/ink.ml: Array Artemis_device Artemis_nvm Artemis_task Artemis_trace Artemis_util Energy List Printf Prng Result String Time

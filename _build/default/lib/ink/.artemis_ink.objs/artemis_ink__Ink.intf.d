@@ -1,0 +1,1 @@
+lib/ink/ink.mli: Artemis_device Artemis_task Artemis_trace Artemis_util Device Energy Task Time

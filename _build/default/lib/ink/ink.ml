@@ -1,0 +1,235 @@
+open Artemis_util
+module Nvm = Artemis_nvm.Nvm
+module Device = Artemis_device.Device
+module Report = Artemis_device.Report
+module Event = Artemis_trace.Event
+module Stats = Artemis_trace.Stats
+module Task = Artemis_task.Task
+
+type thread = {
+  thread_name : string;
+  priority : int;
+  tasks : Task.t list;
+  expiry : Time.t option;
+}
+
+type armed = { thread : thread; arrival : Time.t }
+
+let validate armed_list =
+  let ( let* ) r f = Result.bind r f in
+  let* () = if armed_list = [] then Error "no armed threads" else Ok () in
+  let names = List.map (fun a -> a.thread.thread_name) armed_list in
+  let* () =
+    if List.length (List.sort_uniq String.compare names) = List.length names
+    then Ok ()
+    else Error "thread names must be unique"
+  in
+  let* () =
+    match List.find_opt (fun a -> a.thread.tasks = []) armed_list with
+    | Some a -> Error (Printf.sprintf "thread %S has an empty chain" a.thread.thread_name)
+    | None -> Ok ()
+  in
+  if List.exists (fun a -> Time.is_negative a.arrival) armed_list then
+    Error "negative arrival time"
+  else Ok ()
+
+type config = {
+  kernel_cycles_per_event : int;
+  mcu_power : Energy.power;
+  mcu_frequency_hz : int;
+  max_loop_iterations : int;
+  seed : int;
+}
+
+let default_config =
+  {
+    kernel_cycles_per_event = 320;
+    mcu_power = Energy.mw 1.2;
+    mcu_frequency_hz = 1_000_000;
+    max_loop_iterations = 200_000;
+    seed = 42;
+  }
+
+type thread_state = Alive | Finished | Evicted
+
+(* Per-thread persistent progress: one atomic cell each. *)
+type progress = { next_task : int; state : thread_state }
+
+type outcome = {
+  stats : Stats.t;
+  completed_threads : string list;
+  evicted_threads : string list;
+}
+
+type state = {
+  device : Device.t;
+  armed : armed array;
+  cells : progress Nvm.cell array;
+  config : config;
+  prng : Prng.t;
+  mutable completion_order : string list;  (* reverse order *)
+  mutable iterations : int;
+}
+
+let make_state ~config device armed_list =
+  (match validate armed_list with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Ink.run: invalid threads: " ^ msg));
+  let nvm = Device.nvm device in
+  let armed = Array.of_list armed_list in
+  let cells =
+    Array.mapi
+      (fun i a ->
+        Nvm.cell nvm ~region:Runtime
+          ~name:(Printf.sprintf "ink.thread.%d.%s" i a.thread.thread_name)
+          ~bytes:3
+          { next_task = 0; state = Alive })
+      armed
+  in
+  {
+    device;
+    armed;
+    cells;
+    config;
+    prng = Prng.create ~seed:config.seed;
+    completion_order = [];
+    iterations = 0;
+  }
+
+let cycles_to_time st cycles =
+  Time.of_us (cycles * 1_000_000 / st.config.mcu_frequency_hz)
+
+let consume_kernel st =
+  Device.consume st.device Device.Runtime_work ~power:st.config.mcu_power
+    ~duration:(cycles_to_time st st.config.kernel_cycles_per_event)
+    ()
+
+(* Highest priority among alive threads whose event has arrived; FIFO by
+   arrival, then index, among equals. *)
+let pick st =
+  let now = Device.now st.device in
+  let best = ref None in
+  Array.iteri
+    (fun i a ->
+      if (Nvm.read st.cells.(i)).state = Alive && Time.(a.arrival <= now) then
+        match !best with
+        | None -> best := Some i
+        | Some j ->
+            let b = st.armed.(j) in
+            if
+              a.thread.priority > b.thread.priority
+              || (a.thread.priority = b.thread.priority
+                 && Time.(a.arrival < b.arrival))
+            then best := Some i)
+    st.armed;
+  !best
+
+let earliest_pending st =
+  let now = Device.now st.device in
+  Array.to_list st.armed
+  |> List.mapi (fun i a -> (i, a))
+  |> List.filter (fun (i, a) ->
+         (Nvm.read st.cells.(i)).state = Alive && Time.(a.arrival > now))
+  |> List.fold_left
+       (fun acc (_, a) ->
+         match acc with
+         | None -> Some a.arrival
+         | Some t -> Some (Time.min t a.arrival))
+       None
+
+let run_thread_step st i =
+  let a = st.armed.(i) in
+  let progress = Nvm.read st.cells.(i) in
+  let task = List.nth a.thread.tasks progress.next_task in
+  Device.record st.device
+    (Event.Task_started { task = task.Task.name; attempt = 1 });
+  match consume_kernel st with
+  | Device.Interrupted | Device.Starved -> ()
+  | Device.Completed -> (
+      (* fixed reaction: evict the whole thread when the triggering
+         event's data has expired (Table 3) *)
+      let expired =
+        match a.thread.expiry with
+        | None -> false
+        | Some window ->
+            Time.(Time.sub (Device.now st.device) a.arrival > window)
+      in
+      if expired then begin
+        Device.record st.device
+          (Event.Runtime_action
+             { action = "evictThread " ^ a.thread.thread_name; task = task.Task.name });
+        Nvm.write st.cells.(i) { progress with state = Evicted }
+      end
+      else begin
+        let nvm = Device.nvm st.device in
+        Nvm.begin_tx nvm;
+        match
+          Device.consume st.device Device.App ~during:task.Task.name
+            ~power:task.Task.power ~duration:task.Task.duration ()
+        with
+        | Device.Interrupted | Device.Starved -> ()
+        | Device.Completed ->
+            task.Task.body
+              { Task.nvm; now = Device.now st.device; prng = st.prng };
+            let finished = progress.next_task + 1 >= List.length a.thread.tasks in
+            Nvm.tx_write st.cells.(i)
+              {
+                next_task = progress.next_task + 1;
+                state = (if finished then Finished else Alive);
+              };
+            Nvm.commit_tx nvm;
+            Device.record st.device (Event.Task_completed { task = task.Task.name });
+            if finished then
+              st.completion_order <- a.thread.thread_name :: st.completion_order
+      end)
+
+let finish st ~outcome =
+  let stats = Report.stats st.device ~outcome in
+  let evicted =
+    Array.to_list st.armed
+    |> List.mapi (fun i a -> (i, a))
+    |> List.filter_map (fun (i, a) ->
+           if (Nvm.read st.cells.(i)).state = Evicted then
+             Some a.thread.thread_name
+           else None)
+  in
+  {
+    stats;
+    completed_threads = List.rev st.completion_order;
+    evicted_threads = evicted;
+  }
+
+let run ?(config = default_config) device armed_list =
+  let st = make_state ~config device armed_list in
+  Device.record device Event.Boot;
+  let rec loop () =
+    st.iterations <- st.iterations + 1;
+    if st.iterations > config.max_loop_iterations then begin
+      let reason = "iteration limit (no progress)" in
+      Device.record device (Event.Horizon_reached { reason });
+      finish st ~outcome:(Stats.Did_not_finish reason)
+    end
+    else if Device.horizon_exceeded device then begin
+      let reason = "simulation time horizon" in
+      Device.record device (Event.Horizon_reached { reason });
+      finish st ~outcome:(Stats.Did_not_finish reason)
+    end
+    else
+      match pick st with
+      | Some i ->
+          run_thread_step st i;
+          loop ()
+      | None -> (
+          match earliest_pending st with
+          | Some arrival ->
+              (* idle (deep sleep) until the next event arrives *)
+              let wait = Time.sub arrival (Device.now st.device) in
+              ignore
+                (Device.consume st.device Device.Runtime_work
+                   ~power:(Energy.uw 0.) ~duration:wait ());
+              loop ()
+          | None ->
+              Device.record device Event.App_completed;
+              finish st ~outcome:Stats.Completed)
+  in
+  loop ()

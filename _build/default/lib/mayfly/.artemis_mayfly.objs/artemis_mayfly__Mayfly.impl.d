@@ -1,0 +1,1 @@
+lib/mayfly/mayfly.ml: Array Artemis_device Artemis_nvm Artemis_spec Artemis_task Artemis_trace Artemis_util List Printf Prng Stdlib String Time

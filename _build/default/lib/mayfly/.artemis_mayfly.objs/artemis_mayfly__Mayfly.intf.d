@@ -1,0 +1,1 @@
+lib/mayfly/mayfly.mli: Artemis_device Artemis_spec Artemis_task Artemis_trace Artemis_util Cost_model Device Task Time

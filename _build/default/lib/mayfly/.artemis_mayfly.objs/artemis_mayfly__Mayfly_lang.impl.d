@@ -1,0 +1,1 @@
+lib/mayfly/mayfly_lang.ml: Artemis_spec Artemis_transform Artemis_util Format List Mayfly Printf Result Scanner String Time

@@ -1,0 +1,1 @@
+lib/mayfly/mayfly_lang.mli: Artemis_fsm Artemis_spec Artemis_util Mayfly Time

@@ -1,0 +1,55 @@
+(** A Mayfly-style specification frontend (Section 7, "Support for Other
+    Languages").
+
+    Mayfly expresses timing as annotations on task-graph {e edges}; this
+    module implements a compact edge syntax and maps it onto the ARTEMIS
+    intermediate language - demonstrating that several property languages
+    can share the monitor-generation backend - and, alternatively, onto
+    native {!Mayfly.annotation}s for the baseline runtime.
+
+    {v
+    spec ::= edge*
+    edge ::= ident "->" ident constraint ["Path" int] ";"
+    constraint ::= "expires" duration    // data freshness (MITD)
+                 | "collect" int         // required data items
+    v}
+
+    Example:
+    {v
+    accel -> send expires 5min Path 2;
+    bodyTemp -> calcAvg collect 10;
+    v}
+
+    Violations take Mayfly's fixed reaction: restart the consumer's path
+    (Table 3, "Runtime restarts task-graph"). *)
+
+open Artemis_util
+
+type constraint_ = Expires of Time.t | Collects of int
+
+type edge = {
+  producer : string;
+  consumer : string;
+  constraint_ : constraint_;
+  path : int option;
+}
+
+val parse : string -> (edge list, string) result
+val parse_exn : string -> edge list
+
+val to_string : edge list -> string
+(** Concrete syntax; [parse_exn (to_string e) = e] (property-tested). *)
+
+val to_spec : edge list -> Artemis_spec.Ast.t
+(** Mapping into the ARTEMIS property language (one block per consumer,
+    [MITD]/[collect] with [restartPath]), from which the regular
+    monitor-generation pipeline proceeds. *)
+
+val to_machines : edge list -> Artemis_fsm.Ast.machine list
+(** Straight to intermediate-language machines (via {!to_spec} and the
+    standard transformation). *)
+
+val to_annotations : edge list -> (string * Mayfly.annotation list) list
+(** Native annotations for the {!Mayfly} baseline runtime. *)
+
+val equal : edge list -> edge list -> bool

@@ -1,0 +1,1 @@
+lib/monitor/monitor.ml: Artemis_fsm Artemis_nvm Ast Interp List Nvm Printf Typecheck

@@ -1,0 +1,1 @@
+lib/monitor/monitor.mli: Artemis_fsm Artemis_nvm Ast Interp Nvm

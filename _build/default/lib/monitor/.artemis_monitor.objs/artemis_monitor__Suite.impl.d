@@ -1,0 +1,1 @@
+lib/monitor/suite.ml: Artemis_fsm Ast Interp List Monitor

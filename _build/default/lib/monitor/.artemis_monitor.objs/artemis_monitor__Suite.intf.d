@@ -1,0 +1,1 @@
+lib/monitor/suite.mli: Artemis_fsm Artemis_nvm Ast Interp Monitor Nvm

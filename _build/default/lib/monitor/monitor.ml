@@ -1,0 +1,92 @@
+open Artemis_nvm
+open Artemis_fsm
+
+let ty_bytes = function
+  | Ast.Tint -> 4
+  | Ast.Tbool -> 1
+  | Ast.Tfloat -> 4
+  | Ast.Ttime -> 8
+
+type t = {
+  machine : Ast.machine;
+  state_cell : string Nvm.cell;
+  var_cells : (string * Ast.value Nvm.cell) list;
+  store : Interp.store;
+  bytes : int;
+}
+
+let create nvm (machine : Ast.machine) =
+  Typecheck.check_exn machine;
+  let prefix = machine.Ast.machine_name in
+  let state_cell =
+    Nvm.cell nvm ~region:Monitor ~name:(prefix ^ ".state") ~bytes:2
+      machine.Ast.initial
+  in
+  let var_cells =
+    List.map
+      (fun v ->
+        ( v.Ast.var_name,
+          Nvm.cell nvm ~region:Monitor
+            ~name:(prefix ^ "." ^ v.Ast.var_name)
+            ~bytes:(ty_bytes v.Ast.ty) v.Ast.init ))
+      machine.Ast.vars
+  in
+  let store =
+    {
+      Interp.get =
+        (fun x ->
+          match List.assoc_opt x var_cells with
+          | Some c -> Nvm.read c
+          | None ->
+              raise (Interp.Runtime_error (Printf.sprintf "unknown variable %S" x)));
+      set =
+        (fun x v ->
+          match List.assoc_opt x var_cells with
+          | Some c -> Nvm.write c v
+          | None ->
+              raise (Interp.Runtime_error (Printf.sprintf "unknown variable %S" x)));
+      get_state = (fun () -> Nvm.read state_cell);
+      set_state = (fun s -> Nvm.write state_cell s);
+    }
+  in
+  (* The generated C keeps each property's parameters (limits, dependent
+     task pointer, action fields) in an FRAM-resident property_t struct
+     (Figure 10); the interpreter holds them in the machine AST instead,
+     so the deployed footprint is accounted for explicitly. *)
+  let property_table_bytes = 24 in
+  ignore
+    (Nvm.cell nvm ~region:Monitor ~name:(prefix ^ ".property_t")
+       ~bytes:property_table_bytes ());
+  let bytes =
+    2 + property_table_bytes
+    + List.fold_left (fun acc v -> acc + ty_bytes v.Ast.ty) 0 machine.Ast.vars
+  in
+  { machine; state_cell; var_cells; store; bytes }
+
+let name t = t.machine.Ast.machine_name
+let machine t = t.machine
+
+let hard_reset t =
+  Nvm.write t.state_cell t.machine.Ast.initial;
+  List.iter
+    (fun v -> Nvm.write (List.assoc v.Ast.var_name t.var_cells) v.Ast.init)
+    t.machine.Ast.vars
+
+let reinitialize t =
+  Nvm.write t.state_cell t.machine.Ast.initial;
+  List.iter
+    (fun v ->
+      if not v.Ast.persistent then
+        Nvm.write (List.assoc v.Ast.var_name t.var_cells) v.Ast.init)
+    t.machine.Ast.vars
+
+let step t event = Interp.step t.machine t.store event
+let current_state t = Nvm.read t.state_cell
+
+let read_var t x =
+  match List.assoc_opt x t.var_cells with
+  | Some c -> Nvm.read c
+  | None -> raise Not_found
+
+let watches_task t task = Interp.mentions_task t.machine task
+let fram_bytes t = t.bytes

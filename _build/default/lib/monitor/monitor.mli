@@ -1,0 +1,39 @@
+(** A deployed monitor: an intermediate-language machine whose variables
+    and control state live in simulated FRAM, so that - like the
+    ImmortalThreads-generated C monitors of Section 4.2.3 - it survives
+    power failures without losing track of the properties it checks. *)
+
+open Artemis_nvm
+open Artemis_fsm
+
+type t
+
+val create : Nvm.t -> Ast.machine -> t
+(** Typechecks the machine and allocates one FRAM cell per variable plus
+    a state cell, all in the [Monitor] region (their bytes are what
+    Table 2 reports as monitor FRAM).
+    @raise Failure if the machine is ill-typed. *)
+
+val name : t -> string
+val machine : t -> Ast.machine
+
+val hard_reset : t -> unit
+(** First-boot initialisation ([resetMonitor], Figure 8 line 14). *)
+
+val reinitialize : t -> unit
+(** Path-restart re-initialisation: control state and ordinary variables
+    reset, [persistent] variables retained (Section 3.3 and DESIGN.md
+    decision 2). *)
+
+val step : t -> Interp.event -> Interp.failure list
+(** Feed one runtime event through the machine. *)
+
+val current_state : t -> string
+val read_var : t -> string -> Ast.value
+(** @raise Not_found for an unknown variable. *)
+
+val watches_task : t -> string -> bool
+(** Whether any trigger of the machine names the task (used to select the
+    monitors a path restart must re-initialize). *)
+
+val fram_bytes : t -> int

@@ -1,0 +1,36 @@
+open Artemis_fsm
+
+type t = { monitors : Monitor.t list }
+
+let create nvm machines = { monitors = List.map (Monitor.create nvm) machines }
+let monitors t = t.monitors
+let property_count t = List.length t.monitors
+let hard_reset t = List.iter Monitor.hard_reset t.monitors
+
+let step_all t event =
+  List.concat_map (fun m -> Monitor.step m event) t.monitors
+
+let reinit_for_tasks t ~tasks =
+  List.iter
+    (fun m ->
+      if List.exists (fun task -> Monitor.watches_task m task) tasks then
+        Monitor.reinitialize m)
+    t.monitors
+
+let fram_bytes t =
+  List.fold_left (fun acc m -> acc + Monitor.fram_bytes m) 0 t.monitors
+
+let severity = function
+  | Ast.Skip_path -> 4
+  | Ast.Restart_path -> 3
+  | Ast.Complete_path -> 2
+  | Ast.Skip_task -> 1
+  | Ast.Restart_task -> 0
+
+let arbitrate failures =
+  List.fold_left
+    (fun best (f : Interp.failure) ->
+      match best with
+      | None -> Some f
+      | Some b -> if severity f.action > severity b.action then Some f else Some b)
+    None failures

@@ -1,0 +1,38 @@
+(** The set of application-specific monitors deployed with one
+    application, and the arbitration rule the runtime applies when
+    several of them fail on the same event. *)
+
+open Artemis_nvm
+open Artemis_fsm
+
+type t
+
+val create : Nvm.t -> Ast.machine list -> t
+val monitors : t -> Monitor.t list
+
+val property_count : t -> int
+(** Number of deployed monitors = number of properties (the monitor
+    overhead cost model scales with this). *)
+
+val hard_reset : t -> unit
+
+val step_all : t -> Interp.event -> Interp.failure list
+(** Deliver the event to every monitor (each machine decides relevance),
+    concatenating the reported failures in deployment order. *)
+
+val reinit_for_tasks : t -> tasks:string list -> unit
+(** Path restart: re-initialize every monitor watching one of the given
+    tasks (Section 3.3). *)
+
+val fram_bytes : t -> int
+
+(** {2 Arbitration} *)
+
+val severity : Ast.action -> int
+(** Deterministic action-severity order (DESIGN.md decision 3):
+    skipPath (4) > restartPath (3) > completePath (2) > skipTask (1) >
+    restartTask (0). *)
+
+val arbitrate : Interp.failure list -> Interp.failure option
+(** The failure whose action the runtime executes: highest severity,
+    first-reported among equals; [None] when the list is empty. *)

@@ -1,0 +1,1 @@
+lib/nvm/nvm.ml: List Printf String

@@ -1,0 +1,109 @@
+type region = Runtime | Monitor | Application
+type kind = Fram | Ram
+
+(* Per-cell hooks let the store manipulate heterogeneous cells uniformly. *)
+type registered = {
+  reg_name : string;
+  reg_region : region;
+  reg_kind : kind;
+  reg_bytes : int;
+  reset_volatile : unit -> unit;
+  discard_pending : unit -> unit;
+}
+
+type t = {
+  mutable cells : registered list;  (* reverse allocation order *)
+  mutable tx_open : bool;
+  mutable tx_dirty : (unit -> unit) list;  (* commit thunks, reverse order *)
+}
+
+type 'a cell = {
+  store : t;
+  name : string;
+  kind : kind;
+  initial : 'a;
+  mutable committed : 'a;
+  mutable pending : 'a option;
+}
+
+let create () = { cells = []; tx_open = false; tx_dirty = [] }
+
+let cell t ~region ?(kind = Fram) ~name ~bytes init =
+  if bytes < 0 then invalid_arg "Nvm.cell: negative size";
+  let clash r = r.reg_region = region && String.equal r.reg_name name in
+  if List.exists clash t.cells then
+    invalid_arg (Printf.sprintf "Nvm.cell: duplicate cell %S" name);
+  let c =
+    { store = t; name; kind; initial = init; committed = init; pending = None }
+  in
+  let registered =
+    {
+      reg_name = name;
+      reg_region = region;
+      reg_kind = kind;
+      reg_bytes = bytes;
+      reset_volatile = (fun () -> if kind = Ram then c.committed <- c.initial);
+      discard_pending = (fun () -> c.pending <- None);
+    }
+  in
+  t.cells <- registered :: t.cells;
+  c
+
+let read c = match c.pending with Some v -> v | None -> c.committed
+
+let write c v =
+  (match (c.kind, c.pending) with
+  | Fram, Some _ ->
+      invalid_arg
+        (Printf.sprintf "Nvm.write: cell %S has an uncommitted tx value" c.name)
+  | (Fram | Ram), _ -> ());
+  c.committed <- v
+
+let begin_tx t =
+  if t.tx_open then invalid_arg "Nvm.begin_tx: transaction already open";
+  t.tx_open <- true;
+  t.tx_dirty <- []
+
+let tx_write c v =
+  if not c.store.tx_open then invalid_arg "Nvm.tx_write: no open transaction";
+  if c.kind = Ram then
+    invalid_arg (Printf.sprintf "Nvm.tx_write: cell %S is volatile" c.name);
+  (match c.pending with
+  | None ->
+      let commit () =
+        (match c.pending with Some p -> c.committed <- p | None -> ());
+        c.pending <- None
+      in
+      c.store.tx_dirty <- commit :: c.store.tx_dirty
+  | Some _ -> ());
+  c.pending <- Some v
+
+let commit_tx t =
+  if not t.tx_open then invalid_arg "Nvm.commit_tx: no open transaction";
+  List.iter (fun commit -> commit ()) (List.rev t.tx_dirty);
+  t.tx_dirty <- [];
+  t.tx_open <- false
+
+let abort_tx t =
+  if not t.tx_open then invalid_arg "Nvm.abort_tx: no open transaction";
+  List.iter (fun r -> r.discard_pending ()) t.cells;
+  t.tx_dirty <- [];
+  t.tx_open <- false
+
+let in_tx t = t.tx_open
+
+let power_failure t =
+  if t.tx_open then abort_tx t;
+  List.iter (fun r -> r.reset_volatile ()) t.cells
+
+let footprint t ~kind ~region =
+  List.fold_left
+    (fun acc r ->
+      if r.reg_kind = kind && r.reg_region = region then acc + r.reg_bytes
+      else acc)
+    0 t.cells
+
+let cell_names t ~region =
+  List.rev t.cells
+  |> List.filter (fun r -> r.reg_region = region)
+  |> List.map (fun r -> r.reg_name)

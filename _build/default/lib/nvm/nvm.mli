@@ -1,0 +1,79 @@
+(** Simulated non-volatile memory (FRAM) with task-transaction semantics.
+
+    The MSP430FR-class targets of the paper mix a small volatile SRAM with a
+    large non-volatile FRAM.  This module reproduces the two memory
+    behaviours the ARTEMIS semantics depend on:
+
+    - {b write-through persistence} for monitor state ("immortal" variables,
+      Section 4.2.3): a {!write} survives any later power failure;
+    - {b transactional task regions} (Section 3.1): writes a task performs
+      via {!tx_write} are buffered and either committed atomically at task
+      end or discarded by a power failure, giving tasks all-or-nothing
+      semantics.
+
+    Every cell declares its byte size and owning region so that the Table 2
+    memory accounting can be computed from the live store. *)
+
+type t
+(** A simulated memory store (one per device). *)
+
+type region =
+  | Runtime      (** cells owned by the intermittent runtime *)
+  | Monitor      (** cells owned by generated monitors *)
+  | Application  (** cells owned by application tasks (channels, outputs) *)
+
+type kind =
+  | Fram  (** non-volatile: survives power failures *)
+  | Ram   (** volatile: reset to its initial value on power failure *)
+
+type 'a cell
+
+val create : unit -> t
+
+val cell :
+  t -> region:region -> ?kind:kind -> name:string -> bytes:int -> 'a -> 'a cell
+(** [cell t ~region ~name ~bytes init] allocates a cell holding [init].
+    [kind] defaults to [Fram].  [bytes] is the declared footprint used for
+    accounting only (the OCaml value itself is stored boxed).
+    @raise Invalid_argument if [bytes < 0] or a cell named [name] already
+    exists in [region]. *)
+
+val read : 'a cell -> 'a
+(** Current visible value: the pending transactional value if one exists
+    (read-your-own-writes inside a task), else the committed value. *)
+
+val write : 'a cell -> 'a -> unit
+(** Direct persistent write, visible and durable immediately.  This is the
+    write used by monitors and the runtime bookkeeping.
+    @raise Invalid_argument on a [Fram] cell with an uncommitted
+    transactional value (mixing the two disciplines on one cell within a
+    task would make rollback ill-defined). *)
+
+val begin_tx : t -> unit
+(** Open a task transaction. @raise Invalid_argument if one is open. *)
+
+val tx_write : 'a cell -> 'a -> unit
+(** Buffered write, committed by {!commit_tx} and discarded by
+    {!abort_tx}/{!power_failure}.
+    @raise Invalid_argument if no transaction is open, or on a [Ram]
+    cell (volatile cells are not transactional). *)
+
+val commit_tx : t -> unit
+(** Atomically apply all buffered writes.
+    @raise Invalid_argument if no transaction is open. *)
+
+val abort_tx : t -> unit
+(** Discard all buffered writes.
+    @raise Invalid_argument if no transaction is open. *)
+
+val in_tx : t -> bool
+
+val power_failure : t -> unit
+(** Model a power failure: abort any open transaction and reset every
+    [Ram] cell to its initial value.  [Fram] committed values persist. *)
+
+val footprint : t -> kind:kind -> region:region -> int
+(** Total declared bytes of the cells of that kind and region. *)
+
+val cell_names : t -> region:region -> string list
+(** Names of allocated cells, in allocation order (diagnostics). *)

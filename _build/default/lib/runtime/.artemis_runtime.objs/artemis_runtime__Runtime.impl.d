@@ -1,0 +1,1 @@
+lib/runtime/runtime.ml: Array Artemis_device Artemis_energy Artemis_fsm Artemis_immortal Artemis_monitor Artemis_nvm Artemis_task Artemis_trace Artemis_util Energy List Option Prng Time

@@ -1,0 +1,1 @@
+lib/runtime/runtime.mli: Artemis_device Artemis_monitor Artemis_task Artemis_trace Artemis_util Cost_model Device Energy Task Time

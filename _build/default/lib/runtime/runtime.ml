@@ -1,0 +1,417 @@
+open Artemis_util
+module Nvm = Artemis_nvm.Nvm
+module Device = Artemis_device.Device
+module Cost_model = Artemis_device.Cost_model
+module Capacitor = Artemis_energy.Capacitor
+module Event = Artemis_trace.Event
+module Log = Artemis_trace.Log
+module Stats = Artemis_trace.Stats
+module Task = Artemis_task.Task
+module Interp = Artemis_fsm.Interp
+module Suite = Artemis_monitor.Suite
+module Monitor = Artemis_monitor.Monitor
+module Immortal = Artemis_immortal.Immortal
+
+type monitor_deployment =
+  | Separate_module
+  | Inlined
+  | External_wireless of { radio_power : Energy.power; round_trip : Time.t }
+
+let default_external_wireless =
+  External_wireless { radio_power = Energy.mw 30.; round_trip = Time.of_ms 8 }
+
+type config = {
+  cost_model : Cost_model.t;
+  max_loop_iterations : int;
+  seed : int;
+  deployment : monitor_deployment;
+  rounds : int;
+}
+
+let default_config =
+  {
+    cost_model = Cost_model.default;
+    max_loop_iterations = 200_000;
+    seed = 42;
+    deployment = Separate_module;
+    rounds = 1;
+  }
+
+(* The runtime's whole scheduling position fits in one persistent cell so
+   that updating it is a single (atomic) FRAM write: a power failure can
+   never observe a half-advanced scheduler. *)
+type cursor = {
+  path : int;  (** 1-based path index; > path count means app done *)
+  index : int;  (** position within the path *)
+  finished : bool;  (** TASK_FINISHED: end event pending *)
+  attempt : int;  (** start attempts of the current task instance *)
+  end_ts : Time.t;  (** completion timestamp, fixed inside the task tx *)
+}
+
+type state = {
+  device : Device.t;
+  app : Task.app;
+  paths : Task.t array array;
+  suite : Suite.t;
+  config : config;
+  cursor : cursor Nvm.cell;
+  event : Interp.event Nvm.cell;
+  mcall_active : bool Nvm.cell;
+  mcall_failures : Interp.failure list Nvm.cell;
+  suspended : bool Nvm.cell;  (** completePath: monitoring suspended *)
+  round : int Nvm.cell;  (** reactive execution: current pass, 1-based *)
+  thread : Immortal.t;
+  prng : Prng.t;
+  mutable iterations : int;
+}
+
+type mcall_result = Pending | Verdict of Interp.failure list
+
+let dummy_event =
+  {
+    Interp.kind = Interp.Start;
+    task = "";
+    timestamp = Time.zero;
+    path = 0;
+    dep_data = [];
+    energy_mj = 0.;
+  }
+
+let action_name a = Artemis_fsm.Ast.action_to_string a
+
+let make_state ~config device app suite =
+  (match Task.validate app with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Runtime.run: invalid application: " ^ msg));
+  if config.rounds < 1 then invalid_arg "Runtime.run: rounds must be positive";
+  let nvm = Device.nvm device in
+  let paths =
+    Array.of_list (List.map (fun p -> Array.of_list p.Task.tasks) app.Task.paths)
+  in
+  let cursor =
+    Nvm.cell nvm ~region:Runtime ~name:"rt.cursor" ~bytes:12
+      { path = 1; index = 0; finished = false; attempt = 0; end_ts = Time.zero }
+  in
+  let event = Nvm.cell nvm ~region:Runtime ~name:"rt.event" ~bytes:24 dummy_event in
+  let mcall_active =
+    Nvm.cell nvm ~region:Runtime ~name:"rt.mcallActive" ~bytes:1 false
+  in
+  let mcall_failures =
+    Nvm.cell nvm ~region:Monitor ~name:"rt.mcallFailures" ~bytes:16 []
+  in
+  let suspended =
+    Nvm.cell nvm ~region:Runtime ~name:"rt.suspended" ~bytes:1 false
+  in
+  let round = Nvm.cell nvm ~region:Runtime ~name:"rt.round" ~bytes:2 1 in
+  (* volatile scratch (loop counters etc.): the 2 bytes of RAM Table 2
+     reports for the runtime *)
+  ignore (Nvm.cell nvm ~region:Runtime ~kind:Artemis_nvm.Nvm.Ram ~name:"rt.scratch" ~bytes:2 0);
+  let monitors = Array.of_list (Suite.monitors suite) in
+  let steps =
+    Array.map
+      (fun monitor () ->
+        let ev = Nvm.read event in
+        let failures = Monitor.step monitor ev in
+        Nvm.write mcall_failures (Nvm.read mcall_failures @ failures))
+      monitors
+  in
+  let steps =
+    if Array.length steps = 0 then [| (fun () -> ()) |] else steps
+  in
+  let thread = Immortal.create nvm ~region:Monitor ~name:"callMonitor" ~steps in
+  {
+    device;
+    app;
+    paths;
+    suite;
+    config;
+    cursor;
+    event;
+    mcall_active;
+    mcall_failures;
+    suspended;
+    round;
+    thread;
+    prng = Prng.create ~seed:config.seed;
+    iterations = 0;
+  }
+
+let path_count st = Array.length st.paths
+let current_task st (c : cursor) = st.paths.(c.path - 1).(c.index)
+
+let overhead_power st = Cost_model.overhead_power st.config.cost_model
+
+let consume_runtime st =
+  Device.consume st.device Device.Runtime_work ~power:(overhead_power st)
+    ~duration:(Cost_model.artemis_runtime_overhead st.config.cost_model)
+    ()
+
+let consume_monitor st ~power ~duration =
+  Device.consume st.device Device.Monitor_work ~power ~duration ()
+
+(* Per-deployment monitor costs (Section 7 "Implementation Alternatives"):
+   (dispatch cost, per-property cost).  Inlined monitoring halves the
+   per-check cycles and has no dispatch; external monitoring pays a radio
+   round-trip per event and evaluates off-device. *)
+let monitor_dispatch_cost st =
+  let model = st.config.cost_model in
+  match st.config.deployment with
+  | Separate_module ->
+      ( overhead_power st,
+        Cost_model.cycles_to_time model model.Cost_model.artemis_monitor_dispatch_cycles )
+  | Inlined -> (overhead_power st, Time.zero)
+  | External_wireless { radio_power; round_trip } -> (radio_power, round_trip)
+
+let monitor_step_cost st =
+  let model = st.config.cost_model in
+  match st.config.deployment with
+  | Separate_module ->
+      ( overhead_power st,
+        Cost_model.cycles_to_time model model.Cost_model.artemis_monitor_cycles_per_property )
+  | Inlined ->
+      ( overhead_power st,
+        Cost_model.cycles_to_time model
+          (model.Cost_model.artemis_monitor_cycles_per_property / 2) )
+  | External_wireless _ -> (overhead_power st, Time.zero)
+
+let capacitor_mj st = Energy.to_mj (Capacitor.level (Device.capacitor st.device))
+
+(* Run (or resume) the callMonitor thread, paying the cost model per step.
+   A power failure leaves the thread mid-way; the next loop iteration
+   resumes it - that is monitorFinalize (Figure 8, line 16). *)
+let resume_monitor_call st =
+  let step_power, step_duration = monitor_step_cost st in
+  let rec steps () =
+    if Immortal.completed st.thread then begin
+      let failures = Nvm.read st.mcall_failures in
+      Nvm.write st.mcall_active false;
+      Immortal.reset st.thread;
+      Verdict failures
+    end
+    else
+      match consume_monitor st ~power:step_power ~duration:step_duration with
+      | Device.Completed -> (
+          match Immortal.run_step st.thread with
+          | Immortal.Ran _ | Immortal.Done -> steps ())
+      | Device.Interrupted | Device.Starved -> Pending
+  in
+  if Immortal.fresh st.thread then begin
+    let dispatch_power, dispatch_duration = monitor_dispatch_cost st in
+    match consume_monitor st ~power:dispatch_power ~duration:dispatch_duration with
+    | Device.Completed -> steps ()
+    | Device.Interrupted | Device.Starved -> Pending
+  end
+  else steps ()
+
+let begin_monitor_call st =
+  Nvm.write st.mcall_failures [];
+  Nvm.write st.mcall_active true;
+  Immortal.reset st.thread;
+  resume_monitor_call st
+
+(* --- cursor movements; each is one atomic cell write --- *)
+
+let move_to_path st p =
+  ignore st;
+  { path = p; index = 0; finished = false; attempt = 0; end_ts = Time.zero }
+
+let advance st =
+  let c = Nvm.read st.cursor in
+  if c.index + 1 < Array.length st.paths.(c.path - 1) then
+    Nvm.write st.cursor
+      { c with index = c.index + 1; finished = false; attempt = 0 }
+  else begin
+    Device.record st.device (Event.Path_completed { path = c.path });
+    Nvm.write st.suspended false;
+    Nvm.write st.cursor (move_to_path st (c.path + 1))
+  end
+
+let restart_path st ~target ~reason =
+  let c = Nvm.read st.cursor in
+  let p = Option.value target ~default:c.path in
+  Device.record st.device (Event.Path_restarted { path = p; reason });
+  Nvm.write st.suspended false;
+  let tasks =
+    Array.to_list st.paths.(p - 1) |> List.map (fun t -> t.Task.name)
+  in
+  Suite.reinit_for_tasks st.suite ~tasks;
+  Nvm.write st.cursor (move_to_path st p)
+
+let skip_path st ~target ~reason =
+  let c = Nvm.read st.cursor in
+  let p = Option.value target ~default:c.path in
+  Device.record st.device (Event.Path_skipped { path = p; reason });
+  Nvm.write st.suspended false;
+  Nvm.write st.cursor (move_to_path st (p + 1))
+
+(* --- task execution (the Proceed case of checkTask) --- *)
+
+let execute_task st =
+  let c = Nvm.read st.cursor in
+  let task = current_task st c in
+  let nvm = Device.nvm st.device in
+  Nvm.begin_tx nvm;
+  match
+    Device.consume st.device Device.App ~during:task.Task.name
+      ~power:task.Task.power ~duration:task.Task.duration ()
+  with
+  | Device.Interrupted | Device.Starved ->
+      (* the open transaction was rolled back by the power failure *)
+      ()
+  | Device.Completed ->
+      let ctx =
+        { Task.nvm; now = Device.now st.device; prng = st.prng }
+      in
+      task.Task.body ctx;
+      Nvm.tx_write st.cursor
+        { c with finished = true; end_ts = Device.now st.device };
+      Nvm.commit_tx nvm;
+      Device.record st.device (Event.Task_completed { task = task.Task.name })
+
+(* --- verdict application --- *)
+
+let apply_verdict st failures =
+  let ev = Nvm.read st.event in
+  List.iter
+    (fun (f : Interp.failure) ->
+      Device.record st.device
+        (Event.Monitor_verdict
+           { monitor = f.failed_machine; task = ev.Interp.task;
+             action = action_name f.action }))
+    failures;
+  match Suite.arbitrate failures with
+  | None -> (
+      match ev.Interp.kind with
+      | Interp.Start -> execute_task st
+      | Interp.End -> advance st)
+  | Some f -> (
+      Device.record st.device
+        (Event.Runtime_action
+           { action = action_name f.action; task = ev.Interp.task });
+      let reason = f.failed_machine in
+      match f.action with
+      | Artemis_fsm.Ast.Restart_task -> (
+          match ev.Interp.kind with
+          | Interp.Start -> ()  (* stay on the task; next iteration retries *)
+          | Interp.End ->
+              let c = Nvm.read st.cursor in
+              Nvm.write st.cursor { c with finished = false; attempt = 0 })
+      | Artemis_fsm.Ast.Skip_task -> advance st
+      | Artemis_fsm.Ast.Restart_path ->
+          restart_path st ~target:f.target_path ~reason
+      | Artemis_fsm.Ast.Skip_path -> skip_path st ~target:f.target_path ~reason
+      | Artemis_fsm.Ast.Complete_path -> (
+          let c = Nvm.read st.cursor in
+          Device.record st.device (Event.Monitoring_suspended { path = c.path });
+          Nvm.write st.suspended true;
+          match ev.Interp.kind with
+          | Interp.Start -> execute_task st
+          | Interp.End -> advance st))
+
+(* --- event phases --- *)
+
+let make_event st kind (c : cursor) =
+  let task = current_task st c in
+  let dep_data =
+    match kind with
+    | Interp.Start -> []
+    | Interp.End ->
+        List.map (fun (name, get) -> (name, get ())) task.Task.monitored
+  in
+  {
+    Interp.kind;
+    task = task.Task.name;
+    timestamp =
+      (match kind with Interp.Start -> Device.now st.device | Interp.End -> c.end_ts);
+    path = c.path;
+    dep_data;
+    energy_mj = capacitor_mj st;
+  }
+
+let start_phase st =
+  let c = Nvm.read st.cursor in
+  if c.index = 0 && c.attempt = 0 then
+    Device.record st.device (Event.Path_started { path = c.path });
+  let c = { c with attempt = c.attempt + 1 } in
+  Nvm.write st.cursor c;
+  let task = current_task st c in
+  Device.record st.device
+    (Event.Task_started { task = task.Task.name; attempt = c.attempt });
+  Nvm.write st.event (make_event st Interp.Start c);
+  match consume_runtime st with
+  | Device.Interrupted | Device.Starved -> ()
+  | Device.Completed -> (
+      if Nvm.read st.suspended then execute_task st
+      else
+        match begin_monitor_call st with
+        | Pending -> ()
+        | Verdict failures -> apply_verdict st failures)
+
+let end_phase st =
+  let c = Nvm.read st.cursor in
+  Nvm.write st.event (make_event st Interp.End c);
+  match consume_runtime st with
+  | Device.Interrupted | Device.Starved -> ()
+  | Device.Completed -> (
+      if Nvm.read st.suspended then advance st
+      else
+        match begin_monitor_call st with
+        | Pending -> ()
+        | Verdict failures -> apply_verdict st failures)
+
+(* --- main loop and reporting --- *)
+
+let finish st outcome = Artemis_device.Report.stats st.device ~outcome
+
+let run ?(config = default_config) device app suite =
+  let st = make_state ~config device app suite in
+  Device.record device Event.Boot;
+  (* initial hard reset: resetMonitor (Figure 8, line 14) *)
+  Suite.hard_reset st.suite;
+  let rec loop () =
+    st.iterations <- st.iterations + 1;
+    if st.iterations > config.max_loop_iterations then begin
+      Device.record device
+        (Event.Horizon_reached { reason = "iteration limit (no progress)" });
+      finish st (Stats.Did_not_finish "iteration limit (no progress)")
+    end
+    else if Device.horizon_exceeded device then begin
+      let reason = "simulation time horizon" in
+      Device.record device (Event.Horizon_reached { reason });
+      finish st (Stats.Did_not_finish reason)
+    end
+    else begin
+      let c = Nvm.read st.cursor in
+      if c.path > path_count st then begin
+        let completed_round = Nvm.read st.round in
+        if completed_round < config.rounds then begin
+          (* reactive execution: start the next pass; monitor state
+             persists across rounds (periodicity spans them) *)
+          Device.record device (Event.Round_completed { round = completed_round });
+          Nvm.write st.round (completed_round + 1);
+          Nvm.write st.cursor (move_to_path st 1);
+          loop ()
+        end
+        else begin
+          Device.record device Event.App_completed;
+          finish st Stats.Completed
+        end
+      end
+      else if Nvm.read st.mcall_active then begin
+        (* monitorFinalize: progress the interrupted monitor call *)
+        (match resume_monitor_call st with
+        | Pending -> ()
+        | Verdict failures -> apply_verdict st failures);
+        loop ()
+      end
+      else begin
+        if c.finished then end_phase st else start_phase st;
+        loop ()
+      end
+    end
+  in
+  loop ()
+
+let runtime_fram_bytes device =
+  Nvm.footprint (Device.nvm device) ~kind:Artemis_nvm.Nvm.Fram
+    ~region:Artemis_nvm.Nvm.Runtime

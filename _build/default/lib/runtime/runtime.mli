@@ -1,0 +1,68 @@
+(** The ARTEMIS intermittent runtime (Section 4.1).
+
+    Executes a task-based application on the simulated device while
+    feeding start/end events to the deployed monitor suite and applying
+    the corrective actions monitors return.  Faithful to the paper:
+
+    - tasks are all-or-nothing: bodies run inside an NVM transaction that
+      also flips the persistent task status, so a power failure rolls the
+      whole step back (Section 3.1);
+    - the last event lives in a persistent [MonitorEvent] cell; EndTask
+      timestamps are fixed inside the task's transaction and never
+      refreshed by re-deliveries, while StartTask timestamps are refreshed
+      on every re-execution and time-anchored monitors ignore the
+      refreshes (Section 4.1.3);
+    - the monitor call runs as an ImmortalThreads-style thread, one step
+      per monitor; a power failure inside the call is resumed by
+      [monitorFinalize] at the next loop entry (Figure 8, line 16);
+    - when several monitors fail on one event the runtime arbitrates with
+      {!Artemis_monitor.Suite.arbitrate};
+    - [restartPath] re-initializes the monitors watching tasks of the
+      restarted path; [completePath] suspends monitoring until the
+      current path completes (Table 1). *)
+
+
+open Artemis_util
+open Artemis_device
+open Artemis_task
+
+type monitor_deployment =
+  | Separate_module
+      (** the paper's design: monitors as a separate module reached
+          through the generic callMonitor interface (default) *)
+  | Inlined
+      (** Section 7 "Implementation Alternatives": monitoring code woven
+          into application/runtime code - no dispatch cost, cheaper
+          per-property checks, at the price of a larger footprint *)
+  | External_wireless of { radio_power : Energy.power; round_trip : Time.t }
+      (** Section 7: monitors on an external device; every event costs a
+          radio round-trip but property evaluation is off-device *)
+
+val default_external_wireless : monitor_deployment
+(** 30 mW radio, 8 ms round-trip per event (BLE-class magnitudes). *)
+
+type config = {
+  cost_model : Cost_model.t;
+  max_loop_iterations : int;
+      (** no-progress horizon: a run exceeding this many scheduler
+          iterations is reported as non-terminating *)
+  seed : int;  (** seed of the task-context PRNG *)
+  deployment : monitor_deployment;
+  rounds : int;
+      (** reactive execution: how many full passes over the application's
+          paths one run performs (default 1).  Monitor state persists
+          across rounds, so periodicity and attempt counters span them. *)
+}
+
+val default_config : config
+
+val run :
+  ?config:config -> Device.t -> Task.app -> Artemis_monitor.Suite.t ->
+  Artemis_trace.Stats.t
+(** Execute one application run to completion (or non-termination).
+    Events are recorded in the device's trace log.
+    @raise Invalid_argument if {!Task.validate} rejects the app. *)
+
+val runtime_fram_bytes : Device.t -> int
+(** FRAM bytes of the runtime's own persistent cells after a run was set
+    up (Table 2's "ARTEMIS runtime" column). *)

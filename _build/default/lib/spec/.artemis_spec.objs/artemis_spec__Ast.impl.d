@@ -1,0 +1,1 @@
+lib/spec/ast.ml: Artemis_util Format List String Time

@@ -1,0 +1,1 @@
+lib/spec/consistency.ml: Artemis_task Artemis_util Ast Energy Format Hashtbl List Option Printf String Time

@@ -1,0 +1,1 @@
+lib/spec/consistency.mli: Artemis_task Artemis_util Ast Energy Format

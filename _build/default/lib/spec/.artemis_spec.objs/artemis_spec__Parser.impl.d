@@ -1,0 +1,1 @@
+lib/spec/parser.ml: Artemis_util Ast Format List Printf Result Scanner String

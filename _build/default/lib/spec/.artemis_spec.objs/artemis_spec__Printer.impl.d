@@ -1,0 +1,1 @@
+lib/spec/printer.ml: Artemis_util Ast Float List Printf String Time

@@ -1,0 +1,1 @@
+lib/spec/printer.mli: Artemis_util Ast

@@ -1,0 +1,1 @@
+lib/spec/validate.ml: Artemis_task Ast Format Hashtbl List Printf String

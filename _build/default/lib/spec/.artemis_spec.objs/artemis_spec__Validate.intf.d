@@ -1,0 +1,1 @@
+lib/spec/validate.mli: Artemis_task Ast Format

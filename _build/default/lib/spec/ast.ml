@@ -1,0 +1,173 @@
+open Artemis_util
+
+type action =
+  | Restart_path
+  | Skip_path
+  | Restart_task
+  | Skip_task
+  | Complete_path
+
+type max_attempt = { attempts : int; exhausted : action }
+
+type property =
+  | Max_tries of { n : int; on_fail : action; path : int option }
+  | Max_duration of { limit : Time.t; on_fail : action; path : int option }
+  | Mitd of {
+      limit : Time.t;
+      dp_task : string;
+      on_fail : action;
+      max_attempt : max_attempt option;
+      path : int option;
+    }
+  | Collect of { n : int; dp_task : string; on_fail : action; path : int option }
+  | Period of {
+      interval : Time.t;
+      on_fail : action;
+      max_attempt : max_attempt option;
+      path : int option;
+    }
+  | Dp_data of {
+      var : string;
+      low : float;
+      high : float;
+      on_fail : action;
+      path : int option;
+    }
+  | Min_energy of { uj : float; on_fail : action; path : int option }
+
+type task_block = { task : string; properties : property list }
+type t = task_block list
+
+let action_to_string = function
+  | Restart_path -> "restartPath"
+  | Skip_path -> "skipPath"
+  | Restart_task -> "restartTask"
+  | Skip_task -> "skipTask"
+  | Complete_path -> "completePath"
+
+let action_of_string = function
+  | "restartPath" -> Some Restart_path
+  | "skipPath" -> Some Skip_path
+  | "restartTask" -> Some Restart_task
+  | "skipTask" -> Some Skip_task
+  | "completePath" -> Some Complete_path
+  | _ -> None
+
+let property_kind = function
+  | Max_tries _ -> "maxTries"
+  | Max_duration _ -> "maxDuration"
+  | Mitd _ -> "MITD"
+  | Collect _ -> "collect"
+  | Period _ -> "period"
+  | Dp_data _ -> "dpData"
+  | Min_energy _ -> "minEnergy"
+
+let property_task_path = function
+  | Max_tries { path; _ }
+  | Max_duration { path; _ }
+  | Mitd { path; _ }
+  | Collect { path; _ }
+  | Period { path; _ }
+  | Dp_data { path; _ }
+  | Min_energy { path; _ } ->
+      path
+
+let property_on_fail = function
+  | Max_tries { on_fail; _ }
+  | Max_duration { on_fail; _ }
+  | Mitd { on_fail; _ }
+  | Collect { on_fail; _ }
+  | Period { on_fail; _ }
+  | Dp_data { on_fail; _ }
+  | Min_energy { on_fail; _ } ->
+      on_fail
+
+let equal_action (a : action) b = a = b
+
+let equal_max_attempt_opt a b =
+  match (a, b) with
+  | None, None -> true
+  | Some a, Some b -> a.attempts = b.attempts && equal_action a.exhausted b.exhausted
+  | None, Some _ | Some _, None -> false
+
+let equal_property p q =
+  match (p, q) with
+  | Max_tries a, Max_tries b ->
+      a.n = b.n && equal_action a.on_fail b.on_fail && a.path = b.path
+  | Max_duration a, Max_duration b ->
+      Time.equal a.limit b.limit && equal_action a.on_fail b.on_fail && a.path = b.path
+  | Mitd a, Mitd b ->
+      Time.equal a.limit b.limit
+      && String.equal a.dp_task b.dp_task
+      && equal_action a.on_fail b.on_fail
+      && equal_max_attempt_opt a.max_attempt b.max_attempt
+      && a.path = b.path
+  | Collect a, Collect b ->
+      a.n = b.n
+      && String.equal a.dp_task b.dp_task
+      && equal_action a.on_fail b.on_fail
+      && a.path = b.path
+  | Period a, Period b ->
+      Time.equal a.interval b.interval
+      && equal_action a.on_fail b.on_fail
+      && equal_max_attempt_opt a.max_attempt b.max_attempt
+      && a.path = b.path
+  | Dp_data a, Dp_data b ->
+      String.equal a.var b.var && a.low = b.low && a.high = b.high
+      && equal_action a.on_fail b.on_fail
+      && a.path = b.path
+  | Min_energy a, Min_energy b ->
+      a.uj = b.uj && equal_action a.on_fail b.on_fail && a.path = b.path
+  | ( ( Max_tries _ | Max_duration _ | Mitd _ | Collect _ | Period _
+      | Dp_data _ | Min_energy _ ),
+      _ ) ->
+      false
+
+let equal_task_block a b =
+  String.equal a.task b.task
+  && List.length a.properties = List.length b.properties
+  && List.for_all2 equal_property a.properties b.properties
+
+let equal a b =
+  List.length a = List.length b && List.for_all2 equal_task_block a b
+
+let pp_action ppf a = Format.pp_print_string ppf (action_to_string a)
+
+let pp_path ppf = function
+  | None -> ()
+  | Some p -> Format.fprintf ppf " Path: %d" p
+
+let pp_max_attempt ppf = function
+  | None -> ()
+  | Some { attempts; exhausted } ->
+      Format.fprintf ppf " maxAttempt: %d onFail: %a" attempts pp_action exhausted
+
+let pp_property ppf = function
+  | Max_tries { n; on_fail; path } ->
+      Format.fprintf ppf "maxTries: %d onFail: %a%a" n pp_action on_fail pp_path path
+  | Max_duration { limit; on_fail; path } ->
+      Format.fprintf ppf "maxDuration: %a onFail: %a%a" Time.pp limit pp_action
+        on_fail pp_path path
+  | Mitd { limit; dp_task; on_fail; max_attempt; path } ->
+      Format.fprintf ppf "MITD: %a dpTask: %s onFail: %a%a%a" Time.pp limit
+        dp_task pp_action on_fail pp_max_attempt max_attempt pp_path path
+  | Collect { n; dp_task; on_fail; path } ->
+      Format.fprintf ppf "collect: %d dpTask: %s onFail: %a%a" n dp_task
+        pp_action on_fail pp_path path
+  | Period { interval; on_fail; max_attempt; path } ->
+      Format.fprintf ppf "period: %a onFail: %a%a%a" Time.pp interval pp_action
+        on_fail pp_max_attempt max_attempt pp_path path
+  | Dp_data { var; low; high; on_fail; path } ->
+      Format.fprintf ppf "dpData: %s Range: [%g, %g] onFail: %a%a" var low high
+        pp_action on_fail pp_path path
+  | Min_energy { uj; on_fail; path } ->
+      Format.fprintf ppf "minEnergy: %guJ onFail: %a%a" uj pp_action on_fail
+        pp_path path
+
+let pp ppf t =
+  let pp_block ppf { task; properties } =
+    Format.fprintf ppf "@[<v 2>%s: {@ %a@]@ }" task
+      (Format.pp_print_list pp_property)
+      properties
+  in
+  Format.fprintf ppf "@[<v>%a@]" (Format.pp_print_list pp_block) t

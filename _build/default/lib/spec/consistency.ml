@@ -1,0 +1,235 @@
+open Artemis_util
+module Task = Artemis_task.Task
+
+type severity = Error | Warning
+type finding = { severity : severity; where : string; message : string }
+
+let pp_finding ppf f =
+  Format.fprintf ppf "%s: %s: %s"
+    (match f.severity with Error -> "error" | Warning -> "warning")
+    f.where f.message
+
+let to_string findings =
+  String.concat "\n" (List.map (Format.asprintf "%a" pp_finding) findings)
+
+let errors = List.filter (fun f -> f.severity = Error)
+
+let finding severity ~task p message =
+  { severity; where = Printf.sprintf "%s/%s" task (Ast.property_kind p); message }
+
+(* --- application-independent rules --- *)
+
+let data_property_actions ~task acc p =
+  match p with
+  | Ast.Collect { on_fail = Ast.Restart_task; _ } ->
+      finding Error ~task p
+        "restartTask on a collect property livelocks: re-starting the task \
+         re-fails the same check without producing new data"
+      :: acc
+  | Ast.Mitd { on_fail = Ast.Restart_task; _ }
+  | Ast.Period { on_fail = Ast.Restart_task; _ } ->
+      finding Warning ~task p
+        "restartTask on a time-window property rarely helps; the paper's \
+         examples escalate to the path level (restartPath/skipPath)"
+      :: acc
+  | Ast.Max_tries { n = 1; _ } ->
+      finding Warning ~task p
+        "maxTries: 1 allows no re-execution: any single power failure \
+         triggers the action"
+      :: acc
+  | Ast.Max_tries _ | Ast.Max_duration _ | Ast.Mitd _ | Ast.Collect _
+  | Ast.Period _ | Ast.Dp_data _ | Ast.Min_energy _ ->
+      acc
+
+let period_vs_duration_limits ~task properties acc =
+  let periods =
+    List.filter_map
+      (function Ast.Period { interval; _ } -> Some interval | _ -> None)
+      properties
+  in
+  let duration_limits =
+    List.filter_map
+      (function Ast.Max_duration { limit; _ } -> Some limit | _ -> None)
+      properties
+  in
+  List.fold_left
+    (fun acc interval ->
+      List.fold_left
+        (fun acc limit ->
+          if Time.(interval < limit) then
+            {
+              severity = Warning;
+              where = task ^ "/period";
+              message =
+                Printf.sprintf
+                  "the period (%s) is shorter than the allowed task duration \
+                   (maxDuration %s): a slow-but-legal execution already \
+                   breaks the periodicity"
+                  (Time.to_literal interval) (Time.to_literal limit);
+            }
+            :: acc
+          else acc)
+        acc duration_limits)
+    acc periods
+
+let property_signature p =
+  (* kind + dependency + path identifies "the same check" *)
+  let dependency =
+    match p with
+    | Ast.Mitd { dp_task; _ } | Ast.Collect { dp_task; _ } -> dp_task
+    | Ast.Dp_data { var; _ } -> var
+    | Ast.Max_tries _ | Ast.Max_duration _ | Ast.Period _ | Ast.Min_energy _ ->
+        ""
+  in
+  (Ast.property_kind p, dependency, Ast.property_task_path p)
+
+let duplicates ~task properties acc =
+  let seen = Hashtbl.create 8 in
+  List.fold_left
+    (fun acc p ->
+      let signature = property_signature p in
+      if Hashtbl.mem seen signature then
+        finding Warning ~task p
+          "duplicate property of the same kind, dependency and path on this \
+           task; only one of them can be the binding constraint"
+        :: acc
+      else begin
+        Hashtbl.add seen signature ();
+        acc
+      end)
+    acc properties
+
+let check_spec spec =
+  List.rev
+    (List.fold_left
+       (fun acc { Ast.task; properties } ->
+         let acc = List.fold_left (data_property_actions ~task) acc properties in
+         let acc = period_vs_duration_limits ~task properties acc in
+         duplicates ~task properties acc)
+       [] spec)
+
+(* --- application-aware rules --- *)
+
+(* Minimal time between the completion of [producer] and the start of
+   [consumer] within one path: the durations of the tasks strictly between
+   them.  None when they do not appear in producer-then-consumer order. *)
+let min_gap_on_path (path : Task.path) ~producer ~consumer =
+  let names = List.map (fun (t : Task.t) -> t.Task.name) path.Task.tasks in
+  let rec index i = function
+    | [] -> None
+    | n :: rest -> if String.equal n producer then Some i else index (i + 1) rest
+  in
+  match index 0 names with
+  | None -> None
+  | Some pi -> (
+      let rec cindex i = function
+        | [] -> None
+        | n :: rest ->
+            if i > pi && String.equal n consumer then Some i
+            else cindex (i + 1) rest
+      in
+      match cindex 0 names with
+      | None -> None
+      | Some ci ->
+          let between =
+            List.filteri (fun i _ -> i > pi && i < ci) path.Task.tasks
+          in
+          Some
+            (List.fold_left
+               (fun acc (t : Task.t) -> Time.add acc t.Task.duration)
+               Time.zero between))
+
+let mitd_feasibility app ~task acc p =
+  match p with
+  | Ast.Mitd { limit; dp_task; path; _ } -> (
+      let paths =
+        match path with
+        | Some idx -> Option.to_list (Task.find_path app idx)
+        | None -> app.Task.paths
+      in
+      let gaps =
+        List.filter_map
+          (fun pth -> min_gap_on_path pth ~producer:dp_task ~consumer:task)
+          paths
+      in
+      match gaps with
+      | [] ->
+          finding Warning ~task p
+            (Printf.sprintf
+               "producer %S never precedes the task on the property's \
+                path(s); the freshness window depends on cross-path timing"
+               dp_task)
+          :: acc
+      | gaps ->
+          let minimal = List.fold_left Time.min (List.hd gaps) gaps in
+          if Time.(minimal > limit) then
+            finding Error ~task p
+              (Printf.sprintf
+                 "statically unsatisfiable: at least %s of intermediate task \
+                  execution separates %s from this task, which exceeds the \
+                  %s window even without power failures"
+                 (Time.to_literal minimal) dp_task (Time.to_literal limit))
+            :: acc
+          else acc)
+  | Ast.Max_tries _ | Ast.Max_duration _ | Ast.Collect _ | Ast.Period _
+  | Ast.Dp_data _ | Ast.Min_energy _ ->
+      acc
+
+let timing_feasibility app ~task acc p =
+  match Task.find_task app task with
+  | None -> acc
+  | Some t -> (
+      let duration = t.Task.duration in
+      match p with
+      | Ast.Max_duration { limit; _ } when Time.(limit < duration) ->
+          finding Error ~task p
+            (Printf.sprintf
+               "the task runs for %s uninterrupted, so a %s limit can never \
+                be met"
+               (Time.to_literal duration) (Time.to_literal limit))
+          :: acc
+      | Ast.Period { interval; _ } when Time.(interval < duration) ->
+          finding Error ~task p
+            (Printf.sprintf
+               "the task alone runs for %s, longer than its %s period"
+               (Time.to_literal duration) (Time.to_literal interval))
+          :: acc
+      | Ast.Min_energy { uj; _ } ->
+          let demand = Energy.consumed t.Task.power duration in
+          if uj < Energy.to_uj demand then
+            finding Warning ~task p
+              (Printf.sprintf
+                 "the threshold (%.0fuJ) is below the task's own demand \
+                  (%.0fuJ): the task may still brown out after passing the \
+                  check"
+                 uj (Energy.to_uj demand))
+            :: acc
+          else acc
+      | Ast.Max_duration _ | Ast.Period _ | Ast.Max_tries _ | Ast.Mitd _
+      | Ast.Collect _ | Ast.Dp_data _ ->
+          acc)
+
+let energy_budget ~usable_budget ~task acc p =
+  match (usable_budget, p) with
+  | Some budget, Ast.Min_energy { uj; _ } when uj > Energy.to_uj budget ->
+      finding Error ~task p
+        (Printf.sprintf
+           "the threshold (%.0fuJ) exceeds the per-charge usable budget \
+            (%.0fuJ): the task can never start"
+           uj (Energy.to_uj budget))
+      :: acc
+  | _, _ -> acc
+
+let check ?usable_budget app spec =
+  let app_rules =
+    List.fold_left
+      (fun acc { Ast.task; properties } ->
+        List.fold_left
+          (fun acc p ->
+            let acc = mitd_feasibility app ~task acc p in
+            let acc = timing_feasibility app ~task acc p in
+            energy_budget ~usable_budget ~task acc p)
+          acc properties)
+      [] spec
+  in
+  check_spec spec @ List.rev app_rules

@@ -1,0 +1,26 @@
+(** Parser for the concrete property specification syntax of Figure 5.
+
+    Grammar (EBNF, comments are [// ...]):
+    {v
+    spec      ::= block*
+    block     ::= ident ":"? "{" property* "}"
+    property  ::= kind ":" value clause* ";"
+    kind      ::= "maxTries" | "maxDuration" | "MITD" | "collect"
+                | "period" | "dpData"
+    clause    ::= "dpTask" ":" ident
+                | "onFail" ":" action
+                | "maxAttempt" ":" int
+                | "Path" ":" int
+                | "Range" ":" "[" number "," number "]"
+    action    ::= "restartPath" | "skipPath" | "restartTask"
+                | "skipTask" | "completePath"
+    v}
+    An [onFail] clause binds to the immediately preceding [maxAttempt] if
+    that one has no action yet, otherwise it is the property's primary
+    action - matching how Figure 5 line 6 reads. *)
+
+val parse : string -> (Ast.t, string) result
+(** Error messages carry line/column. *)
+
+val parse_exn : string -> Ast.t
+(** @raise Failure with the same message as {!parse}'s [Error]. *)

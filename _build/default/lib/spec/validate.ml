@@ -1,0 +1,127 @@
+module Task = Artemis_task.Task
+
+type issue = { where : string; message : string }
+
+let pp_issue ppf { where; message } = Format.fprintf ppf "%s: %s" where message
+
+let issues_to_string issues =
+  String.concat "\n" (List.map (Format.asprintf "%a" pp_issue) issues)
+
+let paths_of_task (app : Task.app) name =
+  List.filter
+    (fun (p : Task.path) ->
+      List.exists (fun (t : Task.t) -> String.equal t.Task.name name) p.Task.tasks)
+    app.Task.paths
+
+let escapes_to_path action =
+  match action with
+  | Ast.Restart_path | Ast.Skip_path -> true
+  | Ast.Restart_task | Ast.Skip_task | Ast.Complete_path -> false
+
+let has_dependency = function
+  | Ast.Mitd _ | Ast.Collect _ -> true
+  | Ast.Max_tries _ | Ast.Max_duration _ | Ast.Period _ | Ast.Dp_data _
+  | Ast.Min_energy _ ->
+      false
+
+let property_escapes p =
+  escapes_to_path (Ast.property_on_fail p)
+  ||
+  match p with
+  | Ast.Mitd { max_attempt = Some { exhausted; _ }; _ }
+  | Ast.Period { max_attempt = Some { exhausted; _ }; _ } ->
+      escapes_to_path exhausted
+  | Ast.Mitd _ | Ast.Period _ | Ast.Max_tries _ | Ast.Max_duration _
+  | Ast.Collect _ | Ast.Dp_data _ | Ast.Min_energy _ ->
+      false
+
+let check_property app ~task issues p =
+  let where = Printf.sprintf "%s/%s" task (Ast.property_kind p) in
+  let issue message = { where; message } in
+  let issues =
+    (* dpTask must exist *)
+    match p with
+    | Ast.Mitd { dp_task; _ } | Ast.Collect { dp_task; _ } ->
+        if Task.find_task app dp_task = None then
+          issue (Printf.sprintf "dpTask %S is not a task of the application" dp_task)
+          :: issues
+        else issues
+    | Ast.Max_tries _ | Ast.Max_duration _ | Ast.Period _ | Ast.Dp_data _
+    | Ast.Min_energy _ ->
+        issues
+  in
+  let issues =
+    match Ast.property_task_path p with
+    | None -> issues
+    | Some idx -> (
+        match Task.find_path app idx with
+        | None ->
+            issue (Printf.sprintf "Path %d does not exist" idx) :: issues
+        | Some path ->
+            if
+              List.exists
+                (fun (t : Task.t) -> String.equal t.Task.name task)
+                path.Task.tasks
+            then issues
+            else
+              issue (Printf.sprintf "task is not on path %d" idx) :: issues)
+  in
+  let issues =
+    (* the paper's path-merging rule (Section 3.2): only cross-task
+       properties are ambiguous at merge points - a self property's
+       restart/skip always targets the current path *)
+    if
+      property_escapes p && has_dependency p
+      && Ast.property_task_path p = None
+      && List.length (paths_of_task app task) > 1
+    then
+      issue
+        "task lies on several paths (path merging); a path-escaping action \
+         of a cross-task property needs an explicit Path clause"
+      :: issues
+    else issues
+  in
+  let issues =
+    match p with
+    | Ast.Dp_data { var; _ } -> (
+        match Task.find_task app task with
+        | None -> issues (* reported at block level *)
+        | Some t ->
+            if List.mem_assoc var t.Task.monitored then issues
+            else
+              issue
+                (Printf.sprintf "variable %S is not monitored by the task" var)
+              :: issues)
+    | Ast.Max_tries _ | Ast.Max_duration _ | Ast.Mitd _ | Ast.Collect _
+    | Ast.Period _ | Ast.Min_energy _ ->
+        issues
+  in
+  issues
+
+let check app spec =
+  let seen = Hashtbl.create 8 in
+  let issues =
+    List.fold_left
+      (fun issues { Ast.task; properties } ->
+        let issues =
+          if Hashtbl.mem seen task then
+            { where = task; message = "duplicate task block" } :: issues
+          else begin
+            Hashtbl.add seen task ();
+            issues
+          end
+        in
+        let issues =
+          if Task.find_task app task = None then
+            {
+              where = task;
+              message = "block names a task that is not in the application";
+            }
+            :: issues
+          else issues
+        in
+        List.fold_left (fun issues p -> check_property app ~task issues p) issues
+          properties)
+      [] spec
+  in
+  match List.rev issues with [] -> Ok () | issues -> Error issues

@@ -1,0 +1,1 @@
+lib/task/channel.ml: Artemis_nvm List Nvm

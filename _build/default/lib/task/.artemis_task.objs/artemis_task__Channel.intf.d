@@ -1,0 +1,1 @@
+lib/task/channel.mli: Artemis_nvm Nvm

@@ -1,0 +1,1 @@
+lib/task/health_app.ml: Artemis_nvm Artemis_util Channel Energy Float List Nvm Prng Task Time

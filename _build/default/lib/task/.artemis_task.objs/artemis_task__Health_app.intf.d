@@ -1,0 +1,1 @@
+lib/task/health_app.mli: Artemis_nvm Channel Nvm Task

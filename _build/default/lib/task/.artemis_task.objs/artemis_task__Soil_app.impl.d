@@ -1,0 +1,1 @@
+lib/task/soil_app.ml: Artemis_nvm Artemis_util Channel Energy List Nvm Prng Task Time

@@ -1,0 +1,1 @@
+lib/task/soil_app.mli: Artemis_nvm Channel Nvm Task

@@ -1,0 +1,1 @@
+lib/task/task.ml: Artemis_nvm Artemis_util Energy Hashtbl List Nvm Printf Prng Result String Time

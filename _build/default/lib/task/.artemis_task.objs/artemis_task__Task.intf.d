@@ -1,0 +1,1 @@
+lib/task/task.mli: Artemis_nvm Artemis_util Energy Nvm Prng Time

@@ -1,0 +1,33 @@
+open Artemis_nvm
+
+type 'a t = { cell : 'a list Nvm.cell; capacity : int; chan_name : string }
+
+let create nvm ~name ~bytes_per_item ~capacity =
+  if capacity <= 0 then invalid_arg "Channel.create: non-positive capacity";
+  let cell =
+    Nvm.cell nvm ~region:Application ~name:("chan:" ^ name)
+      ~bytes:(bytes_per_item * capacity)
+      []
+  in
+  { cell; capacity; chan_name = name }
+
+let items t = List.rev (Nvm.read t.cell)
+let length t = List.length (Nvm.read t.cell)
+
+let push t v =
+  let current = Nvm.read t.cell in
+  let bounded =
+    if List.length current >= t.capacity then
+      (* drop the oldest item: it is the last of the reversed list *)
+      List.filteri (fun i _ -> i < t.capacity - 1) current
+    else current
+  in
+  Nvm.tx_write t.cell (v :: bounded)
+
+let take_all t =
+  let all = items t in
+  Nvm.tx_write t.cell [];
+  all
+
+let clear t = Nvm.tx_write t.cell []
+let name t = t.chan_name

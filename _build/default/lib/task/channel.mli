@@ -1,0 +1,34 @@
+(** Chain-style inter-task channels.
+
+    Task-based intermittent systems pass data between tasks through
+    non-volatile channels [Chain, Alpaca].  A channel is an append-only
+    buffer living in the simulated FRAM; producers push inside their task
+    transaction, so a power failure mid-task leaves the channel exactly as
+    it was (all-or-nothing semantics). *)
+
+open Artemis_nvm
+
+type 'a t
+
+val create :
+  Nvm.t -> name:string -> bytes_per_item:int -> capacity:int -> 'a t
+(** Declares [capacity * bytes_per_item] bytes of FRAM in the
+    [Application] region for Table 2 accounting.  Pushing beyond
+    [capacity] drops the oldest item (ring behaviour, like a fixed FRAM
+    buffer). @raise Invalid_argument on non-positive capacity. *)
+
+val push : 'a t -> 'a -> unit
+(** Transactional append (requires an open task transaction). *)
+
+val items : 'a t -> 'a list
+(** Oldest first. *)
+
+val length : 'a t -> int
+
+val take_all : 'a t -> 'a list
+(** Read and clear, transactionally (the consumer-task idiom). *)
+
+val clear : 'a t -> unit
+(** Transactional clear. *)
+
+val name : 'a t -> string

@@ -1,0 +1,151 @@
+open Artemis_util
+open Artemis_nvm
+
+type handles = {
+  temp_samples : float Channel.t;
+  accel_samples : float Channel.t;
+  mic_samples : float Channel.t;
+  read_avg_temp : unit -> float;
+  read_heart_rate : unit -> float;
+  sent_messages : unit -> int;
+}
+
+let mcu = Energy.mw 1.2
+
+let with_peripheral p = Energy.add_power mcu (Energy.mw p)
+
+let make ?(temp_base = 36.5) nvm =
+  let temp_samples = Channel.create nvm ~name:"temp" ~bytes_per_item:4 ~capacity:16 in
+  let accel_samples = Channel.create nvm ~name:"accel" ~bytes_per_item:4 ~capacity:8 in
+  let mic_samples = Channel.create nvm ~name:"mic" ~bytes_per_item:4 ~capacity:8 in
+  let avg_temp = Nvm.cell nvm ~region:Application ~name:"avgTemp" ~bytes:4 0.0 in
+  let heart_rate = Nvm.cell nvm ~region:Application ~name:"heartRateBpm" ~bytes:4 0.0 in
+  let breath_class = Nvm.cell nvm ~region:Application ~name:"breathClass" ~bytes:2 0 in
+  let cough_level = Nvm.cell nvm ~region:Application ~name:"coughLevel" ~bytes:4 0.0 in
+  let sent = Nvm.cell nvm ~region:Application ~name:"sentCount" ~bytes:2 0 in
+  let sample_index = Nvm.cell nvm ~region:Application ~name:"sampleIndex" ~bytes:2 0 in
+
+  (* Deterministic quasi-periodic waveform around a base value. *)
+  let waveform base amplitude ctx =
+    let i = Nvm.read sample_index in
+    Nvm.tx_write sample_index (i + 1);
+    let jitter = Prng.float_range ctx.Task.prng ~lo:(-0.05) ~hi:0.05 in
+    base +. (amplitude *. sin (float_of_int i /. 3.)) +. jitter
+  in
+
+  let body_temp =
+    Task.make ~name:"bodyTemp" ~duration:(Time.of_ms 250)
+      ~power:(with_peripheral 3.0)
+      ~body:(fun ctx -> Channel.push temp_samples (waveform temp_base 0.2 ctx))
+      ()
+  in
+  let calc_avg =
+    Task.make ~name:"calcAvg" ~duration:(Time.of_ms 30) ~power:mcu
+      ~monitored:[ ("avgTemp", fun () -> Nvm.read avg_temp) ]
+      ~body:(fun _ ->
+        match Channel.items temp_samples with
+        | [] -> ()
+        | samples ->
+            let sum = List.fold_left ( +. ) 0. samples in
+            Nvm.tx_write avg_temp (sum /. float_of_int (List.length samples)))
+      ()
+  in
+  let heart_rate_task =
+    Task.make ~name:"heartRate" ~duration:(Time.of_ms 200) ~power:mcu
+      ~body:(fun ctx ->
+        Nvm.tx_write heart_rate (waveform 72. 6. ctx))
+      ()
+  in
+  let accel =
+    Task.make ~name:"accel" ~duration:(Time.of_ms 900)
+      ~power:(with_peripheral 18.0)
+      ~body:(fun ctx -> Channel.push accel_samples (waveform 0.4 0.3 ctx))
+      ()
+  in
+  let classify =
+    Task.make ~name:"classify" ~duration:(Time.of_ms 250) ~power:mcu
+      ~body:(fun _ ->
+        let magnitude =
+          List.fold_left (fun m v -> Float.max m (Float.abs v)) 0.
+            (Channel.items accel_samples)
+        in
+        Nvm.tx_write breath_class (if magnitude > 0.5 then 1 else 0))
+      ()
+  in
+  let mic_sense =
+    Task.make ~name:"micSense" ~duration:(Time.of_ms 600)
+      ~power:(with_peripheral 12.0)
+      ~body:(fun ctx -> Channel.push mic_samples (waveform 0.1 0.08 ctx))
+      ()
+  in
+  let filter =
+    Task.make ~name:"filter" ~duration:(Time.of_ms 150) ~power:mcu
+      ~body:(fun _ ->
+        let energy_sum =
+          List.fold_left (fun acc v -> acc +. (v *. v)) 0.
+            (Channel.items mic_samples)
+        in
+        Nvm.tx_write cough_level energy_sum)
+      ()
+  in
+  let send =
+    Task.make ~name:"send" ~duration:(Time.of_ms 80)
+      ~power:(with_peripheral 30.0)
+      ~body:(fun _ -> Nvm.tx_write sent (Nvm.read sent + 1))
+      ()
+  in
+  let app =
+    Task.app ~name:"health-monitoring"
+      [
+        { Task.index = 1; tasks = [ body_temp; calc_avg; heart_rate_task; send ] };
+        { Task.index = 2; tasks = [ accel; classify; send ] };
+        { Task.index = 3; tasks = [ mic_sense; filter; send ] };
+      ]
+  in
+  let handles =
+    {
+      temp_samples;
+      accel_samples;
+      mic_samples;
+      read_avg_temp = (fun () -> Nvm.read avg_temp);
+      read_heart_rate = (fun () -> Nvm.read heart_rate);
+      sent_messages = (fun () -> Nvm.read sent);
+    }
+  in
+  (app, handles)
+
+let spec_text =
+  {|// Figure 5: property specification of the health-monitoring benchmark
+micSense: {
+  maxTries: 10 onFail: skipPath;
+}
+
+send: {
+  MITD: 5min dpTask: accel onFail: restartPath maxAttempt: 3 onFail: skipPath Path: 2;
+  maxDuration: 100ms onFail: skipTask;
+  collect: 1 dpTask: accel onFail: restartPath Path: 2;
+  collect: 1 dpTask: micSense onFail: restartPath Path: 3;
+}
+
+calcAvg: {
+  collect: 10 dpTask: bodyTemp onFail: restartPath;
+  dpData: avgTemp Range: [36, 38] onFail: completePath;
+}
+
+accel: {
+  maxTries: 10 onFail: skipPath;
+}
+|}
+
+let mayfly_spec_text =
+  {|// Mayfly version (Section 5.1.1): collect and MITD only
+send: {
+  MITD: 5min dpTask: accel onFail: restartPath Path: 2;
+  collect: 1 dpTask: accel onFail: restartPath Path: 2;
+  collect: 1 dpTask: micSense onFail: restartPath Path: 3;
+}
+
+calcAvg: {
+  collect: 10 dpTask: bodyTemp onFail: restartPath;
+}
+|}

@@ -1,0 +1,36 @@
+(** The wearable health-monitoring benchmark application of Figures 4-6.
+
+    Three paths over eight tasks:
+    - path 1: bodyTemp -> calcAvg -> heartRate -> send (average of 10
+      temperature samples);
+    - path 2: accel -> classify -> send (respiration rate);
+    - path 3: micSense -> filter -> send (cough detection).
+
+    Sensor values are synthetic deterministic waveforms (the paper's
+    Thunderboard sensors are not available); durations and power draws
+    follow the calibration in DESIGN.md so that power failures land where
+    the paper's Section 5 narrative needs them. *)
+
+open Artemis_nvm
+
+type handles = {
+  temp_samples : float Channel.t;
+  accel_samples : float Channel.t;
+  mic_samples : float Channel.t;
+  read_avg_temp : unit -> float;
+  read_heart_rate : unit -> float;
+  sent_messages : unit -> int;  (** completed [send] executions *)
+}
+
+val make : ?temp_base:float -> Nvm.t -> Task.app * handles
+(** [temp_base] (default 36.5 C, in the healthy [36,38] range) shifts the
+    synthetic body-temperature waveform; pass e.g. 39.2 to trigger the
+    [dpData avgTemp Range] emergency property. *)
+
+val spec_text : string
+(** The Figure 5 property specification, verbatim in our concrete
+    syntax. *)
+
+val mayfly_spec_text : string
+(** The Mayfly version (Section 5.1.1): only [collect] and [MITD]; no
+    [maxTries]/[maxAttempt]. *)

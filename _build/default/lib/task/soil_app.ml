@@ -1,0 +1,130 @@
+open Artemis_util
+open Artemis_nvm
+
+type handles = {
+  moisture_samples : float Channel.t;
+  read_dryness : unit -> float;
+  uplinks : unit -> int;
+  actuations : unit -> int;
+}
+
+let mcu = Energy.mw 1.2
+let with_peripheral p = Energy.add_power mcu (Energy.mw p)
+
+let make ?(dryness_base = 0.30) nvm =
+  let moisture_samples =
+    Channel.create nvm ~name:"moisture" ~bytes_per_item:4 ~capacity:8
+  in
+  let soil_temp = Nvm.cell nvm ~region:Application ~name:"soilTempC" ~bytes:4 0.0 in
+  let air_temp = Nvm.cell nvm ~region:Application ~name:"airTempC" ~bytes:4 0.0 in
+  let humidity_pct = Nvm.cell nvm ~region:Application ~name:"humidityPct" ~bytes:4 0.0 in
+  let profile = Nvm.cell nvm ~region:Application ~name:"soilProfile" ~bytes:4 0.0 in
+  let dryness = Nvm.cell nvm ~region:Application ~name:"dryness" ~bytes:4 0.0 in
+  let uplinked = Nvm.cell nvm ~region:Application ~name:"uplinkCount" ~bytes:2 0 in
+  let actuated = Nvm.cell nvm ~region:Application ~name:"actuateCount" ~bytes:2 0 in
+  let tick = Nvm.cell nvm ~region:Application ~name:"soilTick" ~bytes:2 0 in
+
+  let wave base amplitude ctx =
+    let i = Nvm.read tick in
+    Nvm.tx_write tick (i + 1);
+    base
+    +. (amplitude *. sin (float_of_int i /. 5.))
+    +. Prng.float_range ctx.Task.prng ~lo:(-0.01) ~hi:0.01
+  in
+
+  let moisture =
+    Task.make ~name:"moisture" ~duration:(Time.of_ms 120)
+      ~power:(with_peripheral 5.0)
+      ~body:(fun ctx -> Channel.push moisture_samples (wave 0.32 0.05 ctx))
+      ()
+  in
+  let soil_temp_task =
+    Task.make ~name:"soilTemp" ~duration:(Time.of_ms 80)
+      ~power:(with_peripheral 3.0)
+      ~body:(fun ctx -> Nvm.tx_write soil_temp (wave 14.0 1.5 ctx))
+      ()
+  in
+  let aggregate =
+    Task.make ~name:"aggregate" ~duration:(Time.of_ms 40) ~power:mcu
+      ~body:(fun _ ->
+        match Channel.items moisture_samples with
+        | [] -> ()
+        | samples ->
+            let sum = List.fold_left ( +. ) 0. samples in
+            Nvm.tx_write profile (sum /. float_of_int (List.length samples)))
+      ()
+  in
+  let uplink =
+    Task.make ~name:"uplink" ~duration:(Time.of_ms 90)
+      ~power:(with_peripheral 30.0)
+      ~body:(fun _ -> Nvm.tx_write uplinked (Nvm.read uplinked + 1))
+      ()
+  in
+  let air_temp_task =
+    Task.make ~name:"airTemp" ~duration:(Time.of_ms 60)
+      ~power:(with_peripheral 3.0)
+      ~body:(fun ctx -> Nvm.tx_write air_temp (wave 21.0 3.0 ctx))
+      ()
+  in
+  let humidity =
+    Task.make ~name:"humidity" ~duration:(Time.of_ms 60)
+      ~power:(with_peripheral 3.0)
+      ~body:(fun ctx -> Nvm.tx_write humidity_pct (wave 55.0 8.0 ctx))
+      ()
+  in
+  let decide =
+    Task.make ~name:"decide" ~duration:(Time.of_ms 50) ~power:mcu
+      ~monitored:[ ("dryness", fun () -> Nvm.read dryness) ]
+      ~body:(fun ctx ->
+        (* a dry spell raises the index above the healthy band *)
+        Nvm.tx_write dryness (wave dryness_base 0.04 ctx))
+      ()
+  in
+  let actuate =
+    Task.make ~name:"actuate" ~duration:(Time.of_ms 300)
+      ~power:(with_peripheral 25.0)
+      ~body:(fun _ -> Nvm.tx_write actuated (Nvm.read actuated + 1))
+      ()
+  in
+  let app =
+    Task.app ~name:"soil-monitoring"
+      [
+        { Task.index = 1; tasks = [ moisture; soil_temp_task; aggregate; uplink ] };
+        { Task.index = 2; tasks = [ air_temp_task; humidity; uplink ] };
+        { Task.index = 3; tasks = [ decide; actuate ] };
+      ]
+  in
+  let handles =
+    {
+      moisture_samples;
+      read_dryness = (fun () -> Nvm.read dryness);
+      uplinks = (fun () -> Nvm.read uplinked);
+      actuations = (fun () -> Nvm.read actuated);
+    }
+  in
+  (app, handles)
+
+let spec_text =
+  {|// Soil/environment monitoring station properties
+moisture: {
+  period: 30s onFail: restartPath maxAttempt: 2 onFail: skipPath;
+}
+
+aggregate: {
+  collect: 5 dpTask: moisture onFail: restartPath;
+}
+
+uplink: {
+  MITD: 2min dpTask: aggregate onFail: restartPath maxAttempt: 3 onFail: skipPath Path: 1;
+  maxDuration: 150ms onFail: skipTask;
+}
+
+actuate: {
+  minEnergy: 5mJ onFail: skipTask;
+  maxTries: 5 onFail: skipPath;
+}
+
+decide: {
+  dpData: dryness Range: [0.15, 0.55] onFail: completePath;
+}
+|}

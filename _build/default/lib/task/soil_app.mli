@@ -1,0 +1,44 @@
+(** A second complete application domain: a batteryless soil/environment
+    monitoring station (the paper's introduction motivates exactly this
+    class of deployment, citing soil-monitoring sensors powered by
+    soil-air temperature differences [32]).
+
+    Three paths over seven tasks:
+    - path 1 (soil profile): moisture -> soilTemp -> aggregate -> uplink
+      (five moisture samples aggregated per report);
+    - path 2 (air): airTemp -> aggregate2... modelled as
+      airTemp -> humidity -> uplink;
+    - path 3 (irrigation decision): decide -> actuate, where [decide]
+      exposes a monitored soil-dryness index whose out-of-range value
+      rushes the actuation through ([completePath], mirroring the health
+      app's emergency flow).
+
+    The property mix intentionally differs from the health benchmark:
+    periodicity on the sampling head, [minEnergy] in front of the
+    actuator (Section 4.2.2 extension), a freshness window on the
+    irrigation decision, and sample collection on the aggregator. *)
+
+open Artemis_nvm
+
+type handles = {
+  moisture_samples : float Channel.t;
+  read_dryness : unit -> float;
+  uplinks : unit -> int;  (** completed [uplink] executions *)
+  actuations : unit -> int;  (** completed [actuate] executions *)
+}
+
+val make : ?dryness_base:float -> Nvm.t -> Task.app * handles
+(** [dryness_base] (default 0.30, inside the healthy [0.15, 0.55] range)
+    shifts the synthetic dryness index; above 0.55 the [dpData] property
+    fires [completePath] on path 3. *)
+
+val spec_text : string
+(** The station's property specification:
+    {v
+    moisture:  period 30s (restartPath, maxAttempt 2 -> skipPath)
+    aggregate: collect 5 from moisture (restartPath)
+    uplink:    MITD 2min from aggregate (restartPath, maxAttempt 3 ->
+               skipPath, Path 1); maxDuration 150ms (skipTask)
+    actuate:   minEnergy 5mJ (skipTask); maxTries 5 (skipPath)
+    decide:    dpData dryness Range [0.15, 0.55] (completePath)
+    v} *)

@@ -1,0 +1,1 @@
+lib/trace/export.ml: Artemis_util Buffer Char Energy Event List Log Option Printf Stats String Time

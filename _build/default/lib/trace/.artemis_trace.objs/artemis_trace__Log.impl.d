@@ -1,0 +1,1 @@
+lib/trace/log.ml: Event Format List Printf String

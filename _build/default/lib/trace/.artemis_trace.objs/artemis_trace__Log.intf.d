@@ -1,0 +1,1 @@
+lib/trace/log.mli: Artemis_util Event Time

@@ -1,0 +1,1 @@
+lib/trace/stats.ml: Artemis_util Energy Format Time

@@ -1,0 +1,1 @@
+lib/trace/stats.mli: Artemis_util Energy Format Time

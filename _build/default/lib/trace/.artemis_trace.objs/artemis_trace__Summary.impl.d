@@ -1,0 +1,1 @@
+lib/trace/summary.ml: Event Hashtbl List Log Option Printf String

@@ -1,0 +1,51 @@
+open Artemis_util
+
+type t =
+  | Boot
+  | Reboot of { charging_delay : Time.t }
+  | Power_failure of { during_task : string option }
+  | Task_started of { task : string; attempt : int }
+  | Task_completed of { task : string }
+  | Monitor_verdict of { monitor : string; task : string; action : string }
+  | Runtime_action of { action : string; task : string }
+  | Path_started of { path : int }
+  | Path_completed of { path : int }
+  | Path_restarted of { path : int; reason : string }
+  | Path_skipped of { path : int; reason : string }
+  | Monitoring_suspended of { path : int }
+  | Round_completed of { round : int }
+  | App_completed
+  | Horizon_reached of { reason : string }
+
+type timed = { at : Time.t; event : t }
+
+let pp ppf = function
+  | Boot -> Format.fprintf ppf "boot"
+  | Reboot { charging_delay } ->
+      Format.fprintf ppf "reboot after %a charging" Time.pp charging_delay
+  | Power_failure { during_task = Some t } ->
+      Format.fprintf ppf "power failure during %s" t
+  | Power_failure { during_task = None } ->
+      Format.fprintf ppf "power failure between tasks"
+  | Task_started { task; attempt } ->
+      Format.fprintf ppf "start %s (attempt %d)" task attempt
+  | Task_completed { task } -> Format.fprintf ppf "end %s" task
+  | Monitor_verdict { monitor; task; action } ->
+      Format.fprintf ppf "monitor %s: violation at %s -> %s" monitor task action
+  | Runtime_action { action; task } ->
+      Format.fprintf ppf "runtime action %s at %s" action task
+  | Path_started { path } -> Format.fprintf ppf "path #%d started" path
+  | Path_completed { path } -> Format.fprintf ppf "path #%d completed" path
+  | Path_restarted { path; reason } ->
+      Format.fprintf ppf "path #%d restarted (%s)" path reason
+  | Path_skipped { path; reason } ->
+      Format.fprintf ppf "path #%d skipped (%s)" path reason
+  | Monitoring_suspended { path } ->
+      Format.fprintf ppf "monitoring suspended until path #%d completes" path
+  | Round_completed { round } -> Format.fprintf ppf "round %d completed" round
+  | App_completed -> Format.fprintf ppf "application completed"
+  | Horizon_reached { reason } ->
+      Format.fprintf ppf "simulation horizon reached (%s)" reason
+
+let pp_timed ppf { at; event } = Format.fprintf ppf "[%a] %a" Time.pp at pp event
+let to_string e = Format.asprintf "%a" pp e

@@ -1,0 +1,39 @@
+(** Observable events of an intermittent execution.
+
+    Both runtimes (ARTEMIS and the Mayfly baseline) log the same event
+    vocabulary so traces are directly comparable; Figure 13 is rendered
+    straight from such a log. *)
+
+open Artemis_util
+
+type t =
+  | Boot  (** first power-on (hard reset, Section 4.1) *)
+  | Reboot of { charging_delay : Time.t }
+      (** back up after a power failure *)
+  | Power_failure of { during_task : string option }
+      (** brown-out; [during_task] is the interrupted task, if any *)
+  | Task_started of { task : string; attempt : int }
+      (** [attempt] counts executions of this task since it last completed *)
+  | Task_completed of { task : string }
+  | Monitor_verdict of { monitor : string; task : string; action : string }
+      (** a monitor reported a property violation and proposed an action *)
+  | Runtime_action of { action : string; task : string }
+      (** the arbitrated action the runtime actually took *)
+  | Path_started of { path : int }
+  | Path_completed of { path : int }
+  | Path_restarted of { path : int; reason : string }
+  | Path_skipped of { path : int; reason : string }
+  | Monitoring_suspended of { path : int }
+      (** completePath: rest of the path runs unmonitored (Table 1) *)
+  | Round_completed of { round : int }
+      (** reactive execution: one full pass over the application's paths
+          finished and the next begins *)
+  | App_completed
+  | Horizon_reached of { reason : string }
+      (** the simulation gave up: treated as non-termination (DNF) *)
+
+type timed = { at : Time.t; event : t }
+
+val pp : Format.formatter -> t -> unit
+val pp_timed : Format.formatter -> timed -> unit
+val to_string : t -> string

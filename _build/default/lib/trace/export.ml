@@ -1,0 +1,116 @@
+open Artemis_util
+
+let csv_quote s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+(* Event decomposition into (kind, task, path, detail) columns. *)
+let event_columns = function
+  | Event.Boot -> ("boot", "", "", "")
+  | Event.Reboot { charging_delay } ->
+      ("reboot", "", "", Printf.sprintf "charging_us=%d" (Time.to_us charging_delay))
+  | Event.Power_failure { during_task } ->
+      ("power_failure", Option.value during_task ~default:"", "", "")
+  | Event.Task_started { task; attempt } ->
+      ("task_started", task, "", Printf.sprintf "attempt=%d" attempt)
+  | Event.Task_completed { task } -> ("task_completed", task, "", "")
+  | Event.Monitor_verdict { monitor; task; action } ->
+      ("monitor_verdict", task, "", Printf.sprintf "monitor=%s action=%s" monitor action)
+  | Event.Runtime_action { action; task } -> ("runtime_action", task, "", action)
+  | Event.Path_started { path } -> ("path_started", "", string_of_int path, "")
+  | Event.Path_completed { path } -> ("path_completed", "", string_of_int path, "")
+  | Event.Path_restarted { path; reason } ->
+      ("path_restarted", "", string_of_int path, reason)
+  | Event.Path_skipped { path; reason } ->
+      ("path_skipped", "", string_of_int path, reason)
+  | Event.Monitoring_suspended { path } ->
+      ("monitoring_suspended", "", string_of_int path, "")
+  | Event.Round_completed { round } ->
+      ("round_completed", "", "", Printf.sprintf "round=%d" round)
+  | Event.App_completed -> ("app_completed", "", "", "")
+  | Event.Horizon_reached { reason } -> ("horizon_reached", "", "", reason)
+
+let log_to_csv log =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "time_us,event,task,path,detail\n";
+  List.iter
+    (fun (e : Event.timed) ->
+      let kind, task, path, detail = event_columns e.Event.event in
+      Buffer.add_string buf
+        (Printf.sprintf "%d,%s,%s,%s,%s\n" (Time.to_us e.Event.at) kind
+           (csv_quote task) path (csv_quote detail)))
+    (Log.events log);
+  Buffer.contents buf
+
+let outcome_string (s : Stats.t) =
+  match s.Stats.outcome with
+  | Stats.Completed -> "completed"
+  | Stats.Did_not_finish reason -> "dnf:" ^ reason
+
+let stats_fields (s : Stats.t) =
+  [
+    ("outcome", `S (outcome_string s));
+    ("total_time_us", `I (Time.to_us s.Stats.total_time));
+    ("off_time_us", `I (Time.to_us s.Stats.off_time));
+    ("app_time_us", `I (Time.to_us s.Stats.app_time));
+    ("runtime_overhead_us", `I (Time.to_us s.Stats.runtime_overhead));
+    ("monitor_overhead_us", `I (Time.to_us s.Stats.monitor_overhead));
+    ("energy_total_uj", `F (Energy.to_uj s.Stats.energy_total));
+    ("energy_app_uj", `F (Energy.to_uj s.Stats.energy_app));
+    ("energy_runtime_uj", `F (Energy.to_uj s.Stats.energy_runtime));
+    ("energy_monitor_uj", `F (Energy.to_uj s.Stats.energy_monitor));
+    ("power_failures", `I s.Stats.power_failures);
+    ("reboots", `I s.Stats.reboots);
+    ("task_executions", `I s.Stats.task_executions);
+    ("task_completions", `I s.Stats.task_completions);
+    ("path_restarts", `I s.Stats.path_restarts);
+    ("path_skips", `I s.Stats.path_skips);
+  ]
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let stats_to_json s =
+  let field (key, v) =
+    let value =
+      match v with
+      | `S s -> Printf.sprintf "\"%s\"" (json_escape s)
+      | `I n -> string_of_int n
+      | `F f -> Printf.sprintf "%.3f" f
+    in
+    Printf.sprintf "  \"%s\": %s" key value
+  in
+  "{\n" ^ String.concat ",\n" (List.map field (stats_fields s)) ^ "\n}\n"
+
+let stats_csv_header =
+  String.concat "," (List.map fst (stats_fields Stats.{
+    outcome = Completed; total_time = Time.zero; off_time = Time.zero;
+    app_time = Time.zero; runtime_overhead = Time.zero;
+    monitor_overhead = Time.zero; energy_total = Energy.zero;
+    energy_app = Energy.zero; energy_runtime = Energy.zero;
+    energy_monitor = Energy.zero; power_failures = 0; reboots = 0;
+    task_executions = 0; task_completions = 0; path_restarts = 0;
+    path_skips = 0;
+  }))
+
+let stats_to_csv_row s =
+  String.concat ","
+    (List.map
+       (fun (_, v) ->
+         match v with
+         | `S str -> csv_quote str
+         | `I n -> string_of_int n
+         | `F f -> Printf.sprintf "%.3f" f)
+       (stats_fields s))

@@ -1,0 +1,14 @@
+(** Machine-readable exports of traces and run statistics, for plotting
+    the reproduced figures outside the harness. *)
+
+val log_to_csv : Log.t -> string
+(** Columns: [time_us,event,task,path,detail]; one row per event, header
+    included, RFC-4180 quoting for the detail field. *)
+
+val stats_to_json : Stats.t -> string
+(** A flat JSON object (hand-rendered; keys are stable and documented by
+    the implementation). *)
+
+val stats_to_csv_row : Stats.t -> string
+val stats_csv_header : string
+(** Matching header/row pair for aggregating many runs into one CSV. *)

@@ -1,0 +1,38 @@
+type t = { mutable rev_events : Event.timed list; mutable n : int }
+
+let create () = { rev_events = []; n = 0 }
+
+let record t ~at event =
+  t.rev_events <- { Event.at; event } :: t.rev_events;
+  t.n <- t.n + 1
+
+let events t = List.rev t.rev_events
+let length t = t.n
+
+let count t pred =
+  List.fold_left
+    (fun acc (e : Event.timed) -> if pred e.event then acc + 1 else acc)
+    0 t.rev_events
+
+let find_all t pred =
+  List.filter (fun (e : Event.timed) -> pred e.event) (events t)
+
+let task_attempts t ~task =
+  count t (function
+    | Event.Task_started { task = tk; _ } -> String.equal tk task
+    | _ -> false)
+
+let render_timeline ?limit t =
+  let all = events t in
+  let shown, elided =
+    match limit with
+    | Some n when List.length all > n ->
+        (List.filteri (fun i _ -> i < n) all, List.length all - n)
+    | _ -> (all, 0)
+  in
+  let lines = List.map (Format.asprintf "%a" Event.pp_timed) shown in
+  let lines =
+    if elided > 0 then lines @ [ Printf.sprintf "... (%d more events)" elided ]
+    else lines
+  in
+  String.concat "\n" lines

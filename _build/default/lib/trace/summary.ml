@@ -1,0 +1,45 @@
+let tally pairs =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun key ->
+      Hashtbl.replace tbl key (1 + Option.value (Hashtbl.find_opt tbl key) ~default:0))
+    pairs;
+  Hashtbl.fold (fun key count acc -> (key, count) :: acc) tbl []
+  |> List.sort (fun (ka, ca) (kb, cb) ->
+         match compare cb ca with 0 -> String.compare ka kb | c -> c)
+
+let verdicts_by_monitor log =
+  Log.events log
+  |> List.filter_map (fun (e : Event.timed) ->
+         match e.Event.event with
+         | Event.Monitor_verdict { monitor; _ } -> Some monitor
+         | _ -> None)
+  |> tally
+
+let actions_by_kind log =
+  Log.events log
+  |> List.filter_map (fun (e : Event.timed) ->
+         match e.Event.event with
+         | Event.Runtime_action { action; _ } -> Some action
+         | _ -> None)
+  |> tally
+
+let attempts_by_task log =
+  Log.events log
+  |> List.filter_map (fun (e : Event.timed) ->
+         match e.Event.event with
+         | Event.Task_started { task; _ } -> Some task
+         | _ -> None)
+  |> tally
+
+let render log =
+  let section title rows =
+    if rows = [] then []
+    else
+      (title ^ ":")
+      :: List.map (fun (key, count) -> Printf.sprintf "  %-32s %d" key count) rows
+  in
+  String.concat "\n"
+    (section "violations by monitor" (verdicts_by_monitor log)
+    @ section "runtime actions" (actions_by_kind log)
+    @ section "task start attempts" (attempts_by_task log))

@@ -1,0 +1,14 @@
+(** Aggregations over a trace log: which monitors fired, which actions the
+    runtime took, which tasks needed how many attempts. *)
+
+val verdicts_by_monitor : Log.t -> (string * int) list
+(** Violations reported per monitor, descending count then name. *)
+
+val actions_by_kind : Log.t -> (string * int) list
+(** Arbitrated runtime actions per action kind, descending count. *)
+
+val attempts_by_task : Log.t -> (string * int) list
+(** Start events per task (re-executions included), descending count. *)
+
+val render : Log.t -> string
+(** The three aggregations as a compact report (empty sections elided). *)

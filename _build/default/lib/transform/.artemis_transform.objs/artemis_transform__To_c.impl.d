@@ -1,0 +1,1 @@
+lib/transform/to_c.ml: Artemis_fsm Artemis_util Buffer Float Format List Option Printf String Time

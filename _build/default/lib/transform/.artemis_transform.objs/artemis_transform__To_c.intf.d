@@ -1,0 +1,1 @@
+lib/transform/to_c.mli: Artemis_fsm

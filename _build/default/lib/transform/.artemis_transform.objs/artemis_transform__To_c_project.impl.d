@@ -1,0 +1,1 @@
+lib/transform/to_c_project.ml: Artemis_task Artemis_util Buffer Energy Filename Format List Option Out_channel Printf String Sys Time To_c

@@ -1,0 +1,1 @@
+lib/transform/to_c_project.mli: Artemis_fsm Artemis_task Task

@@ -1,0 +1,1 @@
+lib/transform/to_fsm.ml: Artemis_fsm Artemis_spec Artemis_util Hashtbl List Printf Time

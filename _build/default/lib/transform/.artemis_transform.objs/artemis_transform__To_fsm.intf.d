@@ -1,0 +1,1 @@
+lib/transform/to_fsm.mli: Artemis_fsm Artemis_spec

@@ -1,0 +1,36 @@
+(** Whole-project C emission.
+
+    The paper's artifact ships ARTEMIS as a C library tree (appendix A.3:
+    [libartemis] runtime sources, [mem.h] non-volatile memory macros,
+    [clock.h] persistent timekeeping, a trimmed ImmortalThreads library,
+    and the generated application monitors).  This module emits that tree
+    for a given application and compiled monitor set: a self-contained,
+    msp430-gcc-oriented C project in which only the task bodies remain to
+    be filled in.
+
+    We cannot compile it here (no msp430 toolchain in the environment);
+    the emitted files are structurally golden-tested, and every
+    task/path/monitor reference is generated from the validated
+    application so the project is internally consistent. *)
+
+open Artemis_task
+
+type file = { path : string; contents : string }
+
+val project :
+  app:Task.app -> machines:Artemis_fsm.Ast.machine list -> file list
+(** Files, with project-relative paths:
+    - [include/artemis/mem.h] - FRAM placement and task-transaction macros
+    - [include/artemis/clock.h] - persistent timekeeping interface
+    - [include/artemis/immortal.h] - local-continuation macros
+    - [include/artemis/runtime.h] - task/event/action declarations
+    - [src/monitors.c] - the generated monitor translation unit
+    - [src/runtime.c] - the Figure 8/9 main loop over the app's task table
+    - [src/tasks.c] - one stub per task, durations/draws as comments
+    - [Makefile] - msp430-elf-gcc build rules
+    @raise Invalid_argument if {!Task.validate} rejects the app. *)
+
+val write_to : dir:string -> file list -> unit
+(** Materialize the project under [dir] (creates directories). *)
+
+val total_bytes : file list -> int

@@ -1,0 +1,1 @@
+lib/util/energy.ml: Float Format Stdlib Time

@@ -1,0 +1,1 @@
+lib/util/energy.mli: Format Time

@@ -1,0 +1,1 @@
+lib/util/scanner.ml: Float Format List Printf Stdlib String Time

@@ -1,0 +1,1 @@
+lib/util/scanner.mli: Format Time

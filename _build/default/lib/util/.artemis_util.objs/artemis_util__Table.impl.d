@@ -1,0 +1,1 @@
+lib/util/table.ml: Format List Printf Stdlib String

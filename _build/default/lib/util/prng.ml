@@ -1,0 +1,26 @@
+type t = { mutable state : int64 }
+
+let create ~seed = { state = Int64.of_int seed }
+let copy t = { state = t.state }
+
+(* splitmix64 step; the classic constants give good avalanche behaviour. *)
+let next_int64 t =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next_int t = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2)
+
+let int_range t ~lo ~hi =
+  if hi < lo then invalid_arg "Prng.int_range: hi < lo";
+  lo + (next_int t mod (hi - lo + 1))
+
+let float_range t ~lo ~hi =
+  (* 2^62 as a float: OCaml's native int is 63-bit, so (1 lsl 62) would
+     overflow to min_int *)
+  let unit = float_of_int (next_int t) /. Float.ldexp 1. 62 in
+  lo +. (unit *. (hi -. lo))
+
+let bool t = next_int t land 1 = 1

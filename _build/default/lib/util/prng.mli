@@ -1,0 +1,20 @@
+(** Small deterministic pseudo-random generator (splitmix64).
+
+    Synthetic sensor waveforms and failure-injection tests need randomness
+    that is reproducible across runs and independent of the global
+    [Random] state, so each stream owns its own generator seeded
+    explicitly. *)
+
+type t
+
+val create : seed:int -> t
+val copy : t -> t
+
+val next_int : t -> int
+(** Next non-negative 62-bit integer. *)
+
+val int_range : t -> lo:int -> hi:int -> int
+(** Uniform in [lo, hi] inclusive. @raise Invalid_argument if [hi < lo]. *)
+
+val float_range : t -> lo:float -> hi:float -> float
+val bool : t -> bool

@@ -1,0 +1,32 @@
+(** Generic lexical scanner shared by the two ARTEMIS language frontends
+    (the property specification language and the intermediate state-machine
+    language).
+
+    It tokenizes identifiers, integer/float literals, duration literals
+    ([100ms], [5min], [3s], [2sec], [10us]) and single/double-character
+    punctuation, tracking line/column for error reporting.  Comments run
+    from [//] to end of line. *)
+
+type token =
+  | Ident of string
+  | Int of int
+  | Float of float
+  | Duration of Time.t
+  | Energy of float
+      (** microjoules; from [3.4mJ], [500uJ], [2J] literals (the
+          Section 4.2.2 energy-awareness extension) *)
+  | Punct of string  (** one of the punctuation strings given at creation *)
+  | Eof
+
+type located = { token : token; line : int; col : int }
+
+exception Lex_error of string * int * int
+(** message, line, column *)
+
+val tokenize : puncts:string list -> string -> located list
+(** [tokenize ~puncts src] scans the whole input.  [puncts] lists the
+    punctuation/operator lexemes to recognize; longer lexemes take
+    precedence (so ["->"] wins over ["-"]).
+    @raise Lex_error on an unexpected character or malformed number. *)
+
+val pp_token : Format.formatter -> token -> unit

@@ -1,0 +1,33 @@
+type t = { headers : string list; mutable rows : string list list }
+
+let create ~headers = { headers; rows = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.headers then
+    invalid_arg "Table.add_row: row width differs from header";
+  t.rows <- t.rows @ [ row ]
+
+let widths t =
+  let update acc row =
+    List.map2 (fun w cell -> Stdlib.max w (String.length cell)) acc row
+  in
+  List.fold_left update (List.map String.length t.headers) t.rows
+
+let render_row widths row =
+  let cells = List.map2 (fun w c -> Printf.sprintf " %-*s " w c) widths row in
+  "|" ^ String.concat "|" cells ^ "|"
+
+let rule widths =
+  let dashes = List.map (fun w -> String.make (w + 2) '-') widths in
+  "+" ^ String.concat "+" dashes ^ "+"
+
+let render t =
+  let ws = widths t in
+  let lines =
+    [ rule ws; render_row ws t.headers; rule ws ]
+    @ List.map (render_row ws) t.rows
+    @ [ rule ws ]
+  in
+  String.concat "\n" lines
+
+let pp ppf t = Format.pp_print_string ppf (render t)

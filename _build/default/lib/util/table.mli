@@ -1,0 +1,14 @@
+(** Minimal ASCII table rendering, used by the benchmark harness to print
+    paper-style rows (Figures 12, 14-16 and Tables 2-3). *)
+
+type t
+
+val create : headers:string list -> t
+val add_row : t -> string list -> unit
+(** @raise Invalid_argument if the row width differs from the header. *)
+
+val render : t -> string
+(** Render with column widths fitted to content, pipe separators and a
+    header rule. *)
+
+val pp : Format.formatter -> t -> unit

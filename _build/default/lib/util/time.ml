@@ -1,0 +1,41 @@
+type t = int
+
+let zero = 0
+let of_us us = us
+let of_ms ms = ms * 1_000
+let of_sec s = s * 1_000_000
+let of_min m = m * 60_000_000
+let of_sec_f s = int_of_float (Float.round (s *. 1e6))
+let to_us t = t
+let to_ms_f t = float_of_int t /. 1e3
+let to_sec_f t = float_of_int t /. 1e6
+let to_min_f t = float_of_int t /. 60e6
+let add = ( + )
+let sub = ( - )
+let scale t k = t * k
+let divide t k = t / k
+let compare = Int.compare
+let equal = Int.equal
+let ( <= ) (a : t) b = Stdlib.( <= ) a b
+let ( < ) (a : t) b = Stdlib.( < ) a b
+let ( >= ) (a : t) b = Stdlib.( >= ) a b
+let ( > ) (a : t) b = Stdlib.( > ) a b
+let min = Stdlib.min
+let max = Stdlib.max
+let is_negative t = Stdlib.( < ) t 0
+
+let pp ppf t =
+  let abs = Stdlib.abs t in
+  if Stdlib.( < ) abs 1_000 then Format.fprintf ppf "%dus" t
+  else if Stdlib.( < ) abs 1_000_000 then Format.fprintf ppf "%.2fms" (to_ms_f t)
+  else if Stdlib.( < ) abs 60_000_000 then Format.fprintf ppf "%.2fs" (to_sec_f t)
+  else Format.fprintf ppf "%.2fmin" (to_min_f t)
+
+let to_string t = Format.asprintf "%a" pp t
+
+let to_literal t =
+  if t mod 60_000_000 = 0 && t <> 0 then
+    Printf.sprintf "%dmin" (t / 60_000_000)
+  else if t mod 1_000_000 = 0 && t <> 0 then Printf.sprintf "%ds" (t / 1_000_000)
+  else if t mod 1_000 = 0 && t <> 0 then Printf.sprintf "%dms" (t / 1_000)
+  else Printf.sprintf "%dus" t

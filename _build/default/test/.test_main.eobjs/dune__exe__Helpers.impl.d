@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Artemis Capacitor Charging_policy Device Energy Fsm Log Runtime Stats Task Time

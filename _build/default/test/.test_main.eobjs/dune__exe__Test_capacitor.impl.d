@@ -1,0 +1,1 @@
+test/test_capacitor.ml: Alcotest Artemis Capacitor Energy List QCheck QCheck_alcotest

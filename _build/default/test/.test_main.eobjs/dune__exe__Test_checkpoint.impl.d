@@ -1,0 +1,1 @@
+test/test_checkpoint.ml: Alcotest Artemis Channel Checkpoint Device Energy Event Helpers List QCheck QCheck_alcotest Result Stats Time

@@ -1,0 +1,1 @@
+test/test_clock.ml: Alcotest Artemis Helpers QCheck QCheck_alcotest Time

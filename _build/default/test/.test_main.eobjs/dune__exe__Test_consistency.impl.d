@@ -1,0 +1,1 @@
+test/test_consistency.ml: Alcotest Artemis Energy Health_app Helpers List Nvm Spec String

@@ -1,0 +1,1 @@
+test/test_device.ml: Alcotest Artemis Capacitor Charging_policy Device Energy Event Float Harvester Helpers List Log Nvm QCheck QCheck_alcotest Time

@@ -1,0 +1,1 @@
+test/test_energy.ml: Alcotest Artemis Energy Helpers QCheck QCheck_alcotest Time

@@ -1,0 +1,1 @@
+test/test_explore.ml: Alcotest Artemis Fsm Health_app List Spec Time To_fsm

@@ -1,0 +1,1 @@
+test/test_export.ml: Alcotest Artemis Event Export Helpers List Log Printf Runtime String Time

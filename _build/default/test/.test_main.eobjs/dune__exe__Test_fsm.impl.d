@@ -1,0 +1,1 @@
+test/test_fsm.ml: Alcotest Artemis Fsm Helpers List Option QCheck QCheck_alcotest String Time

@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Artemis Fsm Mayfly_lang QCheck QCheck_alcotest Spec String

@@ -1,0 +1,1 @@
+test/test_harvester.ml: Alcotest Artemis Energy Harvester Helpers QCheck QCheck_alcotest Result Time

@@ -1,0 +1,1 @@
+test/test_immortal.ml: Alcotest Array Artemis Immortal Nvm QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_ink.ml: Alcotest Artemis Channel Device Helpers Ink Result Stats Time

@@ -1,0 +1,1 @@
+test/test_mayfly.ml: Alcotest Artemis Channel Device Health_app Helpers List Mayfly Spec Stats Task Time

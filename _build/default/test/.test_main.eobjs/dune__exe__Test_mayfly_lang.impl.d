@@ -1,0 +1,1 @@
+test/test_mayfly_lang.ml: Alcotest Artemis Fsm Helpers List Mayfly Mayfly_lang QCheck QCheck_alcotest Spec Time

@@ -1,0 +1,1 @@
+test/test_metamorphic.ml: Alcotest Artemis Artemis_experiments Config Device Energy Event Helpers List Log Mayfly Printf QCheck QCheck_alcotest Runtime Stats Task Time

@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Artemis Capacitor Charging_policy Energy Harvester Helpers List Prng QCheck QCheck_alcotest Table Time

@@ -1,0 +1,1 @@
+test/test_monitor.ml: Alcotest Artemis Fsm Helpers List Monitor Nvm Printf Suite

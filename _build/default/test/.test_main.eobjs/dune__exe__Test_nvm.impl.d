@@ -1,0 +1,1 @@
+test/test_nvm.ml: Alcotest Artemis Gen List Nvm QCheck QCheck_alcotest Test

@@ -1,0 +1,1 @@
+test/test_paper_narrative.ml: Alcotest Artemis Artemis_experiments Config Device Event Health_app List Log Nvm Spec Stats String Task Time

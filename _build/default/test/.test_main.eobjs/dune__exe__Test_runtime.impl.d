@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Artemis Capacitor Channel Charging_policy Device Energy Event Fsm Harvester Helpers List Log Monitor Nvm QCheck QCheck_alcotest Runtime Stats Suite Task Time

@@ -1,0 +1,1 @@
+test/test_runtime_actions.ml: Alcotest Artemis Device Event Fsm Helpers List Runtime Stats String Summary Task

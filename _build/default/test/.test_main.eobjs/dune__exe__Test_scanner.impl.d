@@ -1,0 +1,1 @@
+test/test_scanner.ml: Alcotest Artemis Artemis_util List Time

@@ -1,0 +1,1 @@
+test/test_soil_app.ml: Alcotest Artemis Channel Device Event Helpers Runtime Soil_app Spec Task Time

@@ -1,0 +1,1 @@
+test/test_spec.ml: Alcotest Artemis Health_app Helpers List QCheck QCheck_alcotest Spec String Time

@@ -1,0 +1,1 @@
+test/test_spec_validate.ml: Alcotest Artemis Helpers Spec String Task

@@ -1,0 +1,1 @@
+test/test_summary.ml: Alcotest Artemis Artemis_experiments Device List Log Summary Time

@@ -1,0 +1,1 @@
+test/test_task.ml: Alcotest Artemis Channel Energy Health_app Helpers Nvm Result Spec Task Time

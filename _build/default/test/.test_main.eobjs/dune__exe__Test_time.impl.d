@@ -1,0 +1,1 @@
+test/test_time.ml: Alcotest Artemis Artemis_util Format Helpers QCheck QCheck_alcotest Time

@@ -1,0 +1,1 @@
+test/test_timekeeper.ml: Alcotest Artemis Capacitor Charging_policy Device Energy Event Helpers Persistent_clock Remanence_timekeeper Time

@@ -1,0 +1,1 @@
+test/test_to_c.ml: Alcotest Artemis Fsm Health_app List Spec String Time To_c To_fsm

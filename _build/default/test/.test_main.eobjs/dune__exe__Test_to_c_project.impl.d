@@ -1,0 +1,1 @@
+test/test_to_c_project.ml: Alcotest Artemis Filename Health_app List Nvm Spec String Sys Task To_c_project To_fsm

@@ -1,0 +1,1 @@
+test/test_to_fsm.ml: Alcotest Artemis Fsm Health_app Helpers List QCheck QCheck_alcotest Spec String Test_spec Time To_fsm

@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Artemis Energy Event Helpers List Log Stats String Time

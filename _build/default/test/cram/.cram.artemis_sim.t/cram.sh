@@ -1,0 +1,4 @@
+  $ ../../bin/artemis_sim.exe --continuous | head -2
+  $ ../../bin/artemis_sim.exe -s mayfly -d 6 | head -1
+  $ ../../bin/artemis_sim.exe -s artemis -d 6 | head -1
+  $ ../../bin/artemis_sim.exe -s tics

@@ -1,0 +1,12 @@
+  $ cat > spec.txt <<'SPEC'
+  > accel: { maxTries: 2 onFail: skipPath; }
+  > SPEC
+  $ ../../bin/artemisc.exe --emit spec spec.txt
+  $ ../../bin/artemisc.exe --emit fsm spec.txt
+  $ ../../bin/artemisc.exe --emit c spec.txt | grep -c callMonitor
+  $ ../../bin/artemisc.exe --emit lint - <<'SPEC'
+  > t: { maxTries: 1 onFail: skipPath; collect: 1 dpTask: u onFail: restartTask; }
+  > SPEC
+  $ ../../bin/artemisc.exe --emit spec - <<'SPEC'
+  > t: { maxTries: onFail: skipPath; }
+  > SPEC

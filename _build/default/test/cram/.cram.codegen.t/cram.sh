@@ -1,0 +1,3 @@
+  $ ../../bin/artemisc.exe --emit c - <<'SPEC'
+  > send: { maxDuration: 100ms onFail: skipTask; }
+  > SPEC

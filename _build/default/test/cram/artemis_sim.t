@@ -1,0 +1,23 @@
+The simulator CLI runs the paper's benchmark.
+
+On continuous power the application always completes:
+
+  $ ../../bin/artemis_sim.exe --continuous | head -2
+  outcome: completed
+  total: 4.94s (off 0us)
+
+Under a 6-minute charging delay Mayfly never terminates:
+
+  $ ../../bin/artemis_sim.exe -s mayfly -d 6 | head -1
+  outcome: DNF (simulation time horizon)
+
+while ARTEMIS completes by skipping path 2 after three MITD attempts:
+
+  $ ../../bin/artemis_sim.exe -s artemis -d 6 | head -1
+  outcome: completed
+
+Unknown systems are rejected:
+
+  $ ../../bin/artemis_sim.exe -s tics
+  unknown system "tics" (artemis|mayfly)
+  [1]

@@ -1,0 +1,56 @@
+The compiler CLI drives the Figure 3 pipeline from the shell.
+
+A specification pretty-prints back through the spec stage:
+
+  $ cat > spec.txt <<'SPEC'
+  > accel: { maxTries: 2 onFail: skipPath; }
+  > SPEC
+  $ ../../bin/artemisc.exe --emit spec spec.txt
+  accel: {
+    maxTries: 2 onFail: skipPath;
+  }
+
+The model-to-model stage produces the Figure 7 machine:
+
+  $ ../../bin/artemisc.exe --emit fsm spec.txt
+  machine maxTries_accel {
+    var i : int = 0;
+    initial state NotStarted {
+      on startTask(accel) {
+        i := 1;
+      } -> Started;
+    }
+    state Started {
+      on startTask(accel) when ((i < 2)) {
+        i := (i + 1);
+      };
+      on startTask(accel) when ((i >= 2)) {
+        fail skipPath;
+        i := 0;
+      } -> NotStarted;
+      on endTask(accel) {
+        i := 0;
+      } -> NotStarted;
+    }
+  }
+
+The generated C contains the monitor interface:
+
+  $ ../../bin/artemisc.exe --emit c spec.txt | grep -c callMonitor
+  3
+
+The linter reports consistency findings:
+
+  $ ../../bin/artemisc.exe --emit lint - <<'SPEC'
+  > t: { maxTries: 1 onFail: skipPath; collect: 1 dpTask: u onFail: restartTask; }
+  > SPEC
+  warning: t/maxTries: maxTries: 1 allows no re-execution: any single power failure triggers the action
+  error: t/collect: restartTask on a collect property livelocks: re-starting the task re-fails the same check without producing new data
+
+Parse errors carry positions and exit non-zero:
+
+  $ ../../bin/artemisc.exe --emit spec - <<'SPEC'
+  > t: { maxTries: onFail: skipPath; }
+  > SPEC
+  spec parse error at 1:16: expected an integer but found identifier "onFail"
+  [1]

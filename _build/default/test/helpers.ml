@@ -1,0 +1,57 @@
+(* Shared builders for the test suites. *)
+
+open Artemis
+
+let time = Alcotest.testable Time.pp Time.equal
+
+let value =
+  Alcotest.testable Fsm.Ast.pp_value Fsm.Ast.equal_value
+
+(* A device whose capacitor never depletes: pure-logic tests. *)
+let powered_device ?horizon () =
+  let capacitor =
+    Capacitor.create
+      ~capacity:(Energy.mj 1_000_000.)
+      ~on_threshold:(Energy.mj 999_000.)
+      ~off_threshold:(Energy.mj 0.)
+      ()
+  in
+  Device.create ~capacitor ~policy:(Charging_policy.Fixed_delay Time.zero)
+    ?horizon ()
+
+(* A device with a small budget and fixed charging delay. *)
+let tiny_device ?(usable_mj = 3.) ?(delay = Time.of_sec 30) ?horizon () =
+  let capacitor =
+    Capacitor.create
+      ~capacity:(Energy.mj (usable_mj +. 0.5))
+      ~on_threshold:(Energy.mj (usable_mj +. 0.4))
+      ~off_threshold:(Energy.mj 0.5)
+      ()
+  in
+  Device.create ~capacitor ~policy:(Charging_policy.Fixed_delay delay) ?horizon ()
+
+let event ?(kind = Fsm.Interp.Start) ?(task = "a") ?(ts = 0) ?(path = 1)
+    ?(dep_data = []) ?(energy = 50.) () =
+  {
+    Fsm.Interp.kind;
+    task;
+    timestamp = Time.of_ms ts;
+    path;
+    dep_data;
+    energy_mj = energy;
+  }
+
+let simple_task ?(name = "a") ?(ms = 100) ?(mw = 2.) ?monitored ?body () =
+  Task.make ~name ~duration:(Time.of_ms ms) ~power:(Energy.mw mw) ?monitored
+    ?body ()
+
+let one_path_app ?(name = "test-app") tasks =
+  Task.app ~name [ { Task.index = 1; tasks } ]
+
+let run_app ?config device app spec_text =
+  let suite = compile_and_deploy_exn device app spec_text in
+  Runtime.run ?config device app suite
+
+let count_events device pred = Log.count (Device.log device) pred
+
+let completed (stats : Stats.t) = stats.Stats.outcome = Stats.Completed

@@ -1,0 +1,65 @@
+open Artemis
+
+let mj = Energy.mj
+let checkf msg expected got = Alcotest.(check (float 1e-6)) msg expected got
+
+let cap ?initial () =
+  Capacitor.create ~capacity:(mj 10.) ~on_threshold:(mj 9.) ~off_threshold:(mj 1.)
+    ?initial ()
+
+let test_create_validation () =
+  Alcotest.check_raises "off >= on"
+    (Invalid_argument "Capacitor.create: need off < on <= capacity") (fun () ->
+      ignore
+        (Capacitor.create ~capacity:(mj 10.) ~on_threshold:(mj 1.)
+           ~off_threshold:(mj 2.) ()));
+  Alcotest.check_raises "initial above capacity"
+    (Invalid_argument "Capacitor.create: initial level out of range") (fun () ->
+      ignore (cap ~initial:(mj 11.) ()))
+
+let test_drain_within_budget () =
+  let c = cap () in
+  checkf "usable budget" 9. (Energy.to_mj (Capacitor.usable_budget c));
+  (match Capacitor.drain c (mj 4.) with
+  | Capacitor.Drained -> ()
+  | Capacitor.Depleted _ -> Alcotest.fail "unexpected depletion");
+  checkf "level dropped" 6. (Energy.to_mj (Capacitor.level c))
+
+let test_drain_depletes () =
+  let c = cap () in
+  (match Capacitor.drain c (mj 20.) with
+  | Capacitor.Depleted drawn -> checkf "drew the usable part" 9. (Energy.to_mj drawn)
+  | Capacitor.Drained -> Alcotest.fail "expected depletion");
+  checkf "stuck at off threshold" 1. (Energy.to_mj (Capacitor.level c));
+  Alcotest.(check bool) "cannot turn on" false (Capacitor.can_turn_on c);
+  checkf "deficit" 8. (Energy.to_mj (Capacitor.deficit_to_turn_on c))
+
+let test_charge_clamps () =
+  let c = cap ~initial:(mj 2.) () in
+  Capacitor.charge c (mj 100.);
+  checkf "clamped at capacity" 10. (Energy.to_mj (Capacitor.level c));
+  Alcotest.(check bool) "can turn on" true (Capacitor.can_turn_on c);
+  checkf "no deficit" 0. (Energy.to_mj (Capacitor.deficit_to_turn_on c))
+
+let level_invariant =
+  QCheck.Test.make ~name:"level stays within [off, capacity]" ~count:300
+    QCheck.(list (pair bool (float_range 0. 20.)))
+    (fun ops ->
+      let c = cap () in
+      List.for_all
+        (fun (charge, amount) ->
+          if charge then Capacitor.charge c (mj amount)
+          else ignore (Capacitor.drain c (mj amount));
+          let level = Energy.to_mj (Capacitor.level c) in
+          level >= 1. -. 1e-9 && level <= 10. +. 1e-9)
+        ops)
+
+let suite =
+  [
+    Alcotest.test_case "create validation" `Quick test_create_validation;
+    Alcotest.test_case "drain within budget" `Quick test_drain_within_budget;
+    Alcotest.test_case "drain depletes at off threshold" `Quick
+      test_drain_depletes;
+    Alcotest.test_case "charge clamps at capacity" `Quick test_charge_clamps;
+    QCheck_alcotest.to_alcotest level_invariant;
+  ]

@@ -1,0 +1,64 @@
+module Clock = Artemis.Persistent_clock
+open Artemis
+
+let test_advances () =
+  let c = Clock.create ~granularity:(Time.of_us 1) () in
+  Clock.advance c (Time.of_ms 5);
+  Clock.advance c (Time.of_ms 7);
+  Alcotest.check Helpers.time "sum" (Time.of_ms 12) (Clock.now c)
+
+let test_persists_across_reboots () =
+  let c = Clock.create ~granularity:(Time.of_us 1) () in
+  Clock.advance c (Time.of_min 3);
+  Clock.record_reboot c;
+  Clock.advance c (Time.of_min 2);
+  Alcotest.check Helpers.time "keeps counting across off-time" (Time.of_min 5)
+    (Clock.now c);
+  Alcotest.(check int) "reboot counted" 1 (Clock.reboots c)
+
+let test_granularity () =
+  let c = Clock.create ~granularity:(Time.of_ms 1) () in
+  Clock.advance c (Time.of_us 2_700);
+  Alcotest.check Helpers.time "quantized down" (Time.of_ms 2) (Clock.now c);
+  Alcotest.check Helpers.time "ground truth exact" (Time.of_us 2_700)
+    (Clock.elapsed_ground_truth c)
+
+let test_drift () =
+  let c = Clock.create ~granularity:(Time.of_us 1) ~drift_ppm:100 () in
+  Clock.advance c (Time.of_sec 10);
+  (* 100 ppm over 10 s = 1 ms fast *)
+  Alcotest.check Helpers.time "drifted" (Time.of_us 10_001_000) (Clock.now c)
+
+let test_bad_arguments () =
+  Alcotest.check_raises "zero granularity"
+    (Invalid_argument "Persistent_clock.create: non-positive granularity")
+    (fun () -> ignore (Clock.create ~granularity:Time.zero ()));
+  let c = Clock.create () in
+  Alcotest.check_raises "negative advance"
+    (Invalid_argument "Persistent_clock.advance: negative duration") (fun () ->
+      Clock.advance c (Time.of_us (-1)))
+
+let monotone_qcheck =
+  QCheck.Test.make ~name:"clock reads are monotone" ~count:200
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 50) (int_range 0 1_000_000))
+    (fun steps ->
+      let c = Clock.create () in
+      let rec go last = function
+        | [] -> true
+        | s :: rest ->
+            Clock.advance c (Time.of_us s);
+            let now = Clock.now c in
+            Time.(last <= now) && go now rest
+      in
+      go Time.zero steps)
+
+let suite =
+  [
+    Alcotest.test_case "advances" `Quick test_advances;
+    Alcotest.test_case "persistent across reboots" `Quick
+      test_persists_across_reboots;
+    Alcotest.test_case "read granularity" `Quick test_granularity;
+    Alcotest.test_case "static drift" `Quick test_drift;
+    Alcotest.test_case "argument validation" `Quick test_bad_arguments;
+    QCheck_alcotest.to_alcotest monotone_qcheck;
+  ]

@@ -1,0 +1,141 @@
+open Artemis
+module C = Spec.Consistency
+
+let parse = Spec.Parser.parse_exn
+
+let app () =
+  let b = Helpers.simple_task ~name:"b" ~ms:100 ~mw:2. () in
+  let mid = Helpers.simple_task ~name:"mid" ~ms:400 ~mw:2. () in
+  let t = Helpers.simple_task ~name:"t" ~ms:200 ~mw:10. () in
+  Helpers.one_path_app [ b; mid; t ]
+
+let has severity fragment findings =
+  List.exists
+    (fun (f : C.finding) ->
+      f.C.severity = severity
+      &&
+      let s = f.C.message in
+      let n = String.length fragment in
+      let rec go i =
+        i + n <= String.length s && (String.equal (String.sub s i n) fragment || go (i + 1))
+      in
+      go 0)
+    findings
+
+let check_none findings =
+  if findings <> [] then Alcotest.fail (C.to_string findings)
+
+let test_clean_spec () =
+  check_none (C.check (app ()) (parse "t: { maxTries: 3 onFail: skipPath; }"));
+  check_none
+    (C.check (app ())
+       (parse "t: { MITD: 1min dpTask: b onFail: restartPath; maxDuration: 300ms onFail: skipTask; }"))
+
+let test_livelock_error () =
+  let findings =
+    C.check_spec (parse "t: { collect: 2 dpTask: b onFail: restartTask; }")
+  in
+  Alcotest.(check bool) "livelock flagged" true (has C.Error "livelock" findings)
+
+let test_restart_task_on_time_window_warns () =
+  let findings = C.check_spec (parse "t: { period: 1min onFail: restartTask; }") in
+  Alcotest.(check bool) "warned" true (has C.Warning "escalate" findings)
+
+let test_single_try_warns () =
+  let findings = C.check_spec (parse "t: { maxTries: 1 onFail: skipPath; }") in
+  Alcotest.(check bool) "warned" true (has C.Warning "single power failure" findings)
+
+let test_period_shorter_than_duration_limit () =
+  let findings =
+    C.check_spec
+      (parse
+         "t: { period: 10ms onFail: restartPath; maxDuration: 50ms onFail: skipTask; }")
+  in
+  Alcotest.(check bool) "warned" true (has C.Warning "breaks the periodicity" findings)
+
+let test_duplicate_properties_warn () =
+  let findings =
+    C.check_spec
+      (parse
+         "t: { collect: 1 dpTask: b onFail: restartPath; collect: 2 dpTask: b onFail: restartPath; }")
+  in
+  Alcotest.(check bool) "warned" true (has C.Warning "duplicate property" findings);
+  (* different dependency: not a duplicate *)
+  check_none
+    (C.check_spec
+       (parse
+          "t: { collect: 1 dpTask: b onFail: restartPath; collect: 1 dpTask: c onFail: restartPath; }"))
+
+let test_max_duration_below_task_duration () =
+  (* t runs 200 ms; a 50 ms limit is unsatisfiable *)
+  let findings =
+    C.check (app ()) (parse "t: { maxDuration: 50ms onFail: skipTask; }")
+  in
+  Alcotest.(check bool) "error" true (has C.Error "can never be met" findings)
+
+let test_period_below_task_duration () =
+  let findings =
+    C.check (app ()) (parse "t: { period: 100ms onFail: restartPath; }")
+  in
+  Alcotest.(check bool) "error" true (has C.Error "longer than its" findings)
+
+let test_mitd_statically_unsatisfiable () =
+  (* 400 ms of [mid] necessarily separates b from t; a 300 ms window is
+     dead on arrival *)
+  let findings =
+    C.check (app ()) (parse "t: { MITD: 300ms dpTask: b onFail: restartPath; }")
+  in
+  Alcotest.(check bool) "error" true (has C.Error "statically unsatisfiable" findings);
+  (* a 500 ms window is fine *)
+  check_none
+    (C.check (app ()) (parse "t: { MITD: 500ms dpTask: b onFail: restartPath; }"))
+
+let test_mitd_producer_not_preceding () =
+  let findings =
+    C.check (app ()) (parse "b: { MITD: 1min dpTask: t onFail: restartPath; }")
+  in
+  Alcotest.(check bool) "warned" true (has C.Warning "never precedes" findings)
+
+let test_min_energy_rules () =
+  (* t demands 10mW x 200ms = 2000 uJ *)
+  let findings =
+    C.check (app ()) (parse "t: { minEnergy: 500uJ onFail: skipTask; }")
+  in
+  Alcotest.(check bool) "below-demand warning" true
+    (has C.Warning "below the task's own demand" findings);
+  let findings =
+    C.check ~usable_budget:(Energy.mj 3.) (app ())
+      (parse "t: { minEnergy: 5mJ onFail: skipTask; }")
+  in
+  Alcotest.(check bool) "budget error" true (has C.Error "can never start" findings)
+
+let test_benchmark_spec_is_consistent () =
+  let nvm = Nvm.create () in
+  let app, _ = Health_app.make nvm in
+  let findings =
+    C.check app (parse Health_app.spec_text) |> C.errors
+  in
+  if findings <> [] then Alcotest.fail (C.to_string findings)
+
+let suite =
+  [
+    Alcotest.test_case "clean specs pass" `Quick test_clean_spec;
+    Alcotest.test_case "collect + restartTask livelock" `Quick test_livelock_error;
+    Alcotest.test_case "restartTask on time windows warns" `Quick
+      test_restart_task_on_time_window_warns;
+    Alcotest.test_case "maxTries 1 warns" `Quick test_single_try_warns;
+    Alcotest.test_case "period < maxDuration warns" `Quick
+      test_period_shorter_than_duration_limit;
+    Alcotest.test_case "duplicates warn" `Quick test_duplicate_properties_warn;
+    Alcotest.test_case "maxDuration < task duration" `Quick
+      test_max_duration_below_task_duration;
+    Alcotest.test_case "period < task duration" `Quick
+      test_period_below_task_duration;
+    Alcotest.test_case "MITD statically unsatisfiable" `Quick
+      test_mitd_statically_unsatisfiable;
+    Alcotest.test_case "MITD producer ordering" `Quick
+      test_mitd_producer_not_preceding;
+    Alcotest.test_case "minEnergy rules" `Quick test_min_energy_rules;
+    Alcotest.test_case "benchmark spec has no errors" `Quick
+      test_benchmark_spec_is_consistent;
+  ]

@@ -1,0 +1,157 @@
+open Artemis
+
+let small_device ?(delay = Time.of_sec 10) () =
+  let capacitor =
+    Capacitor.create ~capacity:(Energy.mj 5.) ~on_threshold:(Energy.mj 4.5)
+      ~off_threshold:(Energy.mj 1.) ()
+  in
+  Device.create ~capacitor ~policy:(Charging_policy.Fixed_delay delay) ()
+
+let test_consume_completes () =
+  let d = Helpers.powered_device () in
+  (match Device.consume d Device.App ~power:(Energy.mw 2.) ~duration:(Time.of_ms 100) () with
+  | Device.Completed -> ()
+  | Device.Interrupted | Device.Starved -> Alcotest.fail "unexpected interruption");
+  Alcotest.check Helpers.time "time advanced" (Time.of_ms 100) (Device.sim_time d);
+  Alcotest.check Helpers.time "accounted to app" (Time.of_ms 100)
+    (Device.time_in d Device.App);
+  Alcotest.(check (float 1e-6)) "energy accounted" 200.
+    (Energy.to_uj (Device.energy_in d Device.App))
+
+let test_zero_power_only_advances_time () =
+  let d = small_device () in
+  (match Device.consume d Device.Runtime_work ~power:(Energy.uw 0.) ~duration:(Time.of_sec 5) () with
+  | Device.Completed -> ()
+  | Device.Interrupted | Device.Starved -> Alcotest.fail "interrupted");
+  Alcotest.(check int) "no failures" 0 (Device.power_failures d);
+  Alcotest.(check (float 1e-9)) "no energy" 0. (Energy.to_uj (Device.total_energy d))
+
+let test_depletion_interrupts () =
+  let d = small_device () in
+  (* 4 mJ usable; ask for 8 mJ of work: interrupted halfway *)
+  (match Device.consume d Device.App ~during:"big" ~power:(Energy.mw 8.) ~duration:(Time.of_sec 1) () with
+  | Device.Interrupted -> ()
+  | Device.Completed | Device.Starved -> Alcotest.fail "expected interruption");
+  (* the partial half-second ran, then a 10 s charging delay *)
+  Alcotest.check Helpers.time "partial time + off time" (Time.of_us 10_500_000)
+    (Device.sim_time d);
+  Alcotest.check Helpers.time "off time" (Time.of_sec 10) (Device.off_time d);
+  Alcotest.(check int) "one failure" 1 (Device.power_failures d);
+  Alcotest.(check int) "one reboot" 1 (Device.reboots d);
+  Alcotest.(check (float 1e-3)) "partial energy charged" 4_000.
+    (Energy.to_uj (Device.energy_in d Device.App));
+  (* capacitor recharged full by the fixed-delay policy *)
+  Alcotest.(check (float 1e-6)) "recharged" 5.
+    (Energy.to_mj (Capacitor.level (Device.capacitor d)))
+
+let test_failure_aborts_nvm_tx () =
+  let d = small_device () in
+  let nvm = Device.nvm d in
+  let cell = Nvm.cell nvm ~region:Nvm.Application ~name:"x" ~bytes:4 0 in
+  Nvm.begin_tx nvm;
+  Nvm.tx_write cell 9;
+  (match Device.consume d Device.App ~power:(Energy.mw 8.) ~duration:(Time.of_sec 1) () with
+  | Device.Interrupted -> ()
+  | Device.Completed | Device.Starved -> Alcotest.fail "expected interruption");
+  Alcotest.(check bool) "tx closed" false (Nvm.in_tx nvm);
+  Alcotest.(check int) "rolled back" 0 (Nvm.read cell)
+
+let test_failure_event_names_task () =
+  let d = small_device () in
+  ignore (Device.consume d Device.App ~during:"accel" ~power:(Energy.mw 8.) ~duration:(Time.of_sec 1) ());
+  let failures =
+    Log.find_all (Device.log d) (function
+      | Event.Power_failure { during_task = Some "accel" } -> true
+      | _ -> false)
+  in
+  Alcotest.(check int) "logged with task name" 1 (List.length failures)
+
+let test_scheduled_failure () =
+  let d = Helpers.powered_device () in
+  Device.schedule_failure d ~at:(Time.of_ms 50);
+  (match Device.consume d Device.App ~power:(Energy.mw 1.) ~duration:(Time.of_ms 200) () with
+  | Device.Interrupted -> ()
+  | Device.Completed | Device.Starved -> Alcotest.fail "expected injected failure");
+  Alcotest.(check int) "failure injected" 1 (Device.power_failures d);
+  (* the partial 50 ms ran before the injection *)
+  Alcotest.check Helpers.time "app time" (Time.of_ms 50) (Device.time_in d Device.App)
+
+let test_starvation () =
+  let capacitor =
+    Capacitor.create ~capacity:(Energy.mj 1.) ~on_threshold:(Energy.mj 0.9)
+      ~off_threshold:(Energy.mj 0.1) ()
+  in
+  let d =
+    Device.create ~capacitor
+      ~policy:(Charging_policy.From_harvester (Harvester.Constant (Energy.uw 0.)))
+      ()
+  in
+  (match Device.consume d Device.App ~power:(Energy.mw 10.) ~duration:(Time.of_sec 1) () with
+  | Device.Starved -> ()
+  | Device.Completed | Device.Interrupted -> Alcotest.fail "expected starvation");
+  Alcotest.(check bool) "horizon exceeded" true (Device.horizon_exceeded d);
+  (match Device.consume d Device.App ~power:(Energy.mw 1.) ~duration:(Time.of_ms 1) () with
+  | Device.Starved -> ()
+  | Device.Completed | Device.Interrupted -> Alcotest.fail "still starved")
+
+let test_harvester_policy_recharge () =
+  let capacitor =
+    Capacitor.create ~capacity:(Energy.mj 2.) ~on_threshold:(Energy.mj 1.5)
+      ~off_threshold:(Energy.mj 0.5) ()
+  in
+  let d =
+    Device.create ~capacitor
+      ~policy:(Charging_policy.From_harvester (Harvester.Constant (Energy.mw 1.)))
+      ()
+  in
+  (* drain 1.5 mJ usable, then 1 mJ deficit at 1 mW = 1 s off time *)
+  (match Device.consume d Device.App ~power:(Energy.mw 3.) ~duration:(Time.of_sec 1) () with
+  | Device.Interrupted -> ()
+  | Device.Completed | Device.Starved -> Alcotest.fail "expected interruption");
+  Alcotest.check Helpers.time "off = deficit / rate" (Time.of_sec 1)
+    (Device.off_time d);
+  Alcotest.(check bool) "turned back on" true
+    (Capacitor.can_turn_on (Device.capacitor d))
+
+let accounting_qcheck =
+  QCheck.Test.make ~name:"total energy equals sum of categories" ~count:200
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 30)
+              (pair (int_range 0 2) (pair (float_range 0.1 10.) (int_range 1 100_000))))
+    (fun ops ->
+      let d = small_device () in
+      List.iter
+        (fun (cat, (mw, us)) ->
+          let category =
+            match cat with
+            | 0 -> Device.App
+            | 1 -> Device.Runtime_work
+            | _ -> Device.Monitor_work
+          in
+          ignore
+            (Device.consume d category ~power:(Energy.mw mw)
+               ~duration:(Time.of_us us) ()))
+        ops;
+      let sum =
+        Energy.to_uj (Device.energy_in d Device.App)
+        +. Energy.to_uj (Device.energy_in d Device.Runtime_work)
+        +. Energy.to_uj (Device.energy_in d Device.Monitor_work)
+      in
+      Float.abs (sum -. Energy.to_uj (Device.total_energy d)) < 1e-6)
+
+let suite =
+  [
+    Alcotest.test_case "consume completes" `Quick test_consume_completes;
+    Alcotest.test_case "zero power advances time only" `Quick
+      test_zero_power_only_advances_time;
+    Alcotest.test_case "depletion interrupts and recharges" `Quick
+      test_depletion_interrupts;
+    Alcotest.test_case "failure aborts open NVM tx" `Quick
+      test_failure_aborts_nvm_tx;
+    Alcotest.test_case "failure log names the task" `Quick
+      test_failure_event_names_task;
+    Alcotest.test_case "scheduled failure injection" `Quick test_scheduled_failure;
+    Alcotest.test_case "harvester starvation" `Quick test_starvation;
+    Alcotest.test_case "harvester-driven recharge" `Quick
+      test_harvester_policy_recharge;
+    QCheck_alcotest.to_alcotest accounting_qcheck;
+  ]

@@ -1,0 +1,47 @@
+open Artemis
+
+let checkf = Alcotest.(check (float 1e-9))
+
+let test_units () =
+  checkf "mj" 1_000. (Energy.to_uj (Energy.mj 1.));
+  checkf "mw" 1_000. (Energy.to_uw (Energy.mw 1.));
+  checkf "to_mj" 2.5 (Energy.to_mj (Energy.uj 2_500.))
+
+let test_consumed () =
+  (* 1 mW for 1 s = 1 mJ *)
+  checkf "1mW x 1s" 1_000.
+    (Energy.to_uj (Energy.consumed (Energy.mw 1.) (Time.of_sec 1)));
+  checkf "zero duration" 0.
+    (Energy.to_uj (Energy.consumed (Energy.mw 5.) Time.zero))
+
+let test_time_to_consume () =
+  Alcotest.check Helpers.time "1mJ at 1mW takes 1s" (Time.of_sec 1)
+    (Energy.time_to_consume (Energy.mw 1.) (Energy.mj 1.));
+  Alcotest.check_raises "non-positive power rejected"
+    (Invalid_argument "Energy.time_to_consume: non-positive power") (fun () ->
+      ignore (Energy.time_to_consume (Energy.uw 0.) (Energy.mj 1.)))
+
+let test_sub_clamps () =
+  checkf "clamped at zero" 0.
+    (Energy.to_uj (Energy.sub (Energy.uj 1.) (Energy.uj 5.)));
+  checkf "exact sub goes negative" (-4.)
+    (Energy.to_uj (Energy.sub_exact (Energy.uj 1.) (Energy.uj 5.)))
+
+let consume_roundtrip =
+  QCheck.Test.make ~name:"time_to_consume inverts consumed" ~count:300
+    QCheck.(pair (float_range 0.1 1000.) (int_range 1 100_000_000))
+    (fun (mw, us) ->
+      let p = Energy.mw mw in
+      let dt = Time.of_us us in
+      let e = Energy.consumed p dt in
+      let dt' = Energy.time_to_consume p e in
+      abs (Time.to_us dt' - us) <= 1)
+
+let suite =
+  [
+    Alcotest.test_case "unit conversions" `Quick test_units;
+    Alcotest.test_case "consumed" `Quick test_consumed;
+    Alcotest.test_case "time_to_consume" `Quick test_time_to_consume;
+    Alcotest.test_case "sub clamps, sub_exact does not" `Quick test_sub_clamps;
+    QCheck_alcotest.to_alcotest consume_roundtrip;
+  ]

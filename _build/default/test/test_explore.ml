@@ -1,0 +1,138 @@
+open Artemis
+module E = Fsm.Explore
+module F = Fsm.Ast
+
+let compile property ~task =
+  To_fsm.property ~task ~name:"m" property
+
+let int_var snapshot name =
+  match List.assoc_opt name snapshot.E.vars with
+  | Some (F.Vint n) -> n
+  | _ -> Alcotest.failf "variable %s not an int" name
+
+let test_alphabet_shape () =
+  let m =
+    compile
+      (Spec.Ast.Max_duration
+         { limit = Time.of_ms 100; on_fail = Spec.Ast.Skip_task; path = None })
+      ~task:"a"
+  in
+  let alphabet = E.default_alphabet m in
+  (* tasks {a, other__} x kinds {Start, End} x times {0, 100ms, 101ms} x path {0} *)
+  Alcotest.(check int) "alphabet size" 12 (List.length alphabet);
+  Alcotest.(check bool) "timestamps straddle the limit" true
+    (List.exists (fun (e : Fsm.Interp.event) -> Time.equal e.Fsm.Interp.timestamp (Time.of_us 101_000)) alphabet)
+
+let test_max_tries_counter_bounded () =
+  let m =
+    compile (Spec.Ast.Max_tries { n = 3; on_fail = Spec.Ast.Skip_path; path = None })
+      ~task:"a"
+  in
+  (* exhaustive up to depth 5: 0 <= i <= 3, always *)
+  match
+    E.check ~depth:5
+      ~invariant:(fun s ->
+        let i = int_var s "i" in
+        i >= 0 && i <= 3)
+      m
+  with
+  | Ok steps -> Alcotest.(check bool) "explored something" true (steps > 1_000)
+  | Error v -> Alcotest.failf "violated: %s" v.E.message
+
+let test_collect_counter_nonnegative () =
+  let m =
+    compile
+      (Spec.Ast.Collect
+         { n = 2; dp_task = "b"; on_fail = Spec.Ast.Restart_path; path = None })
+      ~task:"a"
+  in
+  match
+    E.check ~depth:5 ~invariant:(fun s -> int_var s "i" >= 0) m
+  with
+  | Ok _ -> ()
+  | Error v -> Alcotest.failf "violated: %s" v.E.message
+
+let test_finds_seeded_invariant_violation () =
+  (* sanity: the checker does find violations when they exist *)
+  let m =
+    Fsm.Parser.parse_machine_exn
+      {|
+machine grows {
+  var i : int = 0;
+  initial state S {
+    on startTask(a) { i := i + 1; };
+  }
+}
+|}
+  in
+  match E.check ~depth:4 ~invariant:(fun s -> int_var s "i" < 3) m with
+  | Ok _ -> Alcotest.fail "expected a violation at i = 3"
+  | Error v ->
+      Alcotest.(check int) "shortest counterexample has 3 events" 3
+        (List.length v.E.trace);
+      Alcotest.(check string) "message" "invariant violated" v.E.message
+
+let test_finds_runtime_errors () =
+  (* a machine reading data(x) on an event that carries none would crash
+     at runtime; the default alphabet carries the payload, so seed the
+     crash with division instead *)
+  let m =
+    Fsm.Parser.parse_machine_exn
+      {|
+machine crash {
+  var z : int = 0;
+  initial state S {
+    on startTask(a) { z := 1 / z; };
+  }
+}
+|}
+  in
+  match E.check ~depth:2 m with
+  | Ok _ -> Alcotest.fail "expected a runtime error"
+  | Error v ->
+      Alcotest.(check string) "division detected" "integer division by zero"
+        v.E.message
+
+let test_reachable_states () =
+  let m =
+    compile
+      (Spec.Ast.Mitd
+         {
+           limit = Time.of_sec 2;
+           dp_task = "b";
+           on_fail = Spec.Ast.Restart_path;
+           max_attempt = None;
+           path = None;
+         })
+      ~task:"a"
+  in
+  Alcotest.(check (list string)) "both MITD states reachable"
+    [ "WaitEndB"; "WaitStartA" ]
+    (E.reachable_states ~depth:3 m)
+
+let test_benchmark_machines_safe () =
+  (* every benchmark monitor is exhaustively safe up to the bound: no
+     runtime errors on any event sequence *)
+  let machines = To_fsm.spec (Spec.Parser.parse_exn Health_app.spec_text) in
+  List.iter
+    (fun m ->
+      match E.check ~depth:3 m with
+      | Ok _ -> ()
+      | Error v ->
+          Alcotest.failf "machine %s: %s" m.F.machine_name v.E.message)
+    machines
+
+let suite =
+  [
+    Alcotest.test_case "alphabet derivation" `Quick test_alphabet_shape;
+    Alcotest.test_case "maxTries counter bounded (exhaustive)" `Quick
+      test_max_tries_counter_bounded;
+    Alcotest.test_case "collect counter non-negative (exhaustive)" `Quick
+      test_collect_counter_nonnegative;
+    Alcotest.test_case "finds seeded violations" `Quick
+      test_finds_seeded_invariant_violation;
+    Alcotest.test_case "finds runtime errors" `Quick test_finds_runtime_errors;
+    Alcotest.test_case "reachable states" `Quick test_reachable_states;
+    Alcotest.test_case "benchmark machines safe up to bound" `Slow
+      test_benchmark_machines_safe;
+  ]

@@ -1,0 +1,69 @@
+open Artemis
+
+let sample_log () =
+  let log = Log.create () in
+  Log.record log ~at:Time.zero Event.Boot;
+  Log.record log ~at:(Time.of_ms 1)
+    (Event.Task_started { task = "a"; attempt = 1 });
+  Log.record log ~at:(Time.of_ms 2)
+    (Event.Path_restarted { path = 2; reason = "stale, \"old\" data" });
+  log
+
+let test_round_event_row () =
+  let log = Log.create () in
+  Log.record log ~at:(Time.of_sec 1) (Event.Round_completed { round = 2 });
+  let csv = Export.log_to_csv log in
+  Alcotest.(check bool) "round row present" true
+    (let needle = "1000000,round_completed,,,round=2" in
+     let n = String.length needle in
+     let rec go i = i + n <= String.length csv && (String.sub csv i n = needle || go (i + 1)) in
+     go 0)
+
+let test_csv_shape () =
+  let csv = Export.log_to_csv (sample_log ()) in
+  let lines = String.split_on_char '\n' (String.trim csv) in
+  Alcotest.(check int) "header + 3 rows" 4 (List.length lines);
+  Alcotest.(check string) "header" "time_us,event,task,path,detail" (List.hd lines);
+  Alcotest.(check string) "boot row" "0,boot,,," (List.nth lines 1);
+  Alcotest.(check string) "quoted detail"
+    "2000,path_restarted,,2,\"stale, \"\"old\"\" data\"" (List.nth lines 3)
+
+let run_stats () =
+  let device = Helpers.powered_device () in
+  let app = Helpers.one_path_app [ Helpers.simple_task ~name:"a" () ] in
+  Runtime.run device app (deploy device [])
+
+let test_json_fields () =
+  let json = Export.stats_to_json (run_stats ()) in
+  List.iter
+    (fun key ->
+      let needle = Printf.sprintf "\"%s\":" key in
+      let n = String.length needle in
+      let rec go i =
+        i + n <= String.length json && (String.sub json i n = needle || go (i + 1))
+      in
+      if not (go 0) then Alcotest.failf "missing %s in %s" key json)
+    [ "outcome"; "total_time_us"; "energy_total_uj"; "path_skips" ];
+  Alcotest.(check bool) "completed outcome" true
+    (let n = "\"outcome\": \"completed\"" in
+     let ln = String.length n in
+     let rec go i = i + ln <= String.length json && (String.sub json i ln = n || go (i+1)) in
+     go 0)
+
+let test_stats_csv_alignment () =
+  let header_cols = String.split_on_char ',' Export.stats_csv_header in
+  let stats = run_stats () in
+  (* quoted cells could embed commas, but none of the numeric/outcome
+     fields do for a completed run *)
+  let row_cols = String.split_on_char ',' (Export.stats_to_csv_row stats) in
+  Alcotest.(check int) "same arity" (List.length header_cols) (List.length row_cols);
+  Alcotest.(check string) "first column is the outcome" "completed" (List.hd row_cols)
+
+let suite =
+  [
+    Alcotest.test_case "log CSV shape and quoting" `Quick test_csv_shape;
+    Alcotest.test_case "round event row" `Quick test_round_event_row;
+    Alcotest.test_case "stats JSON fields" `Quick test_json_fields;
+    Alcotest.test_case "stats CSV header/row alignment" `Quick
+      test_stats_csv_alignment;
+  ]

@@ -1,0 +1,48 @@
+(* Fuzzing the three language frontends: whatever the input, parsing must
+   return [Error _], never raise or loop. *)
+
+open Artemis
+
+let gen_garbage =
+  QCheck.Gen.(
+    oneof
+      [
+        (* arbitrary printable noise *)
+        string_size ~gen:(char_range ' ' '~') (int_bound 120);
+        (* token soup that resembles the languages *)
+        map (String.concat " ")
+          (list_size (int_bound 25)
+             (oneofl
+                [
+                  "machine"; "state"; "initial"; "on"; "when"; "fail"; "var";
+                  "maxTries"; "MITD"; "collect"; "onFail"; "dpTask"; "Path";
+                  "restartPath"; "skipPath"; "->"; "{"; "}"; "("; ")"; ";"; ":";
+                  ":="; "5min"; "100ms"; "3.4mJ"; "42"; "3.5"; "t"; "data";
+                  "expires"; "energyLevel"; "["; "]"; ",";
+                ]));
+      ])
+
+let no_exception parse input =
+  match parse input with Ok _ | Error _ -> true
+
+let spec_fuzz =
+  QCheck.Test.make ~name:"spec parser never raises" ~count:1000
+    (QCheck.make gen_garbage)
+    (no_exception Spec.Parser.parse)
+
+let fsm_fuzz =
+  QCheck.Test.make ~name:"fsm parser never raises" ~count:1000
+    (QCheck.make gen_garbage)
+    (no_exception Fsm.Parser.parse)
+
+let mayfly_fuzz =
+  QCheck.Test.make ~name:"mayfly-lang parser never raises" ~count:1000
+    (QCheck.make gen_garbage)
+    (no_exception Mayfly_lang.parse)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest spec_fuzz;
+    QCheck_alcotest.to_alcotest fsm_fuzz;
+    QCheck_alcotest.to_alcotest mayfly_fuzz;
+  ]

@@ -1,0 +1,113 @@
+open Artemis
+
+let checkf = Alcotest.(check (float 1e-6))
+let uj e = Energy.to_uj e
+
+let test_constant () =
+  let h = Harvester.Constant (Energy.mw 2.) in
+  checkf "integrates" 2_000.
+    (uj (Harvester.harvested h ~from_:Time.zero ~until:(Time.of_sec 1)));
+  match Harvester.time_to_harvest h ~now:Time.zero (Energy.mj 1.) with
+  | Some t -> Alcotest.check Helpers.time "500ms" (Time.of_ms 500) t
+  | None -> Alcotest.fail "expected a duration"
+
+let test_constant_zero_starves () =
+  let h = Harvester.Constant (Energy.uw 0.) in
+  Alcotest.(check bool)
+    "never harvests" true
+    (Harvester.time_to_harvest h ~now:Time.zero (Energy.uj 1.) = None)
+
+let duty =
+  (* 1 s period, 2 mW during the first 25% -> 0.5 mJ per period *)
+  Harvester.Duty_cycle
+    { period = Time.of_sec 1; on_fraction = 0.25; rate = Energy.mw 2. }
+
+let test_duty_rate_at () =
+  checkf "on phase" 2_000. (Energy.to_uw (Harvester.rate_at duty (Time.of_ms 100)));
+  checkf "off phase" 0. (Energy.to_uw (Harvester.rate_at duty (Time.of_ms 600)));
+  checkf "next period on" 2_000.
+    (Energy.to_uw (Harvester.rate_at duty (Time.of_ms 1_100)))
+
+let test_duty_integral () =
+  checkf "two full periods" 1_000.
+    (uj (Harvester.harvested duty ~from_:Time.zero ~until:(Time.of_sec 2)));
+  (* 125 ms into the on-phase at 2 mW *)
+  checkf "half an on-phase" 250.
+    (uj (Harvester.harvested duty ~from_:Time.zero ~until:(Time.of_ms 125)))
+
+let test_duty_time_to_harvest () =
+  (* 1.25 mJ = 2 periods (1.0 mJ) + half an on-phase (125 ms) *)
+  match Harvester.time_to_harvest duty ~now:Time.zero (Energy.uj 1_250.) with
+  | Some t -> Alcotest.check Helpers.time "2.125s" (Time.of_us 2_125_000) t
+  | None -> Alcotest.fail "expected a duration"
+
+let trace =
+  Harvester.Trace
+    [|
+      (Time.zero, Energy.mw 1.);
+      (Time.of_sec 1, Energy.uw 0.);
+      (Time.of_sec 2, Energy.mw 4.);
+    |]
+
+let test_trace_integral () =
+  checkf "first segment only" 1_000.
+    (uj (Harvester.harvested trace ~from_:Time.zero ~until:(Time.of_sec 2)));
+  checkf "with last segment" 5_000.
+    (uj (Harvester.harvested trace ~from_:Time.zero ~until:(Time.of_sec 3)))
+
+let test_trace_time_to_harvest () =
+  (* starting inside the dead segment, 2 mJ needs 0.5 s of the 4 mW tail
+     reached after 0.5 s of waiting *)
+  match
+    Harvester.time_to_harvest trace ~now:(Time.of_us 1_500_000) (Energy.mj 2.)
+  with
+  | Some t -> Alcotest.check Helpers.time "1s" (Time.of_sec 1) t
+  | None -> Alcotest.fail "expected a duration"
+
+let test_trace_starvation () =
+  let dead =
+    Harvester.Trace [| (Time.zero, Energy.mw 1.); (Time.of_sec 1, Energy.uw 0.) |]
+  in
+  Alcotest.(check bool)
+    "dead tail starves" true
+    (Harvester.time_to_harvest dead ~now:(Time.of_sec 5) (Energy.uj 1.) = None)
+
+let test_validate () =
+  let ok h = Alcotest.(check bool) "valid" true (Harvester.validate h = Ok ()) in
+  ok duty;
+  ok trace;
+  let bad h = Alcotest.(check bool) "invalid" true (Result.is_error (Harvester.validate h)) in
+  bad (Harvester.Duty_cycle { period = Time.zero; on_fraction = 0.5; rate = Energy.mw 1. });
+  bad (Harvester.Duty_cycle { period = Time.of_sec 1; on_fraction = 1.5; rate = Energy.mw 1. });
+  bad (Harvester.Trace [||]);
+  bad (Harvester.Trace [| (Time.of_sec 1, Energy.mw 1.) |]);
+  bad (Harvester.Trace [| (Time.zero, Energy.mw 1.); (Time.zero, Energy.mw 2.) |])
+
+(* time_to_harvest is consistent with harvested: collecting for the
+   returned duration yields at least the requested energy. *)
+let consistency =
+  QCheck.Test.make ~name:"time_to_harvest consistent with harvested" ~count:200
+    QCheck.(pair (float_range 1. 5_000.) (int_range 0 3_000_000))
+    (fun (need_uj, now_us) ->
+      let now = Time.of_us now_us in
+      let need = Energy.uj need_uj in
+      match Harvester.time_to_harvest duty ~now need with
+      | None -> false
+      | Some dt ->
+          let got = Harvester.harvested duty ~from_:now ~until:(Time.add now dt) in
+          Energy.to_uj got +. 1e-3 >= need_uj)
+
+let suite =
+  [
+    Alcotest.test_case "constant rate" `Quick test_constant;
+    Alcotest.test_case "zero rate starves" `Quick test_constant_zero_starves;
+    Alcotest.test_case "duty cycle rate_at" `Quick test_duty_rate_at;
+    Alcotest.test_case "duty cycle integral" `Quick test_duty_integral;
+    Alcotest.test_case "duty cycle time_to_harvest" `Quick
+      test_duty_time_to_harvest;
+    Alcotest.test_case "trace integral" `Quick test_trace_integral;
+    Alcotest.test_case "trace time_to_harvest" `Quick test_trace_time_to_harvest;
+    Alcotest.test_case "trace starvation" `Quick test_trace_starvation;
+    Alcotest.test_case "validation" `Quick test_validate;
+    QCheck_alcotest.to_alcotest consistency;
+  ]

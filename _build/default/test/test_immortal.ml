@@ -1,0 +1,94 @@
+open Artemis
+
+let make_thread nvm counters =
+  let steps =
+    Array.init (Array.length counters) (fun i () ->
+        counters.(i) <- counters.(i) + 1)
+  in
+  Immortal.create nvm ~region:Nvm.Monitor ~name:"t" ~steps
+
+let test_runs_each_step_once () =
+  let nvm = Nvm.create () in
+  let counters = Array.make 4 0 in
+  let t = make_thread nvm counters in
+  Immortal.run_to_completion t;
+  Alcotest.(check (array int)) "each step once" [| 1; 1; 1; 1 |] counters;
+  Alcotest.(check bool) "completed" true (Immortal.completed t)
+
+let test_resume_after_interruption () =
+  let nvm = Nvm.create () in
+  let counters = Array.make 4 0 in
+  let t = make_thread nvm counters in
+  (* run two steps, then a power failure (pc persists in FRAM) *)
+  ignore (Immortal.run_step t);
+  ignore (Immortal.run_step t);
+  Nvm.power_failure nvm;
+  Alcotest.(check bool) "in progress after reboot" true (Immortal.in_progress t);
+  Alcotest.(check int) "pc persisted" 2 (Immortal.pc t);
+  Immortal.run_to_completion t;
+  Alcotest.(check (array int)) "no step ran twice" [| 1; 1; 1; 1 |] counters
+
+let test_reset_for_next_invocation () =
+  let nvm = Nvm.create () in
+  let counters = Array.make 2 0 in
+  let t = make_thread nvm counters in
+  Immortal.run_to_completion t;
+  Immortal.reset t;
+  Alcotest.(check bool) "fresh" true (Immortal.fresh t);
+  Immortal.run_to_completion t;
+  Alcotest.(check (array int)) "second invocation" [| 2; 2 |] counters
+
+let test_progress_report () =
+  let nvm = Nvm.create () in
+  let counters = Array.make 2 0 in
+  let t = make_thread nvm counters in
+  (match Immortal.run_step t with
+  | Immortal.Ran 0 -> ()
+  | Immortal.Ran i -> Alcotest.failf "ran %d" i
+  | Immortal.Done -> Alcotest.fail "done too early");
+  ignore (Immortal.run_step t);
+  match Immortal.run_step t with
+  | Immortal.Done -> ()
+  | Immortal.Ran _ -> Alcotest.fail "expected Done"
+
+let test_empty_steps_rejected () =
+  let nvm = Nvm.create () in
+  Alcotest.check_raises "no steps" (Invalid_argument "Immortal.create: no steps")
+    (fun () ->
+      ignore (Immortal.create nvm ~region:Nvm.Monitor ~name:"e" ~steps:[||]))
+
+(* Under arbitrary interruption points, every step still executes exactly
+   once per invocation - the ImmortalThreads forward-progress guarantee. *)
+let forward_progress_qcheck =
+  QCheck.Test.make ~name:"exactly-once steps under random interruptions"
+    ~count:300
+    QCheck.(pair (int_range 1 8) (list_of_size (QCheck.Gen.int_range 0 20) bool))
+    (fun (n, interruptions) ->
+      let nvm = Nvm.create () in
+      let counters = Array.make n 0 in
+      let t = make_thread nvm counters in
+      let interruptions = ref interruptions in
+      let next_interrupts () =
+        match !interruptions with
+        | [] -> false
+        | b :: rest ->
+            interruptions := rest;
+            b
+      in
+      while not (Immortal.completed t) do
+        if next_interrupts () then Nvm.power_failure nvm
+        else ignore (Immortal.run_step t)
+      done;
+      Array.for_all (fun c -> c = 1) counters)
+
+let suite =
+  [
+    Alcotest.test_case "each step runs once" `Quick test_runs_each_step_once;
+    Alcotest.test_case "resume after interruption" `Quick
+      test_resume_after_interruption;
+    Alcotest.test_case "reset for next invocation" `Quick
+      test_reset_for_next_invocation;
+    Alcotest.test_case "progress reporting" `Quick test_progress_report;
+    Alcotest.test_case "empty steps rejected" `Quick test_empty_steps_rejected;
+    QCheck_alcotest.to_alcotest forward_progress_qcheck;
+  ]

@@ -1,0 +1,112 @@
+open Artemis
+
+let thread ?(priority = 0) ?expiry name tasks =
+  { Ink.thread_name = name; priority; tasks; expiry }
+
+let armed ?(at = 0) t = { Ink.thread = t; arrival = Time.of_ms at }
+
+let test_validate () =
+  let t = thread "t" [ Helpers.simple_task ~name:"a" () ] in
+  Alcotest.(check bool) "ok" true (Ink.validate [ armed t ] = Ok ());
+  Alcotest.(check bool) "empty set" true (Result.is_error (Ink.validate []));
+  Alcotest.(check bool) "duplicate names" true
+    (Result.is_error (Ink.validate [ armed t; armed t ]));
+  Alcotest.(check bool) "empty chain" true
+    (Result.is_error (Ink.validate [ armed (thread "e" []) ]))
+
+let test_priority_scheduling () =
+  let device = Helpers.powered_device () in
+  let nvm = Device.nvm device in
+  let order = Channel.create nvm ~name:"order" ~bytes_per_item:1 ~capacity:8 in
+  let mk tag = Helpers.simple_task ~name:tag ~body:(fun _ -> Channel.push order tag) () in
+  let low = thread ~priority:1 "low" [ mk "l1"; mk "l2" ] in
+  let high = thread ~priority:9 "high" [ mk "h1"; mk "h2" ] in
+  let outcome = Ink.run device [ armed low; armed high ] in
+  Alcotest.(check bool) "completed" true (Helpers.completed outcome.Ink.stats);
+  Alcotest.(check (list string)) "high priority chain first"
+    [ "h1"; "h2"; "l1"; "l2" ] (Channel.items order);
+  Alcotest.(check (list string)) "completion order" [ "high"; "low" ]
+    outcome.Ink.completed_threads
+
+let test_preemption_at_task_boundary () =
+  (* a higher-priority event arriving mid-chain preempts at the next task
+     boundary (InK schedules between tasks, not inside them) *)
+  let device = Helpers.powered_device () in
+  let nvm = Device.nvm device in
+  let order = Channel.create nvm ~name:"order" ~bytes_per_item:1 ~capacity:8 in
+  let mk ?(ms = 100) tag =
+    Helpers.simple_task ~name:tag ~ms ~body:(fun _ -> Channel.push order tag) ()
+  in
+  let background = thread ~priority:1 "bg" [ mk "b1"; mk "b2"; mk "b3" ] in
+  let urgent = thread ~priority:9 "urgent" [ mk "u1" ] in
+  let outcome =
+    Ink.run device [ armed background; armed ~at:150 urgent ]
+  in
+  Alcotest.(check bool) "completed" true (Helpers.completed outcome.Ink.stats);
+  Alcotest.(check (list string)) "urgent runs between b2 and b3"
+    [ "b1"; "b2"; "u1"; "b3" ] (Channel.items order)
+
+let test_eviction_on_expiry () =
+  (* the fixed InK reaction: a charging delay longer than the event's
+     expiry evicts the whole thread *)
+  let device = Helpers.tiny_device ~usable_mj:1000. ~delay:(Time.of_sec 30) () in
+  let nvm = Device.nvm device in
+  let out = Channel.create nvm ~name:"out" ~bytes_per_item:1 ~capacity:8 in
+  let mk tag = Helpers.simple_task ~name:tag ~body:(fun _ -> Channel.push out tag) () in
+  let fragile =
+    thread ~expiry:(Time.of_sec 2) "fragile" [ mk "f1"; mk "f2" ]
+  in
+  Device.schedule_failure device ~at:(Time.of_ms 50);
+  let outcome = Ink.run device [ armed fragile ] in
+  Alcotest.(check bool) "run completed" true (Helpers.completed outcome.Ink.stats);
+  Alcotest.(check (list string)) "thread evicted" [ "fragile" ]
+    outcome.Ink.evicted_threads;
+  Alcotest.(check (list string)) "no partial output" [] (Channel.items out)
+
+let test_no_eviction_when_fresh () =
+  let device = Helpers.powered_device () in
+  let fresh =
+    thread ~expiry:(Time.of_sec 2) "fresh" [ Helpers.simple_task ~name:"a" () ]
+  in
+  let outcome = Ink.run device [ armed fresh ] in
+  Alcotest.(check (list string)) "not evicted" [] outcome.Ink.evicted_threads;
+  Alcotest.(check (list string)) "completed" [ "fresh" ]
+    outcome.Ink.completed_threads
+
+let test_idle_until_arrival () =
+  let device = Helpers.powered_device () in
+  let late = thread "late" [ Helpers.simple_task ~name:"a" () ] in
+  let outcome = Ink.run device [ armed ~at:5_000 late ] in
+  Alcotest.(check bool) "completed" true (Helpers.completed outcome.Ink.stats);
+  (* idling costs time but no energy *)
+  Alcotest.(check bool) "waited for the event" true
+    Time.(outcome.Ink.stats.Stats.total_time >= Time.of_sec 5)
+
+let test_intermittent_progress () =
+  let device = Helpers.tiny_device ~usable_mj:1. ~delay:(Time.of_sec 10) () in
+  (* 0.8 mJ per charge cannot power the full chain in one go *)
+  let t =
+    thread "chain"
+      [
+        Helpers.simple_task ~name:"a" ~ms:200 ~mw:2. ();
+        Helpers.simple_task ~name:"b" ~ms:200 ~mw:2. ();
+        Helpers.simple_task ~name:"c" ~ms:200 ~mw:2. ();
+      ]
+  in
+  let outcome = Ink.run device [ armed t ] in
+  Alcotest.(check bool) "completed across failures" true
+    (Helpers.completed outcome.Ink.stats);
+  Alcotest.(check bool) "failures happened" true
+    (outcome.Ink.stats.Stats.power_failures > 0)
+
+let suite =
+  [
+    Alcotest.test_case "validation" `Quick test_validate;
+    Alcotest.test_case "priority scheduling" `Quick test_priority_scheduling;
+    Alcotest.test_case "preemption at task boundaries" `Quick
+      test_preemption_at_task_boundary;
+    Alcotest.test_case "eviction on expiry" `Quick test_eviction_on_expiry;
+    Alcotest.test_case "no eviction when fresh" `Quick test_no_eviction_when_fresh;
+    Alcotest.test_case "idles until arrival" `Quick test_idle_until_arrival;
+    Alcotest.test_case "progress across failures" `Quick test_intermittent_progress;
+  ]

@@ -1,0 +1,116 @@
+open Artemis
+
+let test_annotations_of_spec () =
+  let spec = Spec.Parser.parse_exn Health_app.spec_text in
+  let annotations = Mayfly.annotations_of_spec spec in
+  (* maxTries/maxDuration/dpData are dropped: only send and calcAvg keep
+     annotations (Section 5.1.1) *)
+  Alcotest.(check (list string)) "annotated tasks" [ "send"; "calcAvg" ]
+    (List.map fst annotations);
+  let send = List.assoc "send" annotations in
+  Alcotest.(check int) "send keeps MITD + 2 collects" 3 (List.length send);
+  (* no maxAttempt survives anywhere: the type has no place for it *)
+  match List.assoc "calcAvg" annotations with
+  | [ Mayfly.Requires { producer = "bodyTemp"; count = 10; path = None } ] -> ()
+  | _ -> Alcotest.fail "calcAvg annotation wrong"
+
+let producer_consumer nvm =
+  let ch = Channel.create nvm ~name:"items" ~bytes_per_item:4 ~capacity:16 in
+  let produce =
+    Helpers.simple_task ~name:"produce" ~ms:100 ~body:(fun _ -> Channel.push ch 1) ()
+  in
+  let consume = Helpers.simple_task ~name:"consume" ~ms:50 () in
+  (Helpers.one_path_app [ produce; consume ], ch)
+
+let test_requires_restarts_until_enough () =
+  let device = Helpers.powered_device () in
+  let app, _ = producer_consumer (Device.nvm device) in
+  let annotations =
+    [ ("consume", [ Mayfly.Requires { producer = "produce"; count = 3; path = None } ]) ]
+  in
+  let stats = Mayfly.run device app annotations in
+  Alcotest.(check bool) "completed" true (Helpers.completed stats);
+  Alcotest.(check int) "restarted twice" 2 stats.Stats.path_restarts
+
+let test_expires_fresh_data_passes () =
+  let device = Helpers.powered_device () in
+  let app, _ = producer_consumer (Device.nvm device) in
+  let annotations =
+    [ ("consume", [ Mayfly.Expires { producer = "produce"; within = Time.of_sec 5; path = None } ]) ]
+  in
+  let stats = Mayfly.run device app annotations in
+  Alcotest.(check bool) "completed" true (Helpers.completed stats);
+  Alcotest.(check int) "no restarts" 0 stats.Stats.path_restarts
+
+let test_expires_non_termination () =
+  (* the charging delay always exceeds the expiration window and consume
+     browns out every time: Mayfly loops forever (Figure 12) *)
+  let device =
+    Helpers.tiny_device ~usable_mj:0.25 ~delay:(Time.of_sec 30)
+      ~horizon:(Time.of_min 30) ()
+  in
+  let nvm = Device.nvm device in
+  let produce = Helpers.simple_task ~name:"produce" ~ms:100 ~mw:2. () in
+  (* 0.3 mJ: never completes on the 0.05 mJ left after produce *)
+  let consume = Helpers.simple_task ~name:"consume" ~ms:100 ~mw:3. () in
+  ignore nvm;
+  let app = Helpers.one_path_app [ produce; consume ] in
+  let annotations =
+    [ ("consume", [ Mayfly.Expires { producer = "produce"; within = Time.of_sec 10; path = None } ]) ]
+  in
+  let stats = Mayfly.run device app annotations in
+  (match stats.Stats.outcome with
+  | Stats.Did_not_finish _ -> ()
+  | Stats.Completed -> Alcotest.fail "expected non-termination");
+  Alcotest.(check bool) "kept restarting" true (stats.Stats.path_restarts > 3)
+
+let test_path_filtered_annotations () =
+  let device = Helpers.powered_device () in
+  let shared = Helpers.simple_task ~name:"shared" ()
+  and a = Helpers.simple_task ~name:"a" ()
+  and b = Helpers.simple_task ~name:"b" () in
+  let app =
+    Task.app ~name:"two-paths"
+      [
+        { Task.index = 1; tasks = [ a; shared ] };
+        { Task.index = 2; tasks = [ b; shared ] };
+      ]
+  in
+  (* shared requires data from b, but only on path 2; path 1 must pass *)
+  let annotations =
+    [ ("shared", [ Mayfly.Requires { producer = "b"; count = 1; path = Some 2 } ]) ]
+  in
+  let stats = Mayfly.run device app annotations in
+  Alcotest.(check bool) "completed" true (Helpers.completed stats);
+  Alcotest.(check int) "no restarts" 0 stats.Stats.path_restarts
+
+let test_task_atomicity () =
+  let device = Helpers.powered_device () in
+  let app, ch = producer_consumer (Device.nvm device) in
+  Device.schedule_failure device ~at:(Time.of_ms 50);
+  let stats = Mayfly.run device app [] in
+  Alcotest.(check bool) "completed" true (Helpers.completed stats);
+  Alcotest.(check (list int)) "one committed item" [ 1 ] (Channel.items ch)
+
+let test_no_monitor_overhead () =
+  let device = Helpers.powered_device () in
+  let app, _ = producer_consumer (Device.nvm device) in
+  let stats = Mayfly.run device app [] in
+  Alcotest.check Helpers.time "mayfly has no monitor component" Time.zero
+    stats.Stats.monitor_overhead
+
+let suite =
+  [
+    Alcotest.test_case "annotations_of_spec keeps the Mayfly subset" `Quick
+      test_annotations_of_spec;
+    Alcotest.test_case "requires restarts until enough" `Quick
+      test_requires_restarts_until_enough;
+    Alcotest.test_case "fresh data passes expiration" `Quick
+      test_expires_fresh_data_passes;
+    Alcotest.test_case "expiration + brown-outs = non-termination" `Quick
+      test_expires_non_termination;
+    Alcotest.test_case "path-filtered annotations" `Quick
+      test_path_filtered_annotations;
+    Alcotest.test_case "task atomicity" `Quick test_task_atomicity;
+    Alcotest.test_case "no monitor overhead" `Quick test_no_monitor_overhead;
+  ]

@@ -1,0 +1,113 @@
+open Artemis
+module L = Mayfly_lang
+
+let example =
+  "accel -> send expires 5min Path 2;\nbodyTemp -> calcAvg collect 10;\n"
+
+let test_parse () =
+  match L.parse_exn example with
+  | [ e1; e2 ] ->
+      Alcotest.(check string) "producer" "accel" e1.L.producer;
+      Alcotest.(check string) "consumer" "send" e1.L.consumer;
+      (match e1.L.constraint_ with
+      | L.Expires d -> Alcotest.check Helpers.time "5min" (Time.of_min 5) d
+      | L.Collects _ -> Alcotest.fail "expires expected");
+      Alcotest.(check (option int)) "path" (Some 2) e1.L.path;
+      (match e2.L.constraint_ with
+      | L.Collects 10 -> ()
+      | _ -> Alcotest.fail "collect 10 expected")
+  | _ -> Alcotest.fail "two edges expected"
+
+let test_parse_errors () =
+  let bad src =
+    match L.parse src with
+    | Ok _ -> Alcotest.failf "expected failure for %S" src
+    | Error _ -> ()
+  in
+  bad "accel send expires 5min;";
+  bad "accel -> send expires;";
+  bad "accel -> send collect 0;";
+  bad "accel -> send evaporates 5min;";
+  bad "accel -> send expires 5min"
+
+let test_roundtrip_fixed () =
+  let edges = L.parse_exn example in
+  Alcotest.(check bool) "round trip" true
+    (L.equal edges (L.parse_exn (L.to_string edges)))
+
+let roundtrip_qcheck =
+  let gen_edge =
+    QCheck.Gen.(
+      let ident = map (fun s -> "t_" ^ s) (string_size ~gen:(char_range 'a' 'z') (int_range 1 4)) in
+      let constraint_ =
+        oneof
+          [ map (fun n -> L.Expires (Artemis.Time.of_sec (n + 1))) (int_bound 600);
+            map (fun n -> L.Collects (n + 1)) (int_bound 20) ]
+      in
+      map (fun (producer, consumer, constraint_, path) ->
+          { L.producer; consumer; constraint_; path })
+        (quad ident ident constraint_ (opt (int_range 1 5))))
+  in
+  QCheck.Test.make ~name:"mayfly-lang round trip" ~count:300
+    (QCheck.make QCheck.Gen.(list_size (int_range 1 6) gen_edge))
+    (fun edges -> L.equal edges (L.parse_exn (L.to_string edges)))
+
+let test_to_spec_and_machines () =
+  let edges = L.parse_exn example in
+  let spec = L.to_spec edges in
+  (* blocks are grouped by consumer, actions are Mayfly's fixed restart *)
+  Alcotest.(check (list string)) "consumers" [ "calcAvg"; "send" ]
+    (List.map (fun b -> b.Spec.Ast.task) spec);
+  List.iter
+    (fun b ->
+      List.iter
+        (fun p ->
+          Alcotest.(check bool) "fixed reaction" true
+            (Spec.Ast.property_on_fail p = Spec.Ast.Restart_path))
+        b.Spec.Ast.properties)
+    spec;
+  (* the machines typecheck and behave like MITD: a late consumer start
+     after the producer's completion triggers a restart *)
+  let machines = L.to_machines edges in
+  Alcotest.(check int) "two machines" 2 (List.length machines);
+  let mitd =
+    List.find
+      (fun m ->
+        Fsm.Interp.mentions_task m "accel" && Fsm.Interp.mentions_task m "send")
+      machines
+  in
+  let store = Fsm.Interp.memory_store mitd in
+  ignore
+    (Fsm.Interp.step mitd store
+       (Helpers.event ~kind:Fsm.Interp.End ~task:"accel" ~ts:0 ~path:2 ()));
+  match
+    Fsm.Interp.step mitd store
+      (Helpers.event ~task:"send" ~ts:(6 * 60 * 1000) ~path:2 ())
+  with
+  | [ { Fsm.Interp.action = Fsm.Ast.Restart_path; _ } ] -> ()
+  | _ -> Alcotest.fail "expected a restart on expired data"
+
+let test_to_annotations_drive_baseline () =
+  (* the same edges drive the Mayfly baseline runtime natively *)
+  let device = Helpers.powered_device () in
+  let produce = Helpers.simple_task ~name:"produce" ~ms:50 () in
+  let consume = Helpers.simple_task ~name:"consume" ~ms:50 () in
+  let app = Helpers.one_path_app [ produce; consume ] in
+  let annotations =
+    L.to_annotations (L.parse_exn "produce -> consume collect 2;")
+  in
+  let stats = Mayfly.run device app annotations in
+  Alcotest.(check bool) "completed" true (Helpers.completed stats);
+  Alcotest.(check int) "one restart (needs 2 items)" 1 stats.Artemis.Stats.path_restarts
+
+let suite =
+  [
+    Alcotest.test_case "parse" `Quick test_parse;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "round trip (fixed)" `Quick test_roundtrip_fixed;
+    QCheck_alcotest.to_alcotest roundtrip_qcheck;
+    Alcotest.test_case "maps onto the intermediate language" `Quick
+      test_to_spec_and_machines;
+    Alcotest.test_case "maps onto baseline annotations" `Quick
+      test_to_annotations_drive_baseline;
+  ]

@@ -1,0 +1,127 @@
+(* Metamorphic and differential properties of the simulation itself. *)
+
+open Artemis
+open Artemis_experiments
+
+let test_determinism () =
+  (* identical configuration => bit-identical statistics and trace shape *)
+  let run () =
+    let r =
+      Config.run_health Config.Artemis_runtime
+        (Config.Intermittent (Time.of_min 6))
+    in
+    (r.Config.stats, Log.length (Device.log r.Config.device))
+  in
+  let s1, n1 = run () in
+  let s2, n2 = run () in
+  Alcotest.(check int) "same trace length" n1 n2;
+  Alcotest.(check bool) "same stats" true (s1 = s2)
+
+let test_stats_time_decomposition () =
+  (* no idle time exists in the simulation: active time is exactly the
+     app + runtime + monitor components *)
+  let r = Config.run_health Config.Artemis_runtime (Config.Intermittent (Time.of_min 2)) in
+  let s = r.Config.stats in
+  let parts =
+    Time.add s.Stats.app_time (Time.add s.Stats.runtime_overhead s.Stats.monitor_overhead)
+  in
+  Alcotest.check Helpers.time "total - off = app + overheads"
+    (Stats.active_time s) parts
+
+let test_stats_energy_decomposition () =
+  let r = Config.run_health Config.Mayfly_runtime Config.Continuous in
+  let s = r.Config.stats in
+  let parts =
+    Energy.to_uj s.Stats.energy_app
+    +. Energy.to_uj s.Stats.energy_runtime
+    +. Energy.to_uj s.Stats.energy_monitor
+  in
+  Alcotest.(check (float 1e-6)) "energy components sum"
+    (Energy.to_uj s.Stats.energy_total) parts
+
+(* delay monotonicity: more charging time never speeds the app up *)
+let delay_monotonicity =
+  QCheck.Test.make ~name:"total time is monotone in the charging delay" ~count:20
+    QCheck.(pair (int_range 1 5) (int_range 1 5))
+    (fun (a, b) ->
+      let d1 = min a b and d2 = max a b in
+      let total d =
+        (Config.run_health Config.Artemis_runtime
+           (Config.Intermittent (Time.of_min d))).Config.stats.Stats.total_time
+      in
+      Time.(total d1 <= total d2))
+
+(* differential: with no properties at all, the two runtimes execute the
+   same task sequence on identical devices *)
+let gen_small_app =
+  QCheck.Gen.(
+    let gen_task i =
+      map2
+        (fun ms mw ->
+          Task.make
+            ~name:(Printf.sprintf "t%d_%d" i ms)
+            ~duration:(Artemis.Time.of_ms (ms + 1))
+            ~power:(Artemis.Energy.mw (float_of_int (mw + 1)))
+            ())
+        (int_bound 200) (int_bound 5)
+    in
+    let* n = int_range 1 4 in
+    let* tasks = flatten_l (List.init n gen_task) in
+    return tasks)
+
+let runtimes_agree_without_properties =
+  QCheck.Test.make ~name:"ARTEMIS = Mayfly without properties" ~count:100
+    (QCheck.make gen_small_app)
+    (fun tasks ->
+      (* task names must be unique; the generator embeds the index but two
+         tasks may still clash on (i, ms) - regenerate names defensively *)
+      let tasks =
+        List.mapi
+          (fun i (t : Task.t) ->
+            Task.make
+              ~name:(Printf.sprintf "u%d_%s" i t.Task.name)
+              ~duration:t.Task.duration ~power:t.Task.power ())
+          tasks
+      in
+      let completions runner =
+        let device = Helpers.tiny_device ~usable_mj:50. ~delay:(Time.of_sec 10) () in
+        let app = Helpers.one_path_app tasks in
+        let stats = runner device app in
+        ( Helpers.completed stats,
+          stats.Stats.task_completions,
+          Log.find_all (Device.log device) (function
+            | Event.Task_completed _ -> true
+            | _ -> false)
+          |> List.map (fun (e : Event.timed) -> Event.to_string e.Event.event) )
+      in
+      let a_done, a_n, a_seq =
+        completions (fun d app -> Runtime.run d app (deploy d []))
+      in
+      let m_done, m_n, m_seq = completions (fun d app -> Mayfly.run d app []) in
+      a_done = m_done && a_n = m_n && a_seq = m_seq)
+
+(* seeds only affect synthetic sensor values, never control flow of the
+   benchmark (its properties do not depend on the random data when the
+   temperature stays in the healthy band) *)
+let seed_independence =
+  QCheck.Test.make ~name:"benchmark control flow independent of the PRNG seed"
+    ~count:20 QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let config = { Runtime.default_config with seed } in
+      let r =
+        Config.run_health ~config Config.Artemis_runtime
+          (Config.Intermittent (Time.of_min 1))
+      in
+      let s = r.Config.stats in
+      Stats.completed s && s.Stats.power_failures = 2)
+
+let suite =
+  [
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "time decomposition" `Quick test_stats_time_decomposition;
+    Alcotest.test_case "energy decomposition" `Quick
+      test_stats_energy_decomposition;
+    QCheck_alcotest.to_alcotest delay_monotonicity;
+    QCheck_alcotest.to_alcotest runtimes_agree_without_properties;
+    QCheck_alcotest.to_alcotest seed_independence;
+  ]

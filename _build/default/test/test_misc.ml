@@ -1,0 +1,93 @@
+(* Table rendering, PRNG determinism, charging policies. *)
+
+open Artemis
+
+let test_table_render () =
+  let t = Table.create ~headers:[ "a"; "bb" ] in
+  Table.add_row t [ "xxx"; "y" ];
+  Table.add_row t [ "z"; "wwww" ];
+  let expected =
+    "+-----+------+\n\
+     | a   | bb   |\n\
+     +-----+------+\n\
+     | xxx | y    |\n\
+     | z   | wwww |\n\
+     +-----+------+"
+  in
+  Alcotest.(check string) "layout" expected (Table.render t)
+
+let test_table_width_mismatch () =
+  let t = Table.create ~headers:[ "a" ] in
+  Alcotest.check_raises "width"
+    (Invalid_argument "Table.add_row: row width differs from header") (fun () ->
+      Table.add_row t [ "x"; "y" ])
+
+let test_prng_bool_and_time_strings () =
+  let g = Prng.create ~seed:11 in
+  let flips = List.init 64 (fun _ -> Prng.bool g) in
+  Alcotest.(check bool) "both outcomes occur" true
+    (List.mem true flips && List.mem false flips);
+  Alcotest.(check string) "time to_string" "2.50s" (Time.to_string (Time.of_ms 2500))
+
+let test_prng_determinism () =
+  let a = Prng.create ~seed:7 and b = Prng.create ~seed:7 in
+  let xs = List.init 20 (fun _ -> Prng.next_int a) in
+  let ys = List.init 20 (fun _ -> Prng.next_int b) in
+  Alcotest.(check (list int)) "same seed, same stream" xs ys;
+  let c = Prng.create ~seed:8 in
+  let zs = List.init 20 (fun _ -> Prng.next_int c) in
+  Alcotest.(check bool) "different seed differs" true (xs <> zs);
+  let d = Prng.copy a in
+  Alcotest.(check int) "copy continues identically" (Prng.next_int a) (Prng.next_int d)
+
+let prng_ranges =
+  QCheck.Test.make ~name:"int_range and float_range stay in bounds" ~count:300
+    QCheck.(pair small_int (pair (int_range 0 100) (int_range 0 100)))
+    (fun (seed, (a, b)) ->
+      let lo = min a b and hi = max a b in
+      let g = Prng.create ~seed in
+      let n = Prng.int_range g ~lo ~hi in
+      let f = Prng.float_range g ~lo:(float_of_int lo) ~hi:(float_of_int hi) in
+      n >= lo && n <= hi && f >= float_of_int lo && f <= float_of_int hi)
+
+let test_fixed_delay_policy () =
+  let c =
+    Capacitor.create ~capacity:(Energy.mj 10.) ~on_threshold:(Energy.mj 9.)
+      ~off_threshold:(Energy.mj 1.) ~initial:(Energy.mj 1.) ()
+  in
+  match
+    Charging_policy.recharge (Charging_policy.Fixed_delay (Time.of_min 2))
+      ~now:Time.zero ~capacitor:c
+  with
+  | Some d ->
+      Alcotest.check Helpers.time "fixed delay" (Time.of_min 2) d;
+      Alcotest.(check (float 1e-6)) "recharged full" 10. (Energy.to_mj (Capacitor.level c))
+  | None -> Alcotest.fail "fixed delay never starves"
+
+let test_harvester_policy () =
+  let c =
+    Capacitor.create ~capacity:(Energy.mj 10.) ~on_threshold:(Energy.mj 9.)
+      ~off_threshold:(Energy.mj 1.) ~initial:(Energy.mj 1.) ()
+  in
+  match
+    Charging_policy.recharge
+      (Charging_policy.From_harvester (Harvester.Constant (Energy.mw 2.)))
+      ~now:Time.zero ~capacitor:c
+  with
+  | Some d ->
+      (* 8 mJ deficit at 2 mW = 4 s *)
+      Alcotest.check Helpers.time "harvest time" (Time.of_sec 4) d;
+      Alcotest.(check bool) "can turn on" true (Capacitor.can_turn_on c)
+  | None -> Alcotest.fail "should recharge"
+
+let suite =
+  [
+    Alcotest.test_case "table rendering" `Quick test_table_render;
+    Alcotest.test_case "table width mismatch" `Quick test_table_width_mismatch;
+    Alcotest.test_case "prng determinism" `Quick test_prng_determinism;
+    Alcotest.test_case "prng bool / time strings" `Quick
+      test_prng_bool_and_time_strings;
+    QCheck_alcotest.to_alcotest prng_ranges;
+    Alcotest.test_case "fixed-delay charging policy" `Quick test_fixed_delay_policy;
+    Alcotest.test_case "harvester charging policy" `Quick test_harvester_policy;
+  ]

@@ -1,0 +1,145 @@
+open Artemis
+module F = Fsm.Ast
+module Interp = Fsm.Interp
+
+let machine_text =
+  {|
+machine m {
+  var x : int = 0;
+  persistent var keep : int = 0;
+  initial state A {
+    on startTask(t) { x := x + 1; keep := keep + 1; } -> B;
+  }
+  state B {
+    on endTask(t) -> A;
+  }
+}
+|}
+
+let make () =
+  let nvm = Nvm.create () in
+  let monitor = Monitor.create nvm (Fsm.Parser.parse_machine_exn machine_text) in
+  (nvm, monitor)
+
+let test_state_survives_power_failure () =
+  let nvm, m = make () in
+  ignore (Monitor.step m (Helpers.event ~task:"t" ()));
+  Nvm.power_failure nvm;
+  Alcotest.(check string) "state persists" "B" (Monitor.current_state m);
+  Alcotest.check Helpers.value "vars persist" (F.Vint 1) (Monitor.read_var m "x")
+
+let test_hard_reset () =
+  let _, m = make () in
+  ignore (Monitor.step m (Helpers.event ~task:"t" ()));
+  Monitor.hard_reset m;
+  Alcotest.(check string) "initial state" "A" (Monitor.current_state m);
+  Alcotest.check Helpers.value "all vars reset" (F.Vint 0) (Monitor.read_var m "keep")
+
+let test_reinitialize_preserves_persistent () =
+  let _, m = make () in
+  ignore (Monitor.step m (Helpers.event ~task:"t" ()));
+  Monitor.reinitialize m;
+  Alcotest.(check string) "state reset" "A" (Monitor.current_state m);
+  Alcotest.check Helpers.value "ordinary var reset" (F.Vint 0) (Monitor.read_var m "x");
+  Alcotest.check Helpers.value "persistent var kept" (F.Vint 1)
+    (Monitor.read_var m "keep")
+
+let test_ill_typed_rejected () =
+  let nvm = Nvm.create () in
+  let bad =
+    Fsm.Parser.parse_machine_exn
+      "machine bad { initial state A { on startTask(t) when (zz > 1); } }"
+  in
+  match Monitor.create nvm bad with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "ill-typed machine accepted"
+
+let test_watches_task_and_fram () =
+  let _, m = make () in
+  Alcotest.(check bool) "watches t" true (Monitor.watches_task m "t");
+  Alcotest.(check bool) "ignores u" false (Monitor.watches_task m "u");
+  (* 2 state + 24 property table + 4 + 4 vars *)
+  Alcotest.(check int) "fram bytes" 34 (Monitor.fram_bytes m)
+
+let test_read_var_unknown () =
+  let _, m = make () in
+  match Monitor.read_var m "nope" with
+  | exception Not_found -> ()
+  | _ -> Alcotest.fail "expected Not_found"
+
+(* --- Suite --- *)
+
+let test_suite_step_all_order () =
+  let nvm = Nvm.create () in
+  let mk name action =
+    Fsm.Parser.parse_machine_exn
+      (Printf.sprintf
+         "machine %s { initial state A { on startTask(t) { fail %s; }; } }" name
+         action)
+  in
+  let suite = Suite.create nvm [ mk "first" "restartTask"; mk "second" "skipPath" ] in
+  let failures = Suite.step_all suite (Helpers.event ~task:"t" ()) in
+  Alcotest.(check (list string)) "deployment order"
+    [ "first"; "second" ]
+    (List.map (fun (f : Interp.failure) -> f.Interp.failed_machine) failures);
+  match Suite.arbitrate failures with
+  | Some { Interp.failed_machine = "second"; action = F.Skip_path; _ } -> ()
+  | _ -> Alcotest.fail "skipPath outranks restartTask"
+
+let test_severity_order () =
+  let order =
+    List.map Suite.severity
+      [ F.Skip_path; F.Restart_path; F.Complete_path; F.Skip_task; F.Restart_task ]
+  in
+  Alcotest.(check (list int)) "strictly decreasing" [ 4; 3; 2; 1; 0 ] order
+
+let test_arbitrate_ties_first_wins () =
+  let f name = { Interp.failed_machine = name; action = F.Skip_task; target_path = None } in
+  match Suite.arbitrate [ f "a"; f "b" ] with
+  | Some { Interp.failed_machine = "a"; _ } -> ()
+  | _ -> Alcotest.fail "first-reported wins ties"
+
+let test_arbitrate_empty () =
+  Alcotest.(check bool) "none" true (Suite.arbitrate [] = None)
+
+let test_reinit_for_tasks () =
+  let nvm = Nvm.create () in
+  let suite =
+    Suite.create nvm
+      [
+        Fsm.Parser.parse_machine_exn
+          "machine watches_a { var x : int = 0; initial state S { on startTask(a) { x := 1; }; } }";
+        Fsm.Parser.parse_machine_exn
+          "machine watches_b { var x : int = 0; initial state S { on startTask(b) { x := 1; }; } }";
+      ]
+  in
+  ignore (Suite.step_all suite (Helpers.event ~task:"a" ()));
+  ignore (Suite.step_all suite (Helpers.event ~task:"b" ()));
+  Suite.reinit_for_tasks suite ~tasks:[ "a" ];
+  let find name =
+    List.find (fun m -> Monitor.name m = name) (Suite.monitors suite)
+  in
+  Alcotest.check Helpers.value "a's monitor reset" (F.Vint 0)
+    (Monitor.read_var (find "watches_a") "x");
+  Alcotest.check Helpers.value "b's monitor untouched" (F.Vint 1)
+    (Monitor.read_var (find "watches_b") "x")
+
+let suite =
+  [
+    Alcotest.test_case "state survives power failure" `Quick
+      test_state_survives_power_failure;
+    Alcotest.test_case "hard reset" `Quick test_hard_reset;
+    Alcotest.test_case "reinitialize preserves persistent vars" `Quick
+      test_reinitialize_preserves_persistent;
+    Alcotest.test_case "ill-typed machines rejected" `Quick test_ill_typed_rejected;
+    Alcotest.test_case "watches_task and FRAM accounting" `Quick
+      test_watches_task_and_fram;
+    Alcotest.test_case "read_var unknown" `Quick test_read_var_unknown;
+    Alcotest.test_case "suite: step order and arbitration" `Quick
+      test_suite_step_all_order;
+    Alcotest.test_case "suite: severity order" `Quick test_severity_order;
+    Alcotest.test_case "suite: ties" `Quick test_arbitrate_ties_first_wins;
+    Alcotest.test_case "suite: empty arbitration" `Quick test_arbitrate_empty;
+    Alcotest.test_case "suite: selective re-initialisation" `Quick
+      test_reinit_for_tasks;
+  ]

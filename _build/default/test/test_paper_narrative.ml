@@ -1,0 +1,117 @@
+(* Line-by-line assertions of the Section 5.1 benchmark narrative: what
+   each path's properties are supposed to do, checked on traces of the
+   actual runs. *)
+
+open Artemis
+open Artemis_experiments
+
+let run_at delay_min =
+  let r =
+    Config.run_health Config.Artemis_runtime
+      (Config.Intermittent (Time.of_min delay_min))
+  in
+  (r.Config.stats, Device.log r.Config.device, r.Config.handles)
+
+let count log pred = Log.count log pred
+
+let test_path1_collects_ten () =
+  (* "Path #1 collects ten body temperature readings and transmits the
+     average. ... ARTEMIS restarts the first path until enough samples
+     are collected." *)
+  let stats, log, handles = run_at 1 in
+  Alcotest.(check bool) "completed" true (Stats.completed stats);
+  Alcotest.(check int) "ten bodyTemp completions" 10
+    (count log (function
+      | Event.Task_completed { task = "bodyTemp" } -> true
+      | _ -> false));
+  Alcotest.(check int) "nine collect-driven restarts of path 1" 9
+    (count log (function
+      | Event.Path_restarted { path = 1; reason = "collect_calcAvg_bodyTemp" } ->
+          true
+      | _ -> false));
+  (* the average is of exactly those ten samples, in the healthy band *)
+  let avg = handles.Health_app.read_avg_temp () in
+  Alcotest.(check bool) "healthy average" true (avg > 36. && avg < 38.)
+
+let test_path2_mitd_story_at_6min () =
+  (* "the acceleration data must have been collected within the last five
+     minutes when the send task starts" + "the path is skipped ... after
+     three attempts" *)
+  let stats, log, _ = run_at 6 in
+  Alcotest.(check bool) "completed" true (Stats.completed stats);
+  Alcotest.(check int) "three MITD verdicts" 3
+    (count log (function
+      | Event.Monitor_verdict { monitor = "MITD_send_accel"; _ } -> true
+      | _ -> false));
+  Alcotest.(check int) "two path-2 restarts" 2
+    (count log (function
+      | Event.Path_restarted { path = 2; _ } -> true
+      | _ -> false));
+  Alcotest.(check int) "then path 2 skipped" 1
+    (count log (function
+      | Event.Path_skipped { path = 2; _ } -> true
+      | _ -> false));
+  (* "ARTEMIS allows the application to complete and transmit the
+     remaining data, even if some data is missing": path 3's send ran *)
+  Alcotest.(check int) "path 3 completed" 1
+    (count log (function
+      | Event.Path_completed { path = 3 } -> true
+      | _ -> false))
+
+let test_path2_send_ok_at_short_delay () =
+  (* below the window the same failures are harmless: send delivers *)
+  let stats, log, handles = run_at 1 in
+  Alcotest.(check bool) "completed" true (Stats.completed stats);
+  Alcotest.(check int) "no MITD verdicts" 0
+    (count log (function
+      | Event.Monitor_verdict { monitor = "MITD_send_accel"; _ } -> true
+      | _ -> false));
+  Alcotest.(check int) "all three transmissions" 3
+    (handles.Health_app.sent_messages ())
+
+let test_path3_collect_guarantee () =
+  (* "The collect property is also defined between micSense and send to
+     guarantee the transmission of at least one sample." *)
+  let stats, log, _ = run_at 6 in
+  Alcotest.(check bool) "completed" true (Stats.completed stats);
+  let mic_done_before_send =
+    (* micSense completed at least once before path 3's send completed *)
+    count log (function
+      | Event.Task_completed { task = "micSense" } -> true
+      | _ -> false)
+  in
+  Alcotest.(check bool) "at least one micSense sample" true
+    (mic_done_before_send >= 1)
+
+let test_figure2_contrast () =
+  (* the P1/P2 problems in one assertion: the same spec change (adding
+     maxTries/maxAttempt) required zero edits to the application - both
+     versions run the byte-identical Task.app *)
+  let nvm1 = Nvm.create () and nvm2 = Nvm.create () in
+  let app_full, _ = Health_app.make nvm1 in
+  let app_mayfly, _ = Health_app.make nvm2 in
+  Alcotest.(check (list string)) "identical task structure"
+    (Task.task_names app_full) (Task.task_names app_mayfly);
+  (* and the two specs genuinely differ only in the bounded-attempt and
+     duration/range properties *)
+  let kinds text =
+    Spec.Parser.parse_exn text
+    |> List.concat_map (fun b -> List.map Spec.Ast.property_kind b.Spec.Ast.properties)
+    |> List.sort_uniq String.compare
+  in
+  Alcotest.(check (list string)) "full property mix"
+    [ "MITD"; "collect"; "dpData"; "maxDuration"; "maxTries" ]
+    (kinds Health_app.spec_text);
+  Alcotest.(check (list string)) "Mayfly subset" [ "MITD"; "collect" ]
+    (kinds Health_app.mayfly_spec_text)
+
+let suite =
+  [
+    Alcotest.test_case "path 1: collect ten samples" `Slow test_path1_collects_ten;
+    Alcotest.test_case "path 2: MITD + maxAttempt at 6 min" `Slow
+      test_path2_mitd_story_at_6min;
+    Alcotest.test_case "path 2: clean at short delays" `Slow
+      test_path2_send_ok_at_short_delay;
+    Alcotest.test_case "path 3: collect guarantee" `Slow test_path3_collect_guarantee;
+    Alcotest.test_case "separation of concerns (P1/P2)" `Quick test_figure2_contrast;
+  ]

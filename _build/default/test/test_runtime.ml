@@ -1,0 +1,343 @@
+open Artemis
+module Interp = Fsm.Interp
+
+(* Build a producer/consumer app: [produce] pushes one item per run into a
+   channel, [consume] reads it.  Used across the runtime tests. *)
+let make_produce_consume nvm =
+  let ch = Channel.create nvm ~name:"items" ~bytes_per_item:4 ~capacity:16 in
+  let produce =
+    Helpers.simple_task ~name:"produce" ~ms:100 ~mw:2.
+      ~body:(fun _ -> Channel.push ch 1)
+      ()
+  in
+  let consume = Helpers.simple_task ~name:"consume" ~ms:50 ~mw:2. () in
+  (Helpers.one_path_app [ produce; consume ], ch)
+
+let empty_suite device = deploy device []
+
+let test_completes_without_properties () =
+  let device = Helpers.powered_device () in
+  let app, ch = make_produce_consume (Device.nvm device) in
+  let stats = Runtime.run device app (empty_suite device) in
+  Alcotest.(check bool) "completed" true (Helpers.completed stats);
+  Alcotest.(check (list int)) "body committed" [ 1 ] (Channel.items ch);
+  Alcotest.(check int) "two tasks" 2 stats.Stats.task_completions;
+  Alcotest.(check int) "no failures" 0 stats.Stats.power_failures
+
+let test_event_order () =
+  let device = Helpers.powered_device () in
+  let app, _ = make_produce_consume (Device.nvm device) in
+  ignore (Runtime.run device app (empty_suite device));
+  let interesting = function
+    | Event.Boot | Event.Task_started _ | Event.Task_completed _
+    | Event.Path_started _ | Event.Path_completed _ | Event.App_completed ->
+        true
+    | _ -> false
+  in
+  let names =
+    Log.events (Device.log device)
+    |> List.filter (fun (e : Event.timed) -> interesting e.Event.event)
+    |> List.map (fun (e : Event.timed) -> Event.to_string e.Event.event)
+  in
+  Alcotest.(check (list string)) "canonical order"
+    [
+      "boot";
+      "path #1 started";
+      "start produce (attempt 1)";
+      "end produce";
+      "start consume (attempt 1)";
+      "end consume";
+      "path #1 completed";
+      "application completed";
+    ]
+    names
+
+let test_task_atomicity_under_failure () =
+  let device = Helpers.powered_device () in
+  let app, ch = make_produce_consume (Device.nvm device) in
+  (* interrupt produce mid-flight: its channel push must not be visible,
+     and the task must re-execute from scratch *)
+  Device.schedule_failure device ~at:(Time.of_ms 50);
+  let stats = Runtime.run device app (empty_suite device) in
+  Alcotest.(check bool) "completed" true (Helpers.completed stats);
+  Alcotest.(check (list int)) "exactly one committed item" [ 1 ] (Channel.items ch);
+  Alcotest.(check int) "one failure" 1 stats.Stats.power_failures;
+  (* the produce task started twice (attempts 1 and 2) *)
+  Alcotest.(check int) "two start events" 2
+    (Log.task_attempts (Device.log device) ~task:"produce")
+
+let test_max_tries_skips_doomed_task () =
+  (* 3 mJ usable; transmit needs 3.12 mJ: can never complete *)
+  let device = Helpers.tiny_device ~usable_mj:3. () in
+  let nvm = Device.nvm device in
+  let sample = Helpers.simple_task ~name:"sample" ~ms:50 ~mw:2. () in
+  let transmit =
+    Task.make ~name:"transmit" ~duration:(Time.of_ms 120) ~power:(Energy.mw 26.) ()
+  in
+  ignore nvm;
+  let app = Helpers.one_path_app [ sample; transmit ] in
+  let stats = Helpers.run_app device app "transmit: { maxTries: 3 onFail: skipPath; }" in
+  Alcotest.(check bool) "completed despite doomed task" true (Helpers.completed stats);
+  Alcotest.(check int) "three failed attempts" 3 stats.Stats.power_failures;
+  Alcotest.(check int) "path skipped" 1 stats.Stats.path_skips;
+  Alcotest.(check int) "transmit never completed" 0
+    (Helpers.count_events device (function
+      | Event.Task_completed { task = "transmit" } -> true
+      | _ -> false))
+
+let test_max_duration_spans_power_failures () =
+  (* Section 4.1.3: the duration anchor is the first start attempt, so a
+     charging delay inside the task trips maxDuration *)
+  let device = Helpers.tiny_device ~usable_mj:100. ~delay:(Time.of_sec 30) () in
+  let a = Helpers.simple_task ~name:"a" ~ms:100 ~mw:2. () in
+  let b = Helpers.simple_task ~name:"b" ~ms:50 ~mw:2. () in
+  let app = Helpers.one_path_app [ a; b ] in
+  Device.schedule_failure device ~at:(Time.of_ms 50);
+  let stats = Helpers.run_app device app "a: { maxDuration: 150ms onFail: skipTask; }" in
+  Alcotest.(check bool) "completed" true (Helpers.completed stats);
+  Alcotest.(check int) "a skipped, not completed" 0
+    (Helpers.count_events device (function
+      | Event.Task_completed { task = "a" } -> true
+      | _ -> false));
+  Alcotest.(check int) "b still ran" 1
+    (Helpers.count_events device (function
+      | Event.Task_completed { task = "b" } -> true
+      | _ -> false));
+  Alcotest.(check int) "skipTask action logged" 1
+    (Helpers.count_events device (function
+      | Event.Runtime_action { action = "skipTask"; task = "a" } -> true
+      | _ -> false))
+
+let test_collect_restart_until_enough () =
+  let device = Helpers.powered_device () in
+  let app, ch = make_produce_consume (Device.nvm device) in
+  let stats =
+    Helpers.run_app device app
+      "consume: { collect: 3 dpTask: produce onFail: restartPath; }"
+  in
+  Alcotest.(check bool) "completed" true (Helpers.completed stats);
+  Alcotest.(check int) "two restarts (at 1 and 2 items)" 2 stats.Stats.path_restarts;
+  Alcotest.(check int) "produce ran three times" 3
+    (Helpers.count_events device (function
+      | Event.Task_completed { task = "produce" } -> true
+      | _ -> false));
+  Alcotest.(check (list int)) "three items committed" [ 1; 1; 1 ] (Channel.items ch)
+
+let test_complete_path_suspends_monitoring () =
+  let device = Helpers.powered_device () in
+  let nvm = Device.nvm device in
+  let reading = Nvm.cell nvm ~region:Nvm.Application ~name:"reading" ~bytes:4 99.0 in
+  let sensor =
+    Helpers.simple_task ~name:"sensor"
+      ~monitored:[ ("reading", fun () -> Nvm.read reading) ]
+      ()
+  in
+  (* the follow-up task has a doomed collect property: if monitoring were
+     still active it would restart the path forever *)
+  let act = Helpers.simple_task ~name:"act" ()
+  and never = Helpers.simple_task ~name:"never" () in
+  let app =
+    Task.app ~name:"emergency"
+      [
+        { Task.index = 1; tasks = [ sensor; act ] };
+        { Task.index = 2; tasks = [ never ] };
+      ]
+  in
+  let spec =
+    "sensor: { dpData: reading Range: [0, 50] onFail: completePath; }\n\
+     act: { collect: 5 dpTask: sensor onFail: restartPath; }"
+  in
+  let config = { Runtime.default_config with max_loop_iterations = 500 } in
+  let stats = Helpers.run_app ~config device app spec in
+  Alcotest.(check bool) "completed" true (Helpers.completed stats);
+  Alcotest.(check int) "monitoring suspended once" 1
+    (Helpers.count_events device (function
+      | Event.Monitoring_suspended { path = 1 } -> true
+      | _ -> false));
+  Alcotest.(check int) "no restarts: act ran unmonitored" 0 stats.Stats.path_restarts;
+  (* monitoring resumes on path 2 *)
+  Alcotest.(check int) "path 2 ran" 1
+    (Helpers.count_events device (function
+      | Event.Task_completed { task = "never" } -> true
+      | _ -> false))
+
+let test_restart_task_action () =
+  let device = Helpers.powered_device () in
+  let a = Helpers.simple_task ~name:"a" () in
+  let app = Helpers.one_path_app [ a ] in
+  (* a hand-written monitor that demands one re-execution of [a] *)
+  let machine =
+    Fsm.Parser.parse_machine_exn
+      {|
+machine redo {
+  var done_once : bool = false;
+  initial state S {
+    on endTask(a) when (!done_once) { done_once := true; fail restartTask; };
+  }
+}
+|}
+  in
+  let suite = deploy device [ machine ] in
+  let stats = Runtime.run device app suite in
+  Alcotest.(check bool) "completed" true (Helpers.completed stats);
+  Alcotest.(check int) "a completed twice" 2
+    (Helpers.count_events device (function
+      | Event.Task_completed { task = "a" } -> true
+      | _ -> false))
+
+let test_skip_task_at_start () =
+  let device = Helpers.powered_device () in
+  let hit = ref false in
+  let a = Helpers.simple_task ~name:"a" ~body:(fun _ -> hit := true) () in
+  let app = Helpers.one_path_app [ a ] in
+  let machine =
+    Fsm.Parser.parse_machine_exn
+      "machine veto { initial state S { on startTask(a) { fail skipTask; }; } }"
+  in
+  let stats = Runtime.run device app (deploy device [ machine ]) in
+  Alcotest.(check bool) "completed" true (Helpers.completed stats);
+  Alcotest.(check bool) "body never ran" false !hit
+
+(* Exactly-once event delivery to monitors under random power failures:
+   a counting monitor must agree with the trace log, whatever the
+   interruption points (ImmortalThreads-style monitor resumption). *)
+let exactly_once_qcheck =
+  QCheck.Test.make ~name:"monitor sees each task completion exactly once"
+    ~count:150
+    QCheck.(list_of_size (QCheck.Gen.int_range 0 4) (int_range 0 400_000))
+    (fun failure_times ->
+      let device = Helpers.powered_device () in
+      let app, _ = make_produce_consume (Device.nvm device) in
+      List.iter
+        (fun us -> Device.schedule_failure device ~at:(Time.of_us us))
+        (List.sort_uniq compare failure_times);
+      let machine =
+        Fsm.Parser.parse_machine_exn
+          {|
+machine counter {
+  persistent var n : int = 0;
+  initial state S {
+    on endTask(produce) { n := n + 1; };
+  }
+}
+|}
+      in
+      let suite = deploy device [ machine ] in
+      let stats = Runtime.run device app suite in
+      let monitor = List.hd (Suite.monitors suite) in
+      let seen =
+        match Monitor.read_var monitor "n" with
+        | Fsm.Ast.Vint n -> n
+        | _ -> -1
+      in
+      let completions =
+        Helpers.count_events device (function
+          | Event.Task_completed { task = "produce" } -> true
+          | _ -> false)
+      in
+      Helpers.completed stats && seen = completions)
+
+let test_end_timestamp_fixed_across_failure () =
+  (* Section 4.1.3: a power failure after task completion must not move
+     the EndTask timestamp the monitor observes *)
+  let device = Helpers.powered_device () in
+  let a = Helpers.simple_task ~name:"a" ~ms:100 () in
+  let app = Helpers.one_path_app [ a ] in
+  let machine =
+    Fsm.Parser.parse_machine_exn
+      {|
+machine stamp {
+  persistent var last : time = 0us;
+  initial state S {
+    on endTask(a) { last := t; };
+  }
+}
+|}
+  in
+  (* the end-phase runtime bookkeeping runs in [~100.7ms, ~101.1ms]:
+     inject the failure there, after the commit but before the monitor *)
+  Device.schedule_failure device ~at:(Time.of_us 100_900);
+  let suite = deploy device [ machine ] in
+  let stats = Runtime.run device app suite in
+  Alcotest.(check bool) "completed" true (Helpers.completed stats);
+  Alcotest.(check int) "the failure actually happened" 1 stats.Stats.power_failures;
+  let monitor = List.hd (Suite.monitors suite) in
+  match Monitor.read_var monitor "last" with
+  | Fsm.Ast.Vtime t ->
+      (* the 30 s charging delay must NOT be in the timestamp *)
+      Alcotest.(check bool) "timestamp from before the failure" true
+        Time.(t < Time.of_sec 1)
+  | v -> Alcotest.failf "unexpected %s" (Fsm.Printer.value_to_string v)
+
+let test_dnf_on_iteration_limit () =
+  let device = Helpers.powered_device () in
+  let a = Helpers.simple_task ~name:"a" () in
+  let app = Helpers.one_path_app [ a ] in
+  let machine =
+    Fsm.Parser.parse_machine_exn
+      "machine stubborn { initial state S { on endTask(a) { fail restartTask; }; } }"
+  in
+  let config = { Runtime.default_config with max_loop_iterations = 50 } in
+  let stats = Runtime.run ~config device app (deploy device [ machine ]) in
+  match stats.Stats.outcome with
+  | Stats.Did_not_finish reason ->
+      Alcotest.(check string) "reason" "iteration limit (no progress)" reason
+  | Stats.Completed -> Alcotest.fail "expected non-termination"
+
+let test_dnf_on_starvation () =
+  let capacitor =
+    Capacitor.create ~capacity:(Energy.mj 1.) ~on_threshold:(Energy.mj 0.9)
+      ~off_threshold:(Energy.mj 0.1) ()
+  in
+  let device =
+    Device.create ~capacitor
+      ~policy:(Charging_policy.From_harvester (Harvester.Constant (Energy.uw 0.)))
+      ()
+  in
+  let a = Helpers.simple_task ~name:"a" ~ms:1000 ~mw:5. () in
+  let app = Helpers.one_path_app [ a ] in
+  let stats = Runtime.run device app (empty_suite device) in
+  match stats.Stats.outcome with
+  | Stats.Did_not_finish _ -> ()
+  | Stats.Completed -> Alcotest.fail "expected starvation DNF"
+
+let test_invalid_app_rejected () =
+  let device = Helpers.powered_device () in
+  let app = Task.app ~name:"broken" [] in
+  match Runtime.run device app (empty_suite device) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "empty app accepted"
+
+let test_runtime_fram_accounted () =
+  let device = Helpers.powered_device () in
+  let app, _ = make_produce_consume (Device.nvm device) in
+  ignore (Runtime.run device app (empty_suite device));
+  Alcotest.(check bool) "runtime cells accounted" true
+    (Runtime.runtime_fram_bytes device > 0)
+
+let suite =
+  [
+    Alcotest.test_case "completes without properties" `Quick
+      test_completes_without_properties;
+    Alcotest.test_case "canonical event order" `Quick test_event_order;
+    Alcotest.test_case "task atomicity under failure" `Quick
+      test_task_atomicity_under_failure;
+    Alcotest.test_case "maxTries skips a doomed task" `Quick
+      test_max_tries_skips_doomed_task;
+    Alcotest.test_case "maxDuration spans power failures (4.1.3)" `Quick
+      test_max_duration_spans_power_failures;
+    Alcotest.test_case "collect restarts until enough data" `Quick
+      test_collect_restart_until_enough;
+    Alcotest.test_case "completePath suspends monitoring" `Quick
+      test_complete_path_suspends_monitoring;
+    Alcotest.test_case "restartTask re-executes" `Quick test_restart_task_action;
+    Alcotest.test_case "skipTask at start vetoes the body" `Quick
+      test_skip_task_at_start;
+    QCheck_alcotest.to_alcotest exactly_once_qcheck;
+    Alcotest.test_case "EndTask timestamp fixed across failures (4.1.3)" `Quick
+      test_end_timestamp_fixed_across_failure;
+    Alcotest.test_case "DNF on iteration limit" `Quick test_dnf_on_iteration_limit;
+    Alcotest.test_case "DNF on starvation" `Quick test_dnf_on_starvation;
+    Alcotest.test_case "invalid app rejected" `Quick test_invalid_app_rejected;
+    Alcotest.test_case "runtime FRAM accounted" `Quick test_runtime_fram_accounted;
+  ]

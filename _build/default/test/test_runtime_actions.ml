@@ -1,0 +1,211 @@
+(* Focused tests of the runtime's action application and arbitration. *)
+
+open Artemis
+
+let machine text = Fsm.Parser.parse_machine_exn text
+
+let test_concurrent_failures_arbitrated () =
+  (* two monitors fail on the same event; the runtime must apply exactly
+     one action, the most severe (restartPath > skipTask) *)
+  let device = Helpers.powered_device () in
+  let a = Helpers.simple_task ~name:"a" () in
+  let b = Helpers.simple_task ~name:"b" () in
+  let app = Helpers.one_path_app [ a; b ] in
+  let mild =
+    machine
+      {|
+machine mild {
+  persistent var done_once : bool = false;
+  initial state S {
+    on endTask(a) when (!done_once) { done_once := true; fail skipTask; };
+  }
+}
+|}
+  in
+  let severe =
+    machine
+      {|
+machine severe {
+  persistent var done_once : bool = false;
+  initial state S {
+    on endTask(a) when (!done_once) { done_once := true; fail restartPath; };
+  }
+}
+|}
+  in
+  let stats = Runtime.run device app (deploy device [ mild; severe ]) in
+  Alcotest.(check bool) "completed" true (Helpers.completed stats);
+  (* both verdicts logged, one action taken *)
+  Alcotest.(check int) "two verdicts" 2
+    (Helpers.count_events device (function
+      | Event.Monitor_verdict _ -> true
+      | _ -> false));
+  Alcotest.(check (list string)) "the severe action won" [ "restartPath" ]
+    (List.map fst (Summary.actions_by_kind (Device.log device)));
+  Alcotest.(check int) "path restarted once" 1 stats.Stats.path_restarts
+
+let two_path_app () =
+  let a = Helpers.simple_task ~name:"a" () in
+  let b = Helpers.simple_task ~name:"b" () in
+  Task.app ~name:"two"
+    [ { Task.index = 1; tasks = [ a ] }; { Task.index = 2; tasks = [ b ] } ]
+
+let test_restart_path_with_explicit_target () =
+  (* a monitor on path 2 demands a re-run of path 1 *)
+  let device = Helpers.powered_device () in
+  let app = two_path_app () in
+  let jump =
+    machine
+      {|
+machine jump {
+  persistent var done_once : bool = false;
+  initial state S {
+    on endTask(b) when (!done_once) { done_once := true; fail restartPath Path 1; };
+  }
+}
+|}
+  in
+  let stats = Runtime.run device app (deploy device [ jump ]) in
+  Alcotest.(check bool) "completed" true (Helpers.completed stats);
+  let completions task =
+    Helpers.count_events device (function
+      | Event.Task_completed { task = t } -> String.equal t task
+      | _ -> false)
+  in
+  Alcotest.(check int) "a re-ran via the jump" 2 (completions "a");
+  Alcotest.(check int) "b ran twice (path 2 re-reached)" 2 (completions "b");
+  Alcotest.(check int) "restart targeted path 1" 1
+    (Helpers.count_events device (function
+      | Event.Path_restarted { path = 1; _ } -> true
+      | _ -> false))
+
+let test_skip_path_moves_past_target () =
+  let device = Helpers.powered_device () in
+  let app = two_path_app () in
+  let veto =
+    machine
+      "machine veto { initial state S { on startTask(a) { fail skipPath; }; } }"
+  in
+  let stats = Runtime.run device app (deploy device [ veto ]) in
+  Alcotest.(check bool) "completed" true (Helpers.completed stats);
+  Alcotest.(check int) "a never ran" 0
+    (Helpers.count_events device (function
+      | Event.Task_completed { task = "a" } -> true
+      | _ -> false));
+  Alcotest.(check int) "b still ran" 1
+    (Helpers.count_events device (function
+      | Event.Task_completed { task = "b" } -> true
+      | _ -> false))
+
+let test_complete_path_at_start_event () =
+  (* completePath raised at a task's start: the task itself still runs,
+     and the rest of the path runs unmonitored *)
+  let device = Helpers.powered_device () in
+  let ran = ref [] in
+  let mk name =
+    Helpers.simple_task ~name ~body:(fun _ -> ran := name :: !ran) ()
+  in
+  let app = Helpers.one_path_app [ mk "first"; mk "second" ] in
+  let emergency =
+    machine
+      "machine emergency { initial state S { on startTask(first) { fail completePath; }; } }"
+  in
+  let veto_second =
+    machine
+      "machine veto { initial state S { on startTask(second) { fail skipTask; }; } }"
+  in
+  let stats = Runtime.run device app (deploy device [ emergency; veto_second ]) in
+  Alcotest.(check bool) "completed" true (Helpers.completed stats);
+  (* with monitoring suspended, veto_second never got the chance to skip *)
+  Alcotest.(check (list string)) "both bodies ran" [ "first"; "second" ]
+    (List.rev !ran);
+  Alcotest.(check int) "suspension logged" 1
+    (Helpers.count_events device (function
+      | Event.Monitoring_suspended _ -> true
+      | _ -> false))
+
+let test_deployments_same_verdicts () =
+  (* the three monitor deployments only change costs, never decisions *)
+  let run deployment =
+    let device = Helpers.powered_device () in
+    let a = Helpers.simple_task ~name:"a" () in
+    let app = Helpers.one_path_app [ a ] in
+    let m =
+      machine
+        {|
+machine redo {
+  var done_once : bool = false;
+  initial state S {
+    on endTask(a) when (!done_once) { done_once := true; fail restartTask; };
+  }
+}
+|}
+    in
+    let config = { Runtime.default_config with deployment } in
+    let stats = Runtime.run ~config device app (deploy device [ m ]) in
+    (Helpers.completed stats, stats.Stats.task_completions)
+  in
+  let expected = (true, 2) in
+  Alcotest.(check (pair bool int)) "separate" expected (run Runtime.Separate_module);
+  Alcotest.(check (pair bool int)) "inlined" expected (run Runtime.Inlined);
+  Alcotest.(check (pair bool int)) "external" expected
+    (run Runtime.default_external_wireless)
+
+let test_reactive_rounds () =
+  let device = Helpers.powered_device () in
+  let a = Helpers.simple_task ~name:"a" () in
+  let b = Helpers.simple_task ~name:"b" () in
+  let app = Helpers.one_path_app [ a; b ] in
+  let config = { Runtime.default_config with rounds = 3 } in
+  let stats = Runtime.run ~config device app (deploy device []) in
+  Alcotest.(check bool) "completed" true (Helpers.completed stats);
+  Alcotest.(check int) "three passes of two tasks" 6 stats.Stats.task_completions;
+  Alcotest.(check int) "two intermediate round marks" 2
+    (Helpers.count_events device (function
+      | Event.Round_completed _ -> true
+      | _ -> false));
+  Alcotest.(check int) "one final completion" 1
+    (Helpers.count_events device (function
+      | Event.App_completed -> true
+      | _ -> false))
+
+let test_period_spans_rounds () =
+  (* periodicity is anchored across reactive rounds: a slow task breaks
+     its own period on the next round's start *)
+  let device = Helpers.powered_device () in
+  let slow = Helpers.simple_task ~name:"slow" ~ms:1500 () in
+  let app = Helpers.one_path_app [ slow ] in
+  let suite_ = compile_and_deploy_exn device app "slow: { period: 1s onFail: restartTask; }" in
+  let config = { Runtime.default_config with rounds = 3 } in
+  let stats = Runtime.run ~config device app suite_ in
+  Alcotest.(check bool) "completed" true (Helpers.completed stats);
+  Alcotest.(check bool) "period violations observed across rounds" true
+    (Helpers.count_events device (function
+       | Event.Monitor_verdict { monitor = "period_slow"; _ } -> true
+       | _ -> false)
+    >= 1)
+
+let test_invalid_rounds () =
+  let device = Helpers.powered_device () in
+  let app = Helpers.one_path_app [ Helpers.simple_task ~name:"a" () ] in
+  let config = { Runtime.default_config with rounds = 0 } in
+  match Runtime.run ~config device app (deploy device []) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "rounds = 0 accepted"
+
+let suite =
+  [
+    Alcotest.test_case "concurrent failures arbitrated" `Quick
+      test_concurrent_failures_arbitrated;
+    Alcotest.test_case "restartPath with explicit target" `Quick
+      test_restart_path_with_explicit_target;
+    Alcotest.test_case "skipPath moves past the target" `Quick
+      test_skip_path_moves_past_target;
+    Alcotest.test_case "completePath at a start event" `Quick
+      test_complete_path_at_start_event;
+    Alcotest.test_case "deployments agree on decisions" `Quick
+      test_deployments_same_verdicts;
+    Alcotest.test_case "reactive rounds" `Quick test_reactive_rounds;
+    Alcotest.test_case "period spans rounds" `Quick test_period_spans_rounds;
+    Alcotest.test_case "invalid rounds rejected" `Quick test_invalid_rounds;
+  ]

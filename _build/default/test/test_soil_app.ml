@@ -1,0 +1,86 @@
+open Artemis
+
+let build ?dryness_base () =
+  let device = Helpers.tiny_device ~usable_mj:60. ~delay:(Time.of_sec 20) () in
+  let app, handles = Soil_app.make ?dryness_base (Device.nvm device) in
+  (device, app, handles)
+
+let test_shape_and_spec () =
+  let _, app, _ = build () in
+  Alcotest.(check bool) "valid app" true (Task.validate app = Ok ());
+  Alcotest.(check int) "three paths" 3 (Task.path_count app);
+  let spec = Spec.Parser.parse_exn Soil_app.spec_text in
+  (match Spec.Validate.check app spec with
+  | Ok () -> ()
+  | Error issues -> Alcotest.fail (Spec.Validate.issues_to_string issues));
+  (* no static inconsistencies either *)
+  match Spec.Consistency.check app spec |> Spec.Consistency.errors with
+  | [] -> ()
+  | findings -> Alcotest.fail (Spec.Consistency.to_string findings)
+
+let test_nominal_run () =
+  let device, app, handles = build () in
+  let suite = compile_and_deploy_exn device app Soil_app.spec_text in
+  let stats = Runtime.run device app suite in
+  Alcotest.(check bool) "completed" true (Helpers.completed stats);
+  (* collect 5: five moisture samples before the aggregate passes *)
+  Alcotest.(check int) "five samples" 5 (Channel.length handles.Soil_app.moisture_samples);
+  Alcotest.(check int) "four path-1 restarts" 4
+    (Helpers.count_events device (function
+      | Event.Path_restarted { path = 1; _ } -> true
+      | _ -> false));
+  (* both uplink instances delivered, irrigation not triggered *)
+  Alcotest.(check int) "two uplinks" 2 (handles.Soil_app.uplinks ());
+  Alcotest.(check int) "one actuation" 1 (handles.Soil_app.actuations ());
+  Alcotest.(check bool) "dryness healthy" true (handles.Soil_app.read_dryness () < 0.55)
+
+let test_dry_spell_emergency () =
+  (* out-of-range dryness: completePath rushes actuation through without
+     the minEnergy/maxTries checks *)
+  let device, app, handles = build ~dryness_base:0.7 () in
+  let suite = compile_and_deploy_exn device app Soil_app.spec_text in
+  let stats = Runtime.run device app suite in
+  Alcotest.(check bool) "completed" true (Helpers.completed stats);
+  Alcotest.(check int) "monitoring suspended on path 3" 1
+    (Helpers.count_events device (function
+      | Event.Monitoring_suspended { path = 3 } -> true
+      | _ -> false));
+  Alcotest.(check int) "actuated" 1 (handles.Soil_app.actuations ())
+
+let test_low_energy_skips_actuator () =
+  (* a 4 mJ budget: everything small runs, but the 7.9 mJ actuator is
+     vetoed pre-execution by minEnergy instead of brown-out looping *)
+  let device = Helpers.tiny_device ~usable_mj:4. ~delay:(Time.of_sec 20) () in
+  let app, handles = Soil_app.make (Device.nvm device) in
+  let suite = compile_and_deploy_exn device app Soil_app.spec_text in
+  let stats = Runtime.run device app suite in
+  Alcotest.(check bool) "completed" true (Helpers.completed stats);
+  Alcotest.(check int) "actuator skipped" 0 (handles.Soil_app.actuations ());
+  Alcotest.(check bool) "minEnergy verdicts observed" true
+    (Helpers.count_events device (function
+       | Event.Monitor_verdict { monitor = "minEnergy_actuate"; _ } -> true
+       | _ -> false)
+    > 0)
+
+let test_stale_uplink_bounded () =
+  (* a long outage between aggregate and uplink: MITD restarts path 1 up
+     to maxAttempt times, then skips - never loops *)
+  let device = Helpers.tiny_device ~usable_mj:60. ~delay:(Time.of_min 5) () in
+  let app, _ = Soil_app.make (Device.nvm device) in
+  (* fail in the gap right after aggregate completes on the final pass *)
+  let suite = compile_and_deploy_exn device app Soil_app.spec_text in
+  Device.schedule_failure device ~at:(Time.of_sec 3);
+  let stats = Runtime.run device app suite in
+  Alcotest.(check bool) "still completes" true (Helpers.completed stats)
+
+let suite =
+  [
+    Alcotest.test_case "shape, validation, consistency" `Quick test_shape_and_spec;
+    Alcotest.test_case "nominal run" `Quick test_nominal_run;
+    Alcotest.test_case "dry-spell emergency (completePath)" `Quick
+      test_dry_spell_emergency;
+    Alcotest.test_case "low energy skips the actuator" `Quick
+      test_low_energy_skips_actuator;
+    Alcotest.test_case "stale uplink bounded by maxAttempt" `Quick
+      test_stale_uplink_bounded;
+  ]

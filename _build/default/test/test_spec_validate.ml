@@ -1,0 +1,81 @@
+open Artemis
+
+let send = Helpers.simple_task ~name:"send" ()
+let reading = ref 0.
+
+let app () =
+  let sensor =
+    Helpers.simple_task ~name:"sensor"
+      ~monitored:[ ("reading", fun () -> !reading) ]
+      ()
+  in
+  Task.app ~name:"app"
+    [
+      { Task.index = 1; tasks = [ sensor; send ] };
+      { Task.index = 2; tasks = [ Helpers.simple_task ~name:"other" (); send ] };
+    ]
+
+let check_ok spec_text =
+  match Spec.Validate.check (app ()) (Spec.Parser.parse_exn spec_text) with
+  | Ok () -> ()
+  | Error issues -> Alcotest.fail (Spec.Validate.issues_to_string issues)
+
+let check_issue fragment spec_text =
+  match Spec.Validate.check (app ()) (Spec.Parser.parse_exn spec_text) with
+  | Ok () -> Alcotest.failf "expected an issue mentioning %S" fragment
+  | Error issues ->
+      let joined = Spec.Validate.issues_to_string issues in
+      let contains sub =
+        let n = String.length sub in
+        let rec go i =
+          i + n <= String.length joined && (String.sub joined i n = sub || go (i + 1))
+        in
+        go 0
+      in
+      if not (contains fragment) then
+        Alcotest.failf "issues %S do not mention %S" joined fragment
+
+let test_accepts_good_specs () =
+  check_ok "sensor: { maxTries: 3 onFail: skipPath; }";
+  check_ok "send: { maxTries: 3 onFail: skipPath Path: 2; }";
+  check_ok "send: { collect: 1 dpTask: sensor onFail: restartPath Path: 1; }";
+  check_ok "sensor: { dpData: reading Range: [0, 10] onFail: completePath; }";
+  (* non-escaping actions need no Path even on merged tasks *)
+  check_ok "send: { maxDuration: 10ms onFail: skipTask; }"
+
+let test_rejects_unknown_names () =
+  check_issue "not in the application" "ghost: { maxTries: 1 onFail: skipPath; }";
+  check_issue "dpTask \"ghost\""
+    "sensor: { collect: 1 dpTask: ghost onFail: restartPath; }";
+  check_issue "Path 9 does not exist"
+    "sensor: { maxTries: 1 onFail: skipPath Path: 9; }";
+  check_issue "not on path 2" "sensor: { maxTries: 1 onFail: skipPath Path: 2; }"
+
+let test_rejects_ambiguous_path_merge () =
+  (* send lies on two paths: a cross-task property with a path-escaping
+     action needs an explicit Path; self properties do not (their
+     restart/skip targets the current path) *)
+  check_issue "path merging"
+    "send: { collect: 1 dpTask: sensor onFail: restartPath; }";
+  check_issue "path merging"
+    "send: { MITD: 1min dpTask: sensor onFail: restartTask maxAttempt: 2 onFail: restartPath; }";
+  check_ok "send: { maxTries: 2 onFail: skipPath; }"
+
+let test_rejects_duplicate_blocks () =
+  check_issue "duplicate task block"
+    "sensor: { maxTries: 1 onFail: skipTask; }\nsensor: { maxTries: 2 onFail: skipTask; }"
+
+let test_rejects_unmonitored_dp_data () =
+  check_issue "not monitored"
+    "send: { dpData: reading Range: [0, 1] onFail: skipTask; }"
+
+let suite =
+  [
+    Alcotest.test_case "accepts good specs" `Quick test_accepts_good_specs;
+    Alcotest.test_case "unknown names" `Quick test_rejects_unknown_names;
+    Alcotest.test_case "ambiguous path merging" `Quick
+      test_rejects_ambiguous_path_merge;
+    Alcotest.test_case "duplicate blocks" `Quick test_rejects_duplicate_blocks;
+    Alcotest.test_case "unmonitored dpData variable" `Quick
+      test_rejects_unmonitored_dp_data;
+  ]

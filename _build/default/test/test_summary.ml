@@ -1,0 +1,38 @@
+open Artemis
+
+let populated_log () =
+  let r =
+    Artemis_experiments.Config.run_health
+      Artemis_experiments.Config.Artemis_runtime
+      (Artemis_experiments.Config.Intermittent (Time.of_min 6))
+  in
+  Device.log r.Artemis_experiments.Config.device
+
+let test_verdicts () =
+  let log = populated_log () in
+  let verdicts = Summary.verdicts_by_monitor log in
+  Alcotest.(check (option int)) "3 MITD verdicts" (Some 3)
+    (List.assoc_opt "MITD_send_accel" verdicts);
+  Alcotest.(check (option int)) "9 collect restarts" (Some 9)
+    (List.assoc_opt "collect_calcAvg_bodyTemp" verdicts)
+
+let test_sorted_descending () =
+  let attempts = Summary.attempts_by_task (populated_log ()) in
+  let counts = List.map snd attempts in
+  Alcotest.(check (list int)) "descending" (List.sort (fun a b -> compare b a) counts) counts
+
+let test_actions () =
+  let actions = Summary.actions_by_kind (populated_log ()) in
+  Alcotest.(check (option int)) "one maxAttempt skip" (Some 1)
+    (List.assoc_opt "skipPath" actions)
+
+let test_render_empty () =
+  Alcotest.(check string) "empty log renders empty" "" (Summary.render (Log.create ()))
+
+let suite =
+  [
+    Alcotest.test_case "verdicts by monitor" `Quick test_verdicts;
+    Alcotest.test_case "descending order" `Quick test_sorted_descending;
+    Alcotest.test_case "actions by kind" `Quick test_actions;
+    Alcotest.test_case "empty render" `Quick test_render_empty;
+  ]

@@ -1,0 +1,124 @@
+open Artemis
+
+let test_make_validation () =
+  Alcotest.check_raises "empty name" (Invalid_argument "Task.make: empty name")
+    (fun () -> ignore (Task.make ~name:"" ~duration:Time.zero ~power:(Energy.mw 1.) ()));
+  Alcotest.check_raises "negative duration"
+    (Invalid_argument "Task.make: negative duration") (fun () ->
+      ignore
+        (Task.make ~name:"t" ~duration:(Time.of_us (-1)) ~power:(Energy.mw 1.) ()))
+
+let t name = Helpers.simple_task ~name ()
+
+let test_app_validation () =
+  let ok =
+    Task.app ~name:"ok"
+      [
+        { Task.index = 1; tasks = [ t "a"; t "b" ] };
+        { Task.index = 2; tasks = [ t "c" ] };
+      ]
+  in
+  Alcotest.(check bool) "valid app" true (Task.validate ok = Ok ());
+  let empty = Task.app ~name:"empty" [] in
+  Alcotest.(check bool) "no paths" true (Result.is_error (Task.validate empty));
+  let bad_index =
+    Task.app ~name:"bad" [ { Task.index = 2; tasks = [ t "a" ] } ]
+  in
+  Alcotest.(check bool) "bad indices" true (Result.is_error (Task.validate bad_index));
+  let empty_path =
+    Task.app ~name:"bad"
+      [ { Task.index = 1; tasks = [ t "a" ] }; { Task.index = 2; tasks = [] } ]
+  in
+  Alcotest.(check bool) "empty path" true (Result.is_error (Task.validate empty_path))
+
+let test_shared_tasks () =
+  (* the same physical task on two paths is fine (send in the benchmark);
+     two different tasks with the same name are not *)
+  let send = t "send" in
+  let shared =
+    Task.app ~name:"shared"
+      [
+        { Task.index = 1; tasks = [ t "a"; send ] };
+        { Task.index = 2; tasks = [ t "b"; send ] };
+      ]
+  in
+  Alcotest.(check bool) "sharing ok" true (Task.validate shared = Ok ());
+  let clashing =
+    Task.app ~name:"clash"
+      [
+        { Task.index = 1; tasks = [ t "send" ] };
+        { Task.index = 2; tasks = [ t "send" ] };
+      ]
+  in
+  Alcotest.(check bool) "clash rejected" true (Result.is_error (Task.validate clashing))
+
+let test_lookups () =
+  let send = t "send" in
+  let app =
+    Task.app ~name:"app"
+      [
+        { Task.index = 1; tasks = [ t "a"; send ] };
+        { Task.index = 2; tasks = [ t "b"; send ] };
+      ]
+  in
+  Alcotest.(check bool) "find existing" true (Task.find_task app "b" <> None);
+  Alcotest.(check bool) "find missing" true (Task.find_task app "zz" = None);
+  Alcotest.(check (list string)) "unique names in order" [ "a"; "send"; "b" ]
+    (Task.task_names app);
+  Alcotest.(check int) "path count" 2 (Task.path_count app);
+  Alcotest.(check bool) "find path" true (Task.find_path app 2 <> None);
+  Alcotest.(check bool) "missing path" true (Task.find_path app 3 = None)
+
+let test_channel_tx_semantics () =
+  let nvm = Nvm.create () in
+  let ch = Channel.create nvm ~name:"c" ~bytes_per_item:4 ~capacity:3 in
+  Nvm.begin_tx nvm;
+  Channel.push ch 1;
+  Channel.push ch 2;
+  Alcotest.(check (list int)) "read own writes" [ 1; 2 ] (Channel.items ch);
+  Nvm.commit_tx nvm;
+  Nvm.begin_tx nvm;
+  Channel.push ch 3;
+  Nvm.power_failure nvm;
+  Alcotest.(check (list int)) "failure drops uncommitted push" [ 1; 2 ]
+    (Channel.items ch);
+  Nvm.begin_tx nvm;
+  Channel.push ch 3;
+  Channel.push ch 4;
+  Nvm.commit_tx nvm;
+  Alcotest.(check (list int)) "ring drops oldest beyond capacity" [ 2; 3; 4 ]
+    (Channel.items ch);
+  Nvm.begin_tx nvm;
+  let taken = Channel.take_all ch in
+  Nvm.commit_tx nvm;
+  Alcotest.(check (list int)) "take_all returns all" [ 2; 3; 4 ] taken;
+  Alcotest.(check int) "emptied" 0 (Channel.length ch)
+
+let test_health_app_shape () =
+  let nvm = Nvm.create () in
+  let app, _ = Health_app.make nvm in
+  Alcotest.(check bool) "valid" true (Task.validate app = Ok ());
+  Alcotest.(check int) "three paths" 3 (Task.path_count app);
+  Alcotest.(check (list string)) "tasks"
+    [ "bodyTemp"; "calcAvg"; "heartRate"; "send"; "accel"; "classify"; "micSense"; "filter" ]
+    (Task.task_names app);
+  (* the Figure 5 spec parses and validates against the app *)
+  let spec = Spec.Parser.parse_exn Health_app.spec_text in
+  (match Spec.Validate.check app spec with
+  | Ok () -> ()
+  | Error issues -> Alcotest.fail (Spec.Validate.issues_to_string issues));
+  let mayfly_spec = Spec.Parser.parse_exn Health_app.mayfly_spec_text in
+  match Spec.Validate.check app mayfly_spec with
+  | Ok () -> ()
+  | Error issues -> Alcotest.fail (Spec.Validate.issues_to_string issues)
+
+let suite =
+  [
+    Alcotest.test_case "task construction validation" `Quick test_make_validation;
+    Alcotest.test_case "app validation" `Quick test_app_validation;
+    Alcotest.test_case "shared tasks across paths" `Quick test_shared_tasks;
+    Alcotest.test_case "lookups" `Quick test_lookups;
+    Alcotest.test_case "channel transactional semantics" `Quick
+      test_channel_tx_semantics;
+    Alcotest.test_case "health app shape and specs" `Quick test_health_app_shape;
+  ]

@@ -1,0 +1,61 @@
+open Artemis
+
+let check = Alcotest.(check int)
+
+let test_constructors () =
+  check "ms" 1_000 (Time.to_us (Time.of_ms 1));
+  check "sec" 1_000_000 (Time.to_us (Time.of_sec 1));
+  check "min" 60_000_000 (Time.to_us (Time.of_min 1));
+  check "sec_f rounds" 1_500_000 (Time.to_us (Time.of_sec_f 1.5));
+  check "sec_f rounds to nearest us" 1 (Time.to_us (Time.of_sec_f 1.4e-6))
+
+let test_arithmetic () =
+  let a = Time.of_ms 5 and b = Time.of_ms 3 in
+  Alcotest.check Helpers.time "add" (Time.of_ms 8) (Time.add a b);
+  Alcotest.check Helpers.time "sub" (Time.of_ms 2) (Time.sub a b);
+  Alcotest.check Helpers.time "scale" (Time.of_ms 15) (Time.scale a 3);
+  Alcotest.check Helpers.time "divide" (Time.of_us 2_500) (Time.divide a 2);
+  Alcotest.(check bool) "negative" true (Time.is_negative (Time.sub b a))
+
+let test_comparisons () =
+  let a = Time.of_ms 1 and b = Time.of_ms 2 in
+  Alcotest.(check bool) "lt" true Time.(a < b);
+  Alcotest.(check bool) "le refl" true Time.(a <= a);
+  Alcotest.(check bool) "gt" true Time.(b > a);
+  Alcotest.check Helpers.time "min" a (Time.min a b);
+  Alcotest.check Helpers.time "max" b (Time.max a b)
+
+let test_literal () =
+  Alcotest.(check string) "min unit" "5min" (Time.to_literal (Time.of_min 5));
+  Alcotest.(check string) "s unit" "90s" (Time.to_literal (Time.of_sec 90));
+  Alcotest.(check string) "ms unit" "100ms" (Time.to_literal (Time.of_ms 100));
+  Alcotest.(check string) "us unit" "1500us" (Time.to_literal (Time.of_us 1_500));
+  Alcotest.(check string) "zero" "0us" (Time.to_literal Time.zero)
+
+let test_pp_units () =
+  let render t = Format.asprintf "%a" Time.pp t in
+  Alcotest.(check string) "us" "42us" (render (Time.of_us 42));
+  Alcotest.(check string) "ms" "1.50ms" (render (Time.of_us 1_500));
+  Alcotest.(check string) "s" "2.50s" (render (Time.of_ms 2_500));
+  Alcotest.(check string) "min" "2.00min" (render (Time.of_min 2))
+
+let literal_roundtrip =
+  QCheck.Test.make ~name:"to_literal scans back to the same value"
+    ~count:500
+    QCheck.(map Time.of_us (int_bound 10_000_000_000))
+    (fun t ->
+      match
+        Artemis_util.Scanner.tokenize ~puncts:[] (Time.to_literal t)
+      with
+      | [ { token = Artemis_util.Scanner.Duration d; _ }; _ ] -> Time.equal d t
+      | _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "constructors" `Quick test_constructors;
+    Alcotest.test_case "arithmetic" `Quick test_arithmetic;
+    Alcotest.test_case "comparisons" `Quick test_comparisons;
+    Alcotest.test_case "exact literals" `Quick test_literal;
+    Alcotest.test_case "pp adaptive units" `Quick test_pp_units;
+    QCheck_alcotest.to_alcotest literal_roundtrip;
+  ]

@@ -1,0 +1,104 @@
+open Artemis
+module Rt = Remanence_timekeeper
+module Clock = Persistent_clock
+
+let test_bounded_error () =
+  let tk = Rt.create ~seed:3 ~relative_error:0.05 ~max_measurable:(Time.of_min 30) () in
+  for _ = 1 to 200 do
+    let actual = Time.of_sec 120 in
+    let est = Time.to_sec_f (Rt.estimate tk ~actual) in
+    if est < 114. || est > 126. then
+      Alcotest.failf "estimate %.1fs outside the 5%% band" est
+  done
+
+let test_saturation () =
+  let tk = Rt.create ~relative_error:0. ~max_measurable:(Time.of_min 2) () in
+  Alcotest.check Helpers.time "short interval exact" (Time.of_sec 30)
+    (Rt.estimate tk ~actual:(Time.of_sec 30));
+  Alcotest.check Helpers.time "long outage reads as the ceiling" (Time.of_min 2)
+    (Rt.estimate tk ~actual:(Time.of_min 20))
+
+let test_zero_and_validation () =
+  let tk = Rt.create () in
+  Alcotest.check Helpers.time "zero maps to zero" Time.zero
+    (Rt.estimate tk ~actual:Time.zero);
+  Alcotest.check_raises "bad error bound"
+    (Invalid_argument "Remanence_timekeeper.create: relative_error out of [0, 1)")
+    (fun () -> ignore (Rt.create ~relative_error:1.5 ()))
+
+let test_clock_off_estimator () =
+  (* visible time follows the estimator across off periods, ground truth
+     does not *)
+  let clock =
+    Clock.create ~granularity:(Time.of_us 1)
+      ~off_estimator:(fun dt -> Time.divide dt 2)
+      ()
+  in
+  Clock.advance clock (Time.of_sec 1);
+  Clock.advance_off clock (Time.of_sec 10);
+  Alcotest.check Helpers.time "visible undercounts" (Time.of_sec 6) (Clock.now clock);
+  Alcotest.check Helpers.time "ground truth exact" (Time.of_sec 11)
+    (Clock.elapsed_ground_truth clock)
+
+(* The semantic consequence: a timekeeper that saturates below the MITD
+   window lets stale data through. *)
+let mitd_app nvm =
+  ignore nvm;
+  let producer = Helpers.simple_task ~name:"producer" ~ms:100 () in
+  let consumer = Helpers.simple_task ~name:"consumer" ~ms:50 () in
+  Helpers.one_path_app [ producer; consumer ]
+
+let run_with_timekeeper ~off_estimator =
+  let clock = Clock.create ~off_estimator () in
+  let capacitor =
+    Capacitor.create ~capacity:(Energy.mj 1000.) ~on_threshold:(Energy.mj 999.)
+      ~off_threshold:(Energy.mj 1.) ()
+  in
+  let device =
+    Device.create ~capacitor ~clock
+      ~policy:(Charging_policy.Fixed_delay (Time.of_min 6))
+      ()
+  in
+  let app = mitd_app (Device.nvm device) in
+  (* a failure in the gap between the producer's completion (at ~100.7 ms)
+     and the consumer's first start check forces a 6 min outage that the
+     MITD window sees; a failure later, during the consumer, would be
+     absorbed as a same-instance re-start (Section 4.1.3) *)
+  Device.schedule_failure device ~at:(Time.of_us 100_900);
+  let stats =
+    Helpers.run_app device app
+      "consumer: { MITD: 5min dpTask: producer onFail: skipTask; }"
+  in
+  let consumer_skipped =
+    Helpers.count_events device (function
+      | Event.Runtime_action { action = "skipTask"; task = "consumer" } -> true
+      | _ -> false)
+    > 0
+  in
+  (stats, consumer_skipped)
+
+let test_ideal_timekeeper_catches_staleness () =
+  let stats, skipped = run_with_timekeeper ~off_estimator:Rt.ideal in
+  Alcotest.(check bool) "completed" true (Helpers.completed stats);
+  Alcotest.(check bool) "stale consumer vetoed" true skipped
+
+let test_saturating_timekeeper_misses_staleness () =
+  (* the timekeeper tops out at 2 min: the 6 min outage reads as 2 min,
+     inside the 5 min window - the stale data is consumed *)
+  let tk = Rt.create ~relative_error:0. ~max_measurable:(Time.of_min 2) () in
+  let stats, skipped = run_with_timekeeper ~off_estimator:(Rt.as_off_estimator tk) in
+  Alcotest.(check bool) "completed" true (Helpers.completed stats);
+  Alcotest.(check bool) "staleness missed (saturation)" false skipped
+
+let suite =
+  [
+    Alcotest.test_case "bounded relative error" `Quick test_bounded_error;
+    Alcotest.test_case "saturation" `Quick test_saturation;
+    Alcotest.test_case "zero and validation" `Quick test_zero_and_validation;
+    Alcotest.test_case "clock separates visible from ground truth" `Quick
+      test_clock_off_estimator;
+    Alcotest.test_case "ideal timekeeper catches staleness" `Quick
+      test_ideal_timekeeper_catches_staleness;
+    Alcotest.test_case "saturating timekeeper misses staleness" `Quick
+      test_saturating_timekeeper_misses_staleness;
+  ]

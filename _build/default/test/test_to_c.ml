@@ -1,0 +1,143 @@
+open Artemis
+
+let contains s sub =
+  let n = String.length sub in
+  let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let check_contains c fragments =
+  List.iter
+    (fun fragment ->
+      if not (contains c fragment) then
+        Alcotest.failf "generated C lacks %S" fragment)
+    fragments
+
+let benchmark_machines () =
+  To_fsm.spec (Spec.Parser.parse_exn Health_app.spec_text)
+
+let test_machine_shape () =
+  let m =
+    To_fsm.property ~task:"accel" ~name:"maxTries_accel"
+      (Spec.Ast.Max_tries { n = 10; on_fail = Spec.Ast.Skip_path; path = None })
+  in
+  let c = To_c.machine m in
+  check_contains c
+    [
+      "typedef enum";
+      "MAXTRIES_ACCEL_S_NOTSTARTED = 0";
+      "MAXTRIES_ACCEL_S_STARTED = 1";
+      "__fram maxTries_accel_state_t maxTries_accel_state";
+      "int32_t i;";
+      "static void maxTries_accel_step(const MonitorEvent_t *e, MonitorResult_t *r)";
+      "e->kind == EVENT_START_TASK && artemis_task_is(e, \"accel\")";
+      "(maxTries_accel_vars.i >= 10)";
+      "monitor_report(r, ACTION_SKIP_PATH, 0);";
+      "implicit self-transition";
+    ]
+
+let test_time_and_float_literals () =
+  let m =
+    To_fsm.property ~task:"send" ~name:"maxDuration_send"
+      (Spec.Ast.Max_duration
+         { limit = Time.of_ms 100; on_fail = Spec.Ast.Skip_task; path = None })
+  in
+  check_contains (To_c.machine m) [ "100000ULL"; "uint64_t start;" ];
+  let d =
+    To_fsm.property ~task:"calcAvg" ~name:"dpData_calcAvg"
+      (Spec.Ast.Dp_data
+         { var = "avgTemp"; low = 36.; high = 38.; on_fail = Spec.Ast.Complete_path; path = None })
+  in
+  check_contains (To_c.machine d)
+    [ "36.000000f"; "e->depData[0] /* avgTemp */"; "ACTION_COMPLETE_PATH" ]
+
+let test_persistent_vars_in_reinit () =
+  let m =
+    To_fsm.property ~task:"send" ~name:"MITD_send_accel"
+      (Spec.Ast.Mitd
+         {
+           limit = Time.of_min 5;
+           dp_task = "accel";
+           on_fail = Spec.Ast.Restart_path;
+           max_attempt = Some { Spec.Ast.attempts = 3; exhausted = Spec.Ast.Skip_path };
+           path = Some 2;
+         })
+  in
+  let c = To_c.machine m in
+  check_contains c
+    [
+      "int32_t attempts; /* persistent across path restart */";
+      "static void MITD_send_accel_reinit(void)";
+      "MITD_send_accel_vars.endB = 0ULL;";
+      "monitor_report(r, ACTION_SKIP_PATH, 2);";
+      "e->path == 2";
+    ];
+  (* reinit must NOT reset the persistent attempt counter *)
+  let marker = "static void MITD_send_accel_reinit(void)" in
+  let after_reinit =
+    let rec find i =
+      if i + String.length marker > String.length c then
+        Alcotest.fail "reinit not found"
+      else if String.equal (String.sub c i (String.length marker)) marker then
+        String.sub c i (String.length c - i)
+      else find (i + 1)
+    in
+    find 0
+  in
+  let reinit_body =
+    String.sub after_reinit 0
+      (match String.index_opt after_reinit '}' with
+      | Some i -> i
+      | None -> String.length after_reinit)
+  in
+  if contains reinit_body "attempts =" then
+    Alcotest.fail "reinit must preserve the persistent attempts counter"
+
+let test_suite_interface () =
+  let c = To_c.suite (benchmark_machines ()) in
+  check_contains c
+    [
+      "MonitorResult_t callMonitor(MonitorEvent_t e)";
+      "MonitorResult_t monitorFinalize(void)";
+      "void resetMonitor(void)";
+      "void monitor_reinit_for_path_restart(void)";
+      "__fram uint8_t monitor_pc";
+      "_begin();";
+      "_end();";
+      "maxTries_accel_step(&monitor_event, &monitor_result);";
+      "MITD_send_accel_step(&monitor_event, &monitor_result);";
+    ]
+
+let test_text_estimate_and_fram () =
+  let machines = benchmark_machines () in
+  let c = To_c.suite machines in
+  let text = To_c.estimated_text_bytes c in
+  Alcotest.(check bool) "plausible .text" true (text > 1_000 && text < 100_000);
+  (* fram accounting: 2 bytes of state + per-variable sizes *)
+  let mitd = List.find (fun m -> m.Fsm.Ast.machine_name = "MITD_send_accel") machines in
+  Alcotest.(check int) "MITD fram = 2 + 8 (endB) + 4 (attempts)" 14
+    (To_c.fram_bytes mitd)
+
+let test_energy_primitive () =
+  let m =
+    Fsm.Parser.parse_machine_exn
+      {|
+machine guard {
+  initial state S {
+    on startTask(tx) when (energyLevel < 3.4) { fail skipTask; };
+  }
+}
+|}
+  in
+  check_contains (To_c.machine m) [ "artemis_energy_level_mj()" ]
+
+let suite =
+  [
+    Alcotest.test_case "machine shape" `Quick test_machine_shape;
+    Alcotest.test_case "literals" `Quick test_time_and_float_literals;
+    Alcotest.test_case "persistent vars preserved by reinit" `Quick
+      test_persistent_vars_in_reinit;
+    Alcotest.test_case "suite interface" `Quick test_suite_interface;
+    Alcotest.test_case ".text estimate and FRAM accounting" `Quick
+      test_text_estimate_and_fram;
+    Alcotest.test_case "energyLevel primitive" `Quick test_energy_primitive;
+  ]

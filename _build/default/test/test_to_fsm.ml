@@ -1,0 +1,321 @@
+open Artemis
+module S = Spec.Ast
+module F = Fsm.Ast
+module Interp = Fsm.Interp
+
+let compile ?options property ~task =
+  let m = To_fsm.property ?options ~task ~name:"m" property in
+  Fsm.Typecheck.check_exn m;
+  m
+
+let start ?(path = 1) task ts = Helpers.event ~task ~ts ~path ()
+let end_ ?(path = 1) ?(dep_data = []) task ts =
+  Helpers.event ~kind:Fsm.Interp.End ~task ~ts ~path ~dep_data ()
+
+let actions m store events =
+  List.concat_map
+    (fun ev -> List.map (fun (f : Interp.failure) -> f.Interp.action) (Interp.step m store ev))
+    events
+
+let test_max_tries_fires_after_n () =
+  let m = compile (S.Max_tries { n = 3; on_fail = S.Skip_path; path = None }) ~task:"a" in
+  let store = Interp.memory_store m in
+  (* n attempts are allowed; the (n+1)-th start event trips the action *)
+  let ok = actions m store [ start "a" 1; start "a" 2; start "a" 3 ] in
+  Alcotest.(check int) "three attempts fine" 0 (List.length ok);
+  (match actions m store [ start "a" 4 ] with
+  | [ F.Skip_path ] -> ()
+  | _ -> Alcotest.fail "expected skipPath on 4th start");
+  (* completion resets the counter *)
+  let ok2 = actions m store [ start "a" 5; end_ "a" 6; start "a" 7; start "a" 8; start "a" 9 ] in
+  Alcotest.(check int) "reset after completion" 0 (List.length ok2)
+
+let test_max_duration_within_limit () =
+  let m =
+    compile (S.Max_duration { limit = Time.of_ms 100; on_fail = S.Skip_task; path = None })
+      ~task:"a"
+  in
+  let store = Interp.memory_store m in
+  Alcotest.(check int) "fast task ok" 0
+    (List.length (actions m store [ start "a" 0; end_ "a" 80 ]))
+
+let test_max_duration_keeps_first_start_timestamp () =
+  (* Section 4.1.3: re-delivered start events (power-failure restarts) must
+     not refresh the anchor *)
+  let m =
+    compile (S.Max_duration { limit = Time.of_ms 100; on_fail = S.Skip_task; path = None })
+      ~task:"a"
+  in
+  let store = Interp.memory_store m in
+  ignore (Interp.step m store (start "a" 0));
+  (* re-start within the window: absorbed, anchor unchanged *)
+  Alcotest.(check int) "restart absorbed" 0 (List.length (actions m store [ start "a" 50 ]));
+  (* the end comes 120 ms after the FIRST start: violation *)
+  match actions m store [ end_ "a" 120 ] with
+  | [ F.Skip_task ] -> ()
+  | _ -> Alcotest.fail "expected skipTask measured from the first start"
+
+let test_max_duration_any_event_detects_timeout () =
+  let m =
+    compile (S.Max_duration { limit = Time.of_ms 100; on_fail = S.Skip_task; path = None })
+      ~task:"a"
+  in
+  let store = Interp.memory_store m in
+  ignore (Interp.step m store (start "a" 0));
+  (* any event beyond the window reveals the violation (anyEvent trigger) *)
+  match actions m store [ start "b" 500 ] with
+  | [ F.Skip_task ] -> ()
+  | _ -> Alcotest.fail "expected skipTask via anyEvent"
+
+let collect_prop ?(n = 3) () =
+  S.Collect { n; dp_task = "b"; on_fail = S.Restart_path; path = None }
+
+let test_collect_blocks_until_n () =
+  let m = compile (collect_prop ()) ~task:"a" in
+  let store = Interp.memory_store m in
+  (match actions m store [ end_ "b" 1; start "a" 2 ] with
+  | [ F.Restart_path ] -> ()
+  | _ -> Alcotest.fail "1 < 3 should restart the path");
+  (* accumulate across restarts (DESIGN.md decision 1): the counter kept
+     its value, two more completions suffice *)
+  (match actions m store [ end_ "b" 3; end_ "b" 4; start "a" 5 ] with
+  | [] -> ()
+  | _ -> Alcotest.fail "3 items collected: start must pass");
+  Alcotest.check Helpers.value "consumed on success" (F.Vint 0) (store.Interp.get "i")
+
+let test_collect_no_double_consume_on_restart_events () =
+  let m = compile (collect_prop ~n:1 ()) ~task:"a" in
+  let store = Interp.memory_store m in
+  ignore (actions m store [ end_ "b" 1 ]);
+  Alcotest.(check int) "first start passes" 0
+    (List.length (actions m store [ start "a" 2 ]));
+  (* power-failure re-delivery of the start while the task re-executes:
+     absorbed by the Consumed state, no second consume and no failure *)
+  Alcotest.(check int) "re-start absorbed" 0
+    (List.length (actions m store [ start "a" 3 ]));
+  Alcotest.(check int) "completion returns to counting" 0
+    (List.length (actions m store [ end_ "a" 4 ]));
+  match actions m store [ start "a" 5 ] with
+  | [ F.Restart_path ] -> ()
+  | _ -> Alcotest.fail "counter empty again: restart expected"
+
+let test_collect_reset_on_fail_variant () =
+  let options = { To_fsm.collect_reset_on_fail = true } in
+  let m = compile ~options (collect_prop ~n:2 ()) ~task:"a" in
+  let store = Interp.memory_store m in
+  ignore (actions m store [ end_ "b" 1 ]);
+  (match actions m store [ start "a" 2 ] with
+  | [ F.Restart_path ] -> ()
+  | _ -> Alcotest.fail "restart expected");
+  (* the literal Figure 7 machine zeroes the counter on failure *)
+  Alcotest.check Helpers.value "counter zeroed" (F.Vint 0) (store.Interp.get "i")
+
+let mitd_prop ?max_attempt () =
+  S.Mitd
+    { limit = Time.of_sec 2; dp_task = "b"; on_fail = S.Restart_path; max_attempt; path = None }
+
+let test_mitd_on_time () =
+  let m = compile (mitd_prop ()) ~task:"a" in
+  let store = Interp.memory_store m in
+  Alcotest.(check int) "within window" 0
+    (List.length (actions m store [ end_ "b" 0; start "a" 1500 ]))
+
+let test_mitd_violation () =
+  let m = compile (mitd_prop ()) ~task:"a" in
+  let store = Interp.memory_store m in
+  match actions m store [ end_ "b" 0; start "a" 2500 ] with
+  | [ F.Restart_path ] -> ()
+  | _ -> Alcotest.fail "expected restartPath"
+
+let test_mitd_max_attempt_escalates () =
+  let m =
+    compile (mitd_prop ~max_attempt:{ S.attempts = 3; exhausted = S.Skip_path } ())
+      ~task:"a"
+  in
+  let store = Interp.memory_store m in
+  let violate ts_b ts_a = actions m store [ end_ "b" ts_b; start "a" ts_a ] in
+  (match violate 0 3000 with
+  | [ F.Restart_path ] -> ()
+  | _ -> Alcotest.fail "violation 1 restarts");
+  (match violate 4000 8000 with
+  | [ F.Restart_path ] -> ()
+  | _ -> Alcotest.fail "violation 2 restarts");
+  (match violate 9000 13000 with
+  | [ F.Skip_path ] -> ()
+  | _ -> Alcotest.fail "violation 3 skips (maxAttempt)");
+  (* exhausted action resets the attempt counter *)
+  Alcotest.check Helpers.value "attempts reset" (F.Vint 0) (store.Interp.get "attempts")
+
+let test_mitd_success_resets_attempts () =
+  let m =
+    compile (mitd_prop ~max_attempt:{ S.attempts = 2; exhausted = S.Skip_path } ())
+      ~task:"a"
+  in
+  let store = Interp.memory_store m in
+  ignore (actions m store [ end_ "b" 0; start "a" 5000 ]);  (* violation 1 *)
+  ignore (actions m store [ end_ "b" 6000; start "a" 6500 ]);  (* on time *)
+  Alcotest.check Helpers.value "attempts reset on success" (F.Vint 0)
+    (store.Interp.get "attempts");
+  (* the next violation is attempt 1 again, not the exhausting one *)
+  match actions m store [ end_ "b" 10000; start "a" 20000 ] with
+  | [ F.Restart_path ] -> ()
+  | _ -> Alcotest.fail "restart, not skip"
+
+let test_mitd_fresh_end_reanchors () =
+  let m = compile (mitd_prop ()) ~task:"a" in
+  let store = Interp.memory_store m in
+  (* b completes twice; the window is measured from the latest one *)
+  Alcotest.(check int) "re-anchored" 0
+    (List.length (actions m store [ end_ "b" 0; end_ "b" 3000; start "a" 4000 ]))
+
+let period_prop ?max_attempt () =
+  S.Period { interval = Time.of_sec 10; on_fail = S.Restart_path; max_attempt; path = None }
+
+let test_period_on_time () =
+  let m = compile (period_prop ()) ~task:"a" in
+  let store = Interp.memory_store m in
+  Alcotest.(check int) "periodic starts ok" 0
+    (List.length
+       (actions m store
+          [ start "a" 0; end_ "a" 100; start "a" 9000; end_ "a" 9100; start "a" 18500 ]))
+
+let test_period_violation_and_reanchor () =
+  let m = compile (period_prop ()) ~task:"a" in
+  let store = Interp.memory_store m in
+  ignore (actions m store [ start "a" 0; end_ "a" 100 ]);
+  (match actions m store [ start "a" 15_000 ] with
+  | [ F.Restart_path ] -> ()
+  | _ -> Alcotest.fail "late start violates periodicity");
+  (* the late start re-anchors: next on-time start passes *)
+  Alcotest.(check int) "re-anchored" 0
+    (List.length (actions m store [ end_ "a" 15_100; start "a" 20_000 ]))
+
+let test_period_ignores_powerfail_restarts () =
+  let m = compile (period_prop ()) ~task:"a" in
+  let store = Interp.memory_store m in
+  ignore (Interp.step m store (start "a" 0));
+  (* re-delivered starts while the task re-executes: not new instances *)
+  Alcotest.(check int) "restarts absorbed" 0
+    (List.length (actions m store [ start "a" 4000; start "a" 8000; start "a" 12_000 ]))
+
+let test_dp_data_range () =
+  let m =
+    compile
+      (S.Dp_data { var = "avgTemp"; low = 36.; high = 38.; on_fail = S.Complete_path; path = None })
+      ~task:"a"
+  in
+  let store = Interp.memory_store m in
+  Alcotest.(check int) "in range" 0
+    (List.length (actions m store [ end_ ~dep_data:[ ("avgTemp", 37.2) ] "a" 1 ]));
+  (match actions m store [ end_ ~dep_data:[ ("avgTemp", 39.4) ] "a" 2 ] with
+  | [ F.Complete_path ] -> ()
+  | _ -> Alcotest.fail "above range fires");
+  match actions m store [ end_ ~dep_data:[ ("avgTemp", 35.1) ] "a" 3 ] with
+  | [ F.Complete_path ] -> ()
+  | _ -> Alcotest.fail "below range fires"
+
+let test_min_energy () =
+  let m =
+    compile
+      (S.Min_energy { uj = 3_400.; on_fail = S.Skip_task; path = None })
+      ~task:"tx"
+  in
+  let store = Interp.memory_store m in
+  let at_energy mj = { (start "tx" 0) with Fsm.Interp.energy_mj = mj } in
+  Alcotest.(check int) "enough energy" 0
+    (List.length (Interp.step m store (at_energy 10.)));
+  match Interp.step m store (at_energy 2.) with
+  | [ { Interp.action = F.Skip_task; _ } ] -> ()
+  | _ -> Alcotest.fail "low energy must skip the task"
+
+let test_path_filter () =
+  let m =
+    compile
+      (S.Max_tries { n = 1; on_fail = S.Skip_path; path = Some 2 })
+      ~task:"send"
+  in
+  let store = Interp.memory_store m in
+  (* events from path 1 never even enter the machine *)
+  Alcotest.(check int) "path 1 ignored" 0
+    (List.length (actions m store [ start ~path:1 "send" 0; start ~path:1 "send" 1 ]));
+  ignore (actions m store [ start ~path:2 "send" 2 ]);
+  match actions m store [ start ~path:2 "send" 3 ] with
+  | [ F.Skip_path ] -> ()
+  | _ -> Alcotest.fail "path 2 events are monitored"
+
+let test_fail_carries_explicit_path () =
+  let machines =
+    To_fsm.spec
+      (Spec.Parser.parse_exn
+         "send: { collect: 1 dpTask: accel onFail: restartPath Path: 2; }")
+  in
+  let m = List.hd machines in
+  let store = Interp.memory_store m in
+  match Interp.step m store (start ~path:2 "send" 0) with
+  | [ { Interp.target_path = Some 2; action = F.Restart_path; _ } ] -> ()
+  | _ -> Alcotest.fail "explicit Path must be attached to the failure"
+
+let test_spec_compilation_names_unique () =
+  let machines = To_fsm.spec (Spec.Parser.parse_exn Health_app.spec_text) in
+  Alcotest.(check int) "one machine per property" 8 (List.length machines);
+  let names = List.map (fun m -> m.F.machine_name) machines in
+  Alcotest.(check int) "unique names" 8 (List.length (List.sort_uniq String.compare names))
+
+let test_duplicate_property_names_suffixed () =
+  let machines =
+    To_fsm.spec
+      (Spec.Parser.parse_exn
+         "a: { maxTries: 1 onFail: skipTask; maxTries: 2 onFail: skipPath; }")
+  in
+  match List.map (fun m -> m.F.machine_name) machines with
+  | [ "maxTries_a"; "maxTries_a_2" ] -> ()
+  | names -> Alcotest.failf "got %s" (String.concat "," names)
+
+(* every machine compiled from a random well-formed spec typechecks *)
+let compiled_machines_typecheck =
+  QCheck.Test.make ~name:"compiled machines always typecheck" ~count:300
+    (QCheck.make Test_spec.gen_spec)
+    (fun spec ->
+      List.for_all
+        (fun m -> Fsm.Typecheck.check m = Ok ())
+        (To_fsm.spec spec))
+
+let suite =
+  [
+    Alcotest.test_case "maxTries fires after n attempts" `Quick
+      test_max_tries_fires_after_n;
+    Alcotest.test_case "maxDuration within limit" `Quick
+      test_max_duration_within_limit;
+    Alcotest.test_case "maxDuration keeps first start (4.1.3)" `Quick
+      test_max_duration_keeps_first_start_timestamp;
+    Alcotest.test_case "maxDuration detected via anyEvent" `Quick
+      test_max_duration_any_event_detects_timeout;
+    Alcotest.test_case "collect blocks until n" `Quick test_collect_blocks_until_n;
+    Alcotest.test_case "collect: no double consume" `Quick
+      test_collect_no_double_consume_on_restart_events;
+    Alcotest.test_case "collect: reset-on-fail variant" `Quick
+      test_collect_reset_on_fail_variant;
+    Alcotest.test_case "MITD on time" `Quick test_mitd_on_time;
+    Alcotest.test_case "MITD violation" `Quick test_mitd_violation;
+    Alcotest.test_case "MITD maxAttempt escalation" `Quick
+      test_mitd_max_attempt_escalates;
+    Alcotest.test_case "MITD success resets attempts" `Quick
+      test_mitd_success_resets_attempts;
+    Alcotest.test_case "MITD re-anchors on fresh data" `Quick
+      test_mitd_fresh_end_reanchors;
+    Alcotest.test_case "period on time" `Quick test_period_on_time;
+    Alcotest.test_case "period violation re-anchors" `Quick
+      test_period_violation_and_reanchor;
+    Alcotest.test_case "period ignores power-fail restarts" `Quick
+      test_period_ignores_powerfail_restarts;
+    Alcotest.test_case "dpData range" `Quick test_dp_data_range;
+    Alcotest.test_case "minEnergy (4.2.2 extension)" `Quick test_min_energy;
+    Alcotest.test_case "Path filter" `Quick test_path_filter;
+    Alcotest.test_case "fail carries explicit path" `Quick
+      test_fail_carries_explicit_path;
+    Alcotest.test_case "benchmark spec compiles to 8 machines" `Quick
+      test_spec_compilation_names_unique;
+    Alcotest.test_case "name clashes suffixed" `Quick
+      test_duplicate_property_names_suffixed;
+    QCheck_alcotest.to_alcotest compiled_machines_typecheck;
+  ]

@@ -1,0 +1,70 @@
+open Artemis
+
+let test_log_order_and_count () =
+  let log = Log.create () in
+  Log.record log ~at:Time.zero Event.Boot;
+  Log.record log ~at:(Time.of_ms 1) (Event.Task_started { task = "a"; attempt = 1 });
+  Log.record log ~at:(Time.of_ms 2) (Event.Task_completed { task = "a" });
+  Log.record log ~at:(Time.of_ms 3) (Event.Task_started { task = "a"; attempt = 1 });
+  Alcotest.(check int) "length" 4 (Log.length log);
+  Alcotest.(check int) "attempts of a" 2 (Log.task_attempts log ~task:"a");
+  Alcotest.(check int) "attempts of b" 0 (Log.task_attempts log ~task:"b");
+  match Log.events log with
+  | { Event.event = Event.Boot; _ } :: _ -> ()
+  | _ -> Alcotest.fail "events out of order"
+
+let test_timeline_limit () =
+  let log = Log.create () in
+  for i = 1 to 10 do
+    Log.record log ~at:(Time.of_ms i) (Event.Task_started { task = "t"; attempt = i })
+  done;
+  let rendered = Log.render_timeline ~limit:3 log in
+  let lines = String.split_on_char '\n' rendered in
+  Alcotest.(check int) "3 + elision line" 4 (List.length lines);
+  Alcotest.(check string) "elision mentions count" "... (7 more events)"
+    (List.nth lines 3)
+
+let test_event_rendering () =
+  let show e = Event.to_string e in
+  Alcotest.(check string) "reboot" "reboot after 2.00min charging"
+    (show (Event.Reboot { charging_delay = Time.of_min 2 }));
+  Alcotest.(check string) "failure in task" "power failure during send"
+    (show (Event.Power_failure { during_task = Some "send" }));
+  Alcotest.(check string) "verdict"
+    "monitor MITD_send_accel: violation at send -> restartPath"
+    (show
+       (Event.Monitor_verdict
+          { monitor = "MITD_send_accel"; task = "send"; action = "restartPath" }))
+
+let test_stats_helpers () =
+  let stats =
+    {
+      Stats.outcome = Stats.Completed;
+      total_time = Time.of_sec 10;
+      off_time = Time.of_sec 4;
+      app_time = Time.of_sec 5;
+      runtime_overhead = Time.of_ms 600;
+      monitor_overhead = Time.of_ms 400;
+      energy_total = Energy.mj 3.;
+      energy_app = Energy.mj 2.;
+      energy_runtime = Energy.mj 0.5;
+      energy_monitor = Energy.mj 0.5;
+      power_failures = 2;
+      reboots = 2;
+      task_executions = 5;
+      task_completions = 3;
+      path_restarts = 1;
+      path_skips = 0;
+    }
+  in
+  Alcotest.(check bool) "completed" true (Stats.completed stats);
+  Alcotest.check Helpers.time "active" (Time.of_sec 6) (Stats.active_time stats);
+  Alcotest.check Helpers.time "overhead" (Time.of_sec 1) (Stats.overhead_time stats)
+
+let suite =
+  [
+    Alcotest.test_case "log order and counting" `Quick test_log_order_and_count;
+    Alcotest.test_case "timeline limit" `Quick test_timeline_limit;
+    Alcotest.test_case "event rendering" `Quick test_event_rendering;
+    Alcotest.test_case "stats helpers" `Quick test_stats_helpers;
+  ]
