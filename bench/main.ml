@@ -4,7 +4,13 @@
 
    Absolute numbers come from the simulator's calibrated cost model; the
    reproduction target is the paper's shape: who wins, by how much, where
-   the crossovers are.  EXPERIMENTS.md records paper-vs-measured. *)
+   the crossovers are.  EXPERIMENTS.md records paper-vs-measured.
+
+   Usage: main.exe [--fast] [--json FILE] [--skip-reproduce]
+     --fast            trim bechamel quota and sweep sizes (CI smoke run)
+     --json FILE       write machine-readable results (kernel timings,
+                       engine speedups, scalability sweeps) to FILE
+     --skip-reproduce  skip the figure/table regeneration *)
 
 open Artemis_experiments
 
@@ -40,17 +46,89 @@ let reproduce_all () =
     (Harvester_study.render (Harvester_study.run ()));
   section "Scalability: monitor overhead vs deployed property count (P3)"
     (Scalability.render (Scalability.run ()));
+  section "Scalability: non-watching properties (task-indexed dispatch)"
+    (Scalability.render_non_watching (Scalability.run_non_watching ()));
   section "Yield study: reactive soil station, 20 rounds per harvest level"
     (Yield_study.render (Yield_study.run ()))
 
-(* --- Bechamel micro-benchmarks over the experiment kernels --- *)
+(* --- engine comparison kernels (interpreted AST walker vs deploy-time
+   compiled closures) --- *)
+
+module A = Artemis
+module F = A.Fsm.Ast
+module Interp = A.Fsm.Interp
+module Compile = A.Fsm.Compile
+
+(* a synthetic trace over the benchmark's real task set; every end event
+   carries the payloads any machine might read *)
+let kernel_trace =
+  let tasks =
+    [ "bodyTemp"; "calcAvg"; "heartRate"; "accel"; "classify"; "micSense";
+      "filter"; "send" ]
+  in
+  List.concat
+    (List.mapi
+       (fun i task ->
+         let ts n = A.Time.of_ms (200 * ((2 * i) + n)) in
+         [
+           { Interp.kind = Interp.Start; task; timestamp = ts 0; path = 1;
+             dep_data = []; energy_mj = 20. };
+           { Interp.kind = Interp.End; task; timestamp = ts 1; path = 1;
+             dep_data = [ ("avgTemp", 36.5) ]; energy_mj = 19. };
+         ])
+       tasks)
+
+(* per-machine stepping: one benchmark machine, memory-backed stores *)
+let fsm_step_kernels () =
+  let machines = Scalability.replicated_machines 1 in
+  let compiled = List.map Compile.compile machines in
+  let istores = List.map Interp.memory_store machines in
+  let cstores = List.map Compile.memory_store compiled in
+  let interp () =
+    List.iter
+      (fun ev ->
+        List.iter2 (fun m s -> ignore (Interp.step m s ev)) machines istores)
+      kernel_trace
+  in
+  let comp () =
+    List.iter
+      (fun ev ->
+        List.iter2 (fun c s -> ignore (Compile.step c s ev)) compiled cstores)
+      kernel_trace
+  in
+  (interp, comp)
+
+(* suite-level dispatch at the paper's 8x replication: the seed design
+   (interpreted machines, every monitor stepped per event) against the
+   fast path (compiled closures, task-indexed dispatch) *)
+let dispatch8_kernels () =
+  let machines = Scalability.replicated_machines 8 in
+  let s_interp =
+    Artemis_monitor.Suite.create ~engine:A.Monitor.Interpreted (A.Nvm.create ())
+      machines
+  in
+  let s_comp =
+    Artemis_monitor.Suite.create ~engine:A.Monitor.Compiled (A.Nvm.create ())
+      machines
+  in
+  let interp () =
+    List.iter
+      (fun ev -> ignore (A.Suite.step_all_unindexed s_interp ev))
+      kernel_trace
+  in
+  let comp () =
+    List.iter (fun ev -> ignore (A.Suite.step_all s_comp ev)) kernel_trace
+  in
+  (interp, comp)
+
+(* --- Bechamel micro-benchmarks --- *)
 
 open Bechamel
 open Toolkit
 
 let stagedf f = Staged.stage f
 
-let tests =
+let experiment_tests =
   Test.make_grouped ~name:"experiments"
     [
       Test.make ~name:"fig12-one-delay"
@@ -89,17 +167,35 @@ let tests =
       Test.make ~name:"table3-features" (stagedf (fun () -> ignore (Table3.render ())));
     ]
 
-let benchmark () =
+let engine_tests =
+  let fsm_i, fsm_c = fsm_step_kernels () in
+  let d8_i, d8_c = dispatch8_kernels () in
+  Test.make_grouped ~name:"engine"
+    [
+      Test.make ~name:"fsm-step-interpreted" (stagedf fsm_i);
+      Test.make ~name:"fsm-step-compiled" (stagedf fsm_c);
+      Test.make ~name:"dispatch8-interpreted" (stagedf d8_i);
+      Test.make ~name:"dispatch8-compiled" (stagedf d8_c);
+    ]
+
+let run_bechamel ~fast tests =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
   let instances = Instance.[ monotonic_clock ] in
-  let cfg =
-    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:(Some 100) ()
-  in
+  let quota = Time.second (if fast then 0.1 else 0.5) in
+  let cfg = Benchmark.cfg ~limit:200 ~quota ~kde:(Some 100) () in
   let raw = Benchmark.all cfg instances tests in
-  let results = Analyze.all ols Instance.monotonic_clock raw in
-  Printf.printf "\n=== Bechamel micro-benchmarks (ns per kernel run) ===\n";
+  Analyze.all ols Instance.monotonic_clock raw
+
+let estimate_ns results name =
+  match Hashtbl.find_opt results name with
+  | None -> None
+  | Some ols -> (
+      match Analyze.OLS.estimates ols with Some [ e ] -> Some e | _ -> None)
+
+let print_results header results =
+  Printf.printf "\n=== %s (ns per kernel run) ===\n" header;
   let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
   List.iter
     (fun (name, ols) ->
@@ -117,6 +213,110 @@ let benchmark () =
     (List.sort (fun (a, _) (b, _) -> String.compare a b) rows);
   flush stdout
 
+(* --- machine-readable output (hand-rolled JSON; no deps) --- *)
+
+let speedup results pair =
+  match (estimate_ns results (pair ^ "-interpreted"),
+         estimate_ns results (pair ^ "-compiled"))
+  with
+  | Some i, Some c when c > 0. -> Some (i, c, i /. c)
+  | _ -> None
+
+let json_of_engine results pair =
+  match speedup results pair with
+  | None -> Printf.sprintf {|    %S: null|} pair
+  | Some (i, c, s) ->
+      Printf.sprintf
+        {|    %S: { "interpreted_ns": %.0f, "compiled_ns": %.0f, "speedup": %.2f }|}
+        pair i c s
+
+let json_of_scalability rows =
+  String.concat ",\n"
+    (List.map
+       (fun (r : Scalability.row) ->
+         Printf.sprintf
+           {|    { "copies": %d, "monitors": %d, "monitor_ms": %.3f, "app_s": %.3f, "monitor_fram": %d }|}
+           r.Scalability.copies r.Scalability.monitors r.Scalability.monitor_ms
+           r.Scalability.app_s r.Scalability.monitor_fram)
+       rows)
+
+let json_of_non_watching rows =
+  String.concat ",\n"
+    (List.map
+       (fun (r : Scalability.non_watching_row) ->
+         Printf.sprintf
+           {|    { "extra": %d, "monitors": %d, "monitor_ms": %.3f, "monitor_fram": %d }|}
+           r.Scalability.extra r.Scalability.total_monitors
+           r.Scalability.nw_monitor_ms r.Scalability.nw_monitor_fram)
+       rows)
+
+let write_json ~file results ~scalability ~non_watching =
+  let oc = open_out file in
+  Printf.fprintf oc
+    {|{
+  "bench": "compiled monitor fast path (PR1)",
+  "engine_kernels": {
+%s,
+%s
+  },
+  "scalability": [
+%s
+  ],
+  "non_watching": [
+%s
+  ]
+}
+|}
+    (json_of_engine results "engine/fsm-step")
+    (json_of_engine results "engine/dispatch8")
+    (json_of_scalability scalability)
+    (json_of_non_watching non_watching);
+  close_out oc;
+  Printf.printf "\nwrote %s\n" file
+
 let () =
-  reproduce_all ();
-  benchmark ()
+  let fast = ref false and json = ref None and skip_reproduce = ref false in
+  let rec parse = function
+    | [] -> ()
+    | "--fast" :: rest ->
+        fast := true;
+        parse rest
+    | "--skip-reproduce" :: rest ->
+        skip_reproduce := true;
+        parse rest
+    | "--json" :: file :: rest ->
+        json := Some file;
+        parse rest
+    | arg :: _ ->
+        Printf.eprintf
+          "unknown argument %S\nusage: %s [--fast] [--json FILE] [--skip-reproduce]\n"
+          arg Sys.argv.(0);
+        exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  if not (!fast || !skip_reproduce) then reproduce_all ();
+  let engine_results = run_bechamel ~fast:!fast engine_tests in
+  print_results "Engine comparison: interpreted vs compiled" engine_results;
+  (match speedup engine_results "engine/fsm-step" with
+  | Some (_, _, s) -> Printf.printf "fsm-step speedup: %.2fx\n" s
+  | None -> ());
+  (match speedup engine_results "engine/dispatch8" with
+  | Some (_, _, s) -> Printf.printf "dispatch8 speedup: %.2fx\n" s
+  | None -> ());
+  let experiment_results =
+    if !fast then None
+    else begin
+      let r = run_bechamel ~fast:false experiment_tests in
+      print_results "Bechamel micro-benchmarks" r;
+      Some r
+    end
+  in
+  ignore experiment_results;
+  match !json with
+  | None -> ()
+  | Some file ->
+      let factors = if !fast then [ 1; 2 ] else [ 1; 2; 4; 8 ] in
+      let extras = if !fast then [ 0; 8 ] else [ 0; 8; 32; 128 ] in
+      let scalability = Scalability.run ~factors () in
+      let non_watching = Scalability.run_non_watching ~extras () in
+      write_json ~file engine_results ~scalability ~non_watching

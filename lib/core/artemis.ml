@@ -48,6 +48,7 @@ module Fsm = struct
   module Printer = Artemis_fsm.Printer
   module Typecheck = Artemis_fsm.Typecheck
   module Interp = Artemis_fsm.Interp
+  module Compile = Artemis_fsm.Compile
   module Explore = Artemis_fsm.Explore
 end
 
@@ -84,13 +85,16 @@ let compile_exn ?options ?app spec_text =
   | Ok machines -> machines
   | Error msg -> failwith msg
 
-(** Allocate the application-specific monitors on a device's FRAM. *)
-let deploy device machines = Suite.create (Device.nvm device) machines
+(** Allocate the application-specific monitors on a device's FRAM.
+    [engine] selects the execution backend (default: deploy-time compiled
+    closures; [Monitor.Interpreted] keeps the AST interpreter). *)
+let deploy ?engine device machines =
+  Suite.create ?engine (Device.nvm device) machines
 
 (** Full front-to-back pipeline: parse, validate against [app], compile to
     machines, deploy on [device]. *)
-let compile_and_deploy_exn ?options device app spec_text =
-  deploy device (compile_exn ?options ~app spec_text)
+let compile_and_deploy_exn ?options ?engine device app spec_text =
+  deploy ?engine device (compile_exn ?options ~app spec_text)
 
 (** Generated monitor translation unit (Section 4.2). *)
 let generate_monitor_c ?options spec_text =

@@ -22,11 +22,11 @@ let replicated_machines k =
         base)
     (List.init k Fun.id)
 
-let run_with_copies copies =
+let run_with_copies ?engine copies =
   let device = Config.device Config.Continuous in
   let app, _ = Health_app.make (Device.nvm device) in
   let machines = replicated_machines copies in
-  let suite = deploy device machines in
+  let suite = deploy ?engine device machines in
   let stats = Runtime.run device app suite in
   {
     copies;
@@ -36,7 +36,8 @@ let run_with_copies copies =
     monitor_fram = Nvm.footprint (Device.nvm device) ~kind:Nvm.Fram ~region:Nvm.Monitor;
   }
 
-let run ?(factors = [ 1; 2; 4; 8 ]) () = List.map run_with_copies factors
+let run ?engine ?(factors = [ 1; 2; 4; 8 ]) () =
+  List.map (run_with_copies ?engine) factors
 
 let render rows =
   let table =
@@ -53,6 +54,80 @@ let render rows =
           Printf.sprintf "%.2f" r.monitor_ms;
           Printf.sprintf "%.3f" r.app_s;
           string_of_int r.monitor_fram;
+        ])
+    rows;
+  Table.render table
+
+(* --- non-watching properties --- *)
+
+(* A deployed property whose machine names only tasks the application
+   never runs: with task-indexed dispatch it is never invoked, so its
+   only cost is FRAM.  This is the sweep the indexed hot path is judged
+   on - monitor overhead must stay flat as these are piled on. *)
+let non_watching_machine i =
+  let task = Printf.sprintf "ghostTask%d" i in
+  {
+    Fsm.Ast.machine_name = Printf.sprintf "ghost%d" i;
+    vars = [ { Fsm.Ast.var_name = "n"; ty = Fsm.Ast.Tint;
+               init = Fsm.Ast.Vint 0; persistent = false } ];
+    initial = "Idle";
+    states =
+      [
+        {
+          Fsm.Ast.state_name = "Idle";
+          transitions =
+            [
+              {
+                Fsm.Ast.trigger = Fsm.Ast.On_start task;
+                guard = None;
+                body = [ Fsm.Ast.Assign ("n", Fsm.Ast.Binop (Fsm.Ast.Add, Fsm.Ast.Var "n", Fsm.Ast.Lit (Fsm.Ast.Vint 1))) ];
+                target = "Idle";
+              };
+            ];
+        };
+      ];
+  }
+
+type non_watching_row = {
+  extra : int;  (** non-watching properties deployed on top of the base set *)
+  total_monitors : int;
+  nw_monitor_ms : float;
+  nw_monitor_fram : int;
+}
+
+let run_with_extras ?engine extra =
+  let device = Config.device Config.Continuous in
+  let app, _ = Health_app.make (Device.nvm device) in
+  let machines =
+    replicated_machines 1 @ List.init extra non_watching_machine
+  in
+  let suite = deploy ?engine device machines in
+  let stats = Runtime.run device app suite in
+  {
+    extra;
+    total_monitors = List.length machines;
+    nw_monitor_ms = Time.to_ms_f stats.Stats.monitor_overhead;
+    nw_monitor_fram =
+      Nvm.footprint (Device.nvm device) ~kind:Nvm.Fram ~region:Nvm.Monitor;
+  }
+
+let run_non_watching ?engine ?(extras = [ 0; 8; 32; 128 ]) () =
+  List.map (run_with_extras ?engine) extras
+
+let render_non_watching rows =
+  let table =
+    Table.create
+      ~headers:
+        [ "non-watching extras"; "monitors"; "monitor overhead (ms)"; "monitor FRAM (B)" ]
+  in
+  List.iter
+    (fun r ->
+      Table.add_row table
+        [
+          string_of_int r.extra;
+          string_of_int r.total_monitors;
+          Printf.sprintf "%.2f" r.nw_monitor_ms;
+          string_of_int r.nw_monitor_fram;
         ])
     rows;
   Table.render table

@@ -1,0 +1,311 @@
+open Artemis_util
+open Ast
+
+type store = {
+  get : int -> value;
+  set : int -> value -> unit;
+  get_state : unit -> int;
+  set_state : int -> unit;
+}
+
+(* A compiled transition: guard and body are closures over the slot store,
+   the target is an interned state id. *)
+type ctrans = {
+  guard : (store -> Interp.event -> value) option;
+  body : store -> Interp.event -> Interp.failure list ref -> unit;
+  target : int;
+}
+
+(* Per-state dispatch: [start_index]/[end_index] map a task name to the
+   declaration-ordered transitions that can fire for that (kind, task) -
+   the task's own triggers merged with the state's [On_any] triggers.
+   Tasks absent from the index can only fire [On_any] transitions
+   ([any_only]). *)
+type cstate = {
+  start_index : (string, ctrans array) Hashtbl.t;
+  end_index : (string, ctrans array) Hashtbl.t;
+  any_only : ctrans array;
+}
+
+type t = {
+  machine : machine;
+  state_names : string array;
+  state_ids : (string, int) Hashtbl.t;
+  var_decl_arr : var_decl array;
+  var_ids : (string, int) Hashtbl.t;
+  initial : int;
+  states : cstate array;
+  watched : string list;  (* distinct, first-mention order *)
+  watched_tbl : (string, unit) Hashtbl.t;
+  any_event : bool;
+}
+
+let machine t = t.machine
+let name t = t.machine.machine_name
+let state_count t = Array.length t.state_names
+let state_name t i = t.state_names.(i)
+let state_id t n = Hashtbl.find t.state_ids n
+let initial_state t = t.initial
+let var_count t = Array.length t.var_decl_arr
+let var_name t i = t.var_decl_arr.(i).var_name
+let var_id t n = Hashtbl.find t.var_ids n
+let var_decls t = t.var_decl_arr
+let watched_tasks t = t.watched
+let watches_any_event t = t.any_event
+let mentions_task t task = t.any_event || Hashtbl.mem t.watched_tbl task
+
+let pp_event_key ppf (kind, task) =
+  match (kind : Interp.event_kind) with
+  | Interp.Start -> Format.fprintf ppf "startTask(%s)" task
+  | Interp.End -> Format.fprintf ppf "endTask(%s)" task
+
+let error fmt =
+  Format.kasprintf (fun s -> raise (Interp.Runtime_error s)) fmt
+
+(* --- expression compilation --- *)
+
+(* The typechecker rules out static type errors, so the fast paths below
+   cover every well-typed case they match; anything else (remaining valid
+   shapes like time arithmetic, and genuine dynamic errors) falls back to
+   [Interp.eval_binop], the single source of operator semantics and error
+   messages. *)
+let rec compile_expr var_ids (e : expr) : store -> Interp.event -> value =
+  match e with
+  | Lit v -> fun _ _ -> v
+  | Var x ->
+      let slot = Hashtbl.find var_ids x in
+      fun s _ -> s.get slot
+  | Timestamp -> fun _ ev -> Vtime ev.Interp.timestamp
+  | Event_path -> fun _ ev -> Vint ev.Interp.path
+  | Dep_data x ->
+      fun _ ev -> (
+        match List.assoc_opt x ev.Interp.dep_data with
+        | Some f -> Vfloat f
+        | None -> error "event carries no data for %S" x)
+  | Energy_level -> fun _ ev -> Vfloat ev.Interp.energy_mj
+  | Unop (Neg, e) -> (
+      let f = compile_expr var_ids e in
+      fun s ev ->
+        match f s ev with
+        | Vint n -> Vint (-n)
+        | Vfloat x -> Vfloat (-.x)
+        | Vtime t -> Vtime (Time.sub Time.zero t)
+        | Vbool _ -> error "cannot negate a bool")
+  | Unop (Not, e) ->
+      let f = compile_expr var_ids e in
+      fun s ev -> Vbool (not (Interp.as_bool (f s ev)))
+  | Binop (And, a, b) ->
+      (* short-circuit, like the interpreter and the generated C *)
+      let fa = compile_expr var_ids a and fb = compile_expr var_ids b in
+      fun s ev -> if Interp.as_bool (fa s ev) then fb s ev else Vbool false
+  | Binop (Or, a, b) ->
+      let fa = compile_expr var_ids a and fb = compile_expr var_ids b in
+      fun s ev -> if Interp.as_bool (fa s ev) then Vbool true else fb s ev
+  | Binop (op, a, b) -> (
+      let fa = compile_expr var_ids a and fb = compile_expr var_ids b in
+      match op with
+      | Add -> (
+          fun s ev ->
+            match (fa s ev, fb s ev) with
+            | Vint x, Vint y -> Vint (x + y)
+            | Vfloat x, Vfloat y -> Vfloat (x +. y)
+            | va, vb -> Interp.eval_binop Add va vb)
+      | Sub -> (
+          fun s ev ->
+            match (fa s ev, fb s ev) with
+            | Vint x, Vint y -> Vint (x - y)
+            | Vfloat x, Vfloat y -> Vfloat (x -. y)
+            | va, vb -> Interp.eval_binop Sub va vb)
+      | Mul -> (
+          fun s ev ->
+            match (fa s ev, fb s ev) with
+            | Vint x, Vint y -> Vint (x * y)
+            | Vfloat x, Vfloat y -> Vfloat (x *. y)
+            | va, vb -> Interp.eval_binop Mul va vb)
+      | Lt -> (
+          fun s ev ->
+            match (fa s ev, fb s ev) with
+            | Vint x, Vint y -> Vbool (x < y)
+            | Vfloat x, Vfloat y -> Vbool (x < y)
+            | va, vb -> Interp.eval_binop Lt va vb)
+      | Le -> (
+          fun s ev ->
+            match (fa s ev, fb s ev) with
+            | Vint x, Vint y -> Vbool (x <= y)
+            | Vfloat x, Vfloat y -> Vbool (x <= y)
+            | va, vb -> Interp.eval_binop Le va vb)
+      | Gt -> (
+          fun s ev ->
+            match (fa s ev, fb s ev) with
+            | Vint x, Vint y -> Vbool (x > y)
+            | Vfloat x, Vfloat y -> Vbool (x > y)
+            | va, vb -> Interp.eval_binop Gt va vb)
+      | Ge -> (
+          fun s ev ->
+            match (fa s ev, fb s ev) with
+            | Vint x, Vint y -> Vbool (x >= y)
+            | Vfloat x, Vfloat y -> Vbool (x >= y)
+            | va, vb -> Interp.eval_binop Ge va vb)
+      | Eq | Ne | Div | Mod ->
+          fun s ev -> Interp.eval_binop op (fa s ev) (fb s ev)
+      | And | Or -> assert false (* handled above *))
+
+(* --- statement compilation --- *)
+
+let rec compile_stmt var_ids machine_name = function
+  | Assign (x, e) ->
+      let slot = Hashtbl.find var_ids x in
+      let f = compile_expr var_ids e in
+      fun s ev _acc -> s.set slot (f s ev)
+  | If (cond, then_, else_) ->
+      let fc = compile_expr var_ids cond
+      and ft = compile_stmts var_ids machine_name then_
+      and fe = compile_stmts var_ids machine_name else_ in
+      fun s ev acc ->
+        if Interp.as_bool (fc s ev) then ft s ev acc else fe s ev acc
+  | Fail (action, target_path) ->
+      (* the failure record is fully known at compile time *)
+      let failure =
+        { Interp.failed_machine = machine_name; action; target_path }
+      in
+      fun _ _ acc -> acc := failure :: !acc
+
+and compile_stmts var_ids machine_name stmts =
+  match Array.of_list (List.map (compile_stmt var_ids machine_name) stmts) with
+  | [||] -> fun _ _ _ -> ()
+  | [| f |] -> f
+  | fs -> fun s ev acc -> Array.iter (fun f -> f s ev acc) fs
+
+(* --- state dispatch tables --- *)
+
+let compile_state var_ids state_ids machine_name (s : state) =
+  let compiled =
+    List.map
+      (fun tr ->
+        ( tr.trigger,
+          {
+            guard = Option.map (compile_expr var_ids) tr.guard;
+            body = compile_stmts var_ids machine_name tr.body;
+            target = Hashtbl.find state_ids tr.target;
+          } ))
+      s.transitions
+  in
+  let candidates pred =
+    Array.of_list (List.filter_map (fun (trg, c) -> if pred trg then Some c else None) compiled)
+  in
+  let tasks_of pick =
+    List.filter_map (fun (trg, _) -> pick trg) compiled
+    |> List.sort_uniq String.compare
+  in
+  let start_tasks =
+    tasks_of (function On_start t -> Some t | On_end _ | On_any -> None)
+  in
+  let end_tasks =
+    tasks_of (function On_end t -> Some t | On_start _ | On_any -> None)
+  in
+  let start_index = Hashtbl.create (max 1 (List.length start_tasks)) in
+  List.iter
+    (fun task ->
+      Hashtbl.replace start_index task
+        (candidates (function
+          | On_start t -> String.equal t task
+          | On_any -> true
+          | On_end _ -> false)))
+    start_tasks;
+  let end_index = Hashtbl.create (max 1 (List.length end_tasks)) in
+  List.iter
+    (fun task ->
+      Hashtbl.replace end_index task
+        (candidates (function
+          | On_end t -> String.equal t task
+          | On_any -> true
+          | On_start _ -> false)))
+    end_tasks;
+  {
+    start_index;
+    end_index;
+    any_only = candidates (function On_any -> true | On_start _ | On_end _ -> false);
+  }
+
+let compile (m : machine) =
+  Typecheck.check_exn m;
+  let state_names = Array.of_list (List.map (fun s -> s.state_name) m.states) in
+  let state_ids = Hashtbl.create (Array.length state_names) in
+  Array.iteri (fun i n -> Hashtbl.replace state_ids n i) state_names;
+  let var_decl_arr = Array.of_list m.vars in
+  let var_ids = Hashtbl.create (max 1 (Array.length var_decl_arr)) in
+  Array.iteri (fun i v -> Hashtbl.replace var_ids v.var_name i) var_decl_arr;
+  let states =
+    Array.of_list
+      (List.map (compile_state var_ids state_ids m.machine_name) m.states)
+  in
+  let watched_tbl = Hashtbl.create 8 in
+  let watched = ref [] in
+  let any_event = ref false in
+  List.iter
+    (fun s ->
+      List.iter
+        (fun tr ->
+          match tr.trigger with
+          | On_start t | On_end t ->
+              if not (Hashtbl.mem watched_tbl t) then begin
+                Hashtbl.replace watched_tbl t ();
+                watched := t :: !watched
+              end
+          | On_any -> any_event := true)
+        s.transitions)
+    m.states;
+  {
+    machine = m;
+    state_names;
+    state_ids;
+    var_decl_arr;
+    var_ids;
+    initial = Hashtbl.find state_ids m.initial;
+    states;
+    watched = List.rev !watched;
+    watched_tbl;
+    any_event = !any_event;
+  }
+
+(* --- execution --- *)
+
+let memory_store t =
+  let vars = Array.map (fun v -> v.init) t.var_decl_arr in
+  let state = ref t.initial in
+  {
+    get = (fun i -> vars.(i));
+    set = (fun i v -> vars.(i) <- v);
+    get_state = (fun () -> !state);
+    set_state = (fun s -> state := s);
+  }
+
+let step t store (event : Interp.event) =
+  let cstate = t.states.(store.get_state ()) in
+  let candidates =
+    let index =
+      match event.Interp.kind with
+      | Interp.Start -> cstate.start_index
+      | Interp.End -> cstate.end_index
+    in
+    match Hashtbl.find_opt index event.Interp.task with
+    | Some trs -> trs
+    | None -> cstate.any_only
+  in
+  let n = Array.length candidates in
+  let rec first i =
+    if i >= n then None
+    else
+      let tr = candidates.(i) in
+      match tr.guard with
+      | None -> Some tr
+      | Some g ->
+          if Interp.as_bool (g store event) then Some tr else first (i + 1)
+  in
+  match first 0 with
+  | None -> []  (* implicit self-transition *)
+  | Some tr ->
+      let failures = ref [] in
+      tr.body store event failures;
+      store.set_state tr.target;
+      List.rev !failures

@@ -1,0 +1,86 @@
+(** One-time compilation of intermediate-language machines into a fast
+    executable form (the deploy-time counterpart of the generated C of
+    Section 4.2: pay for static precomputation once, keep the per-event
+    path tight).
+
+    Compilation interns state and variable names to dense integer ids,
+    resolves every [Var]/[Assign] to an array slot, translates
+    expressions, guards and statement bodies into OCaml closures, and
+    precomputes a per-state [(task, Start|End) -> transition candidates]
+    table.  The per-event path then performs no list scans, no string
+    comparisons for state or variable lookup, and never re-traverses the
+    AST: trigger dispatch is one hash lookup, variable access is one
+    array index.
+
+    {!Interp} remains the reference semantics: for every machine, store
+    and event trace, {!step} is observationally equivalent to
+    {!Interp.step} (same states, same variable values, same failures,
+    same dynamic errors) - enforced by the differential tests. *)
+
+type t
+(** A compiled machine. *)
+
+type store = {
+  get : int -> Ast.value;       (** read the variable in a slot *)
+  set : int -> Ast.value -> unit;
+  get_state : unit -> int;      (** current state as an interned id *)
+  set_state : int -> unit;
+}
+(** Slot-indexed store: the compiled analogue of {!Interp.store}.  Slots
+    are variable declaration order; state ids are state declaration
+    order. *)
+
+val compile : Ast.machine -> t
+(** Typecheck and compile.  @raise Failure if the machine is ill-typed
+    (same behaviour as {!Typecheck.check_exn}). *)
+
+val machine : t -> Ast.machine
+(** The source machine (unchanged). *)
+
+val name : t -> string
+
+(** {2 Interning tables} *)
+
+val state_count : t -> int
+val state_name : t -> int -> string
+val state_id : t -> string -> int
+(** @raise Not_found for an unknown state name. *)
+
+val initial_state : t -> int
+
+val var_count : t -> int
+val var_name : t -> int -> string
+val var_id : t -> string -> int
+(** @raise Not_found for an unknown variable name. *)
+
+val var_decls : t -> Ast.var_decl array
+(** Declarations in slot order (slot [i] holds variable
+    [(var_decls t).(i)]). *)
+
+(** {2 Execution} *)
+
+val memory_store : t -> store
+(** Fresh array-backed store initialized from the declarations. *)
+
+val step : t -> store -> Interp.event -> Interp.failure list
+(** Process one event; first trigger-and-guard-matching transition of the
+    current state fires, in declaration order, exactly as
+    {!Interp.step}.  @raise Interp.Runtime_error on the same dynamic
+    errors (missing [data(x)] payload, division by zero). *)
+
+(** {2 Static trigger information} *)
+
+val watched_tasks : t -> string list
+(** Distinct task names appearing in [On_start]/[On_end] triggers, in
+    first-mention order. *)
+
+val watches_any_event : t -> bool
+(** Whether any transition uses the [On_any] trigger (such a machine
+    watches every task). *)
+
+val mentions_task : t -> string -> bool
+(** O(1) equivalent of {!Interp.mentions_task}: hash lookup, and [true]
+    for every task when the machine uses [On_any]. *)
+
+val pp_event_key : Format.formatter -> Interp.event_kind * string -> unit
+(** Diagnostics: render a dispatch key as [startTask(t)]/[endTask(t)]. *)

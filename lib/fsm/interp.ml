@@ -146,6 +146,9 @@ let step m store event =
       store.set_state tr.target);
   List.rev !failures
 
+(* An [On_any] trigger fires on every task's events, so such a machine
+   watches every task: path restarts must re-initialize it no matter which
+   tasks the path contains. *)
 let mentions_task m task =
   List.exists
     (fun s ->
@@ -153,6 +156,6 @@ let mentions_task m task =
         (fun tr ->
           match tr.trigger with
           | On_start t | On_end t -> String.equal t task
-          | On_any -> false)
+          | On_any -> true)
         s.transitions)
     m.states

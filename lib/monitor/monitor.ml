@@ -7,46 +7,55 @@ let ty_bytes = function
   | Ast.Tfloat -> 4
   | Ast.Ttime -> 8
 
+type engine = Interpreted | Compiled
+
 type t = {
-  machine : Ast.machine;
-  state_cell : string Nvm.cell;
-  var_cells : (string * Ast.value Nvm.cell) list;
-  store : Interp.store;
+  compiled : Compile.t;
+  engine : engine;
+  state_cell : int Nvm.cell;  (* interned state id *)
+  var_cells : Ast.value Nvm.cell array;  (* indexed by variable slot *)
+  cstore : Compile.store;
+  istore : Interp.store;  (* reference semantics over the same cells *)
   bytes : int;
 }
 
-let create nvm (machine : Ast.machine) =
-  Typecheck.check_exn machine;
+let create ?(engine = Compiled) nvm (machine : Ast.machine) =
+  let compiled = Compile.compile machine (* typechecks *) in
   let prefix = machine.Ast.machine_name in
   let state_cell =
     Nvm.cell nvm ~region:Monitor ~name:(prefix ^ ".state") ~bytes:2
-      machine.Ast.initial
+      (Compile.initial_state compiled)
   in
   let var_cells =
-    List.map
-      (fun v ->
-        ( v.Ast.var_name,
-          Nvm.cell nvm ~region:Monitor
-            ~name:(prefix ^ "." ^ v.Ast.var_name)
-            ~bytes:(ty_bytes v.Ast.ty) v.Ast.init ))
-      machine.Ast.vars
+    Array.map
+      (fun (v : Ast.var_decl) ->
+        Nvm.cell nvm ~region:Monitor
+          ~name:(prefix ^ "." ^ v.Ast.var_name)
+          ~bytes:(ty_bytes v.Ast.ty) v.Ast.init)
+      (Compile.var_decls compiled)
   in
-  let store =
+  let cstore =
     {
-      Interp.get =
-        (fun x ->
-          match List.assoc_opt x var_cells with
-          | Some c -> Nvm.read c
-          | None ->
-              raise (Interp.Runtime_error (Printf.sprintf "unknown variable %S" x)));
-      set =
-        (fun x v ->
-          match List.assoc_opt x var_cells with
-          | Some c -> Nvm.write c v
-          | None ->
-              raise (Interp.Runtime_error (Printf.sprintf "unknown variable %S" x)));
+      Compile.get = (fun slot -> Nvm.read var_cells.(slot));
+      set = (fun slot v -> Nvm.write var_cells.(slot) v);
       get_state = (fun () -> Nvm.read state_cell);
-      set_state = (fun s -> Nvm.write state_cell s);
+      set_state = (fun id -> Nvm.write state_cell id);
+    }
+  in
+  (* The interpreted store resolves names through the interning tables so
+     both engines share the exact same FRAM cells. *)
+  let istore =
+    let slot_exn x =
+      match Compile.var_id compiled x with
+      | slot -> slot
+      | exception Not_found ->
+          raise (Interp.Runtime_error (Printf.sprintf "unknown variable %S" x))
+    in
+    {
+      Interp.get = (fun x -> Nvm.read var_cells.(slot_exn x));
+      set = (fun x v -> Nvm.write var_cells.(slot_exn x) v);
+      get_state = (fun () -> Compile.state_name compiled (Nvm.read state_cell));
+      set_state = (fun s -> Nvm.write state_cell (Compile.state_id compiled s));
     }
   in
   (* The generated C keeps each property's parameters (limits, dependent
@@ -61,32 +70,37 @@ let create nvm (machine : Ast.machine) =
     2 + property_table_bytes
     + List.fold_left (fun acc v -> acc + ty_bytes v.Ast.ty) 0 machine.Ast.vars
   in
-  { machine; state_cell; var_cells; store; bytes }
+  { compiled; engine; state_cell; var_cells; cstore; istore; bytes }
 
-let name t = t.machine.Ast.machine_name
-let machine t = t.machine
+let name t = Compile.name t.compiled
+let machine t = Compile.machine t.compiled
+let engine t = t.engine
+let compiled t = t.compiled
 
 let hard_reset t =
-  Nvm.write t.state_cell t.machine.Ast.initial;
-  List.iter
-    (fun v -> Nvm.write (List.assoc v.Ast.var_name t.var_cells) v.Ast.init)
-    t.machine.Ast.vars
+  Nvm.write t.state_cell (Compile.initial_state t.compiled);
+  Array.iteri
+    (fun slot (v : Ast.var_decl) -> Nvm.write t.var_cells.(slot) v.Ast.init)
+    (Compile.var_decls t.compiled)
 
 let reinitialize t =
-  Nvm.write t.state_cell t.machine.Ast.initial;
-  List.iter
-    (fun v ->
-      if not v.Ast.persistent then
-        Nvm.write (List.assoc v.Ast.var_name t.var_cells) v.Ast.init)
-    t.machine.Ast.vars
+  Nvm.write t.state_cell (Compile.initial_state t.compiled);
+  Array.iteri
+    (fun slot (v : Ast.var_decl) ->
+      if not v.Ast.persistent then Nvm.write t.var_cells.(slot) v.Ast.init)
+    (Compile.var_decls t.compiled)
 
-let step t event = Interp.step t.machine t.store event
-let current_state t = Nvm.read t.state_cell
+let step t event =
+  match t.engine with
+  | Compiled -> Compile.step t.compiled t.cstore event
+  | Interpreted -> Interp.step (Compile.machine t.compiled) t.istore event
+
+let current_state t = Compile.state_name t.compiled (Nvm.read t.state_cell)
 
 let read_var t x =
-  match List.assoc_opt x t.var_cells with
-  | Some c -> Nvm.read c
-  | None -> raise Not_found
+  let slot = Compile.var_id t.compiled x (* raises Not_found *) in
+  Nvm.read t.var_cells.(slot)
 
-let watches_task t task = Interp.mentions_task t.machine task
+let watches_task t task = Compile.mentions_task t.compiled task
+let watches_event t (event : Interp.event) = watches_task t event.Interp.task
 let fram_bytes t = t.bytes

@@ -1,21 +1,38 @@
 (** A deployed monitor: an intermediate-language machine whose variables
     and control state live in simulated FRAM, so that - like the
     ImmortalThreads-generated C monitors of Section 4.2.3 - it survives
-    power failures without losing track of the properties it checks. *)
+    power failures without losing track of the properties it checks.
+
+    The machine is compiled once at deploy time ({!Compile}): variables
+    live in a slot-indexed array of FRAM cells, the control state is an
+    interned id, and event dispatch is a hash lookup - the per-event path
+    does no list scans or string comparisons. *)
 
 open Artemis_nvm
 open Artemis_fsm
 
 type t
 
-val create : Nvm.t -> Ast.machine -> t
-(** Typechecks the machine and allocates one FRAM cell per variable plus
-    a state cell, all in the [Monitor] region (their bytes are what
-    Table 2 reports as monitor FRAM).
+type engine =
+  | Interpreted
+      (** Reference semantics: {!Interp.step} over the AST.  Kept for
+          differential testing and the interpreted-vs-compiled bench. *)
+  | Compiled  (** Deploy-time compiled closures ({!Compile.step}). *)
+
+val create : ?engine:engine -> Nvm.t -> Ast.machine -> t
+(** Typechecks and compiles the machine, then allocates one FRAM cell per
+    variable plus a state cell, all in the [Monitor] region (their bytes
+    are what Table 2 reports as monitor FRAM).  [engine] defaults to
+    [Compiled]; both engines operate on the same FRAM cells and are
+    observationally equivalent.
     @raise Failure if the machine is ill-typed. *)
 
 val name : t -> string
 val machine : t -> Ast.machine
+val engine : t -> engine
+
+val compiled : t -> Compile.t
+(** The compiled form (interning tables, static trigger information). *)
 
 val hard_reset : t -> unit
 (** First-boot initialisation ([resetMonitor], Figure 8 line 14). *)
@@ -33,7 +50,11 @@ val read_var : t -> string -> Ast.value
 (** @raise Not_found for an unknown variable. *)
 
 val watches_task : t -> string -> bool
-(** Whether any trigger of the machine names the task (used to select the
-    monitors a path restart must re-initialize). *)
+(** Whether any trigger of the machine applies to the task (O(1); [On_any]
+    machines watch every task).  Used to select the monitors a path
+    restart must re-initialize and to index event dispatch. *)
+
+val watches_event : t -> Interp.event -> bool
+(** [watches_task] on the event's task. *)
 
 val fram_bytes : t -> int

@@ -1,13 +1,47 @@
 open Artemis_fsm
 
-type t = { monitors : Monitor.t list }
+(* [dispatch] maps each statically-watched task to the deployment-ordered
+   monitors that can react to its events ([On_any] watchers included, in
+   place).  Events for tasks no monitor names fall back to [any_watchers].
+   Monitors not in an event's list can only take the implicit
+   self-transition, so skipping them is observationally equivalent to
+   stepping everything. *)
+type t = {
+  monitors : Monitor.t list;
+  dispatch : (string, Monitor.t list) Hashtbl.t;
+  any_watchers : Monitor.t list;
+}
 
-let create nvm machines = { monitors = List.map (Monitor.create nvm) machines }
+let create ?engine nvm machines =
+  let monitors = List.map (Monitor.create ?engine nvm) machines in
+  let tasks =
+    List.concat_map (fun m -> Compile.watched_tasks (Monitor.compiled m)) monitors
+    |> List.sort_uniq String.compare
+  in
+  let dispatch = Hashtbl.create (max 1 (List.length tasks)) in
+  List.iter
+    (fun task ->
+      Hashtbl.replace dispatch task
+        (List.filter (fun m -> Monitor.watches_task m task) monitors))
+    tasks;
+  let any_watchers =
+    List.filter (fun m -> Compile.watches_any_event (Monitor.compiled m)) monitors
+  in
+  { monitors; dispatch; any_watchers }
+
 let monitors t = t.monitors
 let property_count t = List.length t.monitors
 let hard_reset t = List.iter Monitor.hard_reset t.monitors
 
+let relevant_monitors t (event : Interp.event) =
+  match Hashtbl.find_opt t.dispatch event.Interp.task with
+  | Some ms -> ms
+  | None -> t.any_watchers
+
 let step_all t event =
+  List.concat_map (fun m -> Monitor.step m event) (relevant_monitors t event)
+
+let step_all_unindexed t event =
   List.concat_map (fun m -> Monitor.step m event) t.monitors
 
 let reinit_for_tasks t ~tasks =

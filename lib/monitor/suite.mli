@@ -1,13 +1,20 @@
 (** The set of application-specific monitors deployed with one
     application, and the arbitration rule the runtime applies when
-    several of them fail on the same event. *)
+    several of them fail on the same event.
+
+    Deployment builds a task-indexed dispatch table: each event only
+    touches the monitors that can react to it (monitors naming the
+    event's task, plus the always-run [On_any] watchers), so delivering
+    an event is O(relevant monitors), not O(deployed monitors). *)
 
 open Artemis_nvm
 open Artemis_fsm
 
 type t
 
-val create : Nvm.t -> Ast.machine list -> t
+val create : ?engine:Monitor.engine -> Nvm.t -> Ast.machine list -> t
+(** [engine] defaults to [Compiled] (see {!Monitor.create}). *)
+
 val monitors : t -> Monitor.t list
 
 val property_count : t -> int
@@ -16,13 +23,25 @@ val property_count : t -> int
 
 val hard_reset : t -> unit
 
+val relevant_monitors : t -> Interp.event -> Monitor.t list
+(** The monitors that can react to the event, in deployment order: one
+    hash lookup on the event's task ([On_any] watchers for unknown
+    tasks). *)
+
 val step_all : t -> Interp.event -> Interp.failure list
-(** Deliver the event to every monitor (each machine decides relevance),
-    concatenating the reported failures in deployment order. *)
+(** Deliver the event to every relevant monitor, concatenating the
+    reported failures in deployment order.  Equivalent to
+    {!step_all_unindexed} (skipped monitors could only take the implicit
+    self-transition). *)
+
+val step_all_unindexed : t -> Interp.event -> Interp.failure list
+(** Reference path: deliver the event to {e every} monitor (each machine
+    decides relevance).  Kept for differential tests and as the
+    interpreted-era baseline in the benchmarks. *)
 
 val reinit_for_tasks : t -> tasks:string list -> unit
 (** Path restart: re-initialize every monitor watching one of the given
-    tasks (Section 3.3). *)
+    tasks (Section 3.3).  [On_any] machines watch every task. *)
 
 val fram_bytes : t -> int
 

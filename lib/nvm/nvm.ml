@@ -8,13 +8,20 @@ type registered = {
   reg_kind : kind;
   reg_bytes : int;
   reset_volatile : unit -> unit;
-  discard_pending : unit -> unit;
 }
+
+(* One transactionally-dirty cell: how to publish its pending value and
+   how to drop it.  Tracking these per-transaction keeps abort and
+   power-failure rollback O(dirty cells), not O(all cells). *)
+type dirty = { commit : unit -> unit; discard : unit -> unit }
 
 type t = {
   mutable cells : registered list;  (* reverse allocation order *)
+  names : (region * string, unit) Hashtbl.t;  (* duplicate detection *)
+  footprints : int array;  (* (kind, region) -> declared bytes *)
+  mutable volatiles : registered list;  (* Ram cells only *)
   mutable tx_open : bool;
-  mutable tx_dirty : (unit -> unit) list;  (* commit thunks, reverse order *)
+  mutable tx_dirty : dirty list;  (* reverse write order *)
 }
 
 type 'a cell = {
@@ -26,13 +33,26 @@ type 'a cell = {
   mutable pending : 'a option;
 }
 
-let create () = { cells = []; tx_open = false; tx_dirty = [] }
+let footprint_slot kind region =
+  let k = match kind with Fram -> 0 | Ram -> 1 in
+  let r = match region with Runtime -> 0 | Monitor -> 1 | Application -> 2 in
+  (k * 3) + r
+
+let create () =
+  {
+    cells = [];
+    names = Hashtbl.create 64;
+    footprints = Array.make 6 0;
+    volatiles = [];
+    tx_open = false;
+    tx_dirty = [];
+  }
 
 let cell t ~region ?(kind = Fram) ~name ~bytes init =
   if bytes < 0 then invalid_arg "Nvm.cell: negative size";
-  let clash r = r.reg_region = region && String.equal r.reg_name name in
-  if List.exists clash t.cells then
+  if Hashtbl.mem t.names (region, name) then
     invalid_arg (Printf.sprintf "Nvm.cell: duplicate cell %S" name);
+  Hashtbl.replace t.names (region, name) ();
   let c =
     { store = t; name; kind; initial = init; committed = init; pending = None }
   in
@@ -43,10 +63,12 @@ let cell t ~region ?(kind = Fram) ~name ~bytes init =
       reg_kind = kind;
       reg_bytes = bytes;
       reset_volatile = (fun () -> if kind = Ram then c.committed <- c.initial);
-      discard_pending = (fun () -> c.pending <- None);
     }
   in
   t.cells <- registered :: t.cells;
+  t.footprints.(footprint_slot kind region) <-
+    t.footprints.(footprint_slot kind region) + bytes;
+  if kind = Ram then t.volatiles <- registered :: t.volatiles;
   c
 
 let read c = match c.pending with Some v -> v | None -> c.committed
@@ -74,19 +96,20 @@ let tx_write c v =
         (match c.pending with Some p -> c.committed <- p | None -> ());
         c.pending <- None
       in
-      c.store.tx_dirty <- commit :: c.store.tx_dirty
+      let discard () = c.pending <- None in
+      c.store.tx_dirty <- { commit; discard } :: c.store.tx_dirty
   | Some _ -> ());
   c.pending <- Some v
 
 let commit_tx t =
   if not t.tx_open then invalid_arg "Nvm.commit_tx: no open transaction";
-  List.iter (fun commit -> commit ()) (List.rev t.tx_dirty);
+  List.iter (fun d -> d.commit ()) (List.rev t.tx_dirty);
   t.tx_dirty <- [];
   t.tx_open <- false
 
 let abort_tx t =
   if not t.tx_open then invalid_arg "Nvm.abort_tx: no open transaction";
-  List.iter (fun r -> r.discard_pending ()) t.cells;
+  List.iter (fun d -> d.discard ()) t.tx_dirty;
   t.tx_dirty <- [];
   t.tx_open <- false
 
@@ -94,14 +117,9 @@ let in_tx t = t.tx_open
 
 let power_failure t =
   if t.tx_open then abort_tx t;
-  List.iter (fun r -> r.reset_volatile ()) t.cells
+  List.iter (fun r -> r.reset_volatile ()) t.volatiles
 
-let footprint t ~kind ~region =
-  List.fold_left
-    (fun acc r ->
-      if r.reg_kind = kind && r.reg_region = region then acc + r.reg_bytes
-      else acc)
-    0 t.cells
+let footprint t ~kind ~region = t.footprints.(footprint_slot kind region)
 
 let cell_names t ~region =
   List.rev t.cells

@@ -12,7 +12,11 @@
       semantics.
 
     Every cell declares its byte size and owning region so that the Table 2
-    memory accounting can be computed from the live store. *)
+    memory accounting can be computed from the live store.  Bookkeeping is
+    O(1) per operation: duplicate detection and footprint accounting use a
+    [(region, name)] index maintained at allocation, and transaction
+    rollback touches only cells with pending writes (power failures
+    additionally reset the volatile cells, tracked separately). *)
 
 type t
 (** A simulated memory store (one per device). *)

@@ -53,6 +53,8 @@ type state = {
   app : Task.app;
   paths : Task.t array array;
   suite : Suite.t;
+  monitors : Monitor.t array;  (** deployment order; step [i] of the
+                                   callMonitor thread runs monitor [i] *)
   config : config;
   cursor : cursor Nvm.cell;
   event : Interp.event Nvm.cell;
@@ -111,8 +113,10 @@ let make_state ~config device app suite =
     Array.map
       (fun monitor () ->
         let ev = Nvm.read event in
-        let failures = Monitor.step monitor ev in
-        Nvm.write mcall_failures (Nvm.read mcall_failures @ failures))
+        match Monitor.step monitor ev with
+        | [] -> ()
+        | failures ->
+            Nvm.write mcall_failures (Nvm.read mcall_failures @ failures))
       monitors
   in
   let steps =
@@ -124,6 +128,7 @@ let make_state ~config device app suite =
     app;
     paths;
     suite;
+    monitors;
     config;
     cursor;
     event;
@@ -178,9 +183,20 @@ let capacitor_mj st = Energy.to_mj (Capacitor.level (Device.capacitor st.device)
 
 (* Run (or resume) the callMonitor thread, paying the cost model per step.
    A power failure leaves the thread mid-way; the next loop iteration
-   resumes it - that is monitorFinalize (Figure 8, line 16). *)
+   resumes it - that is monitorFinalize (Figure 8, line 16).
+
+   Dispatch is task-indexed: a property whose machine does not watch the
+   event's task is never invoked, so its step costs nothing beyond the
+   O(1) table lookup (covered by the per-call dispatch cost).  Monitor
+   overhead therefore scales with the monitors an event can fire, not
+   with the deployed property count. *)
 let resume_monitor_call st =
   let step_power, step_duration = monitor_step_cost st in
+  let step_watches_event st =
+    let i = Immortal.pc st.thread in
+    i < Array.length st.monitors
+    && Monitor.watches_event st.monitors.(i) (Nvm.read st.event)
+  in
   let rec steps () =
     if Immortal.completed st.thread then begin
       let failures = Nvm.read st.mcall_failures in
@@ -188,6 +204,9 @@ let resume_monitor_call st =
       Immortal.reset st.thread;
       Verdict failures
     end
+    else if not (step_watches_event st) then (
+      match Immortal.run_step st.thread with
+      | Immortal.Ran _ | Immortal.Done -> steps ())
     else
       match consume_monitor st ~power:step_power ~duration:step_duration with
       | Device.Completed -> (

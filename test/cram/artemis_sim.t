@@ -4,7 +4,7 @@ On continuous power the application always completes:
 
   $ ../../bin/artemis_sim.exe --continuous | head -2
   outcome: completed
-  total: 4.94s (off 0us)
+  total: 4.91s (off 0us)
 
 Under a 6-minute charging delay Mayfly never terminates:
 

@@ -1,0 +1,175 @@
+(* Unit tests for the deploy-time FSM compiler (Fsm.Compile): interning,
+   indexed trigger dispatch, and equivalence with the interpreter on
+   handcrafted machines.  Randomized equivalence lives in
+   test_differential.ml. *)
+
+open Artemis
+module F = Fsm.Ast
+module Interp = Fsm.Interp
+module Compile = Fsm.Compile
+
+let parse = Fsm.Parser.parse_machine_exn
+
+let machine_text =
+  {|
+machine m {
+  var x : int = 0;
+  persistent var keep : int = 7;
+  initial state A {
+    on startTask(t) when (x < 2) { x := x + 1; } -> B;
+    on startTask(t) { fail restartTask; } -> A;
+  }
+  state B {
+    on endTask(t) -> A;
+    on anyEvent when (x > 10) { fail skipPath Path 2; } -> B;
+  }
+}
+|}
+
+let test_interning () =
+  let c = Compile.compile (parse machine_text) in
+  Alcotest.(check int) "state count" 2 (Compile.state_count c);
+  Alcotest.(check string) "state 0" "A" (Compile.state_name c 0);
+  Alcotest.(check string) "state 1" "B" (Compile.state_name c 1);
+  Alcotest.(check int) "id of B" 1 (Compile.state_id c "B");
+  Alcotest.(check int) "initial is A" 0 (Compile.initial_state c);
+  Alcotest.(check int) "var count" 2 (Compile.var_count c);
+  Alcotest.(check string) "slot 0" "x" (Compile.var_name c 0);
+  Alcotest.(check int) "slot of keep" 1 (Compile.var_id c "keep");
+  (match Compile.state_id c "nope" with
+  | exception Not_found -> ()
+  | _ -> Alcotest.fail "unknown state must raise");
+  Alcotest.(check (list string)) "watched tasks" [ "t" ] (Compile.watched_tasks c);
+  Alcotest.(check bool) "uses anyEvent" true (Compile.watches_any_event c)
+
+let test_memory_store_initials () =
+  let c = Compile.compile (parse machine_text) in
+  let s = Compile.memory_store c in
+  Alcotest.(check int) "starts in initial" 0 (s.Compile.get_state ());
+  Alcotest.check Helpers.value "x init" (F.Vint 0) (s.Compile.get 0);
+  Alcotest.check Helpers.value "keep init" (F.Vint 7) (s.Compile.get 1)
+
+let test_step_matches_interpreter () =
+  let m = parse machine_text in
+  let c = Compile.compile m in
+  let istore = Interp.memory_store m and cstore = Compile.memory_store c in
+  let feed ev =
+    let fi = Interp.step m istore ev and fc = Compile.step c cstore ev in
+    Alcotest.(check bool) "same failures" true (fi = fc);
+    Alcotest.(check string) "same state"
+      (istore.Interp.get_state ())
+      (Compile.state_name c (cstore.Compile.get_state ()))
+  in
+  (* drives both the guarded fast path and the fail fallback *)
+  List.iter feed
+    [
+      Helpers.event ~task:"t" ();
+      Helpers.event ~kind:Interp.End ~task:"t" ();
+      Helpers.event ~task:"t" ();
+      Helpers.event ~kind:Interp.End ~task:"t" ();
+      Helpers.event ~task:"t" ();  (* x = 2: guard fails, second fires *)
+      Helpers.event ~task:"other" ();  (* implicit self-transition *)
+    ];
+  Alcotest.check Helpers.value "x saturated" (F.Vint 2)
+    (cstore.Compile.get 0)
+
+let test_declaration_order_dispatch () =
+  (* anyEvent declared before the task-specific transition must win when
+     both can fire - the index preserves declaration order. *)
+  let m =
+    parse
+      {|
+machine order {
+  var hit : int = 0;
+  initial state A {
+    on anyEvent { hit := 1; } -> A;
+    on startTask(t) { hit := 2; } -> A;
+  }
+}
+|}
+  in
+  let c = Compile.compile m in
+  let s = Compile.memory_store c in
+  ignore (Compile.step c s (Helpers.event ~task:"t" ()));
+  Alcotest.check Helpers.value "anyEvent fired first" (F.Vint 1)
+    (s.Compile.get 0)
+
+let test_unknown_task_falls_back_to_any () =
+  let m =
+    parse
+      {|
+machine fb {
+  var n : int = 0;
+  initial state A {
+    on startTask(t) { n := 100; } -> A;
+    on anyEvent { n := n + 1; } -> A;
+  }
+}
+|}
+  in
+  let c = Compile.compile m in
+  let s = Compile.memory_store c in
+  ignore (Compile.step c s (Helpers.event ~task:"unknown" ()));
+  ignore (Compile.step c s (Helpers.event ~kind:Interp.End ~task:"zz" ()));
+  Alcotest.check Helpers.value "anyEvent handled both" (F.Vint 2) (s.Compile.get 0)
+
+let test_dynamic_errors_match () =
+  let m =
+    parse
+      {|
+machine err {
+  var f : float = 0.0;
+  initial state A {
+    on endTask(t) { f := data(missing); } -> A;
+  }
+}
+|}
+  in
+  let c = Compile.compile m in
+  let istore = Interp.memory_store m and cstore = Compile.memory_store c in
+  let ev = Helpers.event ~kind:Interp.End ~task:"t" () in
+  let msg run = match run () with
+    | _ -> Alcotest.fail "expected Runtime_error"
+    | exception Interp.Runtime_error e -> e
+  in
+  Alcotest.(check string) "same error message"
+    (msg (fun () -> Interp.step m istore ev))
+    (msg (fun () -> Compile.step c cstore ev))
+
+let test_mentions_task_on_any () =
+  (* regression: machines whose only triggers are anyEvent watch every
+     task (previously reported false, so path restarts never
+     re-initialized them) *)
+  let m =
+    parse "machine anyonly { initial state A { on anyEvent -> A; } }"
+  in
+  Alcotest.(check bool) "Interp.mentions_task" true (Interp.mentions_task m "whatever");
+  let c = Compile.compile m in
+  Alcotest.(check bool) "Compile.mentions_task" true (Compile.mentions_task c "whatever");
+  Alcotest.(check bool) "watches_any_event" true (Compile.watches_any_event c);
+  (* and a machine without anyEvent still discriminates *)
+  let m2 = parse "machine plain { initial state A { on startTask(t) -> A; } }" in
+  Alcotest.(check bool) "named task" true (Interp.mentions_task m2 "t");
+  Alcotest.(check bool) "other task" false (Interp.mentions_task m2 "u")
+
+let test_ill_typed_rejected () =
+  let bad = parse "machine bad { initial state A { on startTask(t) when (zz > 1); } }" in
+  match Compile.compile bad with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "ill-typed machine accepted"
+
+let suite =
+  [
+    Alcotest.test_case "interning tables" `Quick test_interning;
+    Alcotest.test_case "memory store initials" `Quick test_memory_store_initials;
+    Alcotest.test_case "compiled = interpreted (handcrafted)" `Quick
+      test_step_matches_interpreter;
+    Alcotest.test_case "declaration order preserved by index" `Quick
+      test_declaration_order_dispatch;
+    Alcotest.test_case "unknown task falls back to anyEvent" `Quick
+      test_unknown_task_falls_back_to_any;
+    Alcotest.test_case "dynamic errors identical" `Quick test_dynamic_errors_match;
+    Alcotest.test_case "mentions_task: anyEvent watches all (regression)" `Quick
+      test_mentions_task_on_any;
+    Alcotest.test_case "ill-typed machines rejected" `Quick test_ill_typed_rejected;
+  ]

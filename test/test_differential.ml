@@ -1,0 +1,285 @@
+(* Differential fuzzing of the two FSM execution engines: for random
+   well-typed machines and random event traces, the deploy-time compiled
+   closures (Fsm.Compile) must be observationally equivalent to the
+   reference interpreter (Fsm.Interp) - same control state, same variable
+   values, same emitted failures, same dynamic errors - including over
+   NVM-backed monitors with power failures injected between events. *)
+
+open Artemis
+module F = Fsm.Ast
+module Interp = Fsm.Interp
+module Compile = Fsm.Compile
+
+(* --- random well-typed machines --- *)
+
+(* Fixed declarations keep the expression generator simple: every machine
+   declares the same typed pool and the generator picks variables by
+   type. *)
+let var_pool =
+  [
+    { F.var_name = "x"; ty = F.Tint; init = F.Vint 0; persistent = false };
+    { F.var_name = "y"; ty = F.Tint; init = F.Vint 3; persistent = true };
+    { F.var_name = "f"; ty = F.Tfloat; init = F.Vfloat 1.5; persistent = false };
+    { F.var_name = "b"; ty = F.Tbool; init = F.Vbool false; persistent = false };
+    { F.var_name = "tm"; ty = F.Ttime; init = F.Vtime (Time.of_ms 250); persistent = true };
+  ]
+
+let tasks = [ "a"; "b"; "c" ]
+
+open QCheck.Gen
+
+let rec int_expr n =
+  if n <= 0 then oneofl [ F.Var "x"; F.Var "y"; F.Event_path; F.Lit (F.Vint 2) ]
+  else
+    frequency
+      [
+        (2, int_expr 0);
+        (1, map (fun e -> F.Unop (F.Neg, e)) (int_expr (n - 1)));
+        ( 3,
+          map3
+            (fun op a b -> F.Binop (op, a, b))
+            (oneofl [ F.Add; F.Sub; F.Mul ])
+            (int_expr (n - 1)) (int_expr (n - 1)) );
+        (* divisor drawn from {0, 2}: division by zero must raise the
+           same Runtime_error from both engines *)
+        ( 1,
+          map3
+            (fun op a d -> F.Binop (op, a, F.Lit (F.Vint d)))
+            (oneofl [ F.Div; F.Mod ])
+            (int_expr (n - 1))
+            (frequency [ (5, return 2); (1, return 0) ]) );
+      ]
+
+let rec float_expr n =
+  if n <= 0 then
+    oneofl
+      [ F.Var "f"; F.Energy_level; F.Lit (F.Vfloat 0.5); F.Dep_data "d" ]
+  else
+    frequency
+      [
+        (2, float_expr 0);
+        ( 3,
+          map3
+            (fun op a b -> F.Binop (op, a, b))
+            (oneofl [ F.Add; F.Sub; F.Mul ])
+            (float_expr (n - 1)) (float_expr (n - 1)) );
+      ]
+
+let time_expr =
+  oneofl [ F.Var "tm"; F.Timestamp; F.Lit (F.Vtime (Time.of_ms 500)) ]
+
+let rec bool_expr n =
+  if n <= 0 then oneofl [ F.Var "b"; F.Lit (F.Vbool true); F.Lit (F.Vbool false) ]
+  else
+    let cmp_op = oneofl [ F.Eq; F.Ne; F.Lt; F.Le; F.Gt; F.Ge ] in
+    frequency
+      [
+        (1, bool_expr 0);
+        ( 2,
+          map3 (fun op a b -> F.Binop (op, a, b)) cmp_op (int_expr (n - 1))
+            (int_expr (n - 1)) );
+        ( 2,
+          map3 (fun op a b -> F.Binop (op, a, b)) cmp_op (float_expr (n - 1))
+            (float_expr (n - 1)) );
+        (1, map3 (fun op a b -> F.Binop (op, a, b)) cmp_op time_expr time_expr);
+        ( 2,
+          map3
+            (fun op a b -> F.Binop (op, a, b))
+            (oneofl [ F.And; F.Or ])
+            (bool_expr (n - 1)) (bool_expr (n - 1)) );
+        (1, map (fun e -> F.Unop (F.Not, e)) (bool_expr (n - 1)));
+      ]
+
+let assign =
+  oneof
+    [
+      map (fun e -> F.Assign ("x", e)) (int_expr 2);
+      map (fun e -> F.Assign ("y", e)) (int_expr 2);
+      map (fun e -> F.Assign ("f", e)) (float_expr 2);
+      map (fun e -> F.Assign ("b", e)) (bool_expr 2);
+      map (fun e -> F.Assign ("tm", e)) time_expr;
+    ]
+
+let fail_stmt =
+  map2
+    (fun a p -> F.Fail (a, p))
+    (oneofl
+       [ F.Restart_path; F.Skip_path; F.Restart_task; F.Skip_task; F.Complete_path ])
+    (frequency [ (3, return None); (1, return (Some 2)) ])
+
+let rec stmt depth =
+  if depth <= 0 then frequency [ (4, assign); (1, fail_stmt) ]
+  else
+    frequency
+      [
+        (4, assign);
+        (1, fail_stmt);
+        ( 1,
+          map3
+            (fun c t e -> F.If (c, t, e))
+            (bool_expr 1)
+            (list_size (int_bound 2) (stmt (depth - 1)))
+            (list_size (int_bound 2) (stmt (depth - 1))) );
+      ]
+
+let trigger =
+  frequency
+    [
+      (3, map (fun t -> F.On_start t) (oneofl tasks));
+      (3, map (fun t -> F.On_end t) (oneofl tasks));
+      (1, return F.On_any);
+    ]
+
+let transition n_states =
+  let* trigger = trigger in
+  let* guard = opt (bool_expr 2) in
+  let* body = list_size (int_bound 3) (stmt 1) in
+  let* target = int_bound (n_states - 1) in
+  return { F.trigger; guard; body; target = Printf.sprintf "S%d" target }
+
+let machine =
+  let* n_states = int_range 1 4 in
+  let* states =
+    flatten_l
+      (List.init n_states (fun i ->
+           let* transitions = list_size (int_bound 3) (transition n_states) in
+           return { F.state_name = Printf.sprintf "S%d" i; transitions }))
+  in
+  return
+    { F.machine_name = "fuzzed"; vars = var_pool; initial = "S0"; states }
+
+(* --- random event traces --- *)
+
+let event i =
+  let* kind = oneofl [ Interp.Start; Interp.End ] in
+  let* task = frequency [ (6, oneofl tasks); (1, return "zz") ] in
+  let* path = int_range 1 3 in
+  (* sometimes omit the payload: data(d) must raise identically *)
+  let* dep_data =
+    frequency
+      [ (4, map (fun v -> [ ("d", v) ]) (float_bound_exclusive 100.)); (1, return []) ]
+  in
+  let* energy = float_bound_exclusive 50. in
+  return
+    {
+      Interp.kind;
+      task;
+      timestamp = Artemis.Time.of_ms (100 * i);
+      path;
+      dep_data;
+      energy_mj = energy;
+    }
+
+let trace = list_size (int_range 5 40) (event 1) (* timestamps varied below *)
+
+let trace =
+  let* evs = trace in
+  return (List.mapi (fun i ev -> { ev with Interp.timestamp = Time.of_ms (100 * (i + 1)) }) evs)
+
+(* --- the differential properties --- *)
+
+type outcome = Failures of Interp.failure list | Err of string
+
+let step_catch f =
+  match f () with
+  | failures -> Failures failures
+  | exception Interp.Runtime_error msg -> Err msg
+
+let equal_outcome a b =
+  match (a, b) with
+  | Failures x, Failures y -> x = y
+  | Err x, Err y -> String.equal x y
+  | Failures _, Err _ | Err _, Failures _ -> false
+
+(* memory-backed stores: pure engine equivalence *)
+let memory_equivalence =
+  QCheck.Test.make ~name:"compiled = interpreted (memory stores)" ~count:600
+    (QCheck.make QCheck.Gen.(pair machine trace))
+    (fun (m, evs) ->
+      let c = Compile.compile m in
+      let istore = Interp.memory_store m and cstore = Compile.memory_store c in
+      List.for_all
+        (fun ev ->
+          let ri = step_catch (fun () -> Interp.step m istore ev) in
+          let rc = step_catch (fun () -> Compile.step c cstore ev) in
+          equal_outcome ri rc
+          && String.equal
+               (istore.Interp.get_state ())
+               (Compile.state_name c (cstore.Compile.get_state ()))
+          && List.for_all
+               (fun (v : F.var_decl) ->
+                 F.equal_value
+                   (istore.Interp.get v.F.var_name)
+                   (cstore.Compile.get (Compile.var_id c v.F.var_name)))
+               var_pool)
+        evs)
+
+(* NVM-backed monitors with power failures injected between events, plus
+   occasional path-restart re-initialisation: the deployed form of both
+   engines must stay in lockstep *)
+let nvm_equivalence =
+  QCheck.Test.make
+    ~name:"compiled = interpreted (NVM monitors, power failures)" ~count:500
+    (QCheck.make
+       QCheck.Gen.(
+         triple machine trace (list_size (int_range 5 40) (int_bound 9))))
+    (fun (m, evs, noise) ->
+      let nvm_i = Nvm.create () and nvm_c = Nvm.create () in
+      let mon_i = Monitor.create ~engine:Monitor.Interpreted nvm_i m in
+      let mon_c = Monitor.create ~engine:Monitor.Compiled nvm_c m in
+      let agree () =
+        String.equal (Monitor.current_state mon_i) (Monitor.current_state mon_c)
+        && List.for_all
+             (fun (v : F.var_decl) ->
+               F.equal_value
+                 (Monitor.read_var mon_i v.F.var_name)
+                 (Monitor.read_var mon_c v.F.var_name))
+             var_pool
+      in
+      let rec go evs noise =
+        match evs with
+        | [] -> true
+        | ev :: evs ->
+            let n, noise =
+              match noise with [] -> (0, []) | n :: rest -> (n, rest)
+            in
+            (* inject identical disturbances into both deployments *)
+            if n = 9 then begin
+              Nvm.power_failure nvm_i;
+              Nvm.power_failure nvm_c
+            end
+            else if n = 8 then begin
+              Monitor.reinitialize mon_i;
+              Monitor.reinitialize mon_c
+            end;
+            let ri = step_catch (fun () -> Monitor.step mon_i ev) in
+            let rc = step_catch (fun () -> Monitor.step mon_c ev) in
+            equal_outcome ri rc && agree () && go evs noise
+      in
+      go evs noise)
+
+(* suite-level: indexed dispatch delivers exactly what stepping every
+   monitor would *)
+let suite_dispatch_equivalence =
+  QCheck.Test.make ~name:"indexed step_all = unindexed step_all" ~count:100
+    (QCheck.make QCheck.Gen.(pair (list_size (int_range 1 4) machine) trace))
+    (fun (ms, evs) ->
+      let rename i (m : F.machine) =
+        { m with F.machine_name = Printf.sprintf "m%d" i }
+      in
+      let ms = List.mapi rename ms in
+      let s_idx = Suite.create (Nvm.create ()) ms in
+      let s_ref = Suite.create (Nvm.create ()) ms in
+      List.for_all
+        (fun ev ->
+          let ri = step_catch (fun () -> Suite.step_all s_idx ev) in
+          let rr = step_catch (fun () -> Suite.step_all_unindexed s_ref ev) in
+          equal_outcome ri rr)
+        evs)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest memory_equivalence;
+    QCheck_alcotest.to_alcotest nvm_equivalence;
+    QCheck_alcotest.to_alcotest suite_dispatch_equivalence;
+  ]

@@ -235,6 +235,20 @@ let test_scalability () =
         (quadrupled.Scalability.monitor_fram > 3 * base.Scalability.monitor_fram)
   | _ -> Alcotest.fail "two rows expected"
 
+let test_non_watching_flat () =
+  match Scalability.run_non_watching ~extras:[ 0; 32 ] () with
+  | [ base; piled ] ->
+      (* task-indexed dispatch never invokes a monitor whose tasks the
+         application does not run: piling them on must not grow the
+         monitor overhead, only the FRAM footprint *)
+      Alcotest.(check bool) "overhead stays flat" true
+        (piled.Scalability.nw_monitor_ms
+        <= 1.2 *. base.Scalability.nw_monitor_ms);
+      Alcotest.(check bool) "FRAM still grows" true
+        (piled.Scalability.nw_monitor_fram
+        > 2 * base.Scalability.nw_monitor_fram)
+  | _ -> Alcotest.fail "two rows expected"
+
 let test_yield_study () =
   match Yield_study.run ~rounds:5 ~rates_uw:[ 500.; 25. ] () with
   | [ rich; poor ] ->
@@ -268,5 +282,7 @@ let suite =
     Alcotest.test_case "timekeeper quality sweep" `Slow test_timekeeper_sweep;
     Alcotest.test_case "harvester study" `Slow test_harvester_study;
     Alcotest.test_case "scalability in property count" `Slow test_scalability;
+    Alcotest.test_case "non-watching properties cost nothing at runtime" `Slow
+      test_non_watching_flat;
     Alcotest.test_case "yield study (reactive rounds)" `Slow test_yield_study;
   ]

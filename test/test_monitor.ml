@@ -124,6 +124,69 @@ let test_reinit_for_tasks () =
   Alcotest.check Helpers.value "b's monitor untouched" (F.Vint 1)
     (Monitor.read_var (find "watches_b") "x")
 
+let test_reinit_on_any () =
+  (* regression: an anyEvent-only machine watches every task, so a path
+     restart must re-initialize it too (mentions_task used to return
+     false for On_any, leaving its state stale across restarts) *)
+  let nvm = Nvm.create () in
+  let suite =
+    Suite.create nvm
+      [
+        Fsm.Parser.parse_machine_exn
+          "machine anyonly { var x : int = 0; initial state S { on anyEvent { x := 1; }; } }";
+      ]
+  in
+  ignore (Suite.step_all suite (Helpers.event ~task:"whatever" ()));
+  let m = List.hd (Suite.monitors suite) in
+  Alcotest.check Helpers.value "stepped" (F.Vint 1) (Monitor.read_var m "x");
+  Suite.reinit_for_tasks suite ~tasks:[ "whatever" ];
+  Alcotest.check Helpers.value "reset on path restart" (F.Vint 0)
+    (Monitor.read_var m "x")
+
+let test_dispatch_skips_non_watching () =
+  let nvm = Nvm.create () in
+  let suite =
+    Suite.create nvm
+      [
+        Fsm.Parser.parse_machine_exn
+          "machine watches_a { initial state S { on startTask(a); } }";
+        Fsm.Parser.parse_machine_exn
+          "machine watches_b { initial state S { on startTask(b); } }";
+        Fsm.Parser.parse_machine_exn
+          "machine anyonly { initial state S { on anyEvent; } }";
+      ]
+  in
+  let names ev =
+    List.map Monitor.name (Suite.relevant_monitors suite ev)
+  in
+  Alcotest.(check (list string)) "a's event"
+    [ "watches_a"; "anyonly" ]
+    (names (Helpers.event ~task:"a" ()));
+  Alcotest.(check (list string)) "b's event"
+    [ "watches_b"; "anyonly" ]
+    (names (Helpers.event ~task:"b" ()));
+  Alcotest.(check (list string)) "unknown task: only anyEvent watchers"
+    [ "anyonly" ]
+    (names (Helpers.event ~task:"zz" ()))
+
+let test_engines_agree_over_nvm () =
+  let step_with engine =
+    let nvm = Nvm.create () in
+    let m =
+      Monitor.create ~engine nvm (Fsm.Parser.parse_machine_exn machine_text)
+    in
+    ignore (Monitor.step m (Helpers.event ~task:"t" ()));
+    Nvm.power_failure nvm;
+    ignore (Monitor.step m (Helpers.event ~kind:Interp.End ~task:"t" ()));
+    ignore (Monitor.step m (Helpers.event ~task:"t" ()));
+    (Monitor.current_state m, Monitor.read_var m "x", Monitor.read_var m "keep")
+  in
+  let si, xi, ki = step_with Monitor.Interpreted in
+  let sc, xc, kc = step_with Monitor.Compiled in
+  Alcotest.(check string) "same state" si sc;
+  Alcotest.check Helpers.value "same x" xi xc;
+  Alcotest.check Helpers.value "same keep" ki kc
+
 let suite =
   [
     Alcotest.test_case "state survives power failure" `Quick
@@ -142,4 +205,9 @@ let suite =
     Alcotest.test_case "suite: empty arbitration" `Quick test_arbitrate_empty;
     Alcotest.test_case "suite: selective re-initialisation" `Quick
       test_reinit_for_tasks;
+    Alcotest.test_case "suite: anyEvent machines reinit on path restart" `Quick
+      test_reinit_on_any;
+    Alcotest.test_case "suite: dispatch index skips non-watching monitors" `Quick
+      test_dispatch_skips_non_watching;
+    Alcotest.test_case "engines agree over NVM" `Quick test_engines_agree_over_nvm;
   ]
