@@ -176,6 +176,13 @@ let engine_tests =
       Test.make ~name:"fsm-step-compiled" (stagedf fsm_c);
       Test.make ~name:"dispatch8-interpreted" (stagedf d8_i);
       Test.make ~name:"dispatch8-compiled" (stagedf d8_c);
+      (* the fault-injection engine's hot loop: a full depth-1 exhaustive
+         campaign (12 injected runs + baseline + oracles) on quickstart *)
+      Test.make ~name:"faultsim-depth1-exhaustive"
+        (stagedf (fun () ->
+             ignore
+               (Artemis_faultsim.Faultsim.exhaustive
+                  Artemis_faultsim.Scenario.quickstart ~seed:42 ~depth:1)));
     ]
 
 let run_bechamel ~fast tests =
@@ -250,11 +257,25 @@ let json_of_non_watching rows =
            r.Scalability.nw_monitor_ms r.Scalability.nw_monitor_fram)
        rows)
 
+(* Every kernel estimate, sorted by name: hash-table iteration order must
+   never leak into the report, so identical runs diff cleanly. *)
+let json_of_kernels results =
+  Hashtbl.fold (fun name _ acc -> name :: acc) results []
+  |> List.sort String.compare
+  |> List.map (fun name ->
+         match estimate_ns results name with
+         | Some e -> Printf.sprintf {|    %S: %.0f|} name e
+         | None -> Printf.sprintf {|    %S: null|} name)
+  |> String.concat ",\n"
+
 let write_json ~file results ~scalability ~non_watching =
   let oc = open_out file in
   Printf.fprintf oc
     {|{
-  "bench": "compiled monitor fast path (PR1)",
+  "bench": "fault-injection engine and oracles (PR2)",
+  "kernels_ns": {
+%s
+  },
   "engine_kernels": {
 %s,
 %s
@@ -267,6 +288,7 @@ let write_json ~file results ~scalability ~non_watching =
   ]
 }
 |}
+    (json_of_kernels results)
     (json_of_engine results "engine/fsm-step")
     (json_of_engine results "engine/dispatch8")
     (json_of_scalability scalability)

@@ -1,0 +1,154 @@
+(* faultsim: deterministic power-failure fault-injection campaigns over
+   the simulated ARTEMIS runtime, with invariant oracles and one-line
+   replay of any failing schedule. *)
+
+open Cmdliner
+module F = Artemis_faultsim.Faultsim
+module Scenario = Artemis_faultsim.Scenario
+
+let list_sites () =
+  Array.iteri (Printf.printf "%2d %s\n") F.sites;
+  0
+
+let verify_replays scenario campaign =
+  (* Determinism check: every run's reproducer line must rebuild a
+     byte-identical trace. *)
+  let bad =
+    List.filter
+      (fun (r : F.run_result) ->
+        match
+          F.replay scenario ~line:(F.replay_line ~seed:r.F.seed r.F.schedule)
+        with
+        | Ok (_, true) -> false
+        | Ok (_, false) | Error _ -> true)
+      campaign.F.runs
+  in
+  List.iter
+    (fun (r : F.run_result) ->
+      Printf.printf "NOT REPRODUCIBLE: %s\n"
+        (F.replay_line ~seed:r.F.seed r.F.schedule))
+    bad;
+  bad = []
+
+let print_violations campaign =
+  List.iter
+    (fun (r : F.run_result) ->
+      List.iter
+        (fun (v : F.violation) ->
+          Printf.printf "VIOLATION [%s] %s (replay %s)\n" v.F.oracle v.F.detail
+            (F.replay_line ~seed:r.F.seed r.F.schedule))
+        r.F.violations)
+    (campaign.F.baseline :: campaign.F.runs)
+
+let run scenario_name list depth random max_depth seed replay json skip_verify =
+  if list then list_sites ()
+  else
+    match Scenario.find scenario_name with
+    | None ->
+        Printf.eprintf "unknown scenario %S (%s)\n" scenario_name
+          (String.concat "|"
+             (List.map (fun s -> s.Scenario.name) Scenario.all));
+        2
+    | Some scenario -> (
+        match replay with
+        | Some line -> (
+            match F.replay scenario ~line with
+            | Error msg ->
+                Printf.eprintf "bad replay line: %s\n" msg;
+                2
+            | Ok (result, reproducible) ->
+                Printf.printf "replay %s: %s, %d violations, %s\n" line
+                  result.F.outcome
+                  (List.length result.F.violations)
+                  (if reproducible then "reproducible"
+                   else "NOT REPRODUCIBLE");
+                List.iter
+                  (fun (v : F.violation) ->
+                    Printf.printf "VIOLATION [%s] %s\n" v.F.oracle v.F.detail)
+                  result.F.violations;
+                if result.F.violations = [] && reproducible then 0 else 1)
+        | None ->
+            let campaign =
+              match random with
+              | Some runs -> F.random_campaign scenario ~seed ~runs ~max_depth
+              | None -> F.exhaustive scenario ~seed ~depth
+            in
+            if json then print_string (F.campaign_to_json campaign)
+            else begin
+              print_string (F.campaign_summary campaign);
+              print_violations campaign
+            end;
+            let reproducible =
+              skip_verify || verify_replays scenario campaign
+            in
+            if
+              F.total_violations campaign = 0
+              && campaign.F.baseline.F.violations = []
+              && reproducible
+            then 0
+            else 1)
+
+let scenario_arg =
+  Arg.(
+    value & opt string "quickstart"
+    & info [ "scenario" ] ~docv:"NAME"
+        ~doc:"Scenario to inject into: $(b,quickstart) or $(b,health).")
+
+let list_arg =
+  Arg.(
+    value & flag
+    & info [ "list-sites" ] ~doc:"Print the numbered injection sites and exit.")
+
+let depth_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "depth" ] ~docv:"K"
+        ~doc:"Bounded-exhaustive depth: up to $(docv) injected failures per run.")
+
+let random_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "random" ] ~docv:"N"
+        ~doc:"Run $(docv) seeded random schedules instead of the exhaustive \
+              campaign.")
+
+let max_depth_arg =
+  Arg.(
+    value & opt int 3
+    & info [ "max-depth" ] ~docv:"K"
+        ~doc:"Maximum failures per random schedule (default 3).")
+
+let seed_arg =
+  Arg.(
+    value & opt int 42
+    & info [ "seed" ] ~docv:"SEED" ~doc:"Campaign seed (default 42).")
+
+let replay_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "replay" ] ~docv:"LINE"
+        ~doc:"Replay one schedule, e.g. $(b,42:3@0,7@2); runs it twice and \
+              checks the traces are byte-identical.")
+
+let json_arg =
+  Arg.(value & flag & info [ "json" ] ~doc:"Emit the full campaign report as JSON.")
+
+let skip_verify_arg =
+  Arg.(
+    value & flag
+    & info [ "skip-replay-check" ]
+        ~doc:"Skip the per-run replay determinism verification.")
+
+let cmd =
+  let doc =
+    "deterministic power-failure fault injection with invariant oracles"
+  in
+  Cmd.v
+    (Cmd.info "faultsim" ~doc)
+    Term.(
+      const run $ scenario_arg $ list_arg $ depth_arg $ random_arg
+      $ max_depth_arg $ seed_arg $ replay_arg $ json_arg $ skip_verify_arg)
+
+let () = exit (Cmd.eval' cmd)

@@ -118,6 +118,9 @@ let handle_power_failure t ~during =
       record t (Event.Reboot { charging_delay = delay });
       Interrupted
 
+let force_power_failure t ?during () =
+  if t.starved then Starved else handle_power_failure t ~during
+
 let consume t category ?during ~power ~duration () =
   if Time.is_negative duration then invalid_arg "Device.consume: negative duration";
   if t.starved then Starved

@@ -60,6 +60,13 @@ val consume :
     non-positive power advances time without draining.
     @raise Invalid_argument on a negative duration. *)
 
+val force_power_failure : t -> ?during:string -> unit -> consume_result
+(** Model a power failure right now, independent of the capacitor level:
+    abort volatile/transactional state, log the failure and recharge via
+    the charging policy.  Returns [Interrupted] (device rebooted) or
+    [Starved].  This is the recovery half of injected fault-simulation
+    failures ({!Artemis_nvm.Nvm.Injected_failure}). *)
+
 val schedule_failure : t -> at:Time.t -> unit
 (** Test hook: force a power failure the next time [consume] crosses the
     given absolute simulation time (the capacitor is drained at that

@@ -1,0 +1,470 @@
+open Artemis
+
+(* --- injection sites (Nvm numbering first, then Runtime) --- *)
+
+let sites = Array.of_list (Nvm.injection_sites @ Runtime.injection_sites)
+let site_count = Array.length sites
+
+let site_ids : (string, int) Hashtbl.t =
+  let tbl = Hashtbl.create 16 in
+  Array.iteri (fun i label -> Hashtbl.replace tbl label i) sites;
+  tbl
+
+let site_id label = Hashtbl.find site_ids label
+
+(* --- schedules and replay lines --- *)
+
+type schedule = (int * int) list
+
+let schedule_to_string = function
+  | [] -> "-"
+  | entries ->
+      String.concat ","
+        (List.map (fun (s, o) -> Printf.sprintf "%d@%d" s o) entries)
+
+let schedule_of_string text =
+  if text = "-" || text = "" then Ok []
+  else
+    let parse_entry e =
+      match String.split_on_char '@' e with
+      | [ s; o ] -> (
+          match (int_of_string_opt s, int_of_string_opt o) with
+          | Some s, Some o when s >= 0 && s < site_count && o >= 0 ->
+              Ok (s, o)
+          | Some s, Some _ when s < 0 || s >= site_count ->
+              Error (Printf.sprintf "site %d out of range [0,%d]" s (site_count - 1))
+          | _ -> Error (Printf.sprintf "malformed entry %S" e))
+      | _ -> Error (Printf.sprintf "malformed entry %S (want site@occurrence)" e)
+    in
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | e :: rest -> (
+          match parse_entry e with
+          | Ok entry -> go (entry :: acc) rest
+          | Error _ as err -> err)
+    in
+    go [] (String.split_on_char ',' text)
+
+let replay_line ~seed schedule =
+  Printf.sprintf "%d:%s" seed (schedule_to_string schedule)
+
+let parse_replay line =
+  match String.index_opt line ':' with
+  | None -> Error "malformed replay line (want <seed>:<schedule>)"
+  | Some i -> (
+      let seed_text = String.sub line 0 i in
+      let sched_text = String.sub line (i + 1) (String.length line - i - 1) in
+      match int_of_string_opt seed_text with
+      | None -> Error (Printf.sprintf "malformed seed %S" seed_text)
+      | Some seed ->
+          Result.map (fun s -> (seed, s)) (schedule_of_string sched_text))
+
+(* --- single runs --- *)
+
+type violation = { oracle : string; detail : string }
+
+type run_result = {
+  seed : int;
+  schedule : schedule;
+  fired : (int * int) list;
+  hits : int array;
+  outcome : string;
+  power_failures : int;
+  digest : string;
+  footprint : string;
+  violations : violation list;
+}
+
+let outcome_string (s : Stats.t) =
+  match s.Stats.outcome with
+  | Stats.Completed -> "completed"
+  | Stats.Did_not_finish reason -> "dnf:" ^ reason
+
+let fingerprint nvm =
+  [ ("runtime", Nvm.Runtime); ("monitor", Nvm.Monitor);
+    ("application", Nvm.Application) ]
+  |> List.map (fun (label, region) ->
+         Printf.sprintf "%s fram=%dB ram=%dB cells=%s" label
+           (Nvm.footprint nvm ~kind:Nvm.Fram ~region)
+           (Nvm.footprint nvm ~kind:Nvm.Ram ~region)
+           (String.concat "," (Nvm.cell_names nvm ~region)))
+  |> String.concat "; "
+
+let pp_val v = Format.asprintf "%a" Fsm.Ast.pp_value v
+
+(* Oracle 2: golden re-execution.  Replay the journal of committed
+   monitor calls (plus the committed prefix of an in-flight one) against
+   a pristine suite on a fresh store; the monitors' FRAM must match. *)
+let golden_violations (b : Scenario.built) (result : Runtime.instrumented) =
+  let golden = Suite.create (Nvm.create ()) b.Scenario.machines in
+  Suite.hard_reset golden;
+  List.iter
+    (function
+      | Runtime.Stepped ev -> ignore (Suite.step_all_unindexed golden ev)
+      | Runtime.Reinited tasks -> Suite.reinit_for_tasks golden ~tasks)
+    result.Runtime.journal;
+  (match result.Runtime.partial with
+  | None -> ()
+  | Some (ev, pc) ->
+      List.iteri
+        (fun i m -> if i < pc then ignore (Monitor.step m ev))
+        (Suite.monitors golden));
+  let violations = ref [] in
+  let report detail =
+    violations := { oracle = "golden-reexecution"; detail } :: !violations
+  in
+  List.iter2
+    (fun actual gold ->
+      let name = Monitor.name actual in
+      let sa = Monitor.current_state actual and sg = Monitor.current_state gold in
+      if sa <> sg then
+        report (Printf.sprintf "%s: state %s, golden %s" name sa sg);
+      List.iter
+        (fun (vd : Fsm.Ast.var_decl) ->
+          let va = Monitor.read_var actual vd.Fsm.Ast.var_name in
+          let vg = Monitor.read_var gold vd.Fsm.Ast.var_name in
+          if not (Fsm.Ast.same_value va vg) then
+            report
+              (Printf.sprintf "%s.%s: %s, golden %s" name vd.Fsm.Ast.var_name
+                 (pp_val va) (pp_val vg)))
+        (Monitor.machine actual).Fsm.Ast.vars)
+    (Suite.monitors b.Scenario.suite)
+    (Suite.monitors golden);
+  List.rev !violations
+
+(* Oracle 3: every corrective action in the trace must be justified by at
+   least one monitor verdict recorded after the previous action - a
+   reboot may retry a verdict (fresh verdicts re-appear) but may never
+   re-apply a stale one. *)
+let action_violations log =
+  let fresh = ref 0 and violations = ref [] in
+  List.iter
+    (fun (e : Event.timed) ->
+      match e.Event.event with
+      | Event.Monitor_verdict _ -> incr fresh
+      | Event.Runtime_action { action; task } ->
+          if !fresh = 0 then
+            violations :=
+              {
+                oracle = "action-at-most-once";
+                detail =
+                  Printf.sprintf "action %s on %s without a fresh verdict"
+                    action task;
+              }
+              :: !violations
+          else fresh := 0
+      | _ -> ())
+    (Log.events log);
+  List.rev !violations
+
+let run_schedule (scenario : Scenario.t) ~seed schedule =
+  let b = scenario.Scenario.build ~seed in
+  let nvm = Device.nvm b.Scenario.device in
+  let hits = Array.make site_count 0 in
+  let since = Array.make site_count 0 in
+  let remaining = ref schedule in
+  let fired = ref [] in
+  let violations = ref [] in
+  (* Oracle 1 state: the committed application region as of the last
+     commit point.  Updated at every commit, checked at every injected
+     crash: a mid-transaction crash must not have moved it. *)
+  let app_committed = ref (Nvm.snapshot_region nvm ~region:Nvm.Application) in
+  let commit_after = site_id "nvm.commit_tx.after" in
+  let check_atomicity label =
+    let now = Nvm.snapshot_region nvm ~region:Nvm.Application in
+    if now <> !app_committed then begin
+      let changed =
+        List.filter_map
+          (fun (name, digest) ->
+            match List.assoc_opt name !app_committed with
+            | Some d when d = digest -> None
+            | _ -> Some name)
+          now
+      in
+      violations :=
+        {
+          oracle = "task-atomicity";
+          detail =
+            Printf.sprintf
+              "committed app cells changed outside a commit at %s: %s" label
+              (String.concat "," changed);
+        }
+        :: !violations
+    end
+  in
+  let probe label =
+    let id = site_id label in
+    hits.(id) <- hits.(id) + 1;
+    let occ = since.(id) in
+    since.(id) <- occ + 1;
+    if id = commit_after then
+      app_committed := Nvm.snapshot_region nvm ~region:Nvm.Application;
+    match !remaining with
+    | (s, o) :: rest when s = id && o = occ ->
+        remaining := rest;
+        Array.fill since 0 site_count 0;
+        fired := (s, o) :: !fired;
+        check_atomicity label;
+        raise (Nvm.Injected_failure label)
+    | _ -> ()
+  in
+  let result =
+    Runtime.run_instrumented ~config:b.Scenario.config ~probe b.Scenario.device
+      b.Scenario.app b.Scenario.suite
+  in
+  check_atomicity "end-of-run";
+  let violations =
+    List.rev !violations
+    @ golden_violations b result
+    @ action_violations (Device.log b.Scenario.device)
+  in
+  {
+    seed;
+    schedule;
+    fired = List.rev !fired;
+    hits;
+    outcome = outcome_string result.Runtime.stats;
+    power_failures = result.Runtime.stats.Stats.power_failures;
+    digest = Export.log_digest (Device.log b.Scenario.device);
+    footprint = fingerprint nvm;
+    violations;
+  }
+
+(* --- campaigns --- *)
+
+type campaign = {
+  scenario : string;
+  mode : string;
+  depth : int;
+  campaign_seed : int;
+  baseline : run_result;
+  runs : run_result list;
+  covered : int list;
+  shrunk : string option;
+}
+
+(* Oracle 4: a crashed-and-recovered run must end with exactly the
+   persistent cells of the uninjected baseline. *)
+let check_footprint baseline r =
+  if r.footprint = baseline.footprint then r
+  else
+    {
+      r with
+      violations =
+        r.violations
+        @ [
+            {
+              oracle = "stable-footprint";
+              detail =
+                Printf.sprintf "footprint diverged from baseline: %s (baseline %s)"
+                  r.footprint baseline.footprint;
+            };
+          ];
+    }
+
+let coverage runs =
+  let hit = Array.make site_count false in
+  List.iter (fun r -> List.iter (fun (s, _) -> hit.(s) <- true) r.fired) runs;
+  Array.to_list hit
+  |> List.mapi (fun i b -> if b then Some i else None)
+  |> List.filter_map Fun.id
+
+let total_violations c =
+  List.fold_left (fun acc r -> acc + List.length r.violations) 0 c.runs
+  + List.length c.baseline.violations
+
+let violating r = r.violations <> []
+
+(* Greedy shrink: drop schedule entries while the violation persists,
+   then lower occurrence counts toward 0. *)
+let shrink still schedule =
+  let rec remove_pass s =
+    let rec try_each prefix = function
+      | [] -> None
+      | x :: rest ->
+          let candidate = List.rev_append prefix rest in
+          if candidate <> [] && still candidate then Some candidate
+          else try_each (x :: prefix) rest
+    in
+    match try_each [] s with Some s' -> remove_pass s' | None -> s
+  in
+  let rec occ_pass s =
+    let rec try_each prefix = function
+      | [] -> None
+      | (site, o) :: rest when o > 0 ->
+          let candidate = List.rev_append prefix ((site, o - 1) :: rest) in
+          if still candidate then Some candidate
+          else try_each ((site, o) :: prefix) rest
+      | x :: rest -> try_each (x :: prefix) rest
+    in
+    match try_each [] s with Some s' -> occ_pass s' | None -> s
+  in
+  occ_pass (remove_pass schedule)
+
+let shrink_first_violation scenario baseline runs =
+  match List.find_opt violating runs with
+  | None -> None
+  | Some bad ->
+      let still s =
+        violating
+          (check_footprint baseline (run_schedule scenario ~seed:bad.seed s))
+      in
+      let minimal = if still bad.schedule then shrink still bad.schedule else bad.schedule in
+      Some (replay_line ~seed:bad.seed minimal)
+
+let exhaustive scenario ~seed ~depth =
+  if depth < 1 then invalid_arg "Faultsim.exhaustive: depth must be positive";
+  let baseline = run_schedule scenario ~seed [] in
+  (* Depth 1 is complete over dynamic instants: the baseline run tells us
+     how often each site fires, and we crash once at every single
+     occurrence (the pre-injection trajectory equals the baseline's, so
+     the occurrence grid is exact).  Deeper levels chain additional
+     first-hit (occurrence 0) failures onto each level-1 instant - full
+     occurrence grids would be quadratic in trace length per level. *)
+  let level1 =
+    List.concat
+      (List.init site_count (fun s ->
+           List.init baseline.hits.(s) (fun o -> [ (s, o) ])))
+  in
+  let rec deepen d schedules =
+    if d <= 1 then schedules
+    else
+      deepen (d - 1)
+        (List.concat_map
+           (fun sched ->
+             List.init site_count (fun s -> sched @ [ (s, 0) ]))
+           schedules)
+  in
+  let schedules =
+    List.concat (List.init depth (fun d -> deepen (d + 1) level1))
+  in
+  let runs =
+    List.map
+      (fun s -> check_footprint baseline (run_schedule scenario ~seed s))
+      schedules
+  in
+  {
+    scenario = scenario.Scenario.name;
+    mode = "exhaustive";
+    depth;
+    campaign_seed = seed;
+    baseline;
+    runs;
+    covered = coverage runs;
+    shrunk = shrink_first_violation scenario baseline runs;
+  }
+
+let random_campaign scenario ~seed ~runs ~max_depth =
+  if runs < 1 then invalid_arg "Faultsim.random_campaign: runs must be positive";
+  if max_depth < 1 then
+    invalid_arg "Faultsim.random_campaign: max_depth must be positive";
+  let prng = Prng.create ~seed in
+  let baseline = run_schedule scenario ~seed [] in
+  let results =
+    List.init runs (fun _ ->
+        let run_seed = Prng.int_range prng ~lo:0 ~hi:(1 lsl 30) in
+        let depth = Prng.int_range prng ~lo:1 ~hi:max_depth in
+        let schedule =
+          List.init depth (fun _ ->
+              ( Prng.int_range prng ~lo:0 ~hi:(site_count - 1),
+                Prng.int_range prng ~lo:0 ~hi:12 ))
+        in
+        check_footprint baseline (run_schedule scenario ~seed:run_seed schedule))
+  in
+  {
+    scenario = scenario.Scenario.name;
+    mode = "random";
+    depth = max_depth;
+    campaign_seed = seed;
+    baseline;
+    runs = results;
+    covered = coverage results;
+    shrunk = shrink_first_violation scenario baseline results;
+  }
+
+let replay scenario ~line =
+  match parse_replay line with
+  | Error _ as err -> err
+  | Ok (seed, schedule) ->
+      let baseline = run_schedule scenario ~seed [] in
+      let first = check_footprint baseline (run_schedule scenario ~seed schedule) in
+      let second = run_schedule scenario ~seed schedule in
+      Ok (first, first.digest = second.digest)
+
+(* --- reports --- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_string s = "\"" ^ json_escape s ^ "\""
+
+let run_to_json r =
+  Printf.sprintf
+    "{\"seed\": %d, \"schedule\": %s, \"fired\": %s, \"outcome\": %s, \
+     \"power_failures\": %d, \"digest\": %s, \"hits\": [%s], \
+     \"violations\": [%s]}"
+    r.seed
+    (json_string (schedule_to_string r.schedule))
+    (json_string (schedule_to_string r.fired))
+    (json_string r.outcome) r.power_failures (json_string r.digest)
+    (String.concat ", " (Array.to_list (Array.map string_of_int r.hits)))
+    (String.concat ", "
+       (List.map
+          (fun v ->
+            Printf.sprintf "{\"oracle\": %s, \"detail\": %s}"
+              (json_string v.oracle) (json_string v.detail))
+          r.violations))
+
+let campaign_to_json c =
+  let buf = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "{\n";
+  add "  \"scenario\": %s,\n" (json_string c.scenario);
+  add "  \"mode\": %s,\n" (json_string c.mode);
+  add "  \"depth\": %d,\n" c.depth;
+  add "  \"campaign_seed\": %d,\n" c.campaign_seed;
+  add "  \"sites\": [%s],\n"
+    (String.concat ", " (Array.to_list (Array.map json_string sites)));
+  add "  \"registered_sites\": %d,\n" site_count;
+  add "  \"covered_sites\": [%s],\n"
+    (String.concat ", " (List.map string_of_int c.covered));
+  add "  \"coverage\": \"%d/%d\",\n" (List.length c.covered) site_count;
+  add "  \"baseline\": %s,\n" (run_to_json c.baseline);
+  add "  \"runs\": [\n";
+  List.iteri
+    (fun i r ->
+      add "    %s%s\n" (run_to_json r)
+        (if i = List.length c.runs - 1 then "" else ","))
+    c.runs;
+  add "  ],\n";
+  add "  \"total_runs\": %d,\n" (List.length c.runs);
+  add "  \"total_violations\": %d,\n" (total_violations c);
+  add "  \"shrunk\": %s\n"
+    (match c.shrunk with None -> "null" | Some line -> json_string line);
+  add "}\n";
+  Buffer.contents buf
+
+let campaign_summary c =
+  let buf = Buffer.create 256 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "scenario %s: %d injection sites\n" c.scenario site_count;
+  add "baseline: %s, %d violations\n" c.baseline.outcome
+    (List.length c.baseline.violations);
+  add "%s (depth %d): %d runs, coverage %d/%d, %d violations\n" c.mode c.depth
+    (List.length c.runs) (List.length c.covered) site_count
+    (total_violations c);
+  (match c.shrunk with
+  | None -> ()
+  | Some line -> add "minimal reproducer: %s\n" line);
+  Buffer.contents buf

@@ -1,0 +1,121 @@
+(** Deterministic power-failure fault-injection engine.
+
+    The runtime and the NVM store expose numbered {e injection sites} -
+    probe callbacks placed immediately before and after every piece of
+    crash-critical bookkeeping (FRAM writes, transaction commits, monitor
+    steps, event-cell updates, verdict application).  A {e schedule} names
+    the exact dynamic instants at which to inject power failures; running
+    a scenario under a schedule is fully deterministic, so any failing
+    campaign run collapses to a one-line reproducer.
+
+    After every run four invariant oracles check the crash-consistency
+    contract the paper's runtime promises (Sections 3.1 and 4.1):
+
+    - {b task-atomicity}: committed application-region FRAM only ever
+      changes at transaction commit points - an injected crash can never
+      expose a half-executed task;
+    - {b golden re-execution}: replaying the journal of committed monitor
+      calls against a pristine monitor suite reproduces the run's final
+      monitor FRAM exactly (write-through immortal monitors lose nothing
+      and double-apply nothing);
+    - {b action-at-most-once}: every corrective action in the trace is
+      justified by a fresh monitor verdict (no stale verdict is ever
+      re-applied after a reboot);
+    - {b stable-footprint}: injected runs allocate exactly the FRAM/RAM
+      cells of the uninjected baseline (recovery paths never leak
+      persistent state). *)
+
+(** {2 Injection sites} *)
+
+val sites : string array
+(** All injection-point labels, in numbering order:
+    {!Nvm.injection_sites} first, then {!Runtime.injection_sites}. *)
+
+val site_count : int
+
+val site_id : string -> int
+(** @raise Not_found for an unknown label. *)
+
+(** {2 Schedules} *)
+
+type schedule = (int * int) list
+(** [(site, occurrence)] pairs, consumed head-first: fail at the
+    [occurrence]-th hit (0-based) of [site], counting hits since the
+    previous injection.  Each entry fires exactly once, so every run
+    terminates once the schedule is exhausted. *)
+
+val schedule_to_string : schedule -> string
+(** ["3@0,7@2"]; the empty schedule prints as ["-"]. *)
+
+val schedule_of_string : string -> (schedule, string) result
+
+val replay_line : seed:int -> schedule -> string
+(** The one-line reproducer: ["<seed>:<schedule>"]. *)
+
+val parse_replay : string -> (int * schedule, string) result
+
+(** {2 Single runs} *)
+
+type violation = { oracle : string; detail : string }
+
+type run_result = {
+  seed : int;
+  schedule : schedule;
+  fired : (int * int) list;  (** schedule prefix that actually injected *)
+  hits : int array;  (** probe hits per site over the whole run *)
+  outcome : string;
+  power_failures : int;
+  digest : string;  (** hex MD5 of the rendered trace *)
+  footprint : string;  (** rendered FRAM/RAM cell fingerprint *)
+  violations : violation list;
+}
+
+val run_schedule : Scenario.t -> seed:int -> schedule -> run_result
+(** Build the scenario fresh, run it with the schedule installed, then
+    apply every oracle.  The footprint oracle needs a baseline and is
+    applied by the campaign drivers, not here. *)
+
+(** {2 Campaigns} *)
+
+type campaign = {
+  scenario : string;
+  mode : string;  (** ["exhaustive"] or ["random"] *)
+  depth : int;
+  campaign_seed : int;
+  baseline : run_result;  (** uninjected run: footprint + digest anchor *)
+  runs : run_result list;
+  covered : int list;  (** site ids that injected at least once *)
+  shrunk : string option;
+      (** minimal violating reproducer (replay line), when any run
+          violated an oracle *)
+}
+
+val exhaustive : Scenario.t -> seed:int -> depth:int -> campaign
+(** Bounded-exhaustive.  Level 1 is complete over {e dynamic} crash
+    instants: one run per (site, occurrence) pair the baseline run
+    exhibits - every probed instruction execution gets crashed exactly
+    once.  Levels 2..[depth] chain further occurrence-0 failures onto
+    each level-1 instant ([site_count] more runs per schedule per
+    level). *)
+
+val random_campaign :
+  Scenario.t -> seed:int -> runs:int -> max_depth:int -> campaign
+(** Seeded random schedules: each run draws its own seed, a depth in
+    [1, max_depth] and per-entry sites/occurrences from a splitmix64
+    stream, so the whole campaign is reproducible from [seed].  On the
+    first violating run the schedule is greedily shrunk (drop entries,
+    then lower occurrences) to a minimal reproducer. *)
+
+val total_violations : campaign -> int
+
+val replay : Scenario.t -> line:string -> (run_result * bool, string) result
+(** Re-run a reproducer line twice from scratch; the boolean is whether
+    the two trace digests are byte-identical (determinism check). *)
+
+(** {2 Reports} *)
+
+val campaign_to_json : campaign -> string
+(** Hand-rendered JSON with a fixed key order, so reports diff cleanly. *)
+
+val campaign_summary : campaign -> string
+(** Short human-readable summary (used by the CLI and the cram test). *)

@@ -1,0 +1,74 @@
+open Artemis
+
+type built = {
+  device : Device.t;
+  app : Task.app;
+  suite : Suite.t;
+  machines : Fsm.Ast.machine list;
+  config : Runtime.config;
+}
+
+type t = {
+  name : string;
+  description : string;
+  build : seed:int -> built;
+}
+
+let deploy device app spec ~seed =
+  let machines = compile_exn ~app spec in
+  let suite = deploy device machines in
+  let config = { Runtime.default_config with seed } in
+  { device; app; suite; machines; config }
+
+(* examples/quickstart.ml, reconstructed fresh on every call. *)
+let quickstart =
+  let build ~seed =
+    let capacitor =
+      Capacitor.create ~capacity:(Energy.mj 3.2) ~on_threshold:(Energy.mj 3.1)
+        ~off_threshold:(Energy.mj 0.2) ()
+    in
+    let device =
+      Device.create ~capacitor
+        ~policy:(Charging_policy.Fixed_delay (Time.of_sec 30))
+        ()
+    in
+    let nvm = Device.nvm device in
+    let samples =
+      Channel.create nvm ~name:"samples" ~bytes_per_item:4 ~capacity:4
+    in
+    let sample =
+      Task.make ~name:"sample" ~duration:(Time.of_ms 100) ~power:(Energy.mw 2.)
+        ~body:(fun _ -> Channel.push samples 21.5)
+        ()
+    in
+    let transmit =
+      Task.make ~name:"transmit" ~duration:(Time.of_ms 120)
+        ~power:(Energy.mw 26.) ()
+    in
+    let app =
+      Task.app ~name:"quickstart"
+        [ { Task.index = 1; tasks = [ sample; transmit ] } ]
+    in
+    deploy device app "transmit: { maxTries: 3 onFail: skipPath; }" ~seed
+  in
+  {
+    name = "quickstart";
+    description =
+      "sample -> doomed transmit, maxTries:3 skipPath, 3.2 mJ capacitor";
+    build;
+  }
+
+let health =
+  let build ~seed =
+    let device = Device.create () in
+    let app, _handles = Health_app.make (Device.nvm device) in
+    deploy device app Health_app.spec_text ~seed
+  in
+  {
+    name = "health";
+    description = "wearable health benchmark (Figures 4-6), full spec";
+    build;
+  }
+
+let all = [ quickstart; health ]
+let find name = List.find_opt (fun s -> s.name = name) all

@@ -1,0 +1,36 @@
+(** Catalogue of self-contained device+application+property scenarios the
+    fault-injection engine can rebuild from scratch for every run.
+
+    Determinism contract: [build] must construct a fresh device, fresh
+    NVM and fresh monitors every time, with no dependence on wall-clock
+    time or global mutable state, so that two runs of the same injection
+    schedule produce byte-identical traces. *)
+
+open Artemis
+
+type built = {
+  device : Device.t;
+  app : Task.app;
+  suite : Suite.t;
+  machines : Fsm.Ast.machine list;
+      (** the deployed property machines, in deployment order - the
+          golden oracle re-executes them on a pristine store *)
+  config : Runtime.config;
+}
+
+type t = {
+  name : string;
+  description : string;
+  build : seed:int -> built;  (** [seed] feeds the task-context PRNG *)
+}
+
+val quickstart : t
+(** [examples/quickstart.ml] verbatim: sample -> doomed transmit under a
+    3.2 mJ capacitor, one [maxTries: 3 onFail: skipPath] property. *)
+
+val health : t
+(** The Figure 4-6 wearable benchmark: three paths, the full Figure 5
+    property specification, 1-minute charging delay. *)
+
+val all : t list
+val find : string -> t option

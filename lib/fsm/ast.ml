@@ -85,6 +85,15 @@ let equal_value a b =
   | Vtime x, Vtime y -> Time.equal x y
   | (Vint _ | Vbool _ | Vfloat _ | Vtime _), _ -> false
 
+(* Float.compare is a total order with NaN equal to itself (and -0. equal
+   to +0.), which is what store-vs-store comparison needs: two engines
+   that both overflowed to NaN agree, even though the language's [==]
+   says NaN <> NaN. *)
+let same_value a b =
+  match (a, b) with
+  | Vfloat x, Vfloat y -> Float.compare x y = 0
+  | _ -> equal_value a b
+
 (* Structural equality is fine for everything except Vtime (abstract),
    which equal_value handles; machines are compared component-wise. *)
 let equal_var_decl a b =

@@ -82,6 +82,14 @@ val action_to_string : action -> string
 val action_of_string : string -> action option
 
 val equal_value : value -> value -> bool
+(** Language equality, as the FSM [==] operator sees it: floats compare
+    by IEEE semantics, so [NaN <> NaN] (matching the emitted C). *)
+
+val same_value : value -> value -> bool
+(** Observational equality for differential comparison of stores: like
+    {!equal_value} but total on floats ([NaN] equals itself), so two
+    engines that both computed [NaN] count as agreeing. *)
+
 val equal_machine : machine -> machine -> bool
 
 val find_state : machine -> string -> state option

@@ -102,52 +102,71 @@ let rec compile_expr var_ids (e : expr) : store -> Interp.event -> value =
       let fa = compile_expr var_ids a and fb = compile_expr var_ids b in
       fun s ev -> if Interp.as_bool (fa s ev) then Vbool true else fb s ev
   | Binop (op, a, b) -> (
+      (* operands evaluate left-to-right, matching the interpreter: when
+         both raise, the left error must win in every engine *)
       let fa = compile_expr var_ids a and fb = compile_expr var_ids b in
       match op with
       | Add -> (
           fun s ev ->
-            match (fa s ev, fb s ev) with
+            let va = fa s ev in
+            let vb = fb s ev in
+            match (va, vb) with
             | Vint x, Vint y -> Vint (x + y)
             | Vfloat x, Vfloat y -> Vfloat (x +. y)
             | va, vb -> Interp.eval_binop Add va vb)
       | Sub -> (
           fun s ev ->
-            match (fa s ev, fb s ev) with
+            let va = fa s ev in
+            let vb = fb s ev in
+            match (va, vb) with
             | Vint x, Vint y -> Vint (x - y)
             | Vfloat x, Vfloat y -> Vfloat (x -. y)
             | va, vb -> Interp.eval_binop Sub va vb)
       | Mul -> (
           fun s ev ->
-            match (fa s ev, fb s ev) with
+            let va = fa s ev in
+            let vb = fb s ev in
+            match (va, vb) with
             | Vint x, Vint y -> Vint (x * y)
             | Vfloat x, Vfloat y -> Vfloat (x *. y)
             | va, vb -> Interp.eval_binop Mul va vb)
       | Lt -> (
           fun s ev ->
-            match (fa s ev, fb s ev) with
+            let va = fa s ev in
+            let vb = fb s ev in
+            match (va, vb) with
             | Vint x, Vint y -> Vbool (x < y)
             | Vfloat x, Vfloat y -> Vbool (x < y)
             | va, vb -> Interp.eval_binop Lt va vb)
       | Le -> (
           fun s ev ->
-            match (fa s ev, fb s ev) with
+            let va = fa s ev in
+            let vb = fb s ev in
+            match (va, vb) with
             | Vint x, Vint y -> Vbool (x <= y)
             | Vfloat x, Vfloat y -> Vbool (x <= y)
             | va, vb -> Interp.eval_binop Le va vb)
       | Gt -> (
           fun s ev ->
-            match (fa s ev, fb s ev) with
+            let va = fa s ev in
+            let vb = fb s ev in
+            match (va, vb) with
             | Vint x, Vint y -> Vbool (x > y)
             | Vfloat x, Vfloat y -> Vbool (x > y)
             | va, vb -> Interp.eval_binop Gt va vb)
       | Ge -> (
           fun s ev ->
-            match (fa s ev, fb s ev) with
+            let va = fa s ev in
+            let vb = fb s ev in
+            match (va, vb) with
             | Vint x, Vint y -> Vbool (x >= y)
             | Vfloat x, Vfloat y -> Vbool (x >= y)
             | va, vb -> Interp.eval_binop Ge va vb)
       | Eq | Ne | Div | Mod ->
-          fun s ev -> Interp.eval_binop op (fa s ev) (fb s ev)
+          fun s ev ->
+            let va = fa s ev in
+            let vb = fb s ev in
+            Interp.eval_binop op va vb
       | And | Or -> assert false (* handled above *))
 
 (* --- statement compilation --- *)

@@ -71,7 +71,12 @@ let rec eval m store event e =
       if as_bool (eval m store event a) then eval m store event b else Vbool false
   | Binop (Or, a, b) ->
       if as_bool (eval m store event a) then Vbool true else eval m store event b
-  | Binop (op, a, b) -> eval_binop op (eval m store event a) (eval m store event b)
+  | Binop (op, a, b) ->
+      (* operands evaluate left-to-right: when both raise (e.g. two
+         divisions by zero), the left error wins in every engine *)
+      let va = eval m store event a in
+      let vb = eval m store event b in
+      eval_binop op va vb
 
 and eval_binop op va vb =
   let cmp c = Vbool c in

@@ -35,10 +35,14 @@ val in_progress : t -> bool
 type progress = Ran of int  (** index of the step just executed *) | Done
 
 val run_step : t -> progress
-(** Execute the current step, then persist the advanced counter.  (The
-    persist-after-execute order matches ImmortalThreads: a power failure
-    during the step re-runs that step, which is why steps operate on
-    persistent state at step granularity.) *)
+(** Execute the current step and persist the advanced counter in one NVM
+    transaction: a power failure anywhere inside the step rolls its
+    effects back (so the re-run starts from the pre-step state), and a
+    committed step never re-runs.  Step bodies should write persistent
+    cells via [Nvm.write_join] so their updates join the step
+    transaction; plain [Nvm.write]s bypass it and must be idempotent.
+    @raise Invalid_argument if a transaction is already open on the
+    store (steps may not run inside a task transaction). *)
 
 val run_to_completion : t -> unit
 (** Run every remaining step. *)

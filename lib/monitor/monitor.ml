@@ -37,9 +37,9 @@ let create ?(engine = Compiled) nvm (machine : Ast.machine) =
   let cstore =
     {
       Compile.get = (fun slot -> Nvm.read var_cells.(slot));
-      set = (fun slot v -> Nvm.write var_cells.(slot) v);
+      set = (fun slot v -> Nvm.write_join var_cells.(slot) v);
       get_state = (fun () -> Nvm.read state_cell);
-      set_state = (fun id -> Nvm.write state_cell id);
+      set_state = (fun id -> Nvm.write_join state_cell id);
     }
   in
   (* The interpreted store resolves names through the interning tables so
@@ -53,9 +53,9 @@ let create ?(engine = Compiled) nvm (machine : Ast.machine) =
     in
     {
       Interp.get = (fun x -> Nvm.read var_cells.(slot_exn x));
-      set = (fun x v -> Nvm.write var_cells.(slot_exn x) v);
+      set = (fun x v -> Nvm.write_join var_cells.(slot_exn x) v);
       get_state = (fun () -> Compile.state_name compiled (Nvm.read state_cell));
-      set_state = (fun s -> Nvm.write state_cell (Compile.state_id compiled s));
+      set_state = (fun s -> Nvm.write_join state_cell (Compile.state_id compiled s));
     }
   in
   (* The generated C keeps each property's parameters (limits, dependent
@@ -77,17 +77,19 @@ let machine t = Compile.machine t.compiled
 let engine t = t.engine
 let compiled t = t.compiled
 
+(* Reset/reinit writes join any enclosing transaction (write_join) so a
+   path restart can make the whole monitor re-initialisation atomic. *)
 let hard_reset t =
-  Nvm.write t.state_cell (Compile.initial_state t.compiled);
+  Nvm.write_join t.state_cell (Compile.initial_state t.compiled);
   Array.iteri
-    (fun slot (v : Ast.var_decl) -> Nvm.write t.var_cells.(slot) v.Ast.init)
+    (fun slot (v : Ast.var_decl) -> Nvm.write_join t.var_cells.(slot) v.Ast.init)
     (Compile.var_decls t.compiled)
 
 let reinitialize t =
-  Nvm.write t.state_cell (Compile.initial_state t.compiled);
+  Nvm.write_join t.state_cell (Compile.initial_state t.compiled);
   Array.iteri
     (fun slot (v : Ast.var_decl) ->
-      if not v.Ast.persistent then Nvm.write t.var_cells.(slot) v.Ast.init)
+      if not v.Ast.persistent then Nvm.write_join t.var_cells.(slot) v.Ast.init)
     (Compile.var_decls t.compiled)
 
 let step t event =

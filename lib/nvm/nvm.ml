@@ -1,6 +1,20 @@
 type region = Runtime | Monitor | Application
 type kind = Fram | Ram
 
+exception Injected_failure of string
+
+(* Stable numbering contract for the fault-injection engine: sites are
+   listed in this order, before the runtime's own sites. *)
+let injection_sites =
+  [
+    "nvm.write.before";
+    "nvm.write.after";
+    "nvm.tx_write.before";
+    "nvm.tx_write.after";
+    "nvm.commit_tx.before";
+    "nvm.commit_tx.after";
+  ]
+
 (* Per-cell hooks let the store manipulate heterogeneous cells uniformly. *)
 type registered = {
   reg_name : string;
@@ -8,6 +22,7 @@ type registered = {
   reg_kind : kind;
   reg_bytes : int;
   reset_volatile : unit -> unit;
+  digest_committed : unit -> string;
 }
 
 (* One transactionally-dirty cell: how to publish its pending value and
@@ -22,6 +37,9 @@ type t = {
   mutable volatiles : registered list;  (* Ram cells only *)
   mutable tx_open : bool;
   mutable tx_dirty : dirty list;  (* reverse write order *)
+  mutable probe : (string -> unit) option;
+      (* fault-injection hook; fired around state-changing operations with
+         the site label, and allowed to raise [Injected_failure] *)
 }
 
 type 'a cell = {
@@ -46,7 +64,11 @@ let create () =
     volatiles = [];
     tx_open = false;
     tx_dirty = [];
+    probe = None;
   }
+
+let set_probe t p = t.probe <- p
+let fire t site = match t.probe with None -> () | Some p -> p site
 
 let cell t ~region ?(kind = Fram) ~name ~bytes init =
   if bytes < 0 then invalid_arg "Nvm.cell: negative size";
@@ -63,6 +85,8 @@ let cell t ~region ?(kind = Fram) ~name ~bytes init =
       reg_kind = kind;
       reg_bytes = bytes;
       reset_volatile = (fun () -> if kind = Ram then c.committed <- c.initial);
+      digest_committed =
+        (fun () -> Digest.string (Marshal.to_string c.committed [ Marshal.Closures ]));
     }
   in
   t.cells <- registered :: t.cells;
@@ -79,7 +103,9 @@ let write c v =
       invalid_arg
         (Printf.sprintf "Nvm.write: cell %S has an uncommitted tx value" c.name)
   | (Fram | Ram), _ -> ());
-  c.committed <- v
+  fire c.store "nvm.write.before";
+  c.committed <- v;
+  fire c.store "nvm.write.after"
 
 let begin_tx t =
   if t.tx_open then invalid_arg "Nvm.begin_tx: transaction already open";
@@ -90,6 +116,7 @@ let tx_write c v =
   if not c.store.tx_open then invalid_arg "Nvm.tx_write: no open transaction";
   if c.kind = Ram then
     invalid_arg (Printf.sprintf "Nvm.tx_write: cell %S is volatile" c.name);
+  fire c.store "nvm.tx_write.before";
   (match c.pending with
   | None ->
       let commit () =
@@ -99,13 +126,22 @@ let tx_write c v =
       let discard () = c.pending <- None in
       c.store.tx_dirty <- { commit; discard } :: c.store.tx_dirty
   | Some _ -> ());
-  c.pending <- Some v
+  c.pending <- Some v;
+  fire c.store "nvm.tx_write.after"
+
+(* Join the ambient transaction if one is open, else write through.  Used
+   by code that must be durable in isolation but atomic when an enclosing
+   step wraps several updates into one commit (immortal monitor steps,
+   path restarts). *)
+let write_join c v = if c.store.tx_open && c.kind = Fram then tx_write c v else write c v
 
 let commit_tx t =
   if not t.tx_open then invalid_arg "Nvm.commit_tx: no open transaction";
+  fire t "nvm.commit_tx.before";
   List.iter (fun d -> d.commit ()) (List.rev t.tx_dirty);
   t.tx_dirty <- [];
-  t.tx_open <- false
+  t.tx_open <- false;
+  fire t "nvm.commit_tx.after"
 
 let abort_tx t =
   if not t.tx_open then invalid_arg "Nvm.abort_tx: no open transaction";
@@ -125,3 +161,8 @@ let cell_names t ~region =
   List.rev t.cells
   |> List.filter (fun r -> r.reg_region = region)
   |> List.map (fun r -> r.reg_name)
+
+let snapshot_region t ~region =
+  List.rev t.cells
+  |> List.filter (fun r -> r.reg_region = region)
+  |> List.map (fun r -> (r.reg_name, r.digest_committed ()))

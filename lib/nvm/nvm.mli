@@ -32,7 +32,25 @@ type kind =
 
 type 'a cell
 
+exception Injected_failure of string
+(** Raised by a fault-injection probe (see {!set_probe}) to model a power
+    failure at the instrumented point whose label it carries.  The
+    intermittent runtime catches it, runs the device's power-failure
+    recovery, and resumes from persistent state. *)
+
+val injection_sites : string list
+(** The labels this module's probe can fire, in the canonical numbering
+    order used by the fault-injection engine: before/after each {!write},
+    {!tx_write} and {!commit_tx}. *)
+
 val create : unit -> t
+
+val set_probe : t -> (string -> unit) option -> unit
+(** Install (or clear) the fault-injection probe.  The probe is invoked
+    with the site label around every state-changing operation and may
+    raise {!Injected_failure} to crash the store's owner at that point.
+    Recovery paths ({!power_failure}, {!abort_tx}) and reads never fire
+    the probe. *)
 
 val cell :
   t -> region:region -> ?kind:kind -> name:string -> bytes:int -> 'a -> 'a cell
@@ -52,6 +70,13 @@ val write : 'a cell -> 'a -> unit
     @raise Invalid_argument on a [Fram] cell with an uncommitted
     transactional value (mixing the two disciplines on one cell within a
     task would make rollback ill-defined). *)
+
+val write_join : 'a cell -> 'a -> unit
+(** [write] when no transaction is open on the cell's store; [tx_write]
+    when one is (volatile cells always write through).  Lets multi-cell
+    updates (a monitor step, a path restart) become atomic when an
+    enclosing transaction wraps them, without changing their stand-alone
+    write-through semantics. *)
 
 val begin_tx : t -> unit
 (** Open a task transaction. @raise Invalid_argument if one is open. *)
@@ -81,3 +106,9 @@ val footprint : t -> kind:kind -> region:region -> int
 
 val cell_names : t -> region:region -> string list
 (** Names of allocated cells, in allocation order (diagnostics). *)
+
+val snapshot_region : t -> region:region -> (string * string) list
+(** [(name, digest)] of every cell's {e committed} value in the region,
+    in allocation order.  Pending transactional values are excluded, so
+    two snapshots are equal iff the durable states are.  Used by the
+    fault-injection oracles (task-transaction atomicity). *)

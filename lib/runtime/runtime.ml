@@ -48,6 +48,29 @@ type cursor = {
   end_ts : Time.t;  (** completion timestamp, fixed inside the task tx *)
 }
 
+type journal_entry = Stepped of Interp.event | Reinited of string list
+
+(* The monitor-call flag and (under instrumentation) the journal of
+   committed monitor calls share one cell: flipping [active] off and
+   recording "this event's call completed" is a single atomic FRAM
+   write, so a crash can never observe a completed call that is missing
+   from the journal or vice versa. *)
+type mcall = {
+  active : bool;
+  journal : journal_entry list;  (** newest first; [] when not instrumented *)
+}
+
+(* Numbered alongside Nvm.injection_sites by the fault-injection engine. *)
+let injection_sites =
+  [
+    "rt.monitor_step.before";
+    "rt.monitor_step.after";
+    "rt.event_update.before";
+    "rt.event_update.after";
+    "rt.verdict.before";
+    "rt.verdict.after";
+  ]
+
 type state = {
   device : Device.t;
   app : Task.app;
@@ -58,12 +81,14 @@ type state = {
   config : config;
   cursor : cursor Nvm.cell;
   event : Interp.event Nvm.cell;
-  mcall_active : bool Nvm.cell;
+  mcall : mcall Nvm.cell;
   mcall_failures : Interp.failure list Nvm.cell;
   suspended : bool Nvm.cell;  (** completePath: monitoring suspended *)
   round : int Nvm.cell;  (** reactive execution: current pass, 1-based *)
   thread : Immortal.t;
   prng : Prng.t;
+  probe : string -> unit;  (** fault-injection hook for runtime sites *)
+  journaling : bool;  (** record the committed event prefix in [mcall] *)
   mutable iterations : int;
 }
 
@@ -81,7 +106,8 @@ let dummy_event =
 
 let action_name a = Artemis_fsm.Ast.action_to_string a
 
-let make_state ~config device app suite =
+let make_state ?(probe = fun _ -> ()) ?(journaling = false) ~config device app
+    suite =
   (match Task.validate app with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Runtime.run: invalid application: " ^ msg));
@@ -95,8 +121,9 @@ let make_state ~config device app suite =
       { path = 1; index = 0; finished = false; attempt = 0; end_ts = Time.zero }
   in
   let event = Nvm.cell nvm ~region:Runtime ~name:"rt.event" ~bytes:24 dummy_event in
-  let mcall_active =
-    Nvm.cell nvm ~region:Runtime ~name:"rt.mcallActive" ~bytes:1 false
+  let mcall =
+    Nvm.cell nvm ~region:Runtime ~name:"rt.mcallActive" ~bytes:1
+      { active = false; journal = [] }
   in
   let mcall_failures =
     Nvm.cell nvm ~region:Monitor ~name:"rt.mcallFailures" ~bytes:16 []
@@ -116,7 +143,10 @@ let make_state ~config device app suite =
         match Monitor.step monitor ev with
         | [] -> ()
         | failures ->
-            Nvm.write mcall_failures (Nvm.read mcall_failures @ failures))
+            (* joins the immortal step's transaction: the failure list,
+               the monitor's own writes and the pc advance commit
+               together *)
+            Nvm.write_join mcall_failures (Nvm.read mcall_failures @ failures))
       monitors
   in
   let steps =
@@ -132,12 +162,14 @@ let make_state ~config device app suite =
     config;
     cursor;
     event;
-    mcall_active;
+    mcall;
     mcall_failures;
     suspended;
     round;
     thread;
     prng = Prng.create ~seed:config.seed;
+    probe;
+    journaling;
     iterations = 0;
   }
 
@@ -197,21 +229,39 @@ let resume_monitor_call st =
     i < Array.length st.monitors
     && Monitor.watches_event st.monitors.(i) (Nvm.read st.event)
   in
+  let run_one_step () =
+    st.probe "rt.monitor_step.before";
+    (match Immortal.run_step st.thread with
+    | Immortal.Ran _ | Immortal.Done -> ());
+    st.probe "rt.monitor_step.after"
+  in
   let rec steps () =
     if Immortal.completed st.thread then begin
+      (* Single-write commit point of the whole call: the active flag
+         drops and (under instrumentation) the event joins the committed
+         journal atomically.  The thread is re-armed by the next
+         [begin_monitor_call], so a crash on either side of this write
+         leaves a consistent state: still-active resumes into this same
+         branch, inactive means the call (and its journal entry) are
+         durable. *)
       let failures = Nvm.read st.mcall_failures in
-      Nvm.write st.mcall_active false;
-      Immortal.reset st.thread;
+      let m = Nvm.read st.mcall in
+      let journal =
+        if st.journaling then Stepped (Nvm.read st.event) :: m.journal
+        else m.journal
+      in
+      Nvm.write st.mcall { active = false; journal };
       Verdict failures
     end
-    else if not (step_watches_event st) then (
-      match Immortal.run_step st.thread with
-      | Immortal.Ran _ | Immortal.Done -> steps ())
+    else if not (step_watches_event st) then begin
+      run_one_step ();
+      steps ()
+    end
     else
       match consume_monitor st ~power:step_power ~duration:step_duration with
-      | Device.Completed -> (
-          match Immortal.run_step st.thread with
-          | Immortal.Ran _ | Immortal.Done -> steps ())
+      | Device.Completed ->
+          run_one_step ();
+          steps ()
       | Device.Interrupted | Device.Starved -> Pending
   in
   if Immortal.fresh st.thread then begin
@@ -223,9 +273,14 @@ let resume_monitor_call st =
   else steps ()
 
 let begin_monitor_call st =
-  Nvm.write st.mcall_failures [];
-  Nvm.write st.mcall_active true;
+  (* Crash-consistency ordering: re-arm the thread and clear the failure
+     accumulator BEFORE raising the active flag.  The reverse order has a
+     window where active is set while the pc still reads "completed" from
+     the previous call, and a reboot inside it would deliver a stale
+     empty verdict without stepping any monitor. *)
   Immortal.reset st.thread;
+  Nvm.write st.mcall_failures [];
+  Nvm.write st.mcall { (Nvm.read st.mcall) with active = true };
   resume_monitor_call st
 
 (* --- cursor movements; each is one atomic cell write --- *)
@@ -249,12 +304,24 @@ let restart_path st ~target ~reason =
   let c = Nvm.read st.cursor in
   let p = Option.value target ~default:c.path in
   Device.record st.device (Event.Path_restarted { path = p; reason });
-  Nvm.write st.suspended false;
   let tasks =
     Array.to_list st.paths.(p - 1) |> List.map (fun t -> t.Task.name)
   in
+  (* The restart spans many cells (suspension flag, every watching
+     monitor's state and variables, the cursor), so it runs as one NVM
+     transaction: a power failure mid-restart rolls the whole action back
+     and the retried verdict re-issues it, instead of leaving
+     half-reinitialized monitors behind. *)
+  let nvm = Device.nvm st.device in
+  Nvm.begin_tx nvm;
+  Nvm.write_join st.suspended false;
   Suite.reinit_for_tasks st.suite ~tasks;
-  Nvm.write st.cursor (move_to_path st p)
+  if st.journaling then begin
+    let m = Nvm.read st.mcall in
+    Nvm.write_join st.mcall { m with journal = Reinited tasks :: m.journal }
+  end;
+  Nvm.write_join st.cursor (move_to_path st p);
+  Nvm.commit_tx nvm
 
 let skip_path st ~target ~reason =
   let c = Nvm.read st.cursor in
@@ -289,7 +356,7 @@ let execute_task st =
 
 (* --- verdict application --- *)
 
-let apply_verdict st failures =
+let apply_verdict_body st failures =
   let ev = Nvm.read st.event in
   List.iter
     (fun (f : Interp.failure) ->
@@ -327,6 +394,11 @@ let apply_verdict st failures =
           | Interp.Start -> execute_task st
           | Interp.End -> advance st))
 
+let apply_verdict st failures =
+  st.probe "rt.verdict.before";
+  apply_verdict_body st failures;
+  st.probe "rt.verdict.after"
+
 (* --- event phases --- *)
 
 let make_event st kind (c : cursor) =
@@ -356,7 +428,9 @@ let start_phase st =
   let task = current_task st c in
   Device.record st.device
     (Event.Task_started { task = task.Task.name; attempt = c.attempt });
+  st.probe "rt.event_update.before";
   Nvm.write st.event (make_event st Interp.Start c);
+  st.probe "rt.event_update.after";
   match consume_runtime st with
   | Device.Interrupted | Device.Starved -> ()
   | Device.Completed -> (
@@ -368,7 +442,9 @@ let start_phase st =
 
 let end_phase st =
   let c = Nvm.read st.cursor in
+  st.probe "rt.event_update.before";
   Nvm.write st.event (make_event st Interp.End c);
+  st.probe "rt.event_update.after";
   match consume_runtime st with
   | Device.Interrupted | Device.Starved -> ()
   | Device.Completed -> (
@@ -382,11 +458,14 @@ let end_phase st =
 
 let finish st outcome = Artemis_device.Report.stats st.device ~outcome
 
-let run ?(config = default_config) device app suite =
-  let st = make_state ~config device app suite in
+let run_internal ?probe ?journaling ~config device app suite =
+  let st = make_state ?probe ?journaling ~config device app suite in
   Device.record device Event.Boot;
   (* initial hard reset: resetMonitor (Figure 8, line 14) *)
   Suite.hard_reset st.suite;
+  (* Route the probe to the NVM bookkeeping sites too: one controller
+     sees every numbered injection point. *)
+  Nvm.set_probe (Device.nvm device) probe;
   let rec loop () =
     st.iterations <- st.iterations + 1;
     if st.iterations > config.max_loop_iterations then begin
@@ -416,7 +495,7 @@ let run ?(config = default_config) device app suite =
           finish st Stats.Completed
         end
       end
-      else if Nvm.read st.mcall_active then begin
+      else if (Nvm.read st.mcall).active then begin
         (* monitorFinalize: progress the interrupted monitor call *)
         (match resume_monitor_call st with
         | Pending -> ()
@@ -429,7 +508,47 @@ let run ?(config = default_config) device app suite =
       end
     end
   in
-  loop ()
+  (* An injected fault behaves exactly like a capacitor brown-out at the
+     probed instruction: the device aborts volatile/transactional state,
+     recharges and reboots, and the loop resumes from persistent state. *)
+  let rec protected () =
+    try loop () with
+    | Nvm.Injected_failure site -> (
+        match Device.force_power_failure st.device ~during:("fault:" ^ site) () with
+        | Device.Starved ->
+            Device.record device
+              (Event.Horizon_reached { reason = "harvester starved" });
+            finish st (Stats.Did_not_finish "harvester starved")
+        | Device.Completed | Device.Interrupted -> protected ())
+  in
+  let stats =
+    Fun.protect
+      ~finally:(fun () -> Nvm.set_probe (Device.nvm device) None)
+      protected
+  in
+  (st, stats)
+
+let run ?(config = default_config) device app suite =
+  snd (run_internal ~config device app suite)
+
+type instrumented = {
+  stats : Stats.t;
+  journal : journal_entry list;  (** oldest first *)
+  partial : (Interp.event * int) option;
+      (** monitor call in flight at end of run: (event, immortal pc) *)
+}
+
+let run_instrumented ?(config = default_config) ~probe device app suite =
+  let st, stats =
+    run_internal ~probe ~journaling:true ~config device app suite
+  in
+  let m = Nvm.read st.mcall in
+  let partial =
+    if m.active && Immortal.pc st.thread > 0 then
+      Some (Nvm.read st.event, Immortal.pc st.thread)
+    else None
+  in
+  { stats; journal = List.rev m.journal; partial }
 
 let runtime_fram_bytes device =
   Nvm.footprint (Device.nvm device) ~kind:Artemis_nvm.Nvm.Fram

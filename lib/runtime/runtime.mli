@@ -66,3 +66,47 @@ val run :
 val runtime_fram_bytes : Device.t -> int
 (** FRAM bytes of the runtime's own persistent cells after a run was set
     up (Table 2's "ARTEMIS runtime" column). *)
+
+(** {2 Fault-injection instrumentation}
+
+    Hooks used by [Artemis_faultsim] to drive deterministic power
+    failures through the runtime's crash windows and to check its
+    invariants afterwards.  Normal runs pay nothing for them: the probe
+    defaults to a no-op and journaling is off. *)
+
+val injection_sites : string list
+(** Labels of the runtime-level injection points, in numbering order
+    (the engine numbers {!Artemis_nvm.Nvm.injection_sites} first, then
+    these).  Each site is probed with its label; a probe that raises
+    {!Artemis_nvm.Nvm.Injected_failure} models a power failure at that
+    instruction. *)
+
+type journal_entry =
+  | Stepped of Artemis_fsm.Interp.event
+      (** a monitor call over this event committed *)
+  | Reinited of string list
+      (** a path restart re-initialized the monitors watching these
+          tasks *)
+
+type instrumented = {
+  stats : Artemis_trace.Stats.t;
+  journal : journal_entry list;
+      (** committed monitor-call prefix, oldest first.  Re-executing it
+          against a fresh suite must reproduce the monitors' persistent
+          state - the fault-injection engine's golden oracle. *)
+  partial : (Artemis_fsm.Interp.event * int) option;
+      (** a monitor call was in flight when the run ended: the event and
+          how many of the thread's steps had committed *)
+}
+
+val run_instrumented :
+  ?config:config ->
+  probe:(string -> unit) ->
+  Device.t -> Task.app -> Artemis_monitor.Suite.t ->
+  instrumented
+(** Like {!run}, with [probe] installed on every injection site (both
+    the NVM bookkeeping sites and the runtime sites above) and the
+    monitor-call journal recorded.  A probe raising
+    {!Artemis_nvm.Nvm.Injected_failure} triggers
+    {!Device.force_power_failure} and the run resumes from persistent
+    state, exactly as after a capacitor brown-out. *)

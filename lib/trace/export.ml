@@ -43,6 +43,8 @@ let log_to_csv log =
     (Log.events log);
   Buffer.contents buf
 
+let log_digest log = Digest.to_hex (Digest.string (Log.render_timeline log))
+
 let outcome_string (s : Stats.t) =
   match s.Stats.outcome with
   | Stats.Completed -> "completed"

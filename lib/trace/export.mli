@@ -5,6 +5,10 @@ val log_to_csv : Log.t -> string
 (** Columns: [time_us,event,task,path,detail]; one row per event, header
     included, RFC-4180 quoting for the detail field. *)
 
+val log_digest : Log.t -> string
+(** Hex MD5 of the rendered timeline: two runs are byte-identical iff
+    their digests are equal (the fault-injection replay check). *)
+
 val stats_to_json : Stats.t -> string
 (** A flat JSON object (hand-rendered; keys are stable and documented by
     the implementation). *)

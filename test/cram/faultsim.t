@@ -1,0 +1,50 @@
+The fault-injection CLI numbers its sites deterministically (NVM
+bookkeeping sites first, then runtime sites):
+
+  $ ../../bin/faultsim.exe --list-sites
+   0 nvm.write.before
+   1 nvm.write.after
+   2 nvm.tx_write.before
+   3 nvm.tx_write.after
+   4 nvm.commit_tx.before
+   5 nvm.commit_tx.after
+   6 rt.monitor_step.before
+   7 rt.monitor_step.after
+   8 rt.event_update.before
+   9 rt.event_update.after
+  10 rt.verdict.before
+  11 rt.verdict.after
+
+A depth-1 bounded-exhaustive campaign over the quickstart scenario
+crashes every dynamic (site, occurrence) instant the baseline run
+exhibits — one run per probed instruction execution — and every
+invariant oracle stays green (the exit status verifies zero violations
+plus byte-identical replay of every run):
+
+  $ ../../bin/faultsim.exe --scenario quickstart --depth 1
+  scenario quickstart: 12 injection sites
+  baseline: completed, 0 violations
+  exhaustive (depth 1): 160 runs, coverage 12/12, 0 violations
+
+The JSON report carries the same verdict with stable keys:
+
+  $ ../../bin/faultsim.exe --scenario quickstart --depth 1 --json --skip-replay-check \
+  >   | grep -E '"(coverage|total_runs|total_violations|shrunk)"'
+    "coverage": "12/12",
+    "total_runs": 160,
+    "total_violations": 0,
+    "shrunk": null
+
+A single schedule replays from its one-line reproducer:
+
+  $ ../../bin/faultsim.exe --scenario quickstart --replay '42:6@0,4@1'
+  replay 42:6@0,4@1: completed, 0 violations, reproducible
+
+Bad input is rejected:
+
+  $ ../../bin/faultsim.exe --scenario nope
+  unknown scenario "nope" (quickstart|health)
+  [2]
+  $ ../../bin/faultsim.exe --replay '42:99@0'
+  bad replay line: site 99 out of range [0,11]
+  [2]

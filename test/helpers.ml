@@ -5,7 +5,7 @@ open Artemis
 let time = Alcotest.testable Time.pp Time.equal
 
 let value =
-  Alcotest.testable Fsm.Ast.pp_value Fsm.Ast.equal_value
+  Alcotest.testable Fsm.Ast.pp_value Fsm.Ast.same_value
 
 (* A device whose capacitor never depletes: pure-logic tests. *)
 let powered_device ?horizon () =

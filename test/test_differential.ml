@@ -176,6 +176,23 @@ let trace =
   let* evs = trace in
   return (List.mapi (fun i ev -> { ev with Interp.timestamp = Time.of_ms (100 * (i + 1)) }) evs)
 
+(* --- counterexample printers (QCheck reports are useless without them) --- *)
+
+let show_event (ev : Interp.event) =
+  Printf.sprintf "%s %s @%.1fms path=%d dep=[%s] e=%.3f"
+    (match ev.Interp.kind with Interp.Start -> "start" | Interp.End -> "end")
+    ev.Interp.task
+    (Time.to_ms_f ev.Interp.timestamp)
+    ev.Interp.path
+    (String.concat ";"
+       (List.map (fun (k, v) -> Printf.sprintf "%s=%.3f" k v) ev.Interp.dep_data))
+    ev.Interp.energy_mj
+
+let show_trace evs = String.concat "\n" (List.map show_event evs)
+
+let show_machine_trace (m, evs) =
+  Fsm.Printer.to_string m ^ "\n--- trace ---\n" ^ show_trace evs
+
 (* --- the differential properties --- *)
 
 type outcome = Failures of Interp.failure list | Err of string
@@ -194,7 +211,7 @@ let equal_outcome a b =
 (* memory-backed stores: pure engine equivalence *)
 let memory_equivalence =
   QCheck.Test.make ~name:"compiled = interpreted (memory stores)" ~count:600
-    (QCheck.make QCheck.Gen.(pair machine trace))
+    (QCheck.make ~print:show_machine_trace QCheck.Gen.(pair machine trace))
     (fun (m, evs) ->
       let c = Compile.compile m in
       let istore = Interp.memory_store m and cstore = Compile.memory_store c in
@@ -208,7 +225,7 @@ let memory_equivalence =
                (Compile.state_name c (cstore.Compile.get_state ()))
           && List.for_all
                (fun (v : F.var_decl) ->
-                 F.equal_value
+                 F.same_value
                    (istore.Interp.get v.F.var_name)
                    (cstore.Compile.get (Compile.var_id c v.F.var_name)))
                var_pool)
@@ -221,6 +238,10 @@ let nvm_equivalence =
   QCheck.Test.make
     ~name:"compiled = interpreted (NVM monitors, power failures)" ~count:500
     (QCheck.make
+       ~print:(fun (m, evs, noise) ->
+         show_machine_trace (m, evs)
+         ^ "\n--- noise ---\n"
+         ^ String.concat "," (List.map string_of_int noise))
        QCheck.Gen.(
          triple machine trace (list_size (int_range 5 40) (int_bound 9))))
     (fun (m, evs, noise) ->
@@ -231,7 +252,7 @@ let nvm_equivalence =
         String.equal (Monitor.current_state mon_i) (Monitor.current_state mon_c)
         && List.for_all
              (fun (v : F.var_decl) ->
-               F.equal_value
+               F.same_value
                  (Monitor.read_var mon_i v.F.var_name)
                  (Monitor.read_var mon_c v.F.var_name))
              var_pool
@@ -277,9 +298,84 @@ let suite_dispatch_equivalence =
           equal_outcome ri rr)
         evs)
 
+(* whole-runtime differential across monitor deployments: for every
+   deployment style of Section 7 (separate module, inlined, external
+   wireless), running a fuzzed property under the Compiled engine on an
+   intermittently powered device must reproduce the Interpreted engine's
+   run exactly - same trace, same outcome, same final monitor FRAM *)
+let deployment =
+  oneofl
+    [
+      Runtime.Separate_module;
+      Runtime.Inlined;
+      Runtime.default_external_wireless;
+    ]
+
+let deployment_name = function
+  | Runtime.Separate_module -> "separate"
+  | Runtime.Inlined -> "inlined"
+  | Runtime.External_wireless _ -> "external"
+
+let runtime_deployment_equivalence =
+  QCheck.Test.make
+    ~name:"compiled = interpreted (full runtime, all deployments)" ~count:60
+    (QCheck.make
+       ~print:(fun (m, d) ->
+         Printf.sprintf "%s / %s" (deployment_name d)
+           (Fsm.Printer.to_string m))
+       QCheck.Gen.(pair machine deployment))
+    (fun (m, depl) ->
+      (* one task per path so Fail(_, Some 2) always names a real path;
+         task c is heavy enough that a partially charged capacitor fails
+         it, exercising the monitorFinalize resume path *)
+      let build_app () =
+        let mk name mw v =
+          Task.make ~name ~duration:(Time.of_ms 100) ~power:(Energy.mw mw)
+            ~monitored:[ ("d", fun () -> v) ]
+            ()
+        in
+        Task.app ~name:"fuzz-app"
+          [
+            { Task.index = 1; tasks = [ mk "a" 2. 1.5 ] };
+            { Task.index = 2; tasks = [ mk "b" 4. 2.5 ] };
+            { Task.index = 3; tasks = [ mk "c" 26. 3.5 ] };
+          ]
+      in
+      let config =
+        {
+          Runtime.default_config with
+          max_loop_iterations = 1500;
+          deployment = depl;
+        }
+      in
+      let exec engine =
+        let device = Helpers.tiny_device ~usable_mj:3. () in
+        let suite = Suite.create ~engine (Device.nvm device) [ m ] in
+        match Runtime.run ~config device (build_app ()) suite with
+        | stats ->
+            ( Failures [],
+              Some (stats.Stats.outcome, Log.render_timeline (Device.log device)),
+              Suite.monitors suite )
+        | exception Interp.Runtime_error msg -> (Err msg, None, Suite.monitors suite)
+      in
+      let oi, ri, msi = exec Monitor.Interpreted in
+      let oc, rc, msc = exec Monitor.Compiled in
+      equal_outcome oi oc && ri = rc
+      && List.for_all2
+           (fun a b ->
+             String.equal (Monitor.current_state a) (Monitor.current_state b)
+             && List.for_all
+                  (fun (v : F.var_decl) ->
+                    F.same_value
+                      (Monitor.read_var a v.F.var_name)
+                      (Monitor.read_var b v.F.var_name))
+                  var_pool)
+           msi msc)
+
 let suite =
   [
     QCheck_alcotest.to_alcotest memory_equivalence;
     QCheck_alcotest.to_alcotest nvm_equivalence;
     QCheck_alcotest.to_alcotest suite_dispatch_equivalence;
+    QCheck_alcotest.to_alcotest runtime_deployment_equivalence;
   ]

@@ -1,0 +1,130 @@
+(* The fault-injection engine itself: site numbering, schedule parsing,
+   coverage and oracle verdicts of the bounded-exhaustive campaign over
+   the quickstart scenario, and byte-identical replay. *)
+
+open Artemis
+module F = Artemis_faultsim.Faultsim
+module Scenario = Artemis_faultsim.Scenario
+
+let test_site_numbering () =
+  Alcotest.(check int)
+    "nvm sites then runtime sites"
+    (List.length Nvm.injection_sites + List.length Runtime.injection_sites)
+    F.site_count;
+  Alcotest.(check string) "site 0" "nvm.write.before" F.sites.(0);
+  List.iteri
+    (fun i label -> Alcotest.(check int) ("id of " ^ label) i (F.site_id label))
+    (Nvm.injection_sites @ Runtime.injection_sites)
+
+let test_schedule_roundtrip () =
+  let cases = [ []; [ (0, 0) ]; [ (3, 2); (11, 0); (5, 7) ] ] in
+  List.iter
+    (fun s ->
+      match F.schedule_of_string (F.schedule_to_string s) with
+      | Ok s' -> Alcotest.(check bool) "roundtrip" true (s = s')
+      | Error msg -> Alcotest.fail msg)
+    cases;
+  (match F.parse_replay (F.replay_line ~seed:99 [ (4, 1) ]) with
+  | Ok (seed, s) ->
+      Alcotest.(check int) "seed" 99 seed;
+      Alcotest.(check bool) "schedule" true (s = [ (4, 1) ])
+  | Error msg -> Alcotest.fail msg);
+  List.iter
+    (fun bad ->
+      Alcotest.(check bool) ("rejects " ^ bad) true
+        (Result.is_error (F.schedule_of_string bad)))
+    [ "x"; "1@"; "@2"; "99@0"; "1@-3" ]
+
+let test_baseline_clean () =
+  let r = F.run_schedule Scenario.quickstart ~seed:42 [] in
+  Alcotest.(check string) "completes" "completed" r.F.outcome;
+  Alcotest.(check (list string)) "no violations" []
+    (List.map (fun v -> v.F.oracle) r.F.violations);
+  Alcotest.(check bool) "nothing fired" true (r.F.fired = []);
+  Alcotest.(check bool) "all sites hit by a plain run" true
+    (Array.for_all (fun h -> h > 0) r.F.hits)
+
+let test_depth1_exhaustive_coverage () =
+  let c = F.exhaustive Scenario.quickstart ~seed:42 ~depth:1 in
+  (* level 1 is complete over dynamic instants: one run per (site,
+     occurrence) pair the uninjected baseline exhibits *)
+  let instants = Array.fold_left ( + ) 0 c.F.baseline.F.hits in
+  Alcotest.(check int) "one run per dynamic instant" instants
+    (List.length c.F.runs);
+  Alcotest.(check int) "every site injected" F.site_count
+    (List.length c.F.covered);
+  Alcotest.(check int) "zero violations" 0 (F.total_violations c);
+  Alcotest.(check bool) "no reproducer" true (c.F.shrunk = None);
+  List.iter
+    (fun (r : F.run_result) ->
+      Alcotest.(check bool)
+        ("schedule fired: " ^ F.schedule_to_string r.F.schedule)
+        true
+        (r.F.fired = r.F.schedule);
+      Alcotest.(check bool) "injection rebooted the device" true
+        (r.F.power_failures >= 1))
+    c.F.runs
+
+let test_replay_deterministic () =
+  (* every depth-1 reproducer line rebuilds a byte-identical trace *)
+  let c = F.exhaustive Scenario.quickstart ~seed:42 ~depth:1 in
+  List.iter
+    (fun (r : F.run_result) ->
+      let line = F.replay_line ~seed:r.F.seed r.F.schedule in
+      match F.replay Scenario.quickstart ~line with
+      | Ok (again, reproducible) ->
+          Alcotest.(check bool) ("reproducible: " ^ line) true reproducible;
+          Alcotest.(check string) ("same digest: " ^ line) r.F.digest
+            again.F.digest
+      | Error msg -> Alcotest.fail msg)
+    c.F.runs
+
+let test_random_campaign_reproducible () =
+  let a = F.random_campaign Scenario.quickstart ~seed:7 ~runs:25 ~max_depth:3 in
+  let b = F.random_campaign Scenario.quickstart ~seed:7 ~runs:25 ~max_depth:3 in
+  Alcotest.(check int) "zero violations" 0 (F.total_violations a);
+  Alcotest.(check (list string))
+    "same digests from the same campaign seed"
+    (List.map (fun r -> r.F.digest) a.F.runs)
+    (List.map (fun r -> r.F.digest) b.F.runs)
+
+let test_footprint_matches_baseline () =
+  let c = F.exhaustive Scenario.quickstart ~seed:42 ~depth:1 in
+  List.iter
+    (fun (r : F.run_result) ->
+      Alcotest.(check string)
+        ("stable footprint: " ^ F.schedule_to_string r.F.schedule)
+        c.F.baseline.F.footprint r.F.footprint)
+    c.F.runs
+
+let test_json_report_shape () =
+  let c = F.exhaustive Scenario.quickstart ~seed:42 ~depth:1 in
+  let json = F.campaign_to_json c in
+  List.iter
+    (fun key ->
+      let needle = Printf.sprintf "\"%s\":" key in
+      let found =
+        let n = String.length needle and l = String.length json in
+        let rec go i = i + n <= l && (String.sub json i n = needle || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) ("report has " ^ key) true found)
+    [
+      "scenario"; "mode"; "depth"; "sites"; "registered_sites"; "covered_sites";
+      "coverage"; "baseline"; "runs"; "total_runs"; "total_violations"; "shrunk";
+    ]
+
+let suite =
+  [
+    ("site numbering", `Quick, test_site_numbering);
+    ("schedule parse/print roundtrip", `Quick, test_schedule_roundtrip);
+    ("uninjected baseline is clean", `Quick, test_baseline_clean);
+    ("depth-1 exhaustive: full coverage, no violations", `Quick,
+      test_depth1_exhaustive_coverage);
+    ("replay is byte-identical", `Quick, test_replay_deterministic);
+    ("random campaigns reproduce from their seed", `Quick,
+      test_random_campaign_reproducible);
+    ("injected runs keep the baseline footprint", `Quick,
+      test_footprint_matches_baseline);
+    ("JSON report keys", `Quick, test_json_report_shape);
+  ]
