@@ -121,6 +121,27 @@ let dispatch8_kernels () =
   in
   (interp, comp)
 
+(* observability disabled-overhead contract: the same dispatch8 compiled
+   kernel with the metrics registry off (the default) and on.  The off
+   kernel must stay within noise of PR2's dispatch8-compiled number; the
+   on/off delta prices the counter bumps. *)
+let obs_kernels () =
+  let machines = Scalability.replicated_machines 8 in
+  let mk () =
+    Artemis_monitor.Suite.create ~engine:A.Monitor.Compiled (A.Nvm.create ())
+      machines
+  in
+  let s_off = mk () and s_on = mk () in
+  let off () =
+    List.iter (fun ev -> ignore (A.Suite.step_all s_off ev)) kernel_trace
+  in
+  let on () =
+    A.Obs.set_metrics true;
+    List.iter (fun ev -> ignore (A.Suite.step_all s_on ev)) kernel_trace;
+    A.Obs.set_metrics false
+  in
+  (off, on)
+
 (* --- Bechamel micro-benchmarks --- *)
 
 open Bechamel
@@ -170,12 +191,15 @@ let experiment_tests =
 let engine_tests =
   let fsm_i, fsm_c = fsm_step_kernels () in
   let d8_i, d8_c = dispatch8_kernels () in
+  let obs_off, obs_on = obs_kernels () in
   Test.make_grouped ~name:"engine"
     [
       Test.make ~name:"fsm-step-interpreted" (stagedf fsm_i);
       Test.make ~name:"fsm-step-compiled" (stagedf fsm_c);
       Test.make ~name:"dispatch8-interpreted" (stagedf d8_i);
       Test.make ~name:"dispatch8-compiled" (stagedf d8_c);
+      Test.make ~name:"obs-dispatch8-off" (stagedf obs_off);
+      Test.make ~name:"obs-dispatch8-on" (stagedf obs_on);
       (* the fault-injection engine's hot loop: a full depth-1 exhaustive
          campaign (12 injected runs + baseline + oracles) on quickstart *)
       Test.make ~name:"faultsim-depth1-exhaustive"
@@ -268,14 +292,27 @@ let json_of_kernels results =
          | None -> Printf.sprintf {|    %S: null|} name)
   |> String.concat ",\n"
 
+let json_of_obs results =
+  match
+    ( estimate_ns results "engine/obs-dispatch8-off",
+      estimate_ns results "engine/obs-dispatch8-on" )
+  with
+  | Some off, Some on when off > 0. ->
+      Printf.sprintf
+        {|  "obs": { "off_ns": %.0f, "on_ns": %.0f, "overhead_pct": %.2f }|}
+        off on
+        ((on -. off) /. off *. 100.)
+  | _ -> {|  "obs": null|}
+
 let write_json ~file results ~scalability ~non_watching =
   let oc = open_out file in
   Printf.fprintf oc
     {|{
-  "bench": "fault-injection engine and oracles (PR2)",
+  "bench": "observability layer: metrics + span tracing (PR3)",
   "kernels_ns": {
 %s
   },
+%s,
   "engine_kernels": {
 %s,
 %s
@@ -289,6 +326,7 @@ let write_json ~file results ~scalability ~non_watching =
 }
 |}
     (json_of_kernels results)
+    (json_of_obs results)
     (json_of_engine results "engine/fsm-step")
     (json_of_engine results "engine/dispatch8")
     (json_of_scalability scalability)

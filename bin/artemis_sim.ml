@@ -5,7 +5,46 @@
 open Cmdliner
 open Artemis_experiments
 
-let run system_name delay_min continuous temp_base show_trace trace_limit show_summary csv_path =
+(* Self-validate an export before reporting success: the trace must be a
+   parseable JSON document whose B/E events pair up per track, and the
+   metrics counters must reconcile with the log-derived stats.  Failing
+   either is a bug in the observability layer, reported as exit 1. *)
+let check_trace_json text =
+  match Artemis.Json.parse text with
+  | Error e -> Error ("invalid JSON: " ^ e)
+  | Ok doc -> (
+      match Artemis.Json.(member "traceEvents" doc) with
+      | Some (Artemis.Json.Arr events) ->
+          let depth = Hashtbl.create 8 in
+          let bad =
+            List.exists
+              (fun ev ->
+                let str k =
+                  match Artemis.Json.member k ev with
+                  | Some (Artemis.Json.Str s) -> s
+                  | _ -> ""
+                in
+                let tid =
+                  match Artemis.Json.member "tid" ev with
+                  | Some (Artemis.Json.Num n) -> int_of_float n
+                  | _ -> 0
+                in
+                let d = try Hashtbl.find depth tid with Not_found -> 0 in
+                match str "ph" with
+                | "B" ->
+                    Hashtbl.replace depth tid (d + 1);
+                    false
+                | "E" ->
+                    Hashtbl.replace depth tid (d - 1);
+                    d - 1 < 0
+                | _ -> false)
+              events
+          in
+          let unclosed = Hashtbl.fold (fun _ d acc -> acc || d <> 0) depth false in
+          if bad || unclosed then Error "unbalanced B/E span events" else Ok ()
+      | _ -> Error "missing traceEvents array")
+
+let run system_name delay_min continuous temp_base show_trace trace_limit show_summary csv_path trace_out metrics_out show_metrics =
   let system =
     match system_name with
     | "artemis" -> Ok Config.Artemis_runtime
@@ -21,6 +60,9 @@ let run system_name delay_min continuous temp_base show_trace trace_limit show_s
         if continuous then Config.Continuous
         else Config.Intermittent (Artemis.Time.of_min delay_min)
       in
+      Artemis.Obs.reset ();
+      Artemis.Obs.set_metrics (metrics_out <> None || show_metrics);
+      Artemis.Obs.set_tracing (trace_out <> None);
       let { Config.stats; device; handles } =
         Config.run_health ?temp_base system supply
       in
@@ -44,7 +86,48 @@ let run system_name delay_min continuous temp_base show_trace trace_limit show_s
           Out_channel.with_open_bin path (fun oc ->
               output_string oc (Artemis.Export.log_to_csv (Artemis.Device.log device)));
           Printf.printf "trace CSV written to %s\n" path);
-      0
+      if show_metrics then begin
+        print_endline "--- metrics ---";
+        print_string (Artemis.Obs.metrics_dump ())
+      end;
+      let failures = ref 0 in
+      (match trace_out with
+      | None -> ()
+      | Some path -> (
+          let text = Artemis.Obs.trace_json () in
+          Out_channel.with_open_bin path (fun oc -> output_string oc text);
+          match check_trace_json text with
+          | Ok () ->
+              Printf.printf "trace written to %s (valid JSON, balanced spans)\n"
+                path
+          | Error e ->
+              Printf.eprintf "trace written to %s FAILED validation: %s\n" path e;
+              incr failures));
+      (match metrics_out with
+      | None -> ()
+      | Some path -> (
+          let text = Artemis.Obs.metrics_json () in
+          Out_channel.with_open_bin path (fun oc -> output_string oc text);
+          match
+            ( Artemis.Json.parse text,
+              Artemis.Export.reconcile_metrics stats )
+          with
+          | Error e, _ ->
+              Printf.eprintf "metrics written to %s FAILED validation: %s\n" path
+                e;
+              incr failures
+          | Ok _, [] ->
+              Printf.printf "metrics written to %s (reconciled with stats)\n"
+                path
+          | Ok _, mismatches ->
+              Printf.eprintf "metrics written to %s FAILED reconciliation:\n"
+                path;
+              List.iter
+                (fun (name, expected, got) ->
+                  Printf.eprintf "  %s: stats=%d counter=%d\n" name expected got)
+                mismatches;
+              incr failures));
+      if !failures > 0 then 1 else 0
 
 let system_arg =
   Arg.(
@@ -91,12 +174,37 @@ let csv_arg =
     & opt (some string) None
     & info [ "csv" ] ~docv:"FILE" ~doc:"Write the trace as CSV to $(docv).")
 
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Record spans and instants during the run and write them as \
+           Chrome trace-event JSON (loadable in Perfetto) to $(docv).")
+
+let metrics_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:
+          "Enable the metrics registry and write it as JSON to $(docv); \
+           counters are cross-checked against the run statistics.")
+
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:"Enable the metrics registry and print a text dump after the run.")
+
 let cmd =
   let doc = "simulate the health-monitoring benchmark on intermittent power" in
   Cmd.v
     (Cmd.info "artemis_sim" ~doc)
     Term.(
       const run $ system_arg $ delay_arg $ continuous_arg $ temp_arg $ trace_arg
-      $ trace_limit_arg $ summary_arg $ csv_arg)
+      $ trace_limit_arg $ summary_arg $ csv_arg $ trace_out_arg
+      $ metrics_out_arg $ metrics_arg)
 
 let () = exit (Cmd.eval' cmd)

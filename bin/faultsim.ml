@@ -40,7 +40,20 @@ let print_violations campaign =
         r.F.violations)
     (campaign.F.baseline :: campaign.F.runs)
 
-let run scenario_name list depth random max_depth seed replay json skip_verify =
+let run scenario_name list depth random max_depth seed replay json skip_verify trace_out =
+  Artemis.Obs.reset ();
+  Artemis.Obs.set_tracing (trace_out <> None);
+  let write_trace code =
+    (match trace_out with
+    | None -> ()
+    | Some path ->
+        Out_channel.with_open_bin path (fun oc ->
+            output_string oc (Artemis.Obs.trace_json ()));
+        Printf.eprintf "trace written to %s\n" path);
+    code
+  in
+  write_trace
+  @@
   if list then list_sites ()
   else
     match Scenario.find scenario_name with
@@ -141,6 +154,16 @@ let skip_verify_arg =
     & info [ "skip-replay-check" ]
         ~doc:"Skip the per-run replay determinism verification.")
 
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Write the campaign as Chrome trace-event JSON to $(docv): one \
+           span per run (laid end-to-end on a shared timeline) with \
+           instant events at each oracle violation.")
+
 let cmd =
   let doc =
     "deterministic power-failure fault injection with invariant oracles"
@@ -149,6 +172,7 @@ let cmd =
     (Cmd.info "faultsim" ~doc)
     Term.(
       const run $ scenario_arg $ list_arg $ depth_arg $ random_arg
-      $ max_depth_arg $ seed_arg $ replay_arg $ json_arg $ skip_verify_arg)
+      $ max_depth_arg $ seed_arg $ replay_arg $ json_arg $ skip_verify_arg
+      $ trace_out_arg)
 
 let () = exit (Cmd.eval' cmd)

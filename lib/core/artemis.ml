@@ -16,6 +16,8 @@ module Time = Artemis_util.Time
 module Energy = Artemis_util.Energy
 module Table = Artemis_util.Table
 module Prng = Artemis_util.Prng
+module Json = Artemis_util.Json
+module Obs = Artemis_obs.Obs
 module Nvm = Artemis_nvm.Nvm
 module Persistent_clock = Artemis_clock.Persistent_clock
 module Remanence_timekeeper = Artemis_clock.Remanence_timekeeper

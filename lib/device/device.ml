@@ -5,8 +5,73 @@ module Charging_policy = Artemis_energy.Charging_policy
 module Clock = Artemis_clock.Persistent_clock
 module Log = Artemis_trace.Log
 module Event = Artemis_trace.Event
+module Obs = Artemis_obs.Obs
 
 type category = App | Runtime_work | Monitor_work
+
+(* Observability: the counters mirror the log (they are bumped at the
+   single [record] chokepoint), so an enabled-for-the-whole-run registry
+   reconciles exactly with the [Stats] derived from the same log. *)
+let m_task_executions = Obs.counter "task_executions"
+let m_task_completions = Obs.counter "task_completions"
+let m_power_failures = Obs.counter "power_failures"
+let m_reboots = Obs.counter "reboots"
+let m_path_restarts = Obs.counter "path_restarts"
+let m_path_skips = Obs.counter "path_skips"
+let m_monitor_verdicts = Obs.counter "monitor_verdicts"
+let m_runtime_actions = Obs.counter "runtime_actions"
+let g_energy_app = Obs.gauge "energy_app_uj"
+let g_energy_runtime = Obs.gauge "energy_runtime_uj"
+let g_energy_monitor = Obs.gauge "energy_monitor_uj"
+let g_capacitor = Obs.gauge "capacitor_uj"
+let h_consume = Obs.histogram "consume_us"
+let h_charging = Obs.histogram "charging_delay_us"
+
+let observe_event event =
+  (match event with
+  | Event.Task_started _ -> Obs.incr m_task_executions
+  | Event.Task_completed _ -> Obs.incr m_task_completions
+  | Event.Power_failure _ -> Obs.incr m_power_failures
+  | Event.Reboot _ -> Obs.incr m_reboots
+  | Event.Path_restarted _ -> Obs.incr m_path_restarts
+  | Event.Path_skipped _ -> Obs.incr m_path_skips
+  | Event.Monitor_verdict _ -> Obs.incr m_monitor_verdicts
+  | Event.Runtime_action _ -> Obs.incr m_runtime_actions
+  | _ -> ());
+  if Obs.tracing_enabled () then
+    match event with
+    | Event.Boot -> Obs.instant ~cat:"power" "boot"
+    | Event.Power_failure { during_task } ->
+        let args =
+          match during_task with
+          | Some task -> [ ("task", Obs.S task) ]
+          | None -> []
+        in
+        Obs.instant ~cat:"power" ~args "power_failure"
+    | Event.Monitor_verdict { monitor; task; action } ->
+        Obs.instant ~cat:"monitor"
+          ~args:
+            [ ("monitor", Obs.S monitor); ("task", Obs.S task);
+              ("action", Obs.S action) ]
+          "verdict"
+    | Event.Runtime_action { action; task } ->
+        Obs.instant ~cat:"runtime"
+          ~args:[ ("action", Obs.S action); ("task", Obs.S task) ]
+          "corrective_action"
+    | Event.Path_restarted { path; reason } ->
+        Obs.instant ~cat:"runtime"
+          ~args:[ ("path", Obs.I path); ("reason", Obs.S reason) ]
+          "path_restarted"
+    | Event.Path_skipped { path; reason } ->
+        Obs.instant ~cat:"runtime"
+          ~args:[ ("path", Obs.I path); ("reason", Obs.S reason) ]
+          "path_skipped"
+    | Event.App_completed -> Obs.instant ~cat:"runtime" "app_completed"
+    | Event.Horizon_reached { reason } ->
+        Obs.instant ~cat:"runtime"
+          ~args:[ ("reason", Obs.S reason) ]
+          "horizon_reached"
+    | _ -> ()
 type consume_result = Completed | Interrupted | Starved
 
 type t = {
@@ -46,6 +111,10 @@ let create ?capacitor ?policy ?clock ?horizon () =
   in
   let clock = match clock with Some c -> c | None -> Clock.create () in
   let horizon = match horizon with Some h -> h | None -> Time.of_min 360 in
+  (* Hand the observability layer this device's simulated clock so spans
+     and instants are stamped in simulated microseconds.  The last
+     created device wins; the simulator runs devices sequentially. *)
+  Obs.set_clock (fun () -> Time.to_us (Clock.elapsed_ground_truth clock));
   {
     nvm = Nvm.create ();
     clock;
@@ -70,10 +139,12 @@ let log t = t.log
 let capacitor t = t.capacitor
 let now t = Clock.now t.clock
 let sim_time t = Clock.elapsed_ground_truth t.clock
-let record t event = Log.record t.log ~at:(now t) event
+let record t event =
+  Log.record t.log ~at:(now t) event;
+  observe_event event
 
 let account t category dt energy =
-  match category with
+  (match category with
   | App ->
       t.time_app <- Time.add t.time_app dt;
       t.energy_app <- Energy.add t.energy_app energy
@@ -82,7 +153,14 @@ let account t category dt energy =
       t.energy_runtime <- Energy.add t.energy_runtime energy
   | Monitor_work ->
       t.time_monitor <- Time.add t.time_monitor dt;
-      t.energy_monitor <- Energy.add t.energy_monitor energy
+      t.energy_monitor <- Energy.add t.energy_monitor energy);
+  if Obs.metrics_enabled () then begin
+    Obs.observe_us h_consume (Time.to_us dt);
+    Obs.set_gauge g_energy_app (Energy.to_uj t.energy_app);
+    Obs.set_gauge g_energy_runtime (Energy.to_uj t.energy_runtime);
+    Obs.set_gauge g_energy_monitor (Energy.to_uj t.energy_monitor);
+    Obs.set_gauge g_capacitor (Energy.to_uj (Capacitor.level t.capacitor))
+  end
 
 let schedule_failure t ~at =
   t.scheduled_failures <-
@@ -112,9 +190,13 @@ let handle_power_failure t ~during =
       record t (Event.Horizon_reached { reason = "harvester starved" });
       Starved
   | Some delay ->
+      let t0 = if Obs.tracing_enabled () then Obs.now_us () else 0 in
       Clock.advance_off t.clock delay;
       t.off <- Time.add t.off delay;
       Clock.record_reboot t.clock;
+      if Obs.tracing_enabled () then
+        Obs.span ~cat:"power" ~begin_us:t0 ~end_us:(Obs.now_us ()) "charging";
+      Obs.observe_us h_charging (Time.to_us delay);
       record t (Event.Reboot { charging_delay = delay });
       Interrupted
 
@@ -127,13 +209,23 @@ let consume t category ?during ~power ~duration () =
   else
     let forced = pop_scheduled_failure t ~start:(sim_time t) ~duration in
     match forced with
-    | Some offset ->
-        (* Run up to the injected failure point, then brown out. *)
+    | Some offset -> (
+        (* Run up to the injected failure point, then brown out.  The
+           capacitor may deplete before the injection point is reached;
+           in that case the device browns out at the depletion point and
+           only the energy actually drawn is accounted, mirroring the
+           [Depleted drawn] branch below. *)
         let partial_energy = Energy.consumed power offset in
-        ignore (Capacitor.drain t.capacitor partial_energy);
-        Clock.advance t.clock offset;
-        account t category offset partial_energy;
-        handle_power_failure t ~during
+        match Capacitor.drain t.capacitor partial_energy with
+        | Capacitor.Drained ->
+            Clock.advance t.clock offset;
+            account t category offset partial_energy;
+            handle_power_failure t ~during
+        | Capacitor.Depleted drawn ->
+            let partial = Energy.time_to_consume power drawn in
+            Clock.advance t.clock partial;
+            account t category partial drawn;
+            handle_power_failure t ~during)
     | None ->
         if Energy.to_uw power <= 0. then begin
           Clock.advance t.clock duration;

@@ -33,6 +33,77 @@ let duty_on_len period on_fraction =
   Time.of_us
     (int_of_float (Float.round (float_of_int (Time.to_us period) *. on_fraction)))
 
+(* --- Trace lookup ---
+
+   Real harvesting traces (NREL solar, office RF) run to hundreds of
+   thousands of samples, and the charging policy queries them on every
+   recharge, so the old O(n) rewind-and-scan dominated long campaigns.
+   Lookup is now a binary search, fronted by a one-entry monotone cursor:
+   the simulator's queries move forward in time, so the answer is almost
+   always the cached segment or the one right after it.  Both caches key
+   on the array's physical identity, which keeps the public
+   [Trace of array] constructor (and every existing literal) unchanged. *)
+
+(* Largest [i] with [fst arr.(i) <= at], or [-1] if [at] precedes the
+   first sample. *)
+let bsearch arr at =
+  let n = Array.length arr in
+  if n = 0 || Time.(at < fst arr.(0)) then -1
+  else begin
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi + 1) / 2 in
+      if Time.(fst arr.(mid) <= at) then lo := mid else hi := mid - 1
+    done;
+    !lo
+  end
+
+let cursor_arr : (Time.t * Energy.power) array ref = ref [||]
+let cursor_idx = ref (-1)
+
+let seg_index arr at =
+  let n = Array.length arr in
+  let holds j =
+    j >= -1 && j < n
+    && (j = -1 || Time.(fst arr.(j) <= at))
+    && (j + 1 >= n || Time.(at < fst arr.(j + 1)))
+  in
+  if !cursor_arr != arr then begin
+    cursor_arr := arr;
+    cursor_idx := bsearch arr at
+  end
+  else begin
+    let i = !cursor_idx in
+    if holds i then ()
+    else if holds (i + 1) then cursor_idx := i + 1
+    else if holds (i + 2) then cursor_idx := i + 2
+    else cursor_idx := bsearch arr at
+  end;
+  !cursor_idx
+
+(* Prefix sums: [p.(i)] is the energy harvested from time 0 to the start
+   of segment [i], accumulated left to right exactly as the naive scan
+   did, so [integral] stays bit-identical to the O(n) version the
+   differential test replays. *)
+let prefix_arr : (Time.t * Energy.power) array ref = ref [||]
+let prefix_sums : Energy.energy array ref = ref [||]
+
+let prefixes arr =
+  if !prefix_arr != arr then begin
+    let n = Array.length arr in
+    let p = Array.make n Energy.zero in
+    let acc = ref Energy.zero in
+    for i = 0 to n - 2 do
+      let seg_start, rate = arr.(i) in
+      let seg_end = fst arr.(i + 1) in
+      acc := Energy.add !acc (Energy.consumed rate (Time.sub seg_end seg_start));
+      p.(i + 1) <- !acc
+    done;
+    prefix_arr := arr;
+    prefix_sums := p
+  end;
+  !prefix_sums
+
 let rate_at t at =
   match t with
   | Constant p -> p
@@ -40,12 +111,8 @@ let rate_at t at =
       let phase = Time.of_us (Time.to_us at mod Time.to_us period) in
       if Time.(phase < duty_on_len period on_fraction) then rate else Energy.uw 0.
   | Trace arr ->
-      let rec find i best =
-        if i >= Array.length arr then best
-        else if Time.(fst arr.(i) <= at) then find (i + 1) (snd arr.(i))
-        else best
-      in
-      find 0 (Energy.uw 0.)
+      let i = seg_index arr at in
+      if i < 0 then Energy.uw 0. else snd arr.(i)
 
 (* Integral of the incoming power from time 0 to [at]. *)
 let integral t at =
@@ -59,16 +126,14 @@ let integral t at =
       let partial = Energy.consumed rate (Time.min phase on_len) in
       Energy.add (Energy.scale per_cycle (float_of_int cycles)) partial
   | Trace arr ->
-      let n = Array.length arr in
-      let acc = ref Energy.zero in
-      for i = 0 to n - 1 do
+      let i = seg_index arr at in
+      if i < 0 then Energy.zero
+      else
+        let p = (prefixes arr).(i) in
         let seg_start, rate = arr.(i) in
-        let seg_end = if i + 1 < n then fst arr.(i + 1) else at in
-        let seg_end = Time.min seg_end at in
-        if Time.(seg_start < seg_end) then
-          acc := Energy.add !acc (Energy.consumed rate (Time.sub seg_end seg_start))
-      done;
-      !acc
+        if Time.(seg_start < at) then
+          Energy.add p (Energy.consumed rate (Time.sub at seg_start))
+        else p
 
 let harvested t ~from_ ~until =
   if Time.(until < from_) then invalid_arg "Harvester.harvested: until < from";
@@ -132,7 +197,4 @@ let time_to_harvest t ~now needed =
                 Some (Time.sub (Time.add at (Energy.time_to_consume rate remaining)) now)
               else scan (i + 1) seg_end (Energy.sub_exact remaining seg_energy)
         in
-        let rec seg_of at i =
-          if i >= n - 1 || Time.(at < fst arr.(i + 1)) then i else seg_of at (i + 1)
-        in
-        scan (seg_of now 0) now needed
+        scan (Stdlib.max (seg_index arr now) 0) now needed

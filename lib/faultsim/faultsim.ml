@@ -157,8 +157,16 @@ let action_violations log =
     (Log.events log);
   List.rev !violations
 
+let m_runs = Obs.counter "faultsim_runs"
+let m_injected = Obs.counter "faultsim_injected"
+let m_violations = Obs.counter "faultsim_violations"
+
 let run_schedule (scenario : Scenario.t) ~seed schedule =
   let b = scenario.Scenario.build ~seed in
+  Obs.incr m_runs;
+  (* Each run's device clock restarts at zero; [Scenario.build] installed
+     it as the trace clock, so the campaign span starts here. *)
+  let span_begin = if Obs.tracing_enabled () then Obs.now_us () else 0 in
   let nvm = Device.nvm b.Scenario.device in
   let hits = Array.make site_count 0 in
   let since = Array.make site_count 0 in
@@ -204,6 +212,7 @@ let run_schedule (scenario : Scenario.t) ~seed schedule =
         remaining := rest;
         Array.fill since 0 site_count 0;
         fired := (s, o) :: !fired;
+        Obs.incr m_injected;
         check_atomicity label;
         raise (Nvm.Injected_failure label)
     | _ -> ()
@@ -218,6 +227,25 @@ let run_schedule (scenario : Scenario.t) ~seed schedule =
     @ golden_violations b result
     @ action_violations (Device.log b.Scenario.device)
   in
+  Obs.add m_violations (List.length violations);
+  if Obs.tracing_enabled () then begin
+    let end_us = Obs.now_us () in
+    Obs.span ~cat:"faultsim"
+      ~args:
+        [ ("seed", Obs.I seed);
+          ("schedule", Obs.S (schedule_to_string schedule));
+          ("outcome", Obs.S (outcome_string result.Runtime.stats)) ]
+      ~begin_us:span_begin ~end_us scenario.Scenario.name;
+    List.iter
+      (fun v ->
+        Obs.instant ~cat:"faultsim" ~ts:end_us
+          ~args:[ ("oracle", Obs.S v.oracle); ("detail", Obs.S v.detail) ]
+          "violation")
+      violations;
+    (* Lay sequential campaign runs end-to-end on one exported timeline,
+       separated by a one-second gap. *)
+    Obs.set_base (end_us + 1_000_000)
+  end;
   {
     seed;
     schedule;

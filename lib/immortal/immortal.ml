@@ -1,4 +1,8 @@
 open Artemis_nvm
+module Obs = Artemis_obs.Obs
+
+let m_steps = Obs.counter "immortal_steps"
+let m_resets = Obs.counter "immortal_resets"
 
 type t = { nvm : Nvm.t; pc_cell : int Nvm.cell; steps : (unit -> unit) array }
 
@@ -33,10 +37,13 @@ let run_step t =
      with e ->
        if Nvm.in_tx t.nvm then Nvm.abort_tx t.nvm;
        raise e);
+    Obs.incr m_steps;
     Ran i
   end
 
 let rec run_to_completion t =
   match run_step t with Done -> () | Ran _ -> run_to_completion t
 
-let reset t = Nvm.write t.pc_cell 0
+let reset t =
+  Obs.incr m_resets;
+  Nvm.write t.pc_cell 0

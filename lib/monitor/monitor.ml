@@ -1,5 +1,9 @@
 open Artemis_nvm
 open Artemis_fsm
+module Obs = Artemis_obs.Obs
+
+let m_steps = Obs.counter "monitor_steps"
+let m_failures = Obs.counter "monitor_failures"
 
 let ty_bytes = function
   | Ast.Tint -> 4
@@ -93,9 +97,14 @@ let reinitialize t =
     (Compile.var_decls t.compiled)
 
 let step t event =
-  match t.engine with
-  | Compiled -> Compile.step t.compiled t.cstore event
-  | Interpreted -> Interp.step (Compile.machine t.compiled) t.istore event
+  Obs.incr m_steps;
+  let failures =
+    match t.engine with
+    | Compiled -> Compile.step t.compiled t.cstore event
+    | Interpreted -> Interp.step (Compile.machine t.compiled) t.istore event
+  in
+  (match failures with [] -> () | fs -> Obs.add m_failures (List.length fs));
+  failures
 
 let current_state t = Compile.state_name t.compiled (Nvm.read t.state_cell)
 

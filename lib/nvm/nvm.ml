@@ -1,7 +1,17 @@
+module Obs = Artemis_obs.Obs
+
 type region = Runtime | Monitor | Application
 type kind = Fram | Ram
 
 exception Injected_failure of string
+
+(* Observability: single-branch no-ops unless the registry is enabled,
+   so the PR1 fast-path numbers survive (bench tracks the contract). *)
+let m_writes = Obs.counter "nvm_writes"
+let m_tx_writes = Obs.counter "nvm_tx_writes"
+let m_tx_commits = Obs.counter "nvm_tx_commits"
+let m_tx_aborts = Obs.counter "nvm_tx_aborts"
+let m_power_failures = Obs.counter "nvm_power_failures"
 
 (* Stable numbering contract for the fault-injection engine: sites are
    listed in this order, before the runtime's own sites. *)
@@ -37,6 +47,7 @@ type t = {
   mutable volatiles : registered list;  (* Ram cells only *)
   mutable tx_open : bool;
   mutable tx_dirty : dirty list;  (* reverse write order *)
+  mutable tx_begin_us : int;  (* span start when tracing is enabled *)
   mutable probe : (string -> unit) option;
       (* fault-injection hook; fired around state-changing operations with
          the site label, and allowed to raise [Injected_failure] *)
@@ -64,6 +75,7 @@ let create () =
     volatiles = [];
     tx_open = false;
     tx_dirty = [];
+    tx_begin_us = 0;
     probe = None;
   }
 
@@ -103,6 +115,7 @@ let write c v =
       invalid_arg
         (Printf.sprintf "Nvm.write: cell %S has an uncommitted tx value" c.name)
   | (Fram | Ram), _ -> ());
+  Obs.incr m_writes;
   fire c.store "nvm.write.before";
   c.committed <- v;
   fire c.store "nvm.write.after"
@@ -110,12 +123,21 @@ let write c v =
 let begin_tx t =
   if t.tx_open then invalid_arg "Nvm.begin_tx: transaction already open";
   t.tx_open <- true;
-  t.tx_dirty <- []
+  t.tx_dirty <- [];
+  if Obs.tracing_enabled () then t.tx_begin_us <- Obs.now_us ()
+
+(* The span covers begin_tx to the close; it is emitted as one balanced
+   pair at the close so a crash inside the transaction (which aborts via
+   [power_failure]) still produces a well-formed trace. *)
+let close_tx_span t name =
+  if Obs.tracing_enabled () then
+    Obs.span ~cat:"nvm" ~begin_us:t.tx_begin_us ~end_us:(Obs.now_us ()) name
 
 let tx_write c v =
   if not c.store.tx_open then invalid_arg "Nvm.tx_write: no open transaction";
   if c.kind = Ram then
     invalid_arg (Printf.sprintf "Nvm.tx_write: cell %S is volatile" c.name);
+  Obs.incr m_tx_writes;
   fire c.store "nvm.tx_write.before";
   (match c.pending with
   | None ->
@@ -141,17 +163,22 @@ let commit_tx t =
   List.iter (fun d -> d.commit ()) (List.rev t.tx_dirty);
   t.tx_dirty <- [];
   t.tx_open <- false;
+  Obs.incr m_tx_commits;
+  close_tx_span t "tx";
   fire t "nvm.commit_tx.after"
 
 let abort_tx t =
   if not t.tx_open then invalid_arg "Nvm.abort_tx: no open transaction";
   List.iter (fun d -> d.discard ()) t.tx_dirty;
   t.tx_dirty <- [];
-  t.tx_open <- false
+  t.tx_open <- false;
+  Obs.incr m_tx_aborts;
+  close_tx_span t "tx_aborted"
 
 let in_tx t = t.tx_open
 
 let power_failure t =
+  Obs.incr m_power_failures;
   if t.tx_open then abort_tx t;
   List.iter (fun r -> r.reset_volatile ()) t.volatiles
 

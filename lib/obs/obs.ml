@@ -1,0 +1,256 @@
+module Json = Artemis_util.Json
+
+(* --- switches and simulated clock --- *)
+
+let metrics_on = ref false
+let tracing_on = ref false
+
+let set_metrics b = metrics_on := b
+let metrics_enabled () = !metrics_on
+let set_tracing b = tracing_on := b
+let tracing_enabled () = !tracing_on
+
+let clock : (unit -> int) ref = ref (fun () -> 0)
+let base_us = ref 0
+
+let set_clock f = clock := f
+let set_base b = base_us := b
+let now_us () = !base_us + !clock ()
+
+(* --- metrics registry --- *)
+
+type counter = { c_name : string; mutable c_value : int }
+type gauge = { g_name : string; mutable g_value : float }
+
+type histogram = {
+  h_name : string;
+  buckets_us : int array;  (* upper bounds, ascending; +inf is implicit *)
+  counts : int array;  (* length buckets + 1 (overflow) *)
+  mutable h_count : int;
+  mutable h_sum_us : int;
+}
+
+let counters : (string, counter) Hashtbl.t = Hashtbl.create 32
+let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 16
+let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 16
+
+let counter name =
+  match Hashtbl.find_opt counters name with
+  | Some c -> c
+  | None ->
+      let c = { c_name = name; c_value = 0 } in
+      Hashtbl.replace counters name c;
+      c
+
+let incr c = if !metrics_on then c.c_value <- c.c_value + 1
+let add c n = if !metrics_on then c.c_value <- c.c_value + n
+let counter_value c = c.c_value
+
+let gauge name =
+  match Hashtbl.find_opt gauges name with
+  | Some g -> g
+  | None ->
+      let g = { g_name = name; g_value = 0. } in
+      Hashtbl.replace gauges name g;
+      g
+
+let set_gauge g v = if !metrics_on then g.g_value <- v
+let gauge_value g = g.g_value
+
+let default_buckets_us =
+  [| 1; 10; 100; 1_000; 10_000; 100_000; 1_000_000; 10_000_000; 60_000_000 |]
+
+let histogram ?(buckets_us = default_buckets_us) name =
+  match Hashtbl.find_opt histograms name with
+  | Some h -> h
+  | None ->
+      let h =
+        {
+          h_name = name;
+          buckets_us;
+          counts = Array.make (Array.length buckets_us + 1) 0;
+          h_count = 0;
+          h_sum_us = 0;
+        }
+      in
+      Hashtbl.replace histograms name h;
+      h
+
+let observe_us h v =
+  if !metrics_on then begin
+    (* linear scan over <= 10 fixed bounds: no allocation, no log *)
+    let n = Array.length h.buckets_us in
+    let i = ref 0 in
+    while !i < n && v > h.buckets_us.(!i) do
+      Stdlib.incr i
+    done;
+    h.counts.(!i) <- h.counts.(!i) + 1;
+    h.h_count <- h.h_count + 1;
+    h.h_sum_us <- h.h_sum_us + v
+  end
+
+let sorted_values tbl =
+  Hashtbl.fold (fun _ v acc -> v :: acc) tbl []
+
+let metrics_dump () =
+  let buf = Buffer.create 1024 in
+  let adds fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  sorted_values counters
+  |> List.sort (fun a b -> String.compare a.c_name b.c_name)
+  |> List.iter (fun c -> adds "counter %s %d\n" c.c_name c.c_value);
+  sorted_values gauges
+  |> List.sort (fun a b -> String.compare a.g_name b.g_name)
+  |> List.iter (fun g -> adds "gauge %s %s\n" g.g_name (Json.float_lit g.g_value));
+  sorted_values histograms
+  |> List.sort (fun a b -> String.compare a.h_name b.h_name)
+  |> List.iter (fun h ->
+         adds "histogram %s count %d sum_us %d" h.h_name h.h_count h.h_sum_us;
+         Array.iteri
+           (fun i bound -> adds " le%d:%d" bound h.counts.(i))
+           h.buckets_us;
+         adds " inf:%d\n" h.counts.(Array.length h.buckets_us));
+  Buffer.contents buf
+
+let metrics_json () =
+  let obj fields = "{" ^ String.concat ", " fields ^ "}" in
+  let counters_json =
+    sorted_values counters
+    |> List.sort (fun a b -> String.compare a.c_name b.c_name)
+    |> List.map (fun c -> Printf.sprintf "%s: %d" (Json.quote c.c_name) c.c_value)
+  in
+  let gauges_json =
+    sorted_values gauges
+    |> List.sort (fun a b -> String.compare a.g_name b.g_name)
+    |> List.map (fun g ->
+           Printf.sprintf "%s: %s" (Json.quote g.g_name) (Json.float_lit g.g_value))
+  in
+  let histograms_json =
+    sorted_values histograms
+    |> List.sort (fun a b -> String.compare a.h_name b.h_name)
+    |> List.map (fun h ->
+           Printf.sprintf "%s: {\"count\": %d, \"sum_us\": %d, \"buckets_us\": [%s], \"counts\": [%s]}"
+             (Json.quote h.h_name) h.h_count h.h_sum_us
+             (String.concat ", "
+                (Array.to_list (Array.map string_of_int h.buckets_us)))
+             (String.concat ", "
+                (Array.to_list (Array.map string_of_int h.counts))))
+  in
+  Printf.sprintf "{\n  \"counters\": %s,\n  \"gauges\": %s,\n  \"histograms\": %s\n}\n"
+    (obj counters_json) (obj gauges_json) (obj histograms_json)
+
+(* --- tracing --- *)
+
+type arg = S of string | I of int | F of float
+
+type event = {
+  ph : char;  (* 'B' | 'E' | 'i' | 'M' *)
+  name : string;
+  cat : string;
+  ts : int;
+  tid : int;
+  args : (string * arg) list;
+}
+
+(* events in reverse emission order; rendered (and ts-sorted by the
+   viewer) at export time *)
+let events : event list ref = ref []
+let n_events = ref 0
+
+(* categories get stable track ids in first-use order *)
+let tracks : (string, int) Hashtbl.t = Hashtbl.create 8
+let track_order : string list ref = ref []
+
+let track cat =
+  match Hashtbl.find_opt tracks cat with
+  | Some id -> id
+  | None ->
+      let id = Hashtbl.length tracks + 1 in
+      Hashtbl.replace tracks cat id;
+      track_order := cat :: !track_order;
+      id
+
+let emit ph ~cat ~name ~ts ~args =
+  events := { ph; name; cat; ts; tid = track cat; args } :: !events;
+  Stdlib.incr n_events
+
+let span ~cat ?(args = []) ~begin_us ~end_us name =
+  if !tracing_on then begin
+    (* emitted as one balanced pair; [end_us] clamps so a clock that did
+       not advance still yields a well-formed zero-length span *)
+    let end_us = max begin_us end_us in
+    emit 'B' ~cat ~name ~ts:begin_us ~args;
+    emit 'E' ~cat ~name ~ts:end_us ~args:[]
+  end
+
+let instant ~cat ?(args = []) ?ts name =
+  if !tracing_on then
+    let ts = match ts with Some t -> t | None -> now_us () in
+    emit 'i' ~cat ~name ~ts ~args
+
+let event_count () = !n_events
+
+let arg_json = function
+  | S s -> Json.quote s
+  | I n -> string_of_int n
+  | F f -> Json.float_lit f
+
+let event_json e =
+  let buf = Buffer.create 96 in
+  let adds fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  adds "{\"name\": %s, \"cat\": %s, \"ph\": \"%c\", \"ts\": %d, \"pid\": 1, \"tid\": %d"
+    (Json.quote e.name) (Json.quote e.cat) e.ph e.ts e.tid;
+  (match e.args with
+  | [] -> ()
+  | args ->
+      adds ", \"args\": {%s}"
+        (String.concat ", "
+           (List.map (fun (k, v) -> Json.quote k ^ ": " ^ arg_json v) args));
+      ());
+  (* instant events need a scope; "t" = thread *)
+  if e.ph = 'i' then adds ", \"s\": \"t\"";
+  adds "}";
+  Buffer.contents buf
+
+let trace_json () =
+  let metadata =
+    { ph = 'M'; name = "process_name"; cat = "__metadata"; ts = 0; tid = 0;
+      args = [ ("name", S "artemis-sim") ] }
+    :: (List.rev !track_order
+       |> List.map (fun cat ->
+              {
+                ph = 'M';
+                name = "thread_name";
+                cat = "__metadata";
+                ts = 0;
+                tid = track cat;
+                args = [ ("name", S cat) ];
+              }))
+  in
+  let all = metadata @ List.rev !events in
+  let total = List.length all in
+  let buf = Buffer.create (128 * (total + 2)) in
+  Buffer.add_string buf "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+  List.iteri
+    (fun i e ->
+      Buffer.add_string buf "  ";
+      Buffer.add_string buf (event_json e);
+      if i < total - 1 then Buffer.add_string buf ",";
+      Buffer.add_char buf '\n')
+    all;
+  Buffer.add_string buf "]}\n";
+  Buffer.contents buf
+
+(* --- reset --- *)
+
+let reset () =
+  Hashtbl.iter (fun _ c -> c.c_value <- 0) counters;
+  Hashtbl.iter (fun _ g -> g.g_value <- 0.) gauges;
+  Hashtbl.iter
+    (fun _ h ->
+      Array.fill h.counts 0 (Array.length h.counts) 0;
+      h.h_count <- 0;
+      h.h_sum_us <- 0)
+    histograms;
+  events := [];
+  n_events := 0;
+  base_us := 0

@@ -1,0 +1,113 @@
+(** Observability layer: process-wide metrics registry and span tracing.
+
+    ARTEMIS's evaluation is all attribution (Figures 12-16 split wall
+    time and energy between the application, the runtime and the
+    monitors), so the simulator needs a way to see {e inside} a run, not
+    just its end-of-run {!Artemis_trace.Stats} totals.  This module is
+    the single hook interface the instrumented libraries ([lib/nvm],
+    [lib/device], [lib/runtime], [lib/monitor], [lib/immortal],
+    [lib/faultsim]) talk to:
+
+    - a {b metrics registry}: named counters, gauges and histograms with
+      fixed microsecond buckets.  Registration allocates once; updates
+      mutate a preallocated record, so the hot path allocates nothing.
+    - a {b span tracer} that collects Chrome trace-event records
+      (loadable in Perfetto / [chrome://tracing]): B/E span pairs for
+      task attempts, monitor calls, NVM transactions, charging delays
+      and faultsim campaign runs, plus instant events for verdicts,
+      corrective actions and brown-outs.
+
+    Both halves are {b off by default} and guarded by a single boolean
+    check, so the compiled monitor fast path keeps its PR1 numbers when
+    observability is disabled (the bench tracks this contract).
+
+    Everything is process-global deliberately: the simulator is
+    single-threaded and sequential runs reset the layer between runs
+    ({!reset}).  Timestamps come from the {e simulated} clock - the
+    owning device installs it with {!set_clock} - so exported traces are
+    in simulated microseconds, which is exactly the unit the Chrome
+    trace-event [ts] field wants. *)
+
+(** {1 Switches} *)
+
+val set_metrics : bool -> unit
+val metrics_enabled : unit -> bool
+val set_tracing : bool -> unit
+val tracing_enabled : unit -> bool
+
+val reset : unit -> unit
+(** Zero every registered metric, drop all collected trace events and
+    reset the timeline base.  Registrations survive (they are
+    module-level in the instrumented libraries). *)
+
+(** {1 Simulated clock} *)
+
+val set_clock : (unit -> int) -> unit
+(** Install the current-simulated-time supplier (microseconds).  Called
+    by [Device.create]; the last created device wins, which is correct
+    for the sequential simulator. *)
+
+val set_base : int -> unit
+(** Offset added to every timestamp.  The fault-injection engine bumps
+    it between campaign runs so each run (whose device clock restarts at
+    zero) lands on its own stretch of the exported timeline. *)
+
+val now_us : unit -> int
+(** Base plus the installed clock. *)
+
+(** {1 Metrics} *)
+
+type counter
+type gauge
+type histogram
+
+val counter : string -> counter
+(** Register (or look up) a counter.  Idempotent by name. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val counter_value : counter -> int
+
+val gauge : string -> gauge
+val set_gauge : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+val histogram : ?buckets_us:int array -> string -> histogram
+(** Fixed upper-bound buckets in microseconds (default powers of ten
+    from 1 us to 60 s, plus an implicit overflow bucket). *)
+
+val observe_us : histogram -> int -> unit
+
+val metrics_dump : unit -> string
+(** Human-readable text dump: one sorted [kind name value] line per
+    metric (histograms render their bucket counts inline). *)
+
+val metrics_json : unit -> string
+(** The registry as a JSON object with [counters], [gauges] and
+    [histograms] members; floats rendered via {!Artemis_util.Json} so
+    the document stays valid for degenerate values. *)
+
+(** {1 Tracing} *)
+
+type arg = S of string | I of int | F of float
+
+val span :
+  cat:string ->
+  ?args:(string * arg) list ->
+  begin_us:int ->
+  end_us:int ->
+  string ->
+  unit
+(** Emit one balanced B/E pair on the category's track.  Both events are
+    appended together, so a crash-interrupted caller that reaches its
+    exit path (or exception handler) can never leave a dangling B. *)
+
+val instant : cat:string -> ?args:(string * arg) list -> ?ts:int -> string -> unit
+(** Instant event ([ph:"i"]); [ts] defaults to {!now_us}. *)
+
+val event_count : unit -> int
+
+val trace_json : unit -> string
+(** The collected events as a Chrome trace-event JSON document
+    ([{"traceEvents": [...]}]) with thread-name metadata so Perfetto
+    labels each category's track. *)

@@ -11,6 +11,36 @@ module Interp = Artemis_fsm.Interp
 module Suite = Artemis_monitor.Suite
 module Monitor = Artemis_monitor.Monitor
 module Immortal = Artemis_immortal.Immortal
+module Obs = Artemis_obs.Obs
+
+let m_monitor_calls = Obs.counter "monitor_calls"
+let h_task_attempt = Obs.histogram "task_attempt_us"
+let h_monitor_call = Obs.histogram "monitor_call_us"
+
+(* Time a runtime-layer operation as one balanced span on [cat]'s track
+   and (optionally) record its simulated duration in a histogram.  The
+   wrapped functions can be cut short by power failures or by
+   [Nvm.Injected_failure] from a fault-injection probe, so the span is
+   closed on the exception path too - a crashed attempt still exports a
+   well-formed (short) span rather than a dangling B. *)
+let observed ~cat ?args ?hist name f =
+  if not (Obs.metrics_enabled () || Obs.tracing_enabled ()) then f ()
+  else begin
+    let t0 = Obs.now_us () in
+    let finish () =
+      let t1 = Obs.now_us () in
+      (match hist with Some h -> Obs.observe_us h (t1 - t0) | None -> ());
+      if Obs.tracing_enabled () then
+        Obs.span ~cat ?args ~begin_us:t0 ~end_us:t1 name
+    in
+    match f () with
+    | r ->
+        finish ();
+        r
+    | exception e ->
+        finish ();
+        raise e
+  end
 
 type monitor_deployment =
   | Separate_module
@@ -223,6 +253,7 @@ let capacitor_mj st = Energy.to_mj (Capacitor.level (Device.capacitor st.device)
    overhead therefore scales with the monitors an event can fire, not
    with the deployed property count. *)
 let resume_monitor_call st =
+  observed ~cat:"monitor" ~hist:h_monitor_call "monitor_call" @@ fun () ->
   let step_power, step_duration = monitor_step_cost st in
   let step_watches_event st =
     let i = Immortal.pc st.thread in
@@ -278,6 +309,7 @@ let begin_monitor_call st =
      window where active is set while the pc still reads "completed" from
      the previous call, and a reboot inside it would deliver a stale
      empty verdict without stepping any monitor. *)
+  Obs.incr m_monitor_calls;
   Immortal.reset st.thread;
   Nvm.write st.mcall_failures [];
   Nvm.write st.mcall { (Nvm.read st.mcall) with active = true };
@@ -301,6 +333,7 @@ let advance st =
   end
 
 let restart_path st ~target ~reason =
+  observed ~cat:"runtime" "restart_path" @@ fun () ->
   let c = Nvm.read st.cursor in
   let p = Option.value target ~default:c.path in
   Device.record st.device (Event.Path_restarted { path = p; reason });
@@ -335,6 +368,10 @@ let skip_path st ~target ~reason =
 let execute_task st =
   let c = Nvm.read st.cursor in
   let task = current_task st c in
+  observed ~cat:"app"
+    ~args:[ ("attempt", Obs.I c.attempt) ]
+    ~hist:h_task_attempt task.Task.name
+  @@ fun () ->
   let nvm = Device.nvm st.device in
   Nvm.begin_tx nvm;
   match

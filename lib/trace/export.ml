@@ -1,4 +1,5 @@
 open Artemis_util
+module Obs = Artemis_obs.Obs
 
 let csv_quote s =
   if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
@@ -50,62 +51,51 @@ let outcome_string (s : Stats.t) =
   | Stats.Completed -> "completed"
   | Stats.Did_not_finish reason -> "dnf:" ^ reason
 
-let stats_fields (s : Stats.t) =
+(* The single source of truth for the stats schema: the JSON keys, the
+   CSV header and the CSV row order all derive from this one list, so
+   they cannot desync (the header used to rebuild a dummy record by
+   hand, which silently drifted whenever a field was added). *)
+let stats_field_specs :
+    (string * (Stats.t -> [ `S of string | `I of int | `F of float ])) list =
   [
-    ("outcome", `S (outcome_string s));
-    ("total_time_us", `I (Time.to_us s.Stats.total_time));
-    ("off_time_us", `I (Time.to_us s.Stats.off_time));
-    ("app_time_us", `I (Time.to_us s.Stats.app_time));
-    ("runtime_overhead_us", `I (Time.to_us s.Stats.runtime_overhead));
-    ("monitor_overhead_us", `I (Time.to_us s.Stats.monitor_overhead));
-    ("energy_total_uj", `F (Energy.to_uj s.Stats.energy_total));
-    ("energy_app_uj", `F (Energy.to_uj s.Stats.energy_app));
-    ("energy_runtime_uj", `F (Energy.to_uj s.Stats.energy_runtime));
-    ("energy_monitor_uj", `F (Energy.to_uj s.Stats.energy_monitor));
-    ("power_failures", `I s.Stats.power_failures);
-    ("reboots", `I s.Stats.reboots);
-    ("task_executions", `I s.Stats.task_executions);
-    ("task_completions", `I s.Stats.task_completions);
-    ("path_restarts", `I s.Stats.path_restarts);
-    ("path_skips", `I s.Stats.path_skips);
+    ("outcome", fun s -> `S (outcome_string s));
+    ("total_time_us", fun s -> `I (Time.to_us s.Stats.total_time));
+    ("off_time_us", fun s -> `I (Time.to_us s.Stats.off_time));
+    ("app_time_us", fun s -> `I (Time.to_us s.Stats.app_time));
+    ("runtime_overhead_us", fun s -> `I (Time.to_us s.Stats.runtime_overhead));
+    ("monitor_overhead_us", fun s -> `I (Time.to_us s.Stats.monitor_overhead));
+    ("energy_total_uj", fun s -> `F (Energy.to_uj s.Stats.energy_total));
+    ("energy_app_uj", fun s -> `F (Energy.to_uj s.Stats.energy_app));
+    ("energy_runtime_uj", fun s -> `F (Energy.to_uj s.Stats.energy_runtime));
+    ("energy_monitor_uj", fun s -> `F (Energy.to_uj s.Stats.energy_monitor));
+    ("power_failures", fun s -> `I s.Stats.power_failures);
+    ("reboots", fun s -> `I s.Stats.reboots);
+    ("task_executions", fun s -> `I s.Stats.task_executions);
+    ("task_completions", fun s -> `I s.Stats.task_completions);
+    ("path_restarts", fun s -> `I s.Stats.path_restarts);
+    ("path_skips", fun s -> `I s.Stats.path_skips);
   ]
 
-let json_escape s =
-  let buf = Buffer.create (String.length s) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
+let stats_fields s = List.map (fun (key, get) -> (key, get s)) stats_field_specs
+
+(* [Json.float_lit] renders non-finite values as [null]: a bare %.3f
+   turned a nan/inf stat (e.g. a zero-length run's derived ratio fed
+   back in) into an unparseable document. *)
+let float_lit = Json.float_lit
 
 let stats_to_json s =
   let field (key, v) =
     let value =
       match v with
-      | `S s -> Printf.sprintf "\"%s\"" (json_escape s)
+      | `S s -> Json.quote s
       | `I n -> string_of_int n
-      | `F f -> Printf.sprintf "%.3f" f
+      | `F f -> float_lit f
     in
     Printf.sprintf "  \"%s\": %s" key value
   in
   "{\n" ^ String.concat ",\n" (List.map field (stats_fields s)) ^ "\n}\n"
 
-let stats_csv_header =
-  String.concat "," (List.map fst (stats_fields Stats.{
-    outcome = Completed; total_time = Time.zero; off_time = Time.zero;
-    app_time = Time.zero; runtime_overhead = Time.zero;
-    monitor_overhead = Time.zero; energy_total = Energy.zero;
-    energy_app = Energy.zero; energy_runtime = Energy.zero;
-    energy_monitor = Energy.zero; power_failures = 0; reboots = 0;
-    task_executions = 0; task_completions = 0; path_restarts = 0;
-    path_skips = 0;
-  }))
+let stats_csv_header = String.concat "," (List.map fst stats_field_specs)
 
 let stats_to_csv_row s =
   String.concat ","
@@ -114,5 +104,29 @@ let stats_to_csv_row s =
          match v with
          | `S str -> csv_quote str
          | `I n -> string_of_int n
-         | `F f -> Printf.sprintf "%.3f" f)
+         | `F f -> float_lit f)
        (stats_fields s))
+
+(* --- metrics/stats reconciliation --- *)
+
+(* The observability counters are bumped at the [Device.record]
+   chokepoint - the same event stream [Stats] is derived from - so when
+   the registry was enabled for the whole run the two must agree
+   exactly.  Returns the mismatches as [(name, stats_value, counter)]. *)
+let reconciled_counters =
+  [
+    ("task_executions", fun (s : Stats.t) -> s.Stats.task_executions);
+    ("task_completions", fun s -> s.Stats.task_completions);
+    ("power_failures", fun s -> s.Stats.power_failures);
+    ("reboots", fun s -> s.Stats.reboots);
+    ("path_restarts", fun s -> s.Stats.path_restarts);
+    ("path_skips", fun s -> s.Stats.path_skips);
+  ]
+
+let reconcile_metrics s =
+  List.filter_map
+    (fun (name, get) ->
+      let expected = get s in
+      let got = Obs.counter_value (Obs.counter name) in
+      if expected = got then None else Some (name, expected, got))
+    reconciled_counters

@@ -11,8 +11,18 @@ val log_digest : Log.t -> string
 
 val stats_to_json : Stats.t -> string
 (** A flat JSON object (hand-rendered; keys are stable and documented by
-    the implementation). *)
+    the implementation).  Always valid JSON: non-finite floats render as
+    [null] via {!Artemis_util.Json.float_lit}. *)
 
 val stats_to_csv_row : Stats.t -> string
 val stats_csv_header : string
-(** Matching header/row pair for aggregating many runs into one CSV. *)
+(** Matching header/row pair for aggregating many runs into one CSV.
+    Both derive from the same field-spec list as {!stats_to_json}, so
+    header, row and JSON keys cannot desync. *)
+
+val reconcile_metrics : Stats.t -> (string * int * int) list
+(** Cross-check the observability counters against the log-derived
+    stats.  Returns [(name, stats_value, counter_value)] for every
+    counter that disagrees - empty when the metrics registry was enabled
+    for the whole run (the counters are bumped at the same
+    [Device.record] chokepoint the stats are computed from). *)

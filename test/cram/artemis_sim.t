@@ -21,3 +21,22 @@ Unknown systems are rejected:
   $ ../../bin/artemis_sim.exe -s tics
   unknown system "tics" (artemis|mayfly)
   [1]
+
+The observability exports self-validate: the trace must be balanced
+Chrome trace-event JSON and the metrics must reconcile with the stats:
+
+  $ ../../bin/artemis_sim.exe --trace-out trace.json --metrics-out metrics.json | tail -2
+  trace written to trace.json (valid JSON, balanced spans)
+  metrics written to metrics.json (reconciled with stats)
+
+  $ head -c 18 trace.json
+  {"displayTimeUnit"
+
+A text dump of the registry is available without writing files; the
+counters mirror the task/failure lines of the stats header:
+
+  $ ../../bin/artemis_sim.exe --metrics | grep -E "counter (task_|power_failures|reboots)"
+  counter power_failures 2
+  counter reboots 2
+  counter task_completions 19
+  counter task_executions 30

@@ -76,6 +76,39 @@ let test_scheduled_failure () =
   (* the partial 50 ms ran before the injection *)
   Alcotest.check Helpers.time "app time" (Time.of_ms 50) (Device.time_in d Device.App)
 
+(* Regression: a failure scheduled beyond the capacitor's reach.  4 mJ
+   usable at 8 mW depletes at 500 ms, before the 1 s injection point;
+   the device must brown out there and account only the energy actually
+   drawn.  The scheduled-failure path used to ignore the drain result,
+   advancing to the injection point and accounting 8 mJ the capacitor
+   never held. *)
+let test_depletion_before_scheduled_failure () =
+  let capacitor =
+    Capacitor.create ~capacity:(Energy.mj 5.) ~on_threshold:(Energy.mj 4.5)
+      ~off_threshold:(Energy.mj 1.) ()
+  in
+  let d =
+    Device.create ~capacitor
+      ~policy:(Charging_policy.From_harvester (Harvester.Constant (Energy.uw 0.)))
+      ()
+  in
+  Device.schedule_failure d ~at:(Time.of_sec 1);
+  (match
+     Device.consume d Device.App ~during:"big" ~power:(Energy.mw 8.)
+       ~duration:(Time.of_sec 2) ()
+   with
+  | Device.Starved -> ()
+  | Device.Completed | Device.Interrupted -> Alcotest.fail "expected starvation");
+  Alcotest.check Helpers.time "browned out at depletion, not at injection"
+    (Time.of_ms 500) (Device.sim_time d);
+  Alcotest.(check (float 1e-3)) "only drawn energy accounted" 4_000.
+    (Energy.to_uj (Device.energy_in d Device.App));
+  Alcotest.(check (float 1e-6)) "level clamped at the off threshold" 1.
+    (Energy.to_mj (Capacitor.level (Device.capacitor d)));
+  (* conservation: accounted energy equals what left the capacitor *)
+  Alcotest.(check (float 1e-6)) "accounting matches the capacitor" 4_000.
+    (5_000. -. Energy.to_uj (Capacitor.level (Device.capacitor d)))
+
 let test_starvation () =
   let capacitor =
     Capacitor.create ~capacity:(Energy.mj 1.) ~on_threshold:(Energy.mj 0.9)
@@ -150,6 +183,8 @@ let suite =
     Alcotest.test_case "failure log names the task" `Quick
       test_failure_event_names_task;
     Alcotest.test_case "scheduled failure injection" `Quick test_scheduled_failure;
+    Alcotest.test_case "depletion before scheduled failure" `Quick
+      test_depletion_before_scheduled_failure;
     Alcotest.test_case "harvester starvation" `Quick test_starvation;
     Alcotest.test_case "harvester-driven recharge" `Quick
       test_harvester_policy_recharge;

@@ -57,7 +57,44 @@ let test_stats_csv_alignment () =
      fields do for a completed run *)
   let row_cols = String.split_on_char ',' (Export.stats_to_csv_row stats) in
   Alcotest.(check int) "same arity" (List.length header_cols) (List.length row_cols);
-  Alcotest.(check string) "first column is the outcome" "completed" (List.hd row_cols)
+  Alcotest.(check string) "first column is the outcome" "completed" (List.hd row_cols);
+  (* header, row and JSON all derive from one field-spec list *)
+  let json = Export.stats_to_json stats in
+  let doc =
+    match Json.parse json with
+    | Ok d -> d
+    | Error e -> Alcotest.failf "stats JSON does not parse: %s" e
+  in
+  List.iter
+    (fun key ->
+      if Json.member key doc = None then
+        Alcotest.failf "CSV header column %S missing from the JSON" key)
+    header_cols
+
+(* Regression: a bare %.3f rendered nan/inf stats as [nan]/[inf], which
+   no JSON parser accepts.  Non-finite floats must render as null. *)
+let test_non_finite_stats_json_parses () =
+  let s =
+    {
+      (run_stats ()) with
+      Stats.energy_total = Energy.uj Float.nan;
+      energy_app = Energy.uj Float.infinity;
+      energy_runtime = Energy.uj Float.neg_infinity;
+    }
+  in
+  let json = Export.stats_to_json s in
+  (match Json.parse json with
+  | Ok doc ->
+      Alcotest.(check bool) "nan renders as null" true
+        (Json.member "energy_total_uj" doc = Some Json.Null);
+      Alcotest.(check bool) "inf renders as null" true
+        (Json.member "energy_app_uj" doc = Some Json.Null)
+  | Error e -> Alcotest.failf "non-finite stats JSON does not parse: %s" e);
+  (* the CSV row stays well-formed too: no bare nan/inf tokens *)
+  let row = Export.stats_to_csv_row s in
+  Alcotest.(check int) "row arity unchanged"
+    (List.length (String.split_on_char ',' Export.stats_csv_header))
+    (List.length (String.split_on_char ',' row))
 
 let suite =
   [
@@ -66,4 +103,6 @@ let suite =
     Alcotest.test_case "stats JSON fields" `Quick test_json_fields;
     Alcotest.test_case "stats CSV header/row alignment" `Quick
       test_stats_csv_alignment;
+    Alcotest.test_case "non-finite stats stay valid JSON" `Quick
+      test_non_finite_stats_json_parses;
   ]

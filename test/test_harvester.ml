@@ -97,6 +97,102 @@ let consistency =
           let got = Harvester.harvested duty ~from_:now ~until:(Time.add now dt) in
           Energy.to_uj got +. 1e-3 >= need_uj)
 
+(* --- differential tests for the binary-search trace lookup ---
+
+   The optimized rate_at/integral must agree with the naive O(n) scan
+   they replaced, on random traces and random (including monotone and
+   interleaved-across-arrays) query orders. *)
+
+let naive_rate_at arr at =
+  let rec find i best =
+    if i >= Array.length arr then best
+    else if Time.(fst arr.(i) <= at) then find (i + 1) (snd arr.(i))
+    else best
+  in
+  find 0 (Energy.uw 0.)
+
+let naive_integral arr at =
+  let n = Array.length arr in
+  let acc = ref Energy.zero in
+  for i = 0 to n - 1 do
+    let seg_start, rate = arr.(i) in
+    let seg_end = if i + 1 < n then fst arr.(i + 1) else at in
+    let seg_end = Time.min seg_end at in
+    if Time.(seg_start < seg_end) then
+      acc := Energy.add !acc (Energy.consumed rate (Time.sub seg_end seg_start))
+  done;
+  !acc
+
+(* a strictly-increasing trace starting at 0 from random positive gaps *)
+let trace_of_gaps gaps =
+  let t = ref 0 in
+  Array.of_list
+    (List.mapi
+       (fun i (gap_us, rate_uw) ->
+         if i > 0 then t := !t + gap_us;
+         (Time.of_us !t, Energy.uw rate_uw))
+       gaps)
+
+let gaps_gen =
+  QCheck.(
+    list_of_size
+      (Gen.int_range 1 40)
+      (pair (int_range 1 500_000) (float_range 0. 5_000.)))
+
+let trace_differential =
+  QCheck.Test.make ~name:"trace lookup agrees with the naive scan" ~count:300
+    QCheck.(pair gaps_gen (list_of_size (Gen.int_range 1 30) (int_range 0 25_000_000)))
+    (fun (gaps, queries) ->
+      let arr = trace_of_gaps gaps in
+      let h = Harvester.Trace arr in
+      List.for_all
+        (fun q ->
+          let at = Time.of_us q in
+          Energy.to_uw (Harvester.rate_at h at)
+          = Energy.to_uw (naive_rate_at arr at)
+          && Energy.to_uj (Harvester.harvested h ~from_:Time.zero ~until:at)
+             = Energy.to_uj (naive_integral arr at))
+        queries)
+
+let trace_differential_monotone =
+  QCheck.Test.make
+    ~name:"monotone queries ride the cursor and agree with the naive scan"
+    ~count:200
+    QCheck.(pair gaps_gen (list_of_size (Gen.int_range 1 30) (int_range 0 1_000_000)))
+    (fun (gaps, steps) ->
+      let arr = trace_of_gaps gaps in
+      let h = Harvester.Trace arr in
+      let at = ref 0 in
+      List.for_all
+        (fun step ->
+          at := !at + step;
+          let q = Time.of_us !at in
+          Energy.to_uw (Harvester.rate_at h q)
+          = Energy.to_uw (naive_rate_at arr q)
+          && Energy.to_uj (Harvester.harvested h ~from_:Time.zero ~until:q)
+             = Energy.to_uj (naive_integral arr q))
+        steps)
+
+(* alternating queries across two distinct arrays exercise the cache
+   invalidation path on every call *)
+let trace_differential_interleaved =
+  QCheck.Test.make ~name:"interleaved arrays invalidate the cursor cache"
+    ~count:100
+    QCheck.(triple gaps_gen gaps_gen (list_of_size (Gen.int_range 1 20) (int_range 0 25_000_000)))
+    (fun (gaps_a, gaps_b, queries) ->
+      let a = trace_of_gaps gaps_a and b = trace_of_gaps gaps_b in
+      let ha = Harvester.Trace a and hb = Harvester.Trace b in
+      List.for_all
+        (fun q ->
+          let at = Time.of_us q in
+          Energy.to_uj (Harvester.harvested ha ~from_:Time.zero ~until:at)
+          = Energy.to_uj (naive_integral a at)
+          && Energy.to_uj (Harvester.harvested hb ~from_:Time.zero ~until:at)
+             = Energy.to_uj (naive_integral b at)
+          && Energy.to_uw (Harvester.rate_at ha at)
+             = Energy.to_uw (naive_rate_at a at))
+        queries)
+
 let suite =
   [
     Alcotest.test_case "constant rate" `Quick test_constant;
@@ -110,4 +206,7 @@ let suite =
     Alcotest.test_case "trace starvation" `Quick test_trace_starvation;
     Alcotest.test_case "validation" `Quick test_validate;
     QCheck_alcotest.to_alcotest consistency;
+    QCheck_alcotest.to_alcotest trace_differential;
+    QCheck_alcotest.to_alcotest trace_differential_monotone;
+    QCheck_alcotest.to_alcotest trace_differential_interleaved;
   ]
