@@ -49,7 +49,9 @@ let reproduce_all () =
   section "Scalability: non-watching properties (task-indexed dispatch)"
     (Scalability.render_non_watching (Scalability.run_non_watching ()));
   section "Yield study: reactive soil station, 20 rounds per harvest level"
-    (Yield_study.render (Yield_study.run ()))
+    (Yield_study.render (Yield_study.run ()));
+  section "Adaptation study: live property updates vs full reprogramming"
+    (Adaptation_study.render (Adaptation_study.run ()))
 
 (* --- engine comparison kernels (interpreted AST walker vs deploy-time
    compiled closures) --- *)
@@ -142,6 +144,28 @@ let obs_kernels () =
   in
   (off, on)
 
+(* the live-adaptation hot path (PR 4): deliver one property update to a
+   freshly deployed health suite - deserialize, validate against the app,
+   compile the replacement, migrate persistent state, flip generations *)
+let adapt_apply_kernel () =
+  let nvm0 = A.Nvm.create () in
+  let app, _ = A.Health_app.make nvm0 in
+  let machines = A.compile_exn ~app A.Health_app.spec_text in
+  let update =
+    A.Adapt.spec_update ~id:1 ~remove:[ "maxDuration_send" ]
+      "send: { MITD: 4min dpTask: accel onFail: restartPath maxAttempt: 3 \
+       onFail: skipPath Path: 2; }"
+  in
+  fun () ->
+    let nvm = A.Nvm.create () in
+    let suite = Artemis_monitor.Suite.create nvm machines in
+    A.Suite.hard_reset suite;
+    let mgr = A.Adapt.create nvm ~app suite in
+    ignore (A.Adapt.stage mgr update);
+    match A.Adapt.apply mgr with
+    | A.Adapt.Applied _ -> ()
+    | A.Adapt.Idle | A.Adapt.Rejected _ -> assert false
+
 (* --- Bechamel micro-benchmarks --- *)
 
 open Bechamel
@@ -207,6 +231,7 @@ let engine_tests =
              ignore
                (Artemis_faultsim.Faultsim.exhaustive
                   Artemis_faultsim.Scenario.quickstart ~seed:42 ~depth:1)));
+      Test.make ~name:"adapt-apply" (stagedf (adapt_apply_kernel ()));
     ]
 
 let run_bechamel ~fast tests =
@@ -308,7 +333,7 @@ let write_json ~file results ~scalability ~non_watching =
   let oc = open_out file in
   Printf.fprintf oc
     {|{
-  "bench": "observability layer: metrics + span tracing (PR3)",
+  "bench": "live property adaptation: crash-atomic update protocol (PR4)",
   "kernels_ns": {
 %s
   },

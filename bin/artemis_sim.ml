@@ -44,18 +44,36 @@ let check_trace_json text =
           if bad || unclosed then Error "unbalanced B/E span events" else Ok ()
       | _ -> Error "missing traceEvents array")
 
-let run system_name delay_min continuous temp_base show_trace trace_limit show_summary csv_path trace_out metrics_out show_metrics =
+(* --adapt FILE: a JSON array of live property updates delivered to the
+   running device (see Adapt.parse_script for the schema). *)
+let load_adapt_script = function
+  | None -> Ok None
+  | Some path -> (
+      match In_channel.with_open_bin path In_channel.input_all with
+      | exception Sys_error e -> Error e
+      | text -> (
+          match Artemis.Adapt.parse_script text with
+          | Ok updates -> Ok (Some updates)
+          | Error e -> Error e))
+
+let run system_name delay_min continuous temp_base show_trace trace_limit show_summary csv_path trace_out metrics_out show_metrics adapt_path =
   let system =
     match system_name with
     | "artemis" -> Ok Config.Artemis_runtime
     | "mayfly" -> Ok Config.Mayfly_runtime
     | other -> Error (Printf.sprintf "unknown system %S (artemis|mayfly)" other)
   in
-  match system with
-  | Error msg ->
+  let system =
+    match (system, adapt_path) with
+    | Ok Config.Mayfly_runtime, Some _ ->
+        Error "--adapt requires the artemis runtime"
+    | s, _ -> s
+  in
+  match (system, load_adapt_script adapt_path) with
+  | Error msg, _ | _, Error msg ->
       prerr_endline msg;
       1
-  | Ok system ->
+  | Ok system, Ok adaptations ->
       let supply =
         if continuous then Config.Continuous
         else Config.Intermittent (Artemis.Time.of_min delay_min)
@@ -64,9 +82,25 @@ let run system_name delay_min continuous temp_base show_trace trace_limit show_s
       Artemis.Obs.set_metrics (metrics_out <> None || show_metrics);
       Artemis.Obs.set_tracing (trace_out <> None);
       let { Config.stats; device; handles } =
-        Config.run_health ?temp_base system supply
+        Config.run_health ?temp_base ?adaptations system supply
       in
       Format.printf "%a@." Artemis.Stats.pp stats;
+      (if adaptations <> None then
+         let adapt_events =
+           List.filter
+             (fun (e : Artemis.Event.timed) ->
+               match e.Artemis.Event.event with
+               | Artemis.Event.Adaptation_staged _
+               | Artemis.Event.Adaptation_applied _
+               | Artemis.Event.Adaptation_rejected _ ->
+                   true
+               | _ -> false)
+             (Artemis.Log.events (Artemis.Device.log device))
+         in
+         print_endline "--- adaptations ---";
+         List.iter
+           (fun e -> Format.printf "%a@." Artemis.Event.pp_timed e)
+           adapt_events);
       Format.printf "messages sent: %d, avgTemp: %.2f C@."
         (handles.Artemis.Health_app.sent_messages ())
         (handles.Artemis.Health_app.read_avg_temp ());
@@ -198,6 +232,16 @@ let metrics_arg =
     & info [ "metrics" ]
         ~doc:"Enable the metrics registry and print a text dump after the run.")
 
+let adapt_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "adapt" ] ~docv:"FILE"
+        ~doc:
+          "Deliver live property updates from $(docv), a JSON array of \
+           {\"at\": iteration, \"spec\"|\"machines\": source, \"remove\": \
+           [names]} entries, over the simulated radio (artemis only).")
+
 let cmd =
   let doc = "simulate the health-monitoring benchmark on intermittent power" in
   Cmd.v
@@ -205,6 +249,6 @@ let cmd =
     Term.(
       const run $ system_arg $ delay_arg $ continuous_arg $ temp_arg $ trace_arg
       $ trace_limit_arg $ summary_arg $ csv_arg $ trace_out_arg
-      $ metrics_out_arg $ metrics_arg)
+      $ metrics_out_arg $ metrics_arg $ adapt_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -59,6 +59,7 @@ module To_c = Artemis_transform.To_c
 module To_c_project = Artemis_transform.To_c_project
 module Monitor = Artemis_monitor.Monitor
 module Suite = Artemis_monitor.Suite
+module Adapt = Artemis_adapt.Adapt
 module Runtime = Artemis_runtime.Runtime
 module Mayfly = Artemis_mayfly.Mayfly
 module Mayfly_lang = Artemis_mayfly.Mayfly_lang

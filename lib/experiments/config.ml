@@ -34,7 +34,8 @@ type system = Artemis_runtime | Mayfly_runtime
 
 type run = { stats : Stats.t; device : Device.t; handles : Health_app.handles }
 
-let run_health ?temp_base ?horizon ?clock ?options ?config system supply =
+let run_health ?temp_base ?horizon ?clock ?options ?config ?adaptations system
+    supply =
   let device = device ?horizon ?clock supply in
   let app, handles = Health_app.make ?temp_base (Device.nvm device) in
   let stats =
@@ -43,7 +44,7 @@ let run_health ?temp_base ?horizon ?clock ?options ?config system supply =
         let suite =
           compile_and_deploy_exn ?options device app Health_app.spec_text
         in
-        Runtime.run ?config device app suite
+        Runtime.run ?config ?adaptations device app suite
     | Mayfly_runtime ->
         let annotations =
           Mayfly.annotations_of_spec

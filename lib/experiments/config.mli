@@ -33,11 +33,13 @@ val run_health :
   ?clock:Persistent_clock.t ->
   ?options:To_fsm.options ->
   ?config:Runtime.config ->
+  ?adaptations:(int * Adapt.update) list ->
   system ->
   power_supply ->
   run
 (** Build a fresh device, deploy the health-monitoring benchmark with its
-    Figure 5 specification (or the Mayfly subset), run it once. *)
+    Figure 5 specification (or the Mayfly subset), run it once.
+    [adaptations] (ARTEMIS only) schedules live property updates. *)
 
 val minutes : Stats.t -> float
 (** Total execution time in minutes. *)

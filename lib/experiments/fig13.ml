@@ -29,7 +29,8 @@ let relevant = function
   | Event.Reboot _ -> true
   | Event.Power_failure { during_task = None } -> true
   | Event.Boot | Event.App_completed | Event.Horizon_reached _
-  | Event.Round_completed _ ->
+  | Event.Round_completed _ | Event.Adaptation_staged _
+  | Event.Adaptation_applied _ | Event.Adaptation_rejected _ ->
       true
 
 let is_mitd_verdict = function

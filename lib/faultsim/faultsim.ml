@@ -82,7 +82,7 @@ let outcome_string (s : Stats.t) =
 
 let fingerprint nvm =
   [ ("runtime", Nvm.Runtime); ("monitor", Nvm.Monitor);
-    ("application", Nvm.Application) ]
+    ("application", Nvm.Application); ("staging", Nvm.Staging) ]
   |> List.map (fun (label, region) ->
          Printf.sprintf "%s fram=%dB ram=%dB cells=%s" label
            (Nvm.footprint nvm ~kind:Nvm.Fram ~region)
@@ -94,43 +94,124 @@ let pp_val v = Format.asprintf "%a" Fsm.Ast.pp_value v
 
 (* Oracle 2: golden re-execution.  Replay the journal of committed
    monitor calls (plus the committed prefix of an in-flight one) against
-   a pristine suite on a fresh store; the monitors' FRAM must match. *)
+   a pristine suite on a fresh store; the monitors' FRAM must match.
+   [Adapted] entries re-run the update through a fresh adaptation
+   manager at the exact journal point, so the comparison target is the
+   run's {e final} suite, whichever generation that is. *)
 let golden_violations (b : Scenario.built) (result : Runtime.instrumented) =
-  let golden = Suite.create (Nvm.create ()) b.Scenario.machines in
-  Suite.hard_reset golden;
+  let violations = ref [] in
+  let report detail =
+    violations := { oracle = "golden-reexecution"; detail } :: !violations
+  in
+  let gnvm = Nvm.create () in
+  let golden0 = Suite.create gnvm b.Scenario.machines in
+  Suite.hard_reset golden0;
+  let manager = Adapt.create gnvm ~app:b.Scenario.app golden0 in
+  let golden = ref golden0 in
   List.iter
     (function
-      | Runtime.Stepped ev -> ignore (Suite.step_all_unindexed golden ev)
-      | Runtime.Reinited tasks -> Suite.reinit_for_tasks golden ~tasks)
+      | Runtime.Stepped ev -> ignore (Suite.step_all_unindexed !golden ev)
+      | Runtime.Reinited tasks -> Suite.reinit_for_tasks !golden ~tasks
+      | Runtime.Adapted { id; generation } -> (
+          match
+            List.find_opt
+              (fun (_, (u : Adapt.update)) -> u.Adapt.id = id)
+              b.Scenario.adaptations
+          with
+          | None ->
+              report
+                (Printf.sprintf "journaled update %d is not in the scenario" id)
+          | Some (_, u) -> (
+              ignore (Adapt.stage manager u);
+              match Adapt.apply manager with
+              | Adapt.Applied a when a.Adapt.generation = generation ->
+                  golden := Adapt.active manager
+              | Adapt.Applied a ->
+                  report
+                    (Printf.sprintf
+                       "golden re-apply of update %d reached generation %d, \
+                        journal says %d"
+                       id a.Adapt.generation generation)
+              | Adapt.Idle | Adapt.Rejected _ ->
+                  report
+                    (Printf.sprintf "golden re-apply of update %d diverged" id))))
     result.Runtime.journal;
   (match result.Runtime.partial with
   | None -> ()
   | Some (ev, pc) ->
       List.iteri
         (fun i m -> if i < pc then ignore (Monitor.step m ev))
-        (Suite.monitors golden));
-  let violations = ref [] in
-  let report detail =
-    violations := { oracle = "golden-reexecution"; detail } :: !violations
-  in
-  List.iter2
-    (fun actual gold ->
-      let name = Monitor.name actual in
-      let sa = Monitor.current_state actual and sg = Monitor.current_state gold in
-      if sa <> sg then
-        report (Printf.sprintf "%s: state %s, golden %s" name sa sg);
-      List.iter
-        (fun (vd : Fsm.Ast.var_decl) ->
-          let va = Monitor.read_var actual vd.Fsm.Ast.var_name in
-          let vg = Monitor.read_var gold vd.Fsm.Ast.var_name in
-          if not (Fsm.Ast.same_value va vg) then
-            report
-              (Printf.sprintf "%s.%s: %s, golden %s" name vd.Fsm.Ast.var_name
-                 (pp_val va) (pp_val vg)))
-        (Monitor.machine actual).Fsm.Ast.vars)
-    (Suite.monitors b.Scenario.suite)
-    (Suite.monitors golden);
+        (Suite.monitors !golden));
+  let actual_monitors = Suite.monitors result.Runtime.final_suite in
+  let golden_monitors = Suite.monitors !golden in
+  let names ms = String.concat "," (List.map Monitor.name ms) in
+  if
+    List.length actual_monitors <> List.length golden_monitors
+    || not
+         (List.for_all2
+            (fun a g -> String.equal (Monitor.name a) (Monitor.name g))
+            actual_monitors golden_monitors)
+  then
+    report
+      (Printf.sprintf "torn suite: deployed [%s], golden [%s]"
+         (names actual_monitors) (names golden_monitors))
+  else
+    List.iter2
+      (fun actual gold ->
+        let name = Monitor.name actual in
+        let sa = Monitor.current_state actual and sg = Monitor.current_state gold in
+        if sa <> sg then
+          report (Printf.sprintf "%s: state %s, golden %s" name sa sg);
+        List.iter
+          (fun (vd : Fsm.Ast.var_decl) ->
+            let va = Monitor.read_var actual vd.Fsm.Ast.var_name in
+            let vg = Monitor.read_var gold vd.Fsm.Ast.var_name in
+            if not (Fsm.Ast.same_value va vg) then
+              report
+                (Printf.sprintf "%s.%s: %s, golden %s" name vd.Fsm.Ast.var_name
+                   (pp_val va) (pp_val vg)))
+          (Monitor.machine actual).Fsm.Ast.vars)
+      actual_monitors golden_monitors;
   List.rev !violations
+
+(* Oracle 5 (PR 4): every scheduled update applies exactly once - at
+   most one Adaptation_applied event per id ever, never a device-side
+   rejection of a valid scenario update, and exactly one application in
+   a run that completed. *)
+let adaptation_violations (b : Scenario.built) (result : Runtime.instrumented)
+    log =
+  if b.Scenario.adaptations = [] then []
+  else begin
+    let violations = ref [] in
+    let report detail =
+      violations := { oracle = "update-exactly-once"; detail } :: !violations
+    in
+    let completed = result.Runtime.stats.Stats.outcome = Stats.Completed in
+    List.iter
+      (fun (_, (u : Adapt.update)) ->
+        let applied =
+          Log.count log (function
+            | Event.Adaptation_applied { id; _ } -> id = u.Adapt.id
+            | _ -> false)
+        in
+        let rejected =
+          Log.count log (function
+            | Event.Adaptation_rejected { id; _ } -> id = u.Adapt.id
+            | _ -> false)
+        in
+        if applied > 1 then
+          report (Printf.sprintf "update %d applied %d times" u.Adapt.id applied);
+        if rejected > 0 then
+          report
+            (Printf.sprintf "update %d rejected by on-device validation"
+               u.Adapt.id);
+        if applied = 0 && completed then
+          report
+            (Printf.sprintf "update %d never applied in a completed run"
+               u.Adapt.id))
+      b.Scenario.adaptations;
+    List.rev !violations
+  end
 
 (* Oracle 3: every corrective action in the trace must be justified by at
    least one monitor verdict recorded after the previous action - a
@@ -218,7 +299,8 @@ let run_schedule (scenario : Scenario.t) ~seed schedule =
     | _ -> ()
   in
   let result =
-    Runtime.run_instrumented ~config:b.Scenario.config ~probe b.Scenario.device
+    Runtime.run_instrumented ~config:b.Scenario.config
+      ~adaptations:b.Scenario.adaptations ~probe b.Scenario.device
       b.Scenario.app b.Scenario.suite
   in
   check_atomicity "end-of-run";
@@ -226,6 +308,7 @@ let run_schedule (scenario : Scenario.t) ~seed schedule =
     List.rev !violations
     @ golden_violations b result
     @ action_violations (Device.log b.Scenario.device)
+    @ adaptation_violations b result (Device.log b.Scenario.device)
   in
   Obs.add m_violations (List.length violations);
   if Obs.tracing_enabled () then begin

@@ -6,6 +6,7 @@ type built = {
   suite : Suite.t;
   machines : Fsm.Ast.machine list;
   config : Runtime.config;
+  adaptations : (int * Adapt.update) list;
 }
 
 type t = {
@@ -18,7 +19,7 @@ let deploy device app spec ~seed =
   let machines = compile_exn ~app spec in
   let suite = deploy device machines in
   let config = { Runtime.default_config with seed } in
-  { device; app; suite; machines; config }
+  { device; app; suite; machines; config; adaptations = [] }
 
 (* examples/quickstart.ml, reconstructed fresh on every call. *)
 let quickstart =
@@ -70,5 +71,44 @@ let health =
     build;
   }
 
-let all = [ quickstart; health ]
+(* --- live-adaptation scenarios (PR 4): same devices, plus a mid-run
+   property update so the campaign can crash inside the update window --- *)
+
+let with_adaptations base ~name ~description adaptations =
+  {
+    name;
+    description;
+    build =
+      (fun ~seed ->
+        let b = base.build ~seed in
+        { b with adaptations });
+  }
+
+let quickstart_adapt =
+  (* Tighten the doomed transmit's retry budget mid-run: replaces the
+     deployed maxTries_transmit monitor (same name, compatible layout). *)
+  with_adaptations quickstart ~name:"quickstart-adapt"
+    ~description:
+      "quickstart plus a live update at iteration 3 replacing the maxTries \
+       property (maxTries: 3 -> 2)"
+    [ (3, Adapt.spec_update ~id:1 "transmit: { maxTries: 2 onFail: skipPath; }") ]
+
+let health_adapt =
+  (* Tighten the MITD window (same machine name, persistent [attempts]
+     carried over by migration) and retire the maxDuration property in
+     one update: exercises replacement, migration and removal on the
+     full benchmark suite. *)
+  with_adaptations health ~name:"health-adapt"
+    ~description:
+      "health benchmark plus a live update at iteration 40 tightening the \
+       MITD window (5min -> 4min, attempts migrated) and removing \
+       maxDuration_send"
+    [
+      ( 40,
+        Adapt.spec_update ~id:1 ~remove:[ "maxDuration_send" ]
+          "send: { MITD: 4min dpTask: accel onFail: restartPath maxAttempt: 3 \
+           onFail: skipPath Path: 2; }" );
+    ]
+
+let all = [ quickstart; health; quickstart_adapt; health_adapt ]
 let find name = List.find_opt (fun s -> s.name = name) all

@@ -16,6 +16,9 @@ type built = {
       (** the deployed property machines, in deployment order - the
           golden oracle re-executes them on a pristine store *)
   config : Runtime.config;
+  adaptations : (int * Adapt.update) list;
+      (** live property updates delivered mid-run (PR 4); empty for the
+          classic scenarios *)
 }
 
 type t = {
@@ -31,6 +34,16 @@ val quickstart : t
 val health : t
 (** The Figure 4-6 wearable benchmark: three paths, the full Figure 5
     property specification, 1-minute charging delay. *)
+
+val quickstart_adapt : t
+(** {!quickstart} plus a live update at iteration 3 replacing the
+    maxTries property - drives the campaign through the update-window
+    crash sites. *)
+
+val health_adapt : t
+(** {!health} plus a live update at iteration 40 tightening the MITD
+    window (persistent [attempts] migrated) and removing
+    [maxDuration_send]. *)
 
 val all : t list
 val find : string -> t option

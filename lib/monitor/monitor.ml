@@ -23,9 +23,13 @@ type t = {
   bytes : int;
 }
 
-let create ?(engine = Compiled) nvm (machine : Ast.machine) =
+let create ?(engine = Compiled) ?cell_prefix nvm (machine : Ast.machine) =
   let compiled = Compile.compile machine (* typechecks *) in
-  let prefix = machine.Ast.machine_name in
+  let prefix =
+    match cell_prefix with
+    | Some p -> p
+    | None -> machine.Ast.machine_name
+  in
   let state_cell =
     Nvm.cell nvm ~region:Monitor ~name:(prefix ^ ".state") ~bytes:2
       (Compile.initial_state compiled)
@@ -109,8 +113,50 @@ let step t event =
 let current_state t = Compile.state_name t.compiled (Nvm.read t.state_cell)
 
 let read_var t x =
-  let slot = Compile.var_id t.compiled x (* raises Not_found *) in
-  Nvm.read t.var_cells.(slot)
+  match Compile.var_id t.compiled x with
+  | slot -> Nvm.read t.var_cells.(slot)
+  | exception Not_found ->
+      invalid_arg
+        (Printf.sprintf "Monitor.read_var: monitor %S has no variable %S"
+           (Compile.name t.compiled) x)
+
+(* --- live adaptation (PR 4): persistent-state hand-over --- *)
+
+(* A replacement monitor may keep its predecessor's [persistent]
+   variables only when every one of them has a same-named, same-typed
+   persistent counterpart in the predecessor; otherwise the adaptation
+   protocol falls back to hard-reset semantics (fresh initial values). *)
+let compatible_layout ~from t =
+  Array.for_all
+    (fun (v : Ast.var_decl) ->
+      (not v.Ast.persistent)
+      || Array.exists
+           (fun (w : Ast.var_decl) ->
+             w.Ast.persistent
+             && String.equal w.Ast.var_name v.Ast.var_name
+             && w.Ast.ty = v.Ast.ty)
+           (Compile.var_decls from.compiled))
+    (Compile.var_decls t.compiled)
+
+(* Copy persistent values from the retiring monitor into the replacement.
+   Each copy is a plain [Nvm.write]: individually durable, and idempotent
+   because the source cells are never touched — so the whole migration can
+   be re-run from the top after a mid-migration power failure without
+   changing the outcome.  Returns the migrated variable names. *)
+let migrate_persistent ~from t =
+  Array.to_list (Compile.var_decls t.compiled)
+  |> List.filter_map (fun (v : Ast.var_decl) ->
+         if not v.Ast.persistent then None
+         else
+           match Compile.var_id from.compiled v.Ast.var_name with
+           | exception Not_found -> None
+           | old_slot ->
+               let w = (Compile.var_decls from.compiled).(old_slot) in
+               if w.Ast.persistent && w.Ast.ty = v.Ast.ty then (
+                 let slot = Compile.var_id t.compiled v.Ast.var_name in
+                 Nvm.write t.var_cells.(slot) (Nvm.read from.var_cells.(old_slot));
+                 Some v.Ast.var_name)
+               else None)
 
 let watches_task t task = Compile.mentions_task t.compiled task
 let watches_event t (event : Interp.event) = watches_task t event.Interp.task

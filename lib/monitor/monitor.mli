@@ -19,12 +19,15 @@ type engine =
           differential testing and the interpreted-vs-compiled bench. *)
   | Compiled  (** Deploy-time compiled closures ({!Compile.step}). *)
 
-val create : ?engine:engine -> Nvm.t -> Ast.machine -> t
+val create : ?engine:engine -> ?cell_prefix:string -> Nvm.t -> Ast.machine -> t
 (** Typechecks and compiles the machine, then allocates one FRAM cell per
     variable plus a state cell, all in the [Monitor] region (their bytes
     are what Table 2 reports as monitor FRAM).  [engine] defaults to
     [Compiled]; both engines operate on the same FRAM cells and are
-    observationally equivalent.
+    observationally equivalent.  [cell_prefix] overrides the machine name
+    as the cell-name prefix — the live-adaptation protocol deploys
+    replacement generations under ["g<N>/<machine>"] so both generations'
+    cells coexist until the generation flip commits.
     @raise Failure if the machine is ill-typed. *)
 
 val name : t -> string
@@ -47,7 +50,23 @@ val step : t -> Interp.event -> Interp.failure list
 
 val current_state : t -> string
 val read_var : t -> string -> Ast.value
-(** @raise Not_found for an unknown variable. *)
+(** @raise Invalid_argument for an unknown variable, naming the monitor
+    and the variable. *)
+
+(** {2 Live adaptation (PR 4)} *)
+
+val compatible_layout : from:t -> t -> bool
+(** Whether every [persistent] variable of the replacement monitor has a
+    same-named, same-typed persistent counterpart in [from].  When false
+    the adaptation protocol keeps the replacement's fresh initial values
+    (hard-reset fallback). *)
+
+val migrate_persistent : from:t -> t -> string list
+(** Copy each compatible persistent variable's current value from [from]
+    into the replacement's cells and return the migrated names.  Each copy
+    is an individually-durable {!Nvm.write} and the source cells are never
+    written, so re-running the migration after a mid-migration power
+    failure is harmless (idempotent). *)
 
 val watches_task : t -> string -> bool
 (** Whether any trigger of the machine applies to the task (O(1); [On_any]

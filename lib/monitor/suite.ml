@@ -12,8 +12,7 @@ type t = {
   any_watchers : Monitor.t list;
 }
 
-let create ?engine nvm machines =
-  let monitors = List.map (Monitor.create ?engine nvm) machines in
+let of_monitors monitors =
   let tasks =
     List.concat_map (fun m -> Compile.watched_tasks (Monitor.compiled m)) monitors
     |> List.sort_uniq String.compare
@@ -28,6 +27,39 @@ let create ?engine nvm machines =
     List.filter (fun m -> Compile.watches_any_event (Monitor.compiled m)) monitors
   in
   { monitors; dispatch; any_watchers }
+
+let create ?engine nvm machines =
+  of_monitors (List.map (Monitor.create ?engine nvm) machines)
+
+(* The mutation API is functional: each operation rebuilds the dispatch
+   index over the new monitor list, so a suite value is immutable and the
+   adaptation protocol can hold both generations while it commits.  The
+   monitors themselves (and their NVM cells) are shared, not copied. *)
+
+let find t name =
+  List.find_opt (fun m -> String.equal (Monitor.name m) name) t.monitors
+
+let add t monitor =
+  if find t (Monitor.name monitor) <> None then
+    invalid_arg
+      (Printf.sprintf "Suite.add: monitor %S already deployed"
+         (Monitor.name monitor));
+  of_monitors (t.monitors @ [ monitor ])
+
+let remove t name =
+  if find t name = None then
+    invalid_arg (Printf.sprintf "Suite.remove: no monitor %S deployed" name);
+  of_monitors
+    (List.filter (fun m -> not (String.equal (Monitor.name m) name)) t.monitors)
+
+let replace t monitor =
+  let name = Monitor.name monitor in
+  if find t name = None then
+    invalid_arg (Printf.sprintf "Suite.replace: no monitor %S deployed" name);
+  of_monitors
+    (List.map
+       (fun m -> if String.equal (Monitor.name m) name then monitor else m)
+       t.monitors)
 
 let monitors t = t.monitors
 let property_count t = List.length t.monitors

@@ -15,7 +15,33 @@ type t
 val create : ?engine:Monitor.engine -> Nvm.t -> Ast.machine list -> t
 (** [engine] defaults to [Compiled] (see {!Monitor.create}). *)
 
+val of_monitors : Monitor.t list -> t
+(** Build a suite (and its dispatch index) over already-created monitors.
+    Used by the live-adaptation protocol, which creates replacement
+    monitors itself so it can control cell naming and state migration. *)
+
 val monitors : t -> Monitor.t list
+
+(** {2 Mutation (PR 4 live adaptation)}
+
+    All three are functional: they return a new suite sharing the
+    untouched monitors (and their NVM cells) with the old one, so the
+    adaptation protocol can hold both generations until its single-cell
+    generation flip commits. *)
+
+val find : t -> string -> Monitor.t option
+(** The deployed monitor with that machine name, if any. *)
+
+val add : t -> Monitor.t -> t
+(** @raise Invalid_argument if a monitor with the same name is deployed. *)
+
+val remove : t -> string -> t
+(** @raise Invalid_argument if no monitor with that name is deployed. *)
+
+val replace : t -> Monitor.t -> t
+(** Swap in [monitor] for the same-named deployed monitor, preserving
+    deployment order.
+    @raise Invalid_argument if no monitor with that name is deployed. *)
 
 val property_count : t -> int
 (** Number of deployed monitors = number of properties (the monitor

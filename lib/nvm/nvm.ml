@@ -1,6 +1,6 @@
 module Obs = Artemis_obs.Obs
 
-type region = Runtime | Monitor | Application
+type region = Runtime | Monitor | Application | Staging
 type kind = Fram | Ram
 
 exception Injected_failure of string
@@ -64,14 +64,16 @@ type 'a cell = {
 
 let footprint_slot kind region =
   let k = match kind with Fram -> 0 | Ram -> 1 in
-  let r = match region with Runtime -> 0 | Monitor -> 1 | Application -> 2 in
-  (k * 3) + r
+  let r =
+    match region with Runtime -> 0 | Monitor -> 1 | Application -> 2 | Staging -> 3
+  in
+  (k * 4) + r
 
 let create () =
   {
     cells = [];
     names = Hashtbl.create 64;
-    footprints = Array.make 6 0;
+    footprints = Array.make 8 0;
     volatiles = [];
     tx_open = false;
     tx_dirty = [];

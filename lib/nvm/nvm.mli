@@ -25,6 +25,9 @@ type region =
   | Runtime      (** cells owned by the intermittent runtime *)
   | Monitor      (** cells owned by generated monitors *)
   | Application  (** cells owned by application tasks (channels, outputs) *)
+  | Staging      (** cells owned by the live-adaptation protocol: property
+                     updates received over the radio are staged here before
+                     the generation flip makes them active (PR 4) *)
 
 type kind =
   | Fram  (** non-volatile: survives power failures *)

@@ -12,6 +12,7 @@ module Suite = Artemis_monitor.Suite
 module Monitor = Artemis_monitor.Monitor
 module Immortal = Artemis_immortal.Immortal
 module Obs = Artemis_obs.Obs
+module Adapt = Artemis_adapt.Adapt
 
 let m_monitor_calls = Obs.counter "monitor_calls"
 let h_task_attempt = Obs.histogram "task_attempt_us"
@@ -78,7 +79,10 @@ type cursor = {
   end_ts : Time.t;  (** completion timestamp, fixed inside the task tx *)
 }
 
-type journal_entry = Stepped of Interp.event | Reinited of string list
+type journal_entry =
+  | Stepped of Interp.event
+  | Reinited of string list
+  | Adapted of { id : int; generation : int }
 
 (* The monitor-call flag and (under instrumentation) the journal of
    committed monitor calls share one cell: flipping [active] off and
@@ -90,7 +94,9 @@ type mcall = {
   journal : journal_entry list;  (** newest first; [] when not instrumented *)
 }
 
-(* Numbered alongside Nvm.injection_sites by the fault-injection engine. *)
+(* Numbered alongside Nvm.injection_sites by the fault-injection engine.
+   The adaptation sites are appended so the historic numbering (0-11)
+   stays stable. *)
 let injection_sites =
   [
     "rt.monitor_step.before";
@@ -100,14 +106,59 @@ let injection_sites =
     "rt.verdict.before";
     "rt.verdict.after";
   ]
+  @ Adapt.injection_sites
+
+(* One generation of the monitor deployment.  Live adaptation swaps the
+   whole record at once: the suite, the deployment-ordered monitor array
+   and the callMonitor thread always belong to the same generation. *)
+type exec = {
+  gen : int;
+  suite : Suite.t;
+  monitors : Monitor.t array;  (** deployment order; step [i] of the
+                                   callMonitor thread runs monitor [i] *)
+  thread : Immortal.t;
+}
+
+(* --- live adaptation bookkeeping (PR 4) --- *)
+
+type adaptation_outcome =
+  | Update_applied of { generation : int; migrations : Adapt.migration list }
+  | Update_rejected of string
+  | Update_unfinished  (** the run ended before delivery completed *)
+
+type adaptation_record = {
+  update_id : int;
+  scheduled_iteration : int;
+  wire_bytes : int;
+  outcome : adaptation_outcome;
+  first_attempt_at : Time.t;
+  completed_at : Time.t;
+  radio_time : Time.t;  (** modeled transfer time of the successful delivery *)
+  radio_energy : Energy.energy;
+}
+
+(* Host-side delivery state: mutable heap fields survive simulated power
+   failures (only Ram cells and the open transaction reset), which is how
+   an interrupted delivery is retried — the durable exactly-once guarantee
+   lives in the Adapt control cell, not here. *)
+type delivery = {
+  d_update : Adapt.update;
+  d_iteration : int;
+  mutable d_delivered : bool;  (** staged durably; do not re-deliver *)
+  mutable d_first_attempt : Time.t option;
+  mutable d_radio_time : Time.t;
+  mutable d_radio_energy : Energy.energy;
+  mutable d_record : adaptation_record option;
+}
 
 type state = {
   device : Device.t;
   app : Task.app;
   paths : Task.t array array;
-  suite : Suite.t;
-  monitors : Monitor.t array;  (** deployment order; step [i] of the
-                                   callMonitor thread runs monitor [i] *)
+  mutable exec : exec;  (** the active generation's deployment *)
+  execs : (int, exec) Hashtbl.t;  (** generation -> deployment (host cache) *)
+  adapt : Adapt.t;
+  deliveries : delivery list;
   config : config;
   cursor : cursor Nvm.cell;
   event : Interp.event Nvm.cell;
@@ -115,7 +166,6 @@ type state = {
   mcall_failures : Interp.failure list Nvm.cell;
   suspended : bool Nvm.cell;  (** completePath: monitoring suspended *)
   round : int Nvm.cell;  (** reactive execution: current pass, 1-based *)
-  thread : Immortal.t;
   prng : Prng.t;
   probe : string -> unit;  (** fault-injection hook for runtime sites *)
   journaling : bool;  (** record the committed event prefix in [mcall] *)
@@ -136,8 +186,33 @@ let dummy_event =
 
 let action_name a = Artemis_fsm.Ast.action_to_string a
 
-let make_state ?(probe = fun _ -> ()) ?(journaling = false) ~config device app
-    suite =
+(* Build one generation's executable deployment.  The callMonitor thread
+   gets a per-generation name so each generation's persistent program
+   counter is its own cell. *)
+let make_exec nvm ~gen suite event mcall_failures =
+  let monitors = Array.of_list (Suite.monitors suite) in
+  let steps =
+    Array.map
+      (fun monitor () ->
+        let ev = Nvm.read event in
+        match Monitor.step monitor ev with
+        | [] -> ()
+        | failures ->
+            (* joins the immortal step's transaction: the failure list,
+               the monitor's own writes and the pc advance commit
+               together *)
+            Nvm.write_join mcall_failures (Nvm.read mcall_failures @ failures))
+      monitors
+  in
+  let steps = if Array.length steps = 0 then [| (fun () -> ()) |] else steps in
+  let name =
+    if gen = 0 then "callMonitor" else Printf.sprintf "callMonitor.g%d" gen
+  in
+  let thread = Immortal.create nvm ~region:Monitor ~name ~steps in
+  { gen; suite; monitors; thread }
+
+let make_state ?(probe = fun _ -> ()) ?(journaling = false) ?(adaptations = [])
+    ~config device app suite =
   (match Task.validate app with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Runtime.run: invalid application: " ^ msg));
@@ -165,30 +240,39 @@ let make_state ?(probe = fun _ -> ()) ?(journaling = false) ~config device app
   (* volatile scratch (loop counters etc.): the 2 bytes of RAM Table 2
      reports for the runtime *)
   ignore (Nvm.cell nvm ~region:Runtime ~kind:Artemis_nvm.Nvm.Ram ~name:"rt.scratch" ~bytes:2 0);
-  let monitors = Array.of_list (Suite.monitors suite) in
-  let steps =
-    Array.map
-      (fun monitor () ->
-        let ev = Nvm.read event in
-        match Monitor.step monitor ev with
-        | [] -> ()
-        | failures ->
-            (* joins the immortal step's transaction: the failure list,
-               the monitor's own writes and the pc advance commit
-               together *)
-            Nvm.write_join mcall_failures (Nvm.read mcall_failures @ failures))
-      monitors
+  let exec0 = make_exec nvm ~gen:0 suite event mcall_failures in
+  (* Replacement monitors built by future updates match the deployed
+     engine (differential tests run fully-interpreted deployments). *)
+  let engine =
+    match Suite.monitors suite with
+    | m :: _ -> Monitor.engine m
+    | [] -> Monitor.Compiled
   in
-  let steps =
-    if Array.length steps = 0 then [| (fun () -> ()) |] else steps
+  let adapt = Adapt.create ~engine nvm ~app suite in
+  let deliveries =
+    List.map
+      (fun (at, update) ->
+        {
+          d_update = update;
+          d_iteration = at;
+          d_delivered = false;
+          d_first_attempt = None;
+          d_radio_time = Time.zero;
+          d_radio_energy = Energy.zero;
+          d_record = None;
+        })
+      adaptations
   in
-  let thread = Immortal.create nvm ~region:Monitor ~name:"callMonitor" ~steps in
+  let execs = Hashtbl.create 4 in
+  Hashtbl.replace execs 0 exec0;
   {
     device;
     app;
     paths;
-    suite;
-    monitors;
+    exec = exec0;
+    execs;
+    adapt;
+    deliveries;
     config;
     cursor;
     event;
@@ -196,7 +280,6 @@ let make_state ?(probe = fun _ -> ()) ?(journaling = false) ~config device app
     mcall_failures;
     suspended;
     round;
-    thread;
     prng = Prng.create ~seed:config.seed;
     probe;
     journaling;
@@ -256,18 +339,18 @@ let resume_monitor_call st =
   observed ~cat:"monitor" ~hist:h_monitor_call "monitor_call" @@ fun () ->
   let step_power, step_duration = monitor_step_cost st in
   let step_watches_event st =
-    let i = Immortal.pc st.thread in
-    i < Array.length st.monitors
-    && Monitor.watches_event st.monitors.(i) (Nvm.read st.event)
+    let i = Immortal.pc st.exec.thread in
+    i < Array.length st.exec.monitors
+    && Monitor.watches_event st.exec.monitors.(i) (Nvm.read st.event)
   in
   let run_one_step () =
     st.probe "rt.monitor_step.before";
-    (match Immortal.run_step st.thread with
+    (match Immortal.run_step st.exec.thread with
     | Immortal.Ran _ | Immortal.Done -> ());
     st.probe "rt.monitor_step.after"
   in
   let rec steps () =
-    if Immortal.completed st.thread then begin
+    if Immortal.completed st.exec.thread then begin
       (* Single-write commit point of the whole call: the active flag
          drops and (under instrumentation) the event joins the committed
          journal atomically.  The thread is re-armed by the next
@@ -295,7 +378,7 @@ let resume_monitor_call st =
           steps ()
       | Device.Interrupted | Device.Starved -> Pending
   in
-  if Immortal.fresh st.thread then begin
+  if Immortal.fresh st.exec.thread then begin
     let dispatch_power, dispatch_duration = monitor_dispatch_cost st in
     match consume_monitor st ~power:dispatch_power ~duration:dispatch_duration with
     | Device.Completed -> steps ()
@@ -310,7 +393,7 @@ let begin_monitor_call st =
      the previous call, and a reboot inside it would deliver a stale
      empty verdict without stepping any monitor. *)
   Obs.incr m_monitor_calls;
-  Immortal.reset st.thread;
+  Immortal.reset st.exec.thread;
   Nvm.write st.mcall_failures [];
   Nvm.write st.mcall { (Nvm.read st.mcall) with active = true };
   resume_monitor_call st
@@ -348,7 +431,7 @@ let restart_path st ~target ~reason =
   let nvm = Device.nvm st.device in
   Nvm.begin_tx nvm;
   Nvm.write_join st.suspended false;
-  Suite.reinit_for_tasks st.suite ~tasks;
+  Suite.reinit_for_tasks st.exec.suite ~tasks;
   if st.journaling then begin
     let m = Nvm.read st.mcall in
     Nvm.write_join st.mcall { m with journal = Reinited tasks :: m.journal }
@@ -436,6 +519,159 @@ let apply_verdict st failures =
   apply_verdict_body st failures;
   st.probe "rt.verdict.after"
 
+(* --- the live-adaptation update window (PR 4) ---
+
+   Runs between monitor calls: never while a callMonitor thread is
+   mid-flight, so a generation swap cannot strand a half-delivered
+   event.  The durable protocol lives in [Adapt]; this layer adds radio
+   delivery costing, trace/journal bookkeeping and the host-side exec
+   swap. *)
+
+let chunk_bytes = 64
+
+(* Delivery is always costed through the External_wireless radio model:
+   on-device deployments still receive updates over the same BLE-class
+   link the external-monitor variant uses for events. *)
+let radio_params st =
+  match st.config.deployment with
+  | External_wireless { radio_power; round_trip } -> (radio_power, round_trip)
+  | Separate_module | Inlined -> (
+      match default_external_wireless with
+      | External_wireless { radio_power; round_trip } -> (radio_power, round_trip)
+      | Separate_module | Inlined -> assert false)
+
+(* Swap in the committed generation's deployment.  Building an exec is
+   cached per generation: the thread's persistent pc cell must be
+   allocated exactly once even when a crash forces this path to re-run. *)
+let sync_exec st =
+  let gen = Adapt.generation st.adapt in
+  if gen <> st.exec.gen then begin
+    let exec =
+      match Hashtbl.find_opt st.execs gen with
+      | Some e -> e
+      | None ->
+          let e =
+            make_exec (Device.nvm st.device) ~gen (Adapt.active st.adapt)
+              st.event st.mcall_failures
+          in
+          Hashtbl.replace st.execs gen e;
+          e
+    in
+    st.exec <- exec
+  end
+
+let find_delivery st id =
+  List.find_opt (fun d -> d.d_update.Adapt.id = id) st.deliveries
+
+let finish_delivery st (d : delivery) outcome =
+  d.d_delivered <- true;
+  if d.d_record = None then
+    d.d_record <-
+      Some
+        {
+          update_id = d.d_update.Adapt.id;
+          scheduled_iteration = d.d_iteration;
+          wire_bytes = Adapt.wire_bytes d.d_update;
+          outcome;
+          first_attempt_at = Option.value d.d_first_attempt ~default:Time.zero;
+          completed_at = Device.now st.device;
+          radio_time = d.d_radio_time;
+          radio_energy = d.d_radio_energy;
+        }
+
+let apply_staged st =
+  match
+    Adapt.apply ~probe:st.probe
+      ~commit_extra:(fun (a : Adapt.applied) ->
+        (* joins the flip transaction: the generation change and its
+           journal entry commit atomically (the golden oracle replays the
+           update at exactly this point) *)
+        if st.journaling then
+          let m = Nvm.read st.mcall in
+          Nvm.tx_write st.mcall
+            {
+              m with
+              journal =
+                Adapted { id = a.Adapt.id; generation = a.Adapt.generation }
+                :: m.journal;
+            })
+      st.adapt
+  with
+  | Adapt.Idle -> ()
+  | Adapt.Applied a ->
+      Device.record st.device
+        (Event.Adaptation_applied { id = a.Adapt.id; generation = a.Adapt.generation });
+      (match find_delivery st a.Adapt.id with
+      | Some d ->
+          finish_delivery st d
+            (Update_applied
+               { generation = a.Adapt.generation; migrations = a.Adapt.migrations })
+      | None -> ());
+      sync_exec st
+  | Adapt.Rejected { id; reason } -> (
+      Device.record st.device (Event.Adaptation_rejected { id; reason });
+      match find_delivery st id with
+      | Some d -> finish_delivery st d (Update_rejected reason)
+      | None -> ())
+
+let deliver st (d : delivery) =
+  if Adapt.already_applied st.adapt d.d_update.Adapt.id then
+    (* a crash separated the committed flip from this host-side flag:
+       the durable applied list is the source of truth *)
+    finish_delivery st d
+      (Update_applied { generation = Adapt.generation st.adapt; migrations = [] })
+  else begin
+    if d.d_first_attempt = None then d.d_first_attempt <- Some (Device.now st.device);
+    let bytes = Adapt.wire_bytes d.d_update in
+    let radio_power, round_trip = radio_params st in
+    let chunks = max 1 ((bytes + chunk_bytes - 1) / chunk_bytes) in
+    let duration = Time.scale round_trip chunks in
+    match
+      Device.consume st.device Device.Runtime_work ~during:"adapt.deliver"
+        ~power:radio_power ~duration ()
+    with
+    | Device.Interrupted | Device.Starved ->
+        ()  (* retransmitted at the next update window *)
+    | Device.Completed ->
+        d.d_radio_time <- Time.add d.d_radio_time duration;
+        d.d_radio_energy <-
+          Energy.add d.d_radio_energy (Energy.consumed radio_power duration);
+        let staged = Adapt.stage ~probe:st.probe st.adapt d.d_update in
+        d.d_delivered <- true;
+        Device.record st.device
+          (Event.Adaptation_staged { id = d.d_update.Adapt.id; bytes = staged });
+        apply_staged st
+  end
+
+let update_window st =
+  (* cheap when idle: one cell read and an int compare *)
+  sync_exec st;
+  if
+    st.deliveries <> [] || Adapt.pending_id st.adapt <> None
+  then begin
+    observed ~cat:"runtime" "update_window" @@ fun () ->
+    (* Recovery first: an update staged before a crash must finish its
+       apply before any new delivery restages over it. *)
+    if Adapt.pending_id st.adapt <> None then apply_staged st;
+    List.iter
+      (fun d ->
+        if (not d.d_delivered) && st.iterations >= d.d_iteration then
+          deliver st d
+        else if
+          d.d_delivered && d.d_record = None
+          && Adapt.already_applied st.adapt d.d_update.Adapt.id
+        then begin
+          (* a crash right after the committed flip lost the host-side
+             bookkeeping (the durable applied list is the source of
+             truth): record the event and close the delivery *)
+          let generation = Adapt.generation st.adapt in
+          Device.record st.device
+            (Event.Adaptation_applied { id = d.d_update.Adapt.id; generation });
+          finish_delivery st d (Update_applied { generation; migrations = [] })
+        end)
+      st.deliveries
+  end
+
 (* --- event phases --- *)
 
 let make_event st kind (c : cursor) =
@@ -495,11 +731,11 @@ let end_phase st =
 
 let finish st outcome = Artemis_device.Report.stats st.device ~outcome
 
-let run_internal ?probe ?journaling ~config device app suite =
-  let st = make_state ?probe ?journaling ~config device app suite in
+let run_internal ?probe ?journaling ?adaptations ~config device app suite =
+  let st = make_state ?probe ?journaling ?adaptations ~config device app suite in
   Device.record device Event.Boot;
   (* initial hard reset: resetMonitor (Figure 8, line 14) *)
-  Suite.hard_reset st.suite;
+  Suite.hard_reset st.exec.suite;
   (* Route the probe to the NVM bookkeeping sites too: one controller
      sees every numbered injection point. *)
   Nvm.set_probe (Device.nvm device) probe;
@@ -540,6 +776,9 @@ let run_internal ?probe ?journaling ~config device app suite =
         loop ()
       end
       else begin
+        (* Between monitor calls: finish or stage live property updates
+           (no-op without scheduled adaptations or a staged update). *)
+        update_window st;
         if c.finished then end_phase st else start_phase st;
         loop ()
       end
@@ -565,27 +804,73 @@ let run_internal ?probe ?journaling ~config device app suite =
   in
   (st, stats)
 
-let run ?(config = default_config) device app suite =
-  snd (run_internal ~config device app suite)
+let run ?(config = default_config) ?adaptations device app suite =
+  snd (run_internal ?adaptations ~config device app suite)
+
+let adaptation_records st =
+  List.map
+    (fun d ->
+      match d.d_record with
+      | Some r -> r
+      | None ->
+          {
+            update_id = d.d_update.Adapt.id;
+            scheduled_iteration = d.d_iteration;
+            wire_bytes = Adapt.wire_bytes d.d_update;
+            outcome = Update_unfinished;
+            first_attempt_at = Option.value d.d_first_attempt ~default:Time.zero;
+            completed_at = Device.now st.device;
+            radio_time = d.d_radio_time;
+            radio_energy = d.d_radio_energy;
+          })
+    st.deliveries
+
+type adaptive = {
+  adaptive_stats : Stats.t;
+  records : adaptation_record list;  (** scheduled-delivery order *)
+  final_suite : Suite.t;  (** the active suite when the run ended *)
+  final_generation : int;
+}
+
+let run_adaptive ?(config = default_config) ~adaptations device app suite =
+  let st, stats = run_internal ~adaptations ~config device app suite in
+  (* the run may end between a committed flip and the next update window *)
+  sync_exec st;
+  {
+    adaptive_stats = stats;
+    records = adaptation_records st;
+    final_suite = st.exec.suite;
+    final_generation = st.exec.gen;
+  }
 
 type instrumented = {
   stats : Stats.t;
   journal : journal_entry list;  (** oldest first *)
   partial : (Interp.event * int) option;
       (** monitor call in flight at end of run: (event, immortal pc) *)
+  final_suite : Suite.t;
+  adaptations : adaptation_record list;
 }
 
-let run_instrumented ?(config = default_config) ~probe device app suite =
+let run_instrumented ?(config = default_config) ?adaptations ~probe device app
+    suite =
   let st, stats =
-    run_internal ~probe ~journaling:true ~config device app suite
+    run_internal ~probe ~journaling:true ?adaptations ~config device app suite
   in
+  sync_exec st;
   let m = Nvm.read st.mcall in
   let partial =
-    if m.active && Immortal.pc st.thread > 0 then
-      Some (Nvm.read st.event, Immortal.pc st.thread)
+    if m.active && Immortal.pc st.exec.thread > 0 then
+      Some (Nvm.read st.event, Immortal.pc st.exec.thread)
     else None
   in
-  { stats; journal = List.rev m.journal; partial }
+  {
+    stats;
+    journal = List.rev m.journal;
+    partial;
+    final_suite = st.exec.suite;
+    adaptations = adaptation_records st;
+  }
 
 let runtime_fram_bytes device =
   Nvm.footprint (Device.nvm device) ~kind:Artemis_nvm.Nvm.Fram

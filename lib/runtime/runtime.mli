@@ -57,11 +57,62 @@ type config = {
 val default_config : config
 
 val run :
-  ?config:config -> Device.t -> Task.app -> Artemis_monitor.Suite.t ->
+  ?config:config ->
+  ?adaptations:(int * Artemis_adapt.Adapt.update) list ->
+  Device.t -> Task.app -> Artemis_monitor.Suite.t ->
   Artemis_trace.Stats.t
 (** Execute one application run to completion (or non-termination).
-    Events are recorded in the device's trace log.
+    Events are recorded in the device's trace log.  [adaptations]
+    schedules live property updates: each [(k, update)] is delivered over
+    the radio at the first update window on or after scheduler iteration
+    [k] (see {!run_adaptive} for the result details).
     @raise Invalid_argument if {!Task.validate} rejects the app. *)
+
+(** {2 Live property adaptation (PR 4)}
+
+    Updates are delivered between monitor calls at an {e update window}
+    of the scheduler loop: the wire image is costed over the
+    [External_wireless] radio model (in 64-byte chunks), staged into the
+    NVM staging region and applied through the crash-atomic
+    {!Artemis_adapt.Adapt} protocol.  An interrupted delivery is
+    retransmitted at the next window; an update staged before a power
+    failure is finished (validate → build → migrate → flip) before
+    anything new is staged, and the single-cell generation flip guarantees
+    each update applies exactly once. *)
+
+type adaptation_outcome =
+  | Update_applied of {
+      generation : int;
+      migrations : Artemis_adapt.Adapt.migration list;
+    }
+  | Update_rejected of string
+  | Update_unfinished  (** the run ended before delivery completed *)
+
+type adaptation_record = {
+  update_id : int;
+  scheduled_iteration : int;
+  wire_bytes : int;
+  outcome : adaptation_outcome;
+  first_attempt_at : Time.t;  (** when delivery first started *)
+  completed_at : Time.t;  (** when the flip (or rejection) committed *)
+  radio_time : Time.t;  (** modeled transfer time of the successful delivery *)
+  radio_energy : Energy.energy;
+}
+
+type adaptive = {
+  adaptive_stats : Artemis_trace.Stats.t;
+  records : adaptation_record list;  (** scheduled-delivery order *)
+  final_suite : Artemis_monitor.Suite.t;
+  final_generation : int;
+}
+
+val run_adaptive :
+  ?config:config ->
+  adaptations:(int * Artemis_adapt.Adapt.update) list ->
+  Device.t -> Task.app -> Artemis_monitor.Suite.t ->
+  adaptive
+(** {!run} plus per-update latency/energy records and the final active
+    suite — the measurement entry point of the adaptation study. *)
 
 val runtime_fram_bytes : Device.t -> int
 (** FRAM bytes of the runtime's own persistent cells after a run was set
@@ -87,6 +138,10 @@ type journal_entry =
   | Reinited of string list
       (** a path restart re-initialized the monitors watching these
           tasks *)
+  | Adapted of { id : int; generation : int }
+      (** a live property update committed its generation flip; the
+          entry is journaled inside the same NVM transaction as the
+          flip, so replay can swap suites at the exact point *)
 
 type instrumented = {
   stats : Artemis_trace.Stats.t;
@@ -97,10 +152,16 @@ type instrumented = {
   partial : (Artemis_fsm.Interp.event * int) option;
       (** a monitor call was in flight when the run ended: the event and
           how many of the thread's steps had committed *)
+  final_suite : Artemis_monitor.Suite.t;
+      (** the active suite when the run ended (≠ the deployed suite once
+          an adaptation applied) *)
+  adaptations : adaptation_record list;
+      (** per-update delivery records, as in {!run_adaptive} *)
 }
 
 val run_instrumented :
   ?config:config ->
+  ?adaptations:(int * Artemis_adapt.Adapt.update) list ->
   probe:(string -> unit) ->
   Device.t -> Task.app -> Artemis_monitor.Suite.t ->
   instrumented

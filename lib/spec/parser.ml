@@ -2,12 +2,29 @@ open Artemis_util
 
 exception Error of string * int * int
 
-type stream = { mutable tokens : Scanner.located list }
+type stream = {
+  mutable tokens : Scanner.located list;
+  (* location of the most recently consumed token, so running off the end
+     of a truncated token list still reports a position *)
+  mutable last_line : int;
+  mutable last_col : int;
+}
 
-let peek s = match s.tokens with [] -> assert false | t :: _ -> t
+(* [Scanner.tokenize] always terminates the list with [Eof], so a
+   well-formed stream never runs dry; but a truncated or empty list must
+   surface as a located parse error, never as an [Assert_failure]. *)
+let truncated s =
+  raise (Error ("unexpected end of input", s.last_line, s.last_col))
+
+let peek s = match s.tokens with [] -> truncated s | t :: _ -> t
 
 let advance s =
-  match s.tokens with [] -> assert false | _ :: rest -> s.tokens <- rest
+  match s.tokens with
+  | [] -> truncated s
+  | t :: rest ->
+      s.last_line <- t.Scanner.line;
+      s.last_col <- t.Scanner.col;
+      s.tokens <- rest
 
 let fail_at (loc : Scanner.located) fmt =
   Format.kasprintf (fun msg -> raise (Error (msg, loc.line, loc.col))) fmt
@@ -299,7 +316,9 @@ let parse_exn src =
         failwith (Printf.sprintf "spec lex error at %d:%d: %s" line col msg)
   in
   convert (fun () ->
-      let s = { tokens = Scanner.tokenize ~puncts src } in
+      let s =
+        { tokens = Scanner.tokenize ~puncts src; last_line = 1; last_col = 1 }
+      in
       let rec blocks acc =
         let t = peek s in
         match t.token with

@@ -14,6 +14,9 @@ type t =
   | Path_skipped of { path : int; reason : string }
   | Monitoring_suspended of { path : int }
   | Round_completed of { round : int }
+  | Adaptation_staged of { id : int; bytes : int }
+  | Adaptation_applied of { id : int; generation : int }
+  | Adaptation_rejected of { id : int; reason : string }
   | App_completed
   | Horizon_reached of { reason : string }
 
@@ -43,6 +46,12 @@ let pp ppf = function
   | Monitoring_suspended { path } ->
       Format.fprintf ppf "monitoring suspended until path #%d completes" path
   | Round_completed { round } -> Format.fprintf ppf "round %d completed" round
+  | Adaptation_staged { id; bytes } ->
+      Format.fprintf ppf "update #%d staged (%d bytes)" id bytes
+  | Adaptation_applied { id; generation } ->
+      Format.fprintf ppf "update #%d applied (generation %d)" id generation
+  | Adaptation_rejected { id; reason } ->
+      Format.fprintf ppf "update #%d rejected (%s)" id reason
   | App_completed -> Format.fprintf ppf "application completed"
   | Horizon_reached { reason } ->
       Format.fprintf ppf "simulation horizon reached (%s)" reason

@@ -28,6 +28,14 @@ type t =
   | Round_completed of { round : int }
       (** reactive execution: one full pass over the application's paths
           finished and the next begins *)
+  | Adaptation_staged of { id : int; bytes : int }
+      (** a live property update arrived over the radio and was written
+          to the NVM staging region (PR 4) *)
+  | Adaptation_applied of { id : int; generation : int }
+      (** the update committed: the generation flip swapped the active
+          monitor suite *)
+  | Adaptation_rejected of { id : int; reason : string }
+      (** on-device validation refused the staged update *)
   | App_completed
   | Horizon_reached of { reason : string }
       (** the simulation gave up: treated as non-termination (DNF) *)

@@ -29,6 +29,12 @@ let event_columns = function
       ("monitoring_suspended", "", string_of_int path, "")
   | Event.Round_completed { round } ->
       ("round_completed", "", "", Printf.sprintf "round=%d" round)
+  | Event.Adaptation_staged { id; bytes } ->
+      ("adaptation_staged", "", "", Printf.sprintf "id=%d bytes=%d" id bytes)
+  | Event.Adaptation_applied { id; generation } ->
+      ("adaptation_applied", "", "", Printf.sprintf "id=%d generation=%d" id generation)
+  | Event.Adaptation_rejected { id; reason } ->
+      ("adaptation_rejected", "", "", Printf.sprintf "id=%d %s" id reason)
   | Event.App_completed -> ("app_completed", "", "", "")
   | Event.Horizon_reached { reason } -> ("horizon_reached", "", "", reason)
 

@@ -1,3 +1,7 @@
+(* Rendered summaries must be byte-identical across runs and OCaml
+   versions, so the hash table's iteration order must never reach the
+   output: entries are fully ordered by (count descending, key
+   ascending), a total order with no ties left to the fold order. *)
 let tally pairs =
   let tbl = Hashtbl.create 8 in
   List.iter
@@ -6,7 +10,7 @@ let tally pairs =
     pairs;
   Hashtbl.fold (fun key count acc -> (key, count) :: acc) tbl []
   |> List.sort (fun (ka, ca) (kb, cb) ->
-         match compare cb ca with 0 -> String.compare ka kb | c -> c)
+         match Int.compare cb ca with 0 -> String.compare ka kb | c -> c)
 
 let verdicts_by_monitor log =
   Log.events log

@@ -40,3 +40,44 @@ counters mirror the task/failure lines of the stats header:
   counter reboots 2
   counter task_completions 19
   counter task_executions 30
+
+Live property adaptation (--adapt): a JSON script of updates is
+delivered over the simulated radio mid-run, validated on-device and
+applied with the crash-atomic generation flip; the report lists each
+staging and the committed flip:
+
+  $ cat > update.json <<'JSON'
+  > [
+  >   {"at": 40,
+  >    "spec": "send: { MITD: 4min dpTask: accel onFail: restartPath maxAttempt: 3 onFail: skipPath Path: 2; }",
+  >    "remove": ["maxDuration_send"]}
+  > ]
+  > JSON
+  $ ../../bin/artemis_sim.exe --adapt update.json -d 1 | sed -n '/adaptations/,$p'
+  --- adaptations ---
+  [2.07min] update #1 staged (160 bytes)
+  [2.07min] update #1 applied (generation 1)
+  messages sent: 3, avgTemp: 36.61 C
+
+An invalid update is refused by on-device validation, never
+half-deployed:
+
+  $ cat > bad.json <<'JSON'
+  > [ {"at": 40, "remove": ["no_such_monitor"]} ]
+  > JSON
+  $ ../../bin/artemis_sim.exe --adapt bad.json -d 1 | sed -n '/adaptations/,$p'
+  --- adaptations ---
+  [2.07min] update #1 staged (65 bytes)
+  [2.07min] update #1 rejected (remove: no deployed monitor named no_such_monitor)
+  messages sent: 3, avgTemp: 36.61 C
+
+Scripts only work with the ARTEMIS runtime, and malformed scripts are
+rejected up front:
+
+  $ ../../bin/artemis_sim.exe -s mayfly --adapt update.json
+  --adapt requires the artemis runtime
+  [1]
+  $ echo '{"not": "an array"}' > broken.json
+  $ ../../bin/artemis_sim.exe --adapt broken.json
+  adapt script: expected a JSON array of updates
+  [1]

@@ -1,5 +1,6 @@
 The fault-injection CLI numbers its sites deterministically (NVM
-bookkeeping sites first, then runtime sites):
+bookkeeping sites first, then runtime sites, then the live-adaptation
+protocol's crash windows):
 
   $ ../../bin/faultsim.exe --list-sites
    0 nvm.write.before
@@ -14,23 +15,42 @@ bookkeeping sites first, then runtime sites):
    9 rt.event_update.after
   10 rt.verdict.before
   11 rt.verdict.after
+  12 rt.adapt.stage.before
+  13 rt.adapt.stage.after
+  14 rt.adapt.validate.after
+  15 rt.adapt.migrate.before
+  16 rt.adapt.migrate.after
+  17 rt.adapt.flip.before
+  18 rt.adapt.flip.after
+  19 rt.adapt.clear.after
 
 A depth-1 bounded-exhaustive campaign over the quickstart scenario
 crashes every dynamic (site, occurrence) instant the baseline run
 exhibits — one run per probed instruction execution — and every
 invariant oracle stays green (the exit status verifies zero violations
-plus byte-identical replay of every run):
+plus byte-identical replay of every run).  The adaptation sites never
+fire without a scheduled update, so 12 of the 20 sites are coverable:
 
   $ ../../bin/faultsim.exe --scenario quickstart --depth 1
-  scenario quickstart: 12 injection sites
+  scenario quickstart: 20 injection sites
   baseline: completed, 0 violations
-  exhaustive (depth 1): 160 runs, coverage 12/12, 0 violations
+  exhaustive (depth 1): 160 runs, coverage 12/20, 0 violations
+
+The quickstart-adapt scenario delivers a live property update mid-run,
+which drives the campaign through every adaptation crash window as
+well — the update still applies exactly once, and never as a torn
+suite, under a power failure at every single instant:
+
+  $ ../../bin/faultsim.exe --scenario quickstart-adapt --depth 1
+  scenario quickstart-adapt: 20 injection sites
+  baseline: completed, 0 violations
+  exhaustive (depth 1): 154 runs, coverage 20/20, 0 violations
 
 The JSON report carries the same verdict with stable keys:
 
   $ ../../bin/faultsim.exe --scenario quickstart --depth 1 --json --skip-replay-check \
   >   | grep -E '"(coverage|total_runs|total_violations|shrunk)"'
-    "coverage": "12/12",
+    "coverage": "12/20",
     "total_runs": 160,
     "total_violations": 0,
     "shrunk": null
@@ -43,8 +63,8 @@ A single schedule replays from its one-line reproducer:
 Bad input is rejected:
 
   $ ../../bin/faultsim.exe --scenario nope
-  unknown scenario "nope" (quickstart|health)
+  unknown scenario "nope" (quickstart|health|quickstart-adapt|health-adapt)
   [2]
   $ ../../bin/faultsim.exe --replay '42:99@0'
-  bad replay line: site 99 out of range [0,11]
+  bad replay line: site 99 out of range [0,19]
   [2]

@@ -30,6 +30,20 @@ let spec_fuzz =
     (QCheck.make gen_garbage)
     (no_exception Spec.Parser.parse)
 
+(* Truncation fuzzing: every prefix of a valid spec is either a valid
+   spec or a located parse error — never an [Assert_failure] from a
+   drained token stream. *)
+let gen_truncated_spec =
+  QCheck.Gen.(
+    map
+      (fun n -> String.sub Health_app.spec_text 0 n)
+      (int_bound (String.length Health_app.spec_text)))
+
+let spec_truncation_fuzz =
+  QCheck.Test.make ~name:"spec parser survives truncation" ~count:500
+    (QCheck.make ~print:(fun s -> s) gen_truncated_spec)
+    (no_exception Spec.Parser.parse)
+
 let fsm_fuzz =
   QCheck.Test.make ~name:"fsm parser never raises" ~count:1000
     (QCheck.make gen_garbage)
@@ -43,6 +57,7 @@ let mayfly_fuzz =
 let suite =
   [
     QCheck_alcotest.to_alcotest spec_fuzz;
+    QCheck_alcotest.to_alcotest spec_truncation_fuzz;
     QCheck_alcotest.to_alcotest fsm_fuzz;
     QCheck_alcotest.to_alcotest mayfly_fuzz;
   ]

@@ -64,8 +64,20 @@ let test_watches_task_and_fram () =
 let test_read_var_unknown () =
   let _, m = make () in
   match Monitor.read_var m "nope" with
-  | exception Not_found -> ()
-  | _ -> Alcotest.fail "expected Not_found"
+  | exception Invalid_argument msg ->
+      let mentions sub =
+        let n = String.length sub in
+        let rec go i =
+          i + n <= String.length msg && (String.sub msg i n = sub || go (i + 1))
+        in
+        go 0
+      in
+      Alcotest.(check bool)
+        "names the monitor" true
+        (mentions (Monitor.name m));
+      Alcotest.(check bool) "names the variable" true (mentions "nope")
+  | exception Not_found -> Alcotest.fail "bare Not_found leaked"
+  | _ -> Alcotest.fail "expected Invalid_argument"
 
 (* --- Suite --- *)
 

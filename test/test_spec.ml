@@ -86,6 +86,28 @@ let test_errors () =
   expect_error "energy" "t: { minEnergy: 100ms onFail: skipTask; }";
   expect_error "positive" "t: { minEnergy: 0uJ onFail: skipTask; }"
 
+(* Regression: truncated or empty input must surface as a located
+   [Error], never escape as [Assert_failure] or any other exception. *)
+let test_truncated () =
+  (match Parser.parse "" with
+  | Ok [] -> ()
+  | Ok _ -> Alcotest.fail "empty input should parse to the empty spec"
+  | Error msg -> Alcotest.failf "empty input should be Ok []: %s" msg);
+  List.iter
+    (expect_error "")
+    [
+      "send";
+      "send:";
+      "send: {";
+      "send: { maxTries";
+      "send: { maxTries:";
+      "send: { maxTries: 3";
+      "send: { maxTries: 3 onFail";
+      "send: { maxTries: 3 onFail: skipTask";
+      "send: { maxTries: 3 onFail: skipTask;";
+      "t: { dpData: x Range: [1,";
+    ]
+
 (* --- round-trip property: parse (print spec) = spec --- *)
 
 let gen_action =
@@ -164,5 +186,6 @@ let suite =
       test_min_energy_property;
     Alcotest.test_case "comments ignored" `Quick test_comments_ignored;
     Alcotest.test_case "parse errors" `Quick test_errors;
+    Alcotest.test_case "truncated input" `Quick test_truncated;
     QCheck_alcotest.to_alcotest roundtrip;
   ]

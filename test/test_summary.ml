@@ -29,10 +29,42 @@ let test_actions () =
 let test_render_empty () =
   Alcotest.(check string) "empty log renders empty" "" (Summary.render (Log.create ()))
 
+(* Regression: summary ordering must not depend on hash-table iteration
+   order (which varies with insertion order and OCaml version).  Equal
+   counts are tie-broken by key, and recording the same events in any
+   order renders the same summary byte-for-byte. *)
+let test_deterministic_ordering () =
+  let log_of tasks =
+    let log = Log.create () in
+    List.iter
+      (fun task ->
+        Log.record log ~at:Time.zero (Event.Task_started { task; attempt = 1 }))
+      tasks;
+    log
+  in
+  let tasks = [ "delta"; "alpha"; "echo"; "bravo"; "charlie" ] in
+  (* all counts tie at 1: the rendered order must be the key order *)
+  Alcotest.(check (list (pair string int)))
+    "ties sort by key"
+    [ ("alpha", 1); ("bravo", 1); ("charlie", 1); ("delta", 1); ("echo", 1) ]
+    (Summary.attempts_by_task (log_of tasks));
+  let reference = Summary.render (log_of tasks) in
+  List.iter
+    (fun permuted ->
+      Alcotest.(check string)
+        "render is insertion-order independent" reference
+        (Summary.render (log_of permuted)))
+    [
+      [ "alpha"; "bravo"; "charlie"; "delta"; "echo" ];
+      [ "echo"; "delta"; "charlie"; "bravo"; "alpha" ];
+      [ "charlie"; "echo"; "alpha"; "delta"; "bravo" ];
+    ]
+
 let suite =
   [
     Alcotest.test_case "verdicts by monitor" `Quick test_verdicts;
     Alcotest.test_case "descending order" `Quick test_sorted_descending;
     Alcotest.test_case "actions by kind" `Quick test_actions;
     Alcotest.test_case "empty render" `Quick test_render_empty;
+    Alcotest.test_case "deterministic ordering" `Quick test_deterministic_ordering;
   ]
