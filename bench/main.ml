@@ -166,6 +166,62 @@ let adapt_apply_kernel () =
     | A.Adapt.Applied _ -> ()
     | A.Adapt.Idle | A.Adapt.Rejected _ -> assert false
 
+(* --- parallel campaign runner (PR 5): wall-clock of the depth-2
+   quickstart exhaustive campaign at 1/2/4/8 worker domains.  Every
+   jobs setting must produce a report byte-identical to sequential -
+   the kernel asserts it, so a determinism regression fails the bench
+   rather than silently skewing the numbers. *)
+
+type par_row = { pjobs : int; wall_s : float; identical : bool }
+
+let par_campaign ~fast () =
+  let depth = if fast then 1 else 2 in
+  let timed jobs =
+    let t0 = Unix.gettimeofday () in
+    let c =
+      Artemis_faultsim.Faultsim.exhaustive ~jobs
+        Artemis_faultsim.Scenario.quickstart ~seed:42 ~depth
+    in
+    (c, Unix.gettimeofday () -. t0)
+  in
+  let c1, w1 = timed 1 in
+  let base_json = Artemis_faultsim.Faultsim.campaign_to_json c1 in
+  let rows =
+    { pjobs = 1; wall_s = w1; identical = true }
+    :: List.map
+         (fun jobs ->
+           let c, w = timed jobs in
+           {
+             pjobs = jobs;
+             wall_s = w;
+             identical =
+               String.equal base_json
+                 (Artemis_faultsim.Faultsim.campaign_to_json c);
+           })
+         [ 2; 4; 8 ]
+  in
+  (depth, List.length c1.Artemis_faultsim.Faultsim.runs, rows)
+
+let print_par_campaign (depth, nruns, rows) =
+  Printf.printf
+    "\n=== par-campaign: quickstart depth-%d (%d runs), %d core(s) ===\n" depth
+    nruns
+    (Artemis.Par.recommended_jobs ());
+  let w1 = (List.hd rows).wall_s in
+  List.iter
+    (fun r ->
+      Printf.printf "jobs %d: %6.3f s  (%.2fx)%s\n" r.pjobs r.wall_s
+        (if r.wall_s > 0. then w1 /. r.wall_s else 0.)
+        (if r.identical then "" else "  REPORT MISMATCH"))
+    rows;
+  if List.for_all (fun r -> r.identical) rows then
+    print_endline "report byte-identical across all job counts"
+  else begin
+    prerr_endline "par-campaign: parallel report differs from sequential";
+    exit 1
+  end;
+  flush stdout
+
 (* --- Bechamel micro-benchmarks --- *)
 
 open Bechamel
@@ -329,14 +385,39 @@ let json_of_obs results =
         ((on -. off) /. off *. 100.)
   | _ -> {|  "obs": null|}
 
-let write_json ~file results ~scalability ~non_watching =
+let json_of_par (depth, nruns, rows) =
+  let w1 = (List.hd rows).wall_s in
+  let jobs_json =
+    String.concat ",\n"
+      (List.map
+         (fun r ->
+           Printf.sprintf
+             {|      { "jobs": %d, "wall_s": %.3f, "speedup": %.2f, "identical": %b }|}
+             r.pjobs r.wall_s
+             (if r.wall_s > 0. then w1 /. r.wall_s else 0.)
+             r.identical)
+         rows)
+  in
+  Printf.sprintf
+    {|  "par_campaign": {
+    "scenario": "quickstart", "depth": %d, "runs": %d, "cores": %d,
+    "jobs": [
+%s
+    ]
+  }|}
+    depth nruns
+    (Artemis.Par.recommended_jobs ())
+    jobs_json
+
+let write_json ~file results ~scalability ~non_watching ~par =
   let oc = open_out file in
   Printf.fprintf oc
     {|{
-  "bench": "live property adaptation: crash-atomic update protocol (PR4)",
+  "bench": "domain-parallel campaign runner: work-stealing fan-out with deterministic merge (PR5)",
   "kernels_ns": {
 %s
   },
+%s,
 %s,
   "engine_kernels": {
 %s,
@@ -352,6 +433,7 @@ let write_json ~file results ~scalability ~non_watching =
 |}
     (json_of_kernels results)
     (json_of_obs results)
+    (json_of_par par)
     (json_of_engine results "engine/fsm-step")
     (json_of_engine results "engine/dispatch8")
     (json_of_scalability scalability)
@@ -382,6 +464,8 @@ let () =
   if not (!fast || !skip_reproduce) then reproduce_all ();
   let engine_results = run_bechamel ~fast:!fast engine_tests in
   print_results "Engine comparison: interpreted vs compiled" engine_results;
+  let par = par_campaign ~fast:!fast () in
+  print_par_campaign par;
   (match speedup engine_results "engine/fsm-step" with
   | Some (_, _, s) -> Printf.printf "fsm-step speedup: %.2fx\n" s
   | None -> ());
@@ -404,4 +488,4 @@ let () =
       let extras = if !fast then [ 0; 8 ] else [ 0; 8; 32; 128 ] in
       let scalability = Scalability.run ~factors () in
       let non_watching = Scalability.run_non_watching ~extras () in
-      write_json ~file engine_results ~scalability ~non_watching
+      write_json ~file engine_results ~scalability ~non_watching ~par

@@ -56,7 +56,44 @@ let load_adapt_script = function
           | Ok updates -> Ok (Some updates)
           | Error e -> Error e))
 
-let run system_name delay_min continuous temp_base show_trace trace_limit show_summary csv_path trace_out metrics_out show_metrics adapt_path =
+(* --experiment NAME: run one of the lib/experiments sweeps (optionally
+   fanned out over --jobs domains) instead of a single simulation. *)
+let run_experiment name jobs =
+  match name with
+  | "scalability" ->
+      print_string (Scalability.render (Scalability.run ~jobs ()));
+      0
+  | "non-watching" ->
+      print_string
+        (Scalability.render_non_watching (Scalability.run_non_watching ~jobs ()));
+      0
+  | "harvester" ->
+      print_string (Harvester_study.render (Harvester_study.run ~jobs ()));
+      0
+  | "timekeeper" ->
+      print_string (Timekeeper_sweep.render (Timekeeper_sweep.run ~jobs ()));
+      0
+  | "ablation" ->
+      print_string (Ablation.render_deployments (Ablation.deployments ~jobs ()));
+      print_string
+        (Ablation.render_collect (Ablation.collect_semantics ~jobs ()));
+      0
+  | other ->
+      Printf.eprintf
+        "artemis_sim: unknown experiment %S \
+         (scalability|non-watching|harvester|timekeeper|ablation)\n"
+        other;
+      2
+
+let run system_name delay_min continuous temp_base show_trace trace_limit show_summary csv_path trace_out metrics_out show_metrics adapt_path experiment jobs =
+  if jobs < 1 then begin
+    Printf.eprintf "artemis_sim: --jobs must be at least 1 (got %d)\n" jobs;
+    2
+  end
+  else
+  match experiment with
+  | Some name -> run_experiment name jobs
+  | None ->
   let system =
     match system_name with
     | "artemis" -> Ok Config.Artemis_runtime
@@ -242,6 +279,25 @@ let adapt_arg =
            {\"at\": iteration, \"spec\"|\"machines\": source, \"remove\": \
            [names]} entries, over the simulated radio (artemis only).")
 
+let experiment_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "experiment" ] ~docv:"NAME"
+        ~doc:
+          "Run an experiment sweep instead of a single simulation: \
+           $(b,scalability), $(b,non-watching), $(b,harvester), \
+           $(b,timekeeper) or $(b,ablation).")
+
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for $(b,--experiment) sweeps (default 1). \
+           Rows are distributed over $(docv) domains; the output is \
+           identical for every job count.")
+
 let cmd =
   let doc = "simulate the health-monitoring benchmark on intermittent power" in
   Cmd.v
@@ -249,6 +305,6 @@ let cmd =
     Term.(
       const run $ system_arg $ delay_arg $ continuous_arg $ temp_arg $ trace_arg
       $ trace_limit_arg $ summary_arg $ csv_arg $ trace_out_arg
-      $ metrics_out_arg $ metrics_arg $ adapt_arg)
+      $ metrics_out_arg $ metrics_arg $ adapt_arg $ experiment_arg $ jobs_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -40,7 +40,7 @@ let print_violations campaign =
         r.F.violations)
     (campaign.F.baseline :: campaign.F.runs)
 
-let run scenario_name list depth random max_depth seed replay json skip_verify trace_out =
+let run scenario_name list depth random max_depth seed replay json skip_verify trace_out jobs =
   Artemis.Obs.reset ();
   Artemis.Obs.set_tracing (trace_out <> None);
   let write_trace code =
@@ -54,7 +54,11 @@ let run scenario_name list depth random max_depth seed replay json skip_verify t
   in
   write_trace
   @@
-  if list then list_sites ()
+  if jobs < 1 then begin
+    Printf.eprintf "faultsim: --jobs must be at least 1 (got %d)\n" jobs;
+    2
+  end
+  else if list then list_sites ()
   else
     match Scenario.find scenario_name with
     | None ->
@@ -83,8 +87,9 @@ let run scenario_name list depth random max_depth seed replay json skip_verify t
         | None ->
             let campaign =
               match random with
-              | Some runs -> F.random_campaign scenario ~seed ~runs ~max_depth
-              | None -> F.exhaustive scenario ~seed ~depth
+              | Some runs ->
+                  F.random_campaign ~jobs scenario ~seed ~runs ~max_depth
+              | None -> F.exhaustive ~jobs scenario ~seed ~depth
             in
             if json then print_string (F.campaign_to_json campaign)
             else begin
@@ -164,6 +169,15 @@ let trace_out_arg =
            span per run (laid end-to-end on a shared timeline) with \
            instant events at each oracle violation.")
 
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "jobs" ] ~docv:"N"
+        ~doc:
+          "Fan campaign runs out over $(docv) domains (default 1).  The \
+           report and any exported trace are byte-identical for every \
+           $(docv); use \\$(nproc) to saturate the machine.")
+
 let cmd =
   let doc =
     "deterministic power-failure fault injection with invariant oracles"
@@ -173,6 +187,6 @@ let cmd =
     Term.(
       const run $ scenario_arg $ list_arg $ depth_arg $ random_arg
       $ max_depth_arg $ seed_arg $ replay_arg $ json_arg $ skip_verify_arg
-      $ trace_out_arg)
+      $ trace_out_arg $ jobs_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -266,7 +266,7 @@ let stage ?(probe = fun _ -> ()) t update =
   let c = Nvm.read t.control in
   Nvm.write t.control
     { c with pending = Some { pending_id = update.id; target = c.generation + 1 } };
-  Obs.incr m_staged;
+  Obs.Ctx.incr (Nvm.obs t.nvm) m_staged;
   probe "rt.adapt.stage.after";
   String.length wire
 
@@ -390,7 +390,7 @@ let reject t (c : control) id reason =
      next stage overwrites. *)
   Nvm.write t.control { c with pending = None };
   Nvm.write t.buffer None;
-  Obs.incr m_rejected;
+  Obs.Ctx.incr (Nvm.obs t.nvm) m_rejected;
   Rejected { id; reason }
 
 let apply ?(probe = fun _ -> ()) ?(commit_extra = fun (_ : applied) -> ()) t =
@@ -445,7 +445,7 @@ let apply ?(probe = fun _ -> ()) ?(commit_extra = fun (_ : applied) -> ()) t =
                   probe "rt.adapt.flip.after";
                   Nvm.write t.buffer None;
                   probe "rt.adapt.clear.after";
-                  Obs.incr m_applied;
+                  Obs.Ctx.incr (Nvm.obs t.nvm) m_applied;
                   Applied a)))
 
 let deployment t gen = Hashtbl.find_opt t.suites gen

@@ -17,6 +17,7 @@ module Energy = Artemis_util.Energy
 module Table = Artemis_util.Table
 module Prng = Artemis_util.Prng
 module Json = Artemis_util.Json
+module Par = Artemis_util.Par
 module Obs = Artemis_obs.Obs
 module Nvm = Artemis_nvm.Nvm
 module Persistent_clock = Artemis_clock.Persistent_clock

@@ -27,48 +27,48 @@ let g_capacitor = Obs.gauge "capacitor_uj"
 let h_consume = Obs.histogram "consume_us"
 let h_charging = Obs.histogram "charging_delay_us"
 
-let observe_event event =
+let observe_event obs event =
   (match event with
-  | Event.Task_started _ -> Obs.incr m_task_executions
-  | Event.Task_completed _ -> Obs.incr m_task_completions
-  | Event.Power_failure _ -> Obs.incr m_power_failures
-  | Event.Reboot _ -> Obs.incr m_reboots
-  | Event.Path_restarted _ -> Obs.incr m_path_restarts
-  | Event.Path_skipped _ -> Obs.incr m_path_skips
-  | Event.Monitor_verdict _ -> Obs.incr m_monitor_verdicts
-  | Event.Runtime_action _ -> Obs.incr m_runtime_actions
+  | Event.Task_started _ -> Obs.Ctx.incr obs m_task_executions
+  | Event.Task_completed _ -> Obs.Ctx.incr obs m_task_completions
+  | Event.Power_failure _ -> Obs.Ctx.incr obs m_power_failures
+  | Event.Reboot _ -> Obs.Ctx.incr obs m_reboots
+  | Event.Path_restarted _ -> Obs.Ctx.incr obs m_path_restarts
+  | Event.Path_skipped _ -> Obs.Ctx.incr obs m_path_skips
+  | Event.Monitor_verdict _ -> Obs.Ctx.incr obs m_monitor_verdicts
+  | Event.Runtime_action _ -> Obs.Ctx.incr obs m_runtime_actions
   | _ -> ());
-  if Obs.tracing_enabled () then
+  if Obs.Ctx.tracing_enabled obs then
     match event with
-    | Event.Boot -> Obs.instant ~cat:"power" "boot"
+    | Event.Boot -> Obs.Ctx.instant obs ~cat:"power" "boot"
     | Event.Power_failure { during_task } ->
         let args =
           match during_task with
           | Some task -> [ ("task", Obs.S task) ]
           | None -> []
         in
-        Obs.instant ~cat:"power" ~args "power_failure"
+        Obs.Ctx.instant obs ~cat:"power" ~args "power_failure"
     | Event.Monitor_verdict { monitor; task; action } ->
-        Obs.instant ~cat:"monitor"
+        Obs.Ctx.instant obs ~cat:"monitor"
           ~args:
             [ ("monitor", Obs.S monitor); ("task", Obs.S task);
               ("action", Obs.S action) ]
           "verdict"
     | Event.Runtime_action { action; task } ->
-        Obs.instant ~cat:"runtime"
+        Obs.Ctx.instant obs ~cat:"runtime"
           ~args:[ ("action", Obs.S action); ("task", Obs.S task) ]
           "corrective_action"
     | Event.Path_restarted { path; reason } ->
-        Obs.instant ~cat:"runtime"
+        Obs.Ctx.instant obs ~cat:"runtime"
           ~args:[ ("path", Obs.I path); ("reason", Obs.S reason) ]
           "path_restarted"
     | Event.Path_skipped { path; reason } ->
-        Obs.instant ~cat:"runtime"
+        Obs.Ctx.instant obs ~cat:"runtime"
           ~args:[ ("path", Obs.I path); ("reason", Obs.S reason) ]
           "path_skipped"
-    | Event.App_completed -> Obs.instant ~cat:"runtime" "app_completed"
+    | Event.App_completed -> Obs.Ctx.instant obs ~cat:"runtime" "app_completed"
     | Event.Horizon_reached { reason } ->
-        Obs.instant ~cat:"runtime"
+        Obs.Ctx.instant obs ~cat:"runtime"
           ~args:[ ("reason", Obs.S reason) ]
           "horizon_reached"
     | _ -> ()
@@ -76,6 +76,7 @@ type consume_result = Completed | Interrupted | Starved
 
 type t = {
   nvm : Nvm.t;
+  obs : Obs.ctx;
   clock : Clock.t;
   capacitor : Capacitor.t;
   policy : Charging_policy.t;
@@ -100,7 +101,7 @@ let default_capacitor () =
     ~off_threshold:(Energy.mj 10.)
     ()
 
-let create ?capacitor ?policy ?clock ?horizon () =
+let create ?capacitor ?policy ?clock ?horizon ?obs () =
   let capacitor =
     match capacitor with Some c -> c | None -> default_capacitor ()
   in
@@ -111,12 +112,15 @@ let create ?capacitor ?policy ?clock ?horizon () =
   in
   let clock = match clock with Some c -> c | None -> Clock.create () in
   let horizon = match horizon with Some h -> h | None -> Time.of_min 360 in
+  let obs = match obs with Some o -> o | None -> Obs.current () in
   (* Hand the observability layer this device's simulated clock so spans
      and instants are stamped in simulated microseconds.  The last
-     created device wins; the simulator runs devices sequentially. *)
-  Obs.set_clock (fun () -> Time.to_us (Clock.elapsed_ground_truth clock));
+     created device on a context wins; each context's devices run
+     sequentially. *)
+  Obs.Ctx.set_clock obs (fun () -> Time.to_us (Clock.elapsed_ground_truth clock));
   {
-    nvm = Nvm.create ();
+    nvm = Nvm.create ~obs ();
+    obs;
     clock;
     capacitor;
     policy;
@@ -135,13 +139,14 @@ let create ?capacitor ?policy ?clock ?horizon () =
   }
 
 let nvm t = t.nvm
+let obs t = t.obs
 let log t = t.log
 let capacitor t = t.capacitor
 let now t = Clock.now t.clock
 let sim_time t = Clock.elapsed_ground_truth t.clock
 let record t event =
   Log.record t.log ~at:(now t) event;
-  observe_event event
+  observe_event t.obs event
 
 let account t category dt energy =
   (match category with
@@ -154,12 +159,13 @@ let account t category dt energy =
   | Monitor_work ->
       t.time_monitor <- Time.add t.time_monitor dt;
       t.energy_monitor <- Energy.add t.energy_monitor energy);
-  if Obs.metrics_enabled () then begin
-    Obs.observe_us h_consume (Time.to_us dt);
-    Obs.set_gauge g_energy_app (Energy.to_uj t.energy_app);
-    Obs.set_gauge g_energy_runtime (Energy.to_uj t.energy_runtime);
-    Obs.set_gauge g_energy_monitor (Energy.to_uj t.energy_monitor);
-    Obs.set_gauge g_capacitor (Energy.to_uj (Capacitor.level t.capacitor))
+  if Obs.Ctx.metrics_enabled t.obs then begin
+    Obs.Ctx.observe_us t.obs h_consume (Time.to_us dt);
+    Obs.Ctx.set_gauge t.obs g_energy_app (Energy.to_uj t.energy_app);
+    Obs.Ctx.set_gauge t.obs g_energy_runtime (Energy.to_uj t.energy_runtime);
+    Obs.Ctx.set_gauge t.obs g_energy_monitor (Energy.to_uj t.energy_monitor);
+    Obs.Ctx.set_gauge t.obs g_capacitor
+      (Energy.to_uj (Capacitor.level t.capacitor))
   end
 
 let schedule_failure t ~at =
@@ -190,13 +196,14 @@ let handle_power_failure t ~during =
       record t (Event.Horizon_reached { reason = "harvester starved" });
       Starved
   | Some delay ->
-      let t0 = if Obs.tracing_enabled () then Obs.now_us () else 0 in
+      let t0 = if Obs.Ctx.tracing_enabled t.obs then Obs.Ctx.now_us t.obs else 0 in
       Clock.advance_off t.clock delay;
       t.off <- Time.add t.off delay;
       Clock.record_reboot t.clock;
-      if Obs.tracing_enabled () then
-        Obs.span ~cat:"power" ~begin_us:t0 ~end_us:(Obs.now_us ()) "charging";
-      Obs.observe_us h_charging (Time.to_us delay);
+      if Obs.Ctx.tracing_enabled t.obs then
+        Obs.Ctx.span t.obs ~cat:"power" ~begin_us:t0
+          ~end_us:(Obs.Ctx.now_us t.obs) "charging";
+      Obs.Ctx.observe_us t.obs h_charging (Time.to_us delay);
       record t (Event.Reboot { charging_delay = delay });
       Interrupted
 

@@ -33,13 +33,22 @@ val create :
   ?policy:Artemis_energy.Charging_policy.t ->
   ?clock:Artemis_clock.Persistent_clock.t ->
   ?horizon:Time.t ->
+  ?obs:Artemis_obs.Obs.ctx ->
   unit ->
   t
 (** Defaults: a 100 mJ capacitor with 90 mJ usable budget, a fixed
     1-minute charging delay, a 1 ms-granularity drift-free clock, and a
-    6-hour simulation horizon. *)
+    6-hour simulation horizon.  [obs] is the observability context the
+    device (and everything built on it: nvm, runtime, monitors) records
+    into; it defaults to the calling domain's current context and
+    receives this device's simulated clock. *)
 
 val nvm : t -> Artemis_nvm.Nvm.t
+
+val obs : t -> Artemis_obs.Obs.ctx
+(** The device's observability context (also reachable as
+    [Nvm.obs (nvm t)]). *)
+
 val log : t -> Artemis_trace.Log.t
 val capacitor : t -> Artemis_energy.Capacitor.t
 

@@ -58,10 +58,17 @@ let bsearch arr at =
     !lo
   end
 
-let cursor_arr : (Time.t * Energy.power) array ref = ref [||]
-let cursor_idx = ref (-1)
+(* Both memo caches are domain-local (PR 5): worker domains of the
+   parallel campaign runner each get their own, so concurrent sweeps
+   never invalidate (or race on) each other's cursor.  Results are
+   bit-identical to the naive scan regardless of cache state, so
+   per-domain caches only affect speed, never values. *)
+let cursor_key :
+    ((Time.t * Energy.power) array ref * int ref) Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> (ref [||], ref (-1)))
 
 let seg_index arr at =
+  let cursor_arr, cursor_idx = Domain.DLS.get cursor_key in
   let n = Array.length arr in
   let holds j =
     j >= -1 && j < n
@@ -85,10 +92,13 @@ let seg_index arr at =
    of segment [i], accumulated left to right exactly as the naive scan
    did, so [integral] stays bit-identical to the O(n) version the
    differential test replays. *)
-let prefix_arr : (Time.t * Energy.power) array ref = ref [||]
-let prefix_sums : Energy.energy array ref = ref [||]
+let prefix_key :
+    ((Time.t * Energy.power) array ref * Energy.energy array ref)
+    Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> (ref [||], ref [||]))
 
 let prefixes arr =
+  let prefix_arr, prefix_sums = Domain.DLS.get prefix_key in
   if !prefix_arr != arr then begin
     let n = Array.length arr in
     let p = Array.make n Energy.zero in

@@ -1,4 +1,5 @@
 open Artemis
+module Par = Artemis_util.Par
 
 type deployment_row = {
   label : string;
@@ -36,8 +37,8 @@ let run_deployment deployment supply =
   let config = { Runtime.default_config with deployment } in
   (Config.run_health ~config Config.Artemis_runtime supply).Config.stats
 
-let deployments () =
-  let mk label deployment =
+let deployments ?(jobs = 1) () =
+  let mk (label, deployment) =
     let text, fram = memory_estimates deployment in
     {
       label;
@@ -48,11 +49,12 @@ let deployments () =
       est_monitor_fram = fram;
     }
   in
-  [
-    mk "separate module (paper)" Runtime.Separate_module;
-    mk "inlined" Runtime.Inlined;
-    mk "external wireless" Runtime.default_external_wireless;
-  ]
+  Par.map_list ~jobs mk
+    [
+      ("separate module (paper)", Runtime.Separate_module);
+      ("inlined", Runtime.Inlined);
+      ("external wireless", Runtime.default_external_wireless);
+    ]
 
 let render_deployments rows =
   let table =
@@ -89,8 +91,8 @@ type collect_row = {
   body_temp_runs : int;
 }
 
-let collect_semantics () =
-  List.map
+let collect_semantics ?(jobs = 1) () =
+  Par.map_list ~jobs
     (fun reset_on_fail ->
       let options = { To_fsm.collect_reset_on_fail = reset_on_fail } in
       let run =

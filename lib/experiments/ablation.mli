@@ -24,7 +24,7 @@ type deployment_row = {
   est_monitor_fram : int;  (** local monitor FRAM estimate *)
 }
 
-val deployments : unit -> deployment_row list
+val deployments : ?jobs:int -> unit -> deployment_row list
 val render_deployments : deployment_row list -> string
 
 type collect_row = {
@@ -33,5 +33,5 @@ type collect_row = {
   body_temp_runs : int;  (** bodyTemp completions before termination/DNF *)
 }
 
-val collect_semantics : unit -> collect_row list
+val collect_semantics : ?jobs:int -> unit -> collect_row list
 val render_collect : collect_row list -> string

@@ -1,4 +1,5 @@
 open Artemis
+module Par = Artemis_util.Par
 
 type row = {
   harvest_uw : float;
@@ -65,8 +66,8 @@ let run_system ~avg_uw system =
   in
   (stats, dev)
 
-let run ?(rates_uw = [ 1000.; 200.; 100.; 65.; 50.; 40. ]) () =
-  List.map
+let run ?(rates_uw = [ 1000.; 200.; 100.; 65.; 50.; 40. ]) ?(jobs = 1) () =
+  Par.map_list ~jobs
     (fun harvest_uw ->
       let artemis, artemis_dev = run_system ~avg_uw:harvest_uw `Artemis in
       let mayfly, _ = run_system ~avg_uw:harvest_uw `Mayfly in

@@ -22,7 +22,7 @@ type row = {
   mayfly : Stats.t;
 }
 
-val run : ?rates_uw:float list -> unit -> row list
+val run : ?rates_uw:float list -> ?jobs:int -> unit -> row list
 (** Default sweep: 1000, 200, 100, 65, 50 and 40 uW average harvest (duty-cycled
     2 min period, 50% on-time, so instantaneous rate is twice the
     average). *)

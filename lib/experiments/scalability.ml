@@ -1,4 +1,5 @@
 open Artemis
+module Par = Artemis_util.Par
 
 type row = {
   copies : int;
@@ -36,8 +37,8 @@ let run_with_copies ?engine copies =
     monitor_fram = Nvm.footprint (Device.nvm device) ~kind:Nvm.Fram ~region:Nvm.Monitor;
   }
 
-let run ?engine ?(factors = [ 1; 2; 4; 8 ]) () =
-  List.map (run_with_copies ?engine) factors
+let run ?engine ?(factors = [ 1; 2; 4; 8 ]) ?(jobs = 1) () =
+  Par.map_list ~jobs (run_with_copies ?engine) factors
 
 let render rows =
   let table =
@@ -111,8 +112,8 @@ let run_with_extras ?engine extra =
       Nvm.footprint (Device.nvm device) ~kind:Nvm.Fram ~region:Nvm.Monitor;
   }
 
-let run_non_watching ?engine ?(extras = [ 0; 8; 32; 128 ]) () =
-  List.map (run_with_extras ?engine) extras
+let run_non_watching ?engine ?(extras = [ 0; 8; 32; 128 ]) ?(jobs = 1) () =
+  Par.map_list ~jobs (run_with_extras ?engine) extras
 
 let render_non_watching rows =
   let table =

@@ -1,4 +1,5 @@
 open Artemis
+module Par = Artemis_util.Par
 
 type row = {
   label : string;
@@ -29,8 +30,10 @@ let run_with ~label ~off_estimator ~delay_min =
     transmissions = run.Config.handles.Health_app.sent_messages ();
   }
 
-let run ?(delay_min = 6) () =
-  let saturating minutes_label ceiling =
+let run ?(delay_min = 6) ?(jobs = 1) () =
+  (* Each row is a thunk so its (stateful) timekeeper is created on the
+     worker domain that runs it. *)
+  let saturating minutes_label ceiling () =
     let tk =
       Remanence_timekeeper.create ~relative_error:0.05 ~max_measurable:ceiling ()
     in
@@ -39,12 +42,16 @@ let run ?(delay_min = 6) () =
       ~off_estimator:(Remanence_timekeeper.as_off_estimator tk)
       ~delay_min
   in
-  [
-    run_with ~label:"ideal" ~off_estimator:Remanence_timekeeper.ideal ~delay_min;
-    saturating "10 min" (Time.of_min 10);
-    saturating "2 min" (Time.of_min 2);
-    saturating "30 s" (Time.of_sec 30);
-  ]
+  Par.map_list ~jobs
+    (fun row -> row ())
+    [
+      (fun () ->
+        run_with ~label:"ideal" ~off_estimator:Remanence_timekeeper.ideal
+          ~delay_min);
+      saturating "10 min" (Time.of_min 10);
+      saturating "2 min" (Time.of_min 2);
+      saturating "30 s" (Time.of_sec 30);
+    ]
 
 let render rows =
   let table =

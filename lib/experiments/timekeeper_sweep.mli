@@ -17,7 +17,7 @@ type row = {
   transmissions : int;  (** completed [send] executions *)
 }
 
-val run : ?delay_min:int -> unit -> row list
+val run : ?delay_min:int -> ?jobs:int -> unit -> row list
 (** Rows: ideal timekeeper, then saturation ceilings of 10 min, 2 min and
     30 s ([delay_min] defaults to 6). *)
 

@@ -1,10 +1,14 @@
 open Artemis
+module Par = Artemis_util.Par
 
 (* --- injection sites (Nvm numbering first, then Runtime) --- *)
 
 let sites = Array.of_list (Nvm.injection_sites @ Runtime.injection_sites)
 let site_count = Array.length sites
 
+(* Shared-mutable audit (PR 5): this table is populated once at module
+   initialisation and is read-only afterwards, so concurrent lookups
+   from worker domains are safe (no resize can occur). *)
 let site_ids : (string, int) Hashtbl.t =
   let tbl = Hashtbl.create 16 in
   Array.iteri (fun i label -> Hashtbl.replace tbl label i) sites;
@@ -423,8 +427,37 @@ let shrink_first_violation scenario baseline runs =
       let minimal = if still bad.schedule then shrink still bad.schedule else bad.schedule in
       Some (replay_line ~seed:bad.seed minimal)
 
-let exhaustive scenario ~seed ~depth =
+(* --- parallel fan-out (PR 5) ---
+
+   Each run executes against its own fresh [Obs] context (so worker
+   domains never share a trace buffer or metric slots), and the per-run
+   contexts are absorbed into the campaign's context in run-id order.
+   [Ctx.absorb] reproduces exactly what sequential execution would have
+   recorded - counters sum, each run's events land after the previous
+   run's one-second gap - so the merged report and trace are
+   byte-identical for every [jobs] value. *)
+
+let run_isolated parent scenario ~seed schedule =
+  let ctx = Obs.Ctx.create ~like:parent () in
+  let r = Obs.with_ctx ctx (fun () -> run_schedule scenario ~seed schedule) in
+  (r, ctx)
+
+let run_schedules ~jobs scenario ~baseline plans =
+  let parent = Obs.current () in
+  let arr = Array.of_list plans in
+  let results =
+    Par.map ~jobs (Array.length arr) (fun i ->
+        let seed, schedule = arr.(i) in
+        run_isolated parent scenario ~seed schedule)
+  in
+  Array.to_list results
+  |> List.map (fun (r, ctx) ->
+         Obs.Ctx.absorb ~into:parent ctx;
+         check_footprint baseline r)
+
+let exhaustive ?(jobs = 1) scenario ~seed ~depth =
   if depth < 1 then invalid_arg "Faultsim.exhaustive: depth must be positive";
+  if jobs < 1 then invalid_arg "Faultsim.exhaustive: jobs must be positive";
   let baseline = run_schedule scenario ~seed [] in
   (* Depth 1 is complete over dynamic instants: the baseline run tells us
      how often each site fires, and we crash once at every single
@@ -450,9 +483,8 @@ let exhaustive scenario ~seed ~depth =
     List.concat (List.init depth (fun d -> deepen (d + 1) level1))
   in
   let runs =
-    List.map
-      (fun s -> check_footprint baseline (run_schedule scenario ~seed s))
-      schedules
+    run_schedules ~jobs scenario ~baseline
+      (List.map (fun s -> (seed, s)) schedules)
   in
   {
     scenario = scenario.Scenario.name;
@@ -465,13 +497,16 @@ let exhaustive scenario ~seed ~depth =
     shrunk = shrink_first_violation scenario baseline runs;
   }
 
-let random_campaign scenario ~seed ~runs ~max_depth =
+let random_campaign ?(jobs = 1) scenario ~seed ~runs ~max_depth =
   if runs < 1 then invalid_arg "Faultsim.random_campaign: runs must be positive";
   if max_depth < 1 then
     invalid_arg "Faultsim.random_campaign: max_depth must be positive";
+  if jobs < 1 then invalid_arg "Faultsim.random_campaign: jobs must be positive";
   let prng = Prng.create ~seed in
   let baseline = run_schedule scenario ~seed [] in
-  let results =
+  (* Every PRNG draw happens here, sequentially, before any fan-out: the
+     plan a given run id gets is independent of [jobs]. *)
+  let plans =
     List.init runs (fun _ ->
         let run_seed = Prng.int_range prng ~lo:0 ~hi:(1 lsl 30) in
         let depth = Prng.int_range prng ~lo:1 ~hi:max_depth in
@@ -480,8 +515,9 @@ let random_campaign scenario ~seed ~runs ~max_depth =
               ( Prng.int_range prng ~lo:0 ~hi:(site_count - 1),
                 Prng.int_range prng ~lo:0 ~hi:12 ))
         in
-        check_footprint baseline (run_schedule scenario ~seed:run_seed schedule))
+        (run_seed, schedule))
   in
+  let results = run_schedules ~jobs scenario ~baseline plans in
   {
     scenario = scenario.Scenario.name;
     mode = "random";

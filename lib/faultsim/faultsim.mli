@@ -90,21 +90,29 @@ type campaign = {
           violated an oracle *)
 }
 
-val exhaustive : Scenario.t -> seed:int -> depth:int -> campaign
+val exhaustive : ?jobs:int -> Scenario.t -> seed:int -> depth:int -> campaign
 (** Bounded-exhaustive.  Level 1 is complete over {e dynamic} crash
     instants: one run per (site, occurrence) pair the baseline run
     exhibits - every probed instruction execution gets crashed exactly
     once.  Levels 2..[depth] chain further occurrence-0 failures onto
     each level-1 instant ([site_count] more runs per schedule per
-    level). *)
+    level).
+
+    [jobs] (default 1) fans the runs out over that many domains with a
+    work-stealing queue; every run executes against its own fresh
+    [Obs] context and device, and the per-run contexts are merged back
+    in run-id order, so the campaign record, JSON report and exported
+    trace are byte-identical for every [jobs] value. *)
 
 val random_campaign :
-  Scenario.t -> seed:int -> runs:int -> max_depth:int -> campaign
+  ?jobs:int -> Scenario.t -> seed:int -> runs:int -> max_depth:int -> campaign
 (** Seeded random schedules: each run draws its own seed, a depth in
     [1, max_depth] and per-entry sites/occurrences from a splitmix64
-    stream, so the whole campaign is reproducible from [seed].  On the
-    first violating run the schedule is greedily shrunk (drop entries,
-    then lower occurrences) to a minimal reproducer. *)
+    stream, so the whole campaign is reproducible from [seed] (every
+    draw happens before the fan-out, so results are also independent of
+    [jobs], as in {!exhaustive}).  On the first violating run the
+    schedule is greedily shrunk (drop entries, then lower occurrences)
+    to a minimal reproducer. *)
 
 val total_violations : campaign -> int
 

@@ -37,7 +37,7 @@ let run_step t =
      with e ->
        if Nvm.in_tx t.nvm then Nvm.abort_tx t.nvm;
        raise e);
-    Obs.incr m_steps;
+    Obs.Ctx.incr (Nvm.obs t.nvm) m_steps;
     Ran i
   end
 
@@ -45,5 +45,5 @@ let rec run_to_completion t =
   match run_step t with Done -> () | Ran _ -> run_to_completion t
 
 let reset t =
-  Obs.incr m_resets;
+  Obs.Ctx.incr (Nvm.obs t.nvm) m_resets;
   Nvm.write t.pc_cell 0

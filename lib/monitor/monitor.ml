@@ -14,6 +14,7 @@ let ty_bytes = function
 type engine = Interpreted | Compiled
 
 type t = {
+  obs : Obs.ctx;  (* the owning device's recording surface *)
   compiled : Compile.t;
   engine : engine;
   state_cell : int Nvm.cell;  (* interned state id *)
@@ -78,7 +79,7 @@ let create ?(engine = Compiled) ?cell_prefix nvm (machine : Ast.machine) =
     2 + property_table_bytes
     + List.fold_left (fun acc v -> acc + ty_bytes v.Ast.ty) 0 machine.Ast.vars
   in
-  { compiled; engine; state_cell; var_cells; cstore; istore; bytes }
+  { obs = Nvm.obs nvm; compiled; engine; state_cell; var_cells; cstore; istore; bytes }
 
 let name t = Compile.name t.compiled
 let machine t = Compile.machine t.compiled
@@ -101,13 +102,13 @@ let reinitialize t =
     (Compile.var_decls t.compiled)
 
 let step t event =
-  Obs.incr m_steps;
+  Obs.Ctx.incr t.obs m_steps;
   let failures =
     match t.engine with
     | Compiled -> Compile.step t.compiled t.cstore event
     | Interpreted -> Interp.step (Compile.machine t.compiled) t.istore event
   in
-  (match failures with [] -> () | fs -> Obs.add m_failures (List.length fs));
+  (match failures with [] -> () | fs -> Obs.Ctx.add t.obs m_failures (List.length fs));
   failures
 
 let current_state t = Compile.state_name t.compiled (Nvm.read t.state_cell)

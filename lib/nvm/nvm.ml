@@ -25,6 +25,18 @@ let injection_sites =
     "nvm.commit_tx.after";
   ]
 
+(* Test-only chaos hooks (see test/test_oracle_sensitivity.ml): each
+   re-introduces a known-bad behaviour the PR2 campaigns hardened away,
+   so the mutation suite can prove the oracles still detect it. *)
+module Chaos = struct
+  let no_write_join = ref false  (* write_join always writes through *)
+  let tx_write_through = ref false  (* tx_write commits immediately *)
+
+  let reset () =
+    no_write_join := false;
+    tx_write_through := false
+end
+
 (* Per-cell hooks let the store manipulate heterogeneous cells uniformly. *)
 type registered = {
   reg_name : string;
@@ -41,6 +53,7 @@ type registered = {
 type dirty = { commit : unit -> unit; discard : unit -> unit }
 
 type t = {
+  obs : Obs.ctx;  (* recording surface; per-device since PR 5 *)
   mutable cells : registered list;  (* reverse allocation order *)
   names : (region * string, unit) Hashtbl.t;  (* duplicate detection *)
   footprints : int array;  (* (kind, region) -> declared bytes *)
@@ -69,8 +82,9 @@ let footprint_slot kind region =
   in
   (k * 4) + r
 
-let create () =
+let create ?obs () =
   {
+    obs = (match obs with Some o -> o | None -> Obs.current ());
     cells = [];
     names = Hashtbl.create 64;
     footprints = Array.make 8 0;
@@ -81,6 +95,7 @@ let create () =
     probe = None;
   }
 
+let obs t = t.obs
 let set_probe t p = t.probe <- p
 let fire t site = match t.probe with None -> () | Some p -> p site
 
@@ -117,7 +132,7 @@ let write c v =
       invalid_arg
         (Printf.sprintf "Nvm.write: cell %S has an uncommitted tx value" c.name)
   | (Fram | Ram), _ -> ());
-  Obs.incr m_writes;
+  Obs.Ctx.incr c.store.obs m_writes;
   fire c.store "nvm.write.before";
   c.committed <- v;
   fire c.store "nvm.write.after"
@@ -126,38 +141,45 @@ let begin_tx t =
   if t.tx_open then invalid_arg "Nvm.begin_tx: transaction already open";
   t.tx_open <- true;
   t.tx_dirty <- [];
-  if Obs.tracing_enabled () then t.tx_begin_us <- Obs.now_us ()
+  if Obs.Ctx.tracing_enabled t.obs then t.tx_begin_us <- Obs.Ctx.now_us t.obs
 
 (* The span covers begin_tx to the close; it is emitted as one balanced
    pair at the close so a crash inside the transaction (which aborts via
    [power_failure]) still produces a well-formed trace. *)
 let close_tx_span t name =
-  if Obs.tracing_enabled () then
-    Obs.span ~cat:"nvm" ~begin_us:t.tx_begin_us ~end_us:(Obs.now_us ()) name
+  if Obs.Ctx.tracing_enabled t.obs then
+    Obs.Ctx.span t.obs ~cat:"nvm" ~begin_us:t.tx_begin_us
+      ~end_us:(Obs.Ctx.now_us t.obs) name
 
 let tx_write c v =
   if not c.store.tx_open then invalid_arg "Nvm.tx_write: no open transaction";
   if c.kind = Ram then
     invalid_arg (Printf.sprintf "Nvm.tx_write: cell %S is volatile" c.name);
-  Obs.incr m_tx_writes;
+  Obs.Ctx.incr c.store.obs m_tx_writes;
   fire c.store "nvm.tx_write.before";
-  (match c.pending with
-  | None ->
-      let commit () =
-        (match c.pending with Some p -> c.committed <- p | None -> ());
-        c.pending <- None
-      in
-      let discard () = c.pending <- None in
-      c.store.tx_dirty <- { commit; discard } :: c.store.tx_dirty
-  | Some _ -> ());
-  c.pending <- Some v;
+  (if !Chaos.tx_write_through then c.committed <- v
+   else begin
+     (match c.pending with
+     | None ->
+         let commit () =
+           (match c.pending with Some p -> c.committed <- p | None -> ());
+           c.pending <- None
+         in
+         let discard () = c.pending <- None in
+         c.store.tx_dirty <- { commit; discard } :: c.store.tx_dirty
+     | Some _ -> ());
+     c.pending <- Some v
+   end);
   fire c.store "nvm.tx_write.after"
 
 (* Join the ambient transaction if one is open, else write through.  Used
    by code that must be durable in isolation but atomic when an enclosing
    step wraps several updates into one commit (immortal monitor steps,
    path restarts). *)
-let write_join c v = if c.store.tx_open && c.kind = Fram then tx_write c v else write c v
+let write_join c v =
+  if c.store.tx_open && c.kind = Fram && not !Chaos.no_write_join then
+    tx_write c v
+  else write c v
 
 let commit_tx t =
   if not t.tx_open then invalid_arg "Nvm.commit_tx: no open transaction";
@@ -165,7 +187,7 @@ let commit_tx t =
   List.iter (fun d -> d.commit ()) (List.rev t.tx_dirty);
   t.tx_dirty <- [];
   t.tx_open <- false;
-  Obs.incr m_tx_commits;
+  Obs.Ctx.incr t.obs m_tx_commits;
   close_tx_span t "tx";
   fire t "nvm.commit_tx.after"
 
@@ -174,13 +196,13 @@ let abort_tx t =
   List.iter (fun d -> d.discard ()) t.tx_dirty;
   t.tx_dirty <- [];
   t.tx_open <- false;
-  Obs.incr m_tx_aborts;
+  Obs.Ctx.incr t.obs m_tx_aborts;
   close_tx_span t "tx_aborted"
 
 let in_tx t = t.tx_open
 
 let power_failure t =
-  Obs.incr m_power_failures;
+  Obs.Ctx.incr t.obs m_power_failures;
   if t.tx_open then abort_tx t;
   List.iter (fun r -> r.reset_volatile ()) t.volatiles
 

@@ -46,7 +46,14 @@ val injection_sites : string list
     order used by the fault-injection engine: before/after each {!write},
     {!tx_write} and {!commit_tx}. *)
 
-val create : unit -> t
+val create : ?obs:Artemis_obs.Obs.ctx -> unit -> t
+(** [obs] is the observability context this store records into; defaults
+    to the calling domain's current context ([Obs.current ()]). *)
+
+val obs : t -> Artemis_obs.Obs.ctx
+(** The recording surface shared by the store's owning device; the
+    instrumented libraries ([lib/monitor], [lib/immortal], [lib/adapt])
+    fetch it from here so one device's activity lands in one context. *)
 
 val set_probe : t -> (string -> unit) option -> unit
 (** Install (or clear) the fault-injection probe.  The probe is invoked
@@ -115,3 +122,22 @@ val snapshot_region : t -> region:region -> (string * string) list
     in allocation order.  Pending transactional values are excluded, so
     two snapshots are equal iff the durable states are.  Used by the
     fault-injection oracles (task-transaction atomicity). *)
+
+(** Test-only chaos hooks for the oracle-sensitivity (mutation) suite:
+    each flag re-introduces a known-bad behaviour so the faultsim
+    oracles can be shown to fail, not just pass.  All default to
+    [false]; production code must never set them. *)
+module Chaos : sig
+  val no_write_join : bool ref
+  (** {!write_join} always writes through, never joining the open
+      transaction - monitor updates inside an immortal step stop being
+      atomic with the program-counter advance (pre-PR2 bug). *)
+
+  val tx_write_through : bool ref
+  (** {!tx_write} publishes immediately instead of buffering - task
+      writes stop being all-or-nothing, so a mid-task crash leaves a
+      half-executed task visible (defeats task-transaction atomicity). *)
+
+  val reset : unit -> unit
+  (** Clear every flag. *)
+end

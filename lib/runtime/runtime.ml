@@ -18,21 +18,40 @@ let m_monitor_calls = Obs.counter "monitor_calls"
 let h_task_attempt = Obs.histogram "task_attempt_us"
 let h_monitor_call = Obs.histogram "monitor_call_us"
 
+(* Test-only chaos hooks (see test/test_oracle_sensitivity.ml): each
+   flag re-introduces a known-bad behaviour a faultsim oracle is meant
+   to catch, so the mutation suite can prove the oracles still fire.
+   All off by default; production code never sets them. *)
+module Chaos = struct
+  let reorder_begin_mcall = ref false
+  let drop_adapt_journal = ref false
+  let double_apply_action = ref false
+  let double_adapt_event = ref false
+  let leak_on_recovery = ref false
+
+  let reset () =
+    reorder_begin_mcall := false;
+    drop_adapt_journal := false;
+    double_apply_action := false;
+    double_adapt_event := false;
+    leak_on_recovery := false
+end
+
 (* Time a runtime-layer operation as one balanced span on [cat]'s track
    and (optionally) record its simulated duration in a histogram.  The
    wrapped functions can be cut short by power failures or by
    [Nvm.Injected_failure] from a fault-injection probe, so the span is
    closed on the exception path too - a crashed attempt still exports a
    well-formed (short) span rather than a dangling B. *)
-let observed ~cat ?args ?hist name f =
-  if not (Obs.metrics_enabled () || Obs.tracing_enabled ()) then f ()
+let observed obs ~cat ?args ?hist name f =
+  if not (Obs.Ctx.metrics_enabled obs || Obs.Ctx.tracing_enabled obs) then f ()
   else begin
-    let t0 = Obs.now_us () in
+    let t0 = Obs.Ctx.now_us obs in
     let finish () =
-      let t1 = Obs.now_us () in
-      (match hist with Some h -> Obs.observe_us h (t1 - t0) | None -> ());
-      if Obs.tracing_enabled () then
-        Obs.span ~cat ?args ~begin_us:t0 ~end_us:t1 name
+      let t1 = Obs.Ctx.now_us obs in
+      (match hist with Some h -> Obs.Ctx.observe_us obs h (t1 - t0) | None -> ());
+      if Obs.Ctx.tracing_enabled obs then
+        Obs.Ctx.span obs ~cat ?args ~begin_us:t0 ~end_us:t1 name
     in
     match f () with
     | r ->
@@ -336,7 +355,9 @@ let capacitor_mj st = Energy.to_mj (Capacitor.level (Device.capacitor st.device)
    overhead therefore scales with the monitors an event can fire, not
    with the deployed property count. *)
 let resume_monitor_call st =
-  observed ~cat:"monitor" ~hist:h_monitor_call "monitor_call" @@ fun () ->
+  observed (Device.obs st.device) ~cat:"monitor" ~hist:h_monitor_call
+    "monitor_call"
+  @@ fun () ->
   let step_power, step_duration = monitor_step_cost st in
   let step_watches_event st =
     let i = Immortal.pc st.exec.thread in
@@ -392,10 +413,19 @@ let begin_monitor_call st =
      window where active is set while the pc still reads "completed" from
      the previous call, and a reboot inside it would deliver a stale
      empty verdict without stepping any monitor. *)
-  Obs.incr m_monitor_calls;
-  Immortal.reset st.exec.thread;
-  Nvm.write st.mcall_failures [];
-  Nvm.write st.mcall { (Nvm.read st.mcall) with active = true };
+  Obs.Ctx.incr (Device.obs st.device) m_monitor_calls;
+  if !Chaos.reorder_begin_mcall then begin
+    (* the pre-PR2 ordering bug, kept re-introducible for the mutation
+       suite: active goes up while the thread still reads "completed" *)
+    Nvm.write st.mcall { (Nvm.read st.mcall) with active = true };
+    Immortal.reset st.exec.thread;
+    Nvm.write st.mcall_failures []
+  end
+  else begin
+    Immortal.reset st.exec.thread;
+    Nvm.write st.mcall_failures [];
+    Nvm.write st.mcall { (Nvm.read st.mcall) with active = true }
+  end;
   resume_monitor_call st
 
 (* --- cursor movements; each is one atomic cell write --- *)
@@ -416,7 +446,7 @@ let advance st =
   end
 
 let restart_path st ~target ~reason =
-  observed ~cat:"runtime" "restart_path" @@ fun () ->
+  observed (Device.obs st.device) ~cat:"runtime" "restart_path" @@ fun () ->
   let c = Nvm.read st.cursor in
   let p = Option.value target ~default:c.path in
   Device.record st.device (Event.Path_restarted { path = p; reason });
@@ -451,7 +481,7 @@ let skip_path st ~target ~reason =
 let execute_task st =
   let c = Nvm.read st.cursor in
   let task = current_task st c in
-  observed ~cat:"app"
+  observed (Device.obs st.device) ~cat:"app"
     ~args:[ ("attempt", Obs.I c.attempt) ]
     ~hist:h_task_attempt task.Task.name
   @@ fun () ->
@@ -494,6 +524,10 @@ let apply_verdict_body st failures =
       Device.record st.device
         (Event.Runtime_action
            { action = action_name f.action; task = ev.Interp.task });
+      if !Chaos.double_apply_action then
+        Device.record st.device
+          (Event.Runtime_action
+             { action = action_name f.action; task = ev.Interp.task });
       let reason = f.failed_machine in
       match f.action with
       | Artemis_fsm.Ast.Restart_task -> (
@@ -586,7 +620,7 @@ let apply_staged st =
         (* joins the flip transaction: the generation change and its
            journal entry commit atomically (the golden oracle replays the
            update at exactly this point) *)
-        if st.journaling then
+        if st.journaling && not !Chaos.drop_adapt_journal then
           let m = Nvm.read st.mcall in
           Nvm.tx_write st.mcall
             {
@@ -601,6 +635,10 @@ let apply_staged st =
   | Adapt.Applied a ->
       Device.record st.device
         (Event.Adaptation_applied { id = a.Adapt.id; generation = a.Adapt.generation });
+      if !Chaos.double_adapt_event then
+        Device.record st.device
+          (Event.Adaptation_applied
+             { id = a.Adapt.id; generation = a.Adapt.generation });
       (match find_delivery st a.Adapt.id with
       | Some d ->
           finish_delivery st d
@@ -649,7 +687,7 @@ let update_window st =
   if
     st.deliveries <> [] || Adapt.pending_id st.adapt <> None
   then begin
-    observed ~cat:"runtime" "update_window" @@ fun () ->
+    observed (Device.obs st.device) ~cat:"runtime" "update_window" @@ fun () ->
     (* Recovery first: an update staged before a crash must finish its
        apply before any new delivery restages over it. *)
     if Adapt.pending_id st.adapt <> None then apply_staged st;
@@ -790,6 +828,14 @@ let run_internal ?probe ?journaling ?adaptations ~config device app suite =
   let rec protected () =
     try loop () with
     | Nvm.Injected_failure site -> (
+        if !Chaos.leak_on_recovery then
+          (* mutation-suite variant: the recovery path allocates a fresh
+             uniquely-named cell, violating the stable-footprint contract *)
+          ignore
+            (Nvm.cell (Device.nvm st.device) ~region:Runtime
+               ~name:
+                 (Printf.sprintf "rt.leak%d" (Device.power_failures st.device))
+               ~bytes:4 0);
         match Device.force_power_failure st.device ~during:("fault:" ^ site) () with
         | Device.Starved ->
             Device.record device

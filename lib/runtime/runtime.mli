@@ -171,3 +171,37 @@ val run_instrumented :
     {!Artemis_nvm.Nvm.Injected_failure} triggers
     {!Device.force_power_failure} and the run resumes from persistent
     state, exactly as after a capacitor brown-out. *)
+
+(** Test-only chaos hooks for the oracle-sensitivity (mutation) suite:
+    each flag re-introduces a known-bad behaviour hardened away by the
+    PR2/PR4 campaigns, so the faultsim oracles can be demonstrated to
+    fail, not just pass.  All default to [false]; production code must
+    never set them.  The NVM-level hooks live in
+    {!Artemis_nvm.Nvm.Chaos}. *)
+module Chaos : sig
+  val reorder_begin_mcall : bool ref
+  (** [begin_monitor_call] raises the active flag {e before} re-arming
+      the thread and clearing the failure accumulator (the pre-PR2
+      ordering bug): a crash in the window delivers a stale verdict and
+      journals an event no monitor stepped (golden re-execution). *)
+
+  val drop_adapt_journal : bool ref
+  (** The generation flip commits without its [Adapted] journal entry,
+      so golden re-execution never learns the update applied (torn-suite
+      golden oracle). *)
+
+  val double_apply_action : bool ref
+  (** The arbitrated corrective action is recorded twice per verdict
+      (action-at-most-once oracle). *)
+
+  val double_adapt_event : bool ref
+  (** [Adaptation_applied] is logged twice for one committed flip
+      (update-exactly-once oracle). *)
+
+  val leak_on_recovery : bool ref
+  (** Every injected-crash recovery allocates a fresh uniquely-named NVM
+      cell (stable-footprint oracle). *)
+
+  val reset : unit -> unit
+  (** Clear every flag. *)
+end

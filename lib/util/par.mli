@@ -1,0 +1,32 @@
+(** Work-stealing parallel map over OCaml 5 domains.
+
+    Built for the campaign/sweep fan-out: the index space is split into
+    one contiguous range per worker, workers self-schedule [chunk]-sized
+    chunks off their own range and steal the upper half of the fattest
+    remaining range when theirs drains.  Results are written at their
+    input index, so the output array is in input order regardless of
+    which domain ran what - the deterministic-merge property the
+    parallel faultsim runner depends on.
+
+    The mapped function runs on worker domains: it must not touch
+    domain-unsafe shared state.  Each spawned domain starts with its own
+    quiet {!Artemis_obs.Obs} context, and simulator callers build a
+    fresh Device/Nvm/Suite per index, so runs are isolated by
+    construction. *)
+
+val recommended_jobs : unit -> int
+(** [Domain.recommended_domain_count ()]: what [--jobs] defaults to when
+    the caller asks for "all cores". *)
+
+val map : jobs:int -> ?chunk:int -> int -> (int -> 'a) -> 'a array
+(** [map ~jobs n f] is [Array.init n f] evaluated on [min jobs n]
+    domains ([jobs = 1] runs inline with no domain spawned).  [chunk]
+    (default 1) is how many consecutive indices a worker claims per
+    queue operation - raise it when per-index work is tiny.  If [f]
+    raises, the first exception (by completion order) is re-raised after
+    all workers drain.
+
+    @raise Invalid_argument if [jobs < 1] or [chunk < 1]. *)
+
+val map_list : jobs:int -> ?chunk:int -> ('a -> 'b) -> 'a list -> 'b list
+(** List version of {!map}, preserving order. *)

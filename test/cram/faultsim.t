@@ -68,3 +68,22 @@ Bad input is rejected:
   $ ../../bin/faultsim.exe --replay '42:99@0'
   bad replay line: site 99 out of range [0,19]
   [2]
+
+The campaign fans out over worker domains with --jobs; the merged
+report is byte-identical to the sequential one, so the summary, the
+JSON report and the exit status are the same for every job count:
+
+  $ ../../bin/faultsim.exe --scenario quickstart --depth 1 --jobs 4
+  scenario quickstart: 20 injection sites
+  baseline: completed, 0 violations
+  exhaustive (depth 1): 160 runs, coverage 12/20, 0 violations
+
+  $ ../../bin/faultsim.exe --scenario quickstart --depth 1 --json --skip-replay-check --jobs 1 > seq.json
+  $ ../../bin/faultsim.exe --scenario quickstart --depth 1 --json --skip-replay-check --jobs 4 > par.json
+  $ cmp seq.json par.json
+
+A non-positive worker count is rejected:
+
+  $ ../../bin/faultsim.exe --scenario quickstart --depth 1 --jobs 0
+  faultsim: --jobs must be at least 1 (got 0)
+  [2]

@@ -1,0 +1,151 @@
+(* Oracle sensitivity (mutation testing for the fault-injection engine):
+   every oracle must be shown to FAIL, not just pass.  Each test flips
+   one test-only chaos hook that re-introduces a known-bad behaviour the
+   PR2/PR4 campaigns hardened away, reruns a cheap depth-1 campaign and
+   asserts the matching oracle reports at least one violation.  A silent
+   oracle under mutation would mean the campaign's green runs prove
+   nothing.
+
+   The expected counts are not asserted exactly - only that the targeted
+   oracle fires and a shrunk reproducer is produced - so the suite stays
+   robust to unrelated scenario tweaks. *)
+
+open Artemis
+module F = Artemis_faultsim.Faultsim
+module Scenario = Artemis_faultsim.Scenario
+
+let all_oracles =
+  [ "task-atomicity"; "golden-reexecution"; "action-at-most-once";
+    "update-exactly-once"; "stable-footprint" ]
+
+(* Oracles fired across the whole suite; the meta-test at the bottom
+   checks every oracle appears at least once. *)
+let fired_anywhere : (string, unit) Hashtbl.t = Hashtbl.create 8
+
+let oracle_counts campaign =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (r : F.run_result) ->
+      List.iter
+        (fun (v : F.violation) ->
+          Hashtbl.replace fired_anywhere v.F.oracle ();
+          Hashtbl.replace tbl v.F.oracle
+            (1 + Option.value ~default:0 (Hashtbl.find_opt tbl v.F.oracle)))
+        r.F.violations)
+    campaign.F.runs;
+  tbl
+
+let reset_all_chaos () =
+  Nvm.Chaos.reset ();
+  Runtime.Chaos.reset ()
+
+(* Run [campaign ()] with [flag] set, hooks always cleared afterwards
+   (even on assertion failure, so one failing mutation cannot poison the
+   rest of the test binary). *)
+let with_mutation flag campaign =
+  flag := true;
+  Fun.protect ~finally:reset_all_chaos campaign
+
+let check_mutation ~name ~oracle flag scenario =
+  let c =
+    with_mutation flag (fun () -> F.exhaustive scenario ~seed:42 ~depth:1)
+  in
+  let counts = oracle_counts c in
+  let hits = Option.value ~default:0 (Hashtbl.find_opt counts oracle) in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: %s oracle fires" name oracle)
+    true (hits >= 1);
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: shrunk reproducer found" name)
+    true (c.F.shrunk <> None);
+  (* the engine itself keeps working under mutation: the clean baseline
+     run is still the anchor every injected run is compared against *)
+  Alcotest.(check string)
+    (Printf.sprintf "%s: baseline completes" name)
+    "completed" c.F.baseline.F.outcome
+
+(* --- control: with every hook off, the campaigns are green --- *)
+
+let test_control () =
+  reset_all_chaos ();
+  let c = F.exhaustive Scenario.quickstart ~seed:42 ~depth:1 in
+  Alcotest.(check int) "quickstart clean" 0 (F.total_violations c);
+  let ca = F.exhaustive Scenario.quickstart_adapt ~seed:42 ~depth:1 in
+  Alcotest.(check int) "quickstart-adapt clean" 0 (F.total_violations ca)
+
+(* --- NVM-level mutations --- *)
+
+(* Transactional writes land in committed state immediately: a crash
+   mid-task exposes partial application writes (the canonical
+   intermittent-computing bug ARTEMIS's task transactions exist to
+   prevent). *)
+let test_tx_write_through () =
+  check_mutation ~name:"tx_write_through" ~oracle:"task-atomicity"
+    Nvm.Chaos.tx_write_through Scenario.quickstart
+
+(* Runtime bookkeeping writes stop joining the open task transaction, so
+   a crash can separate the cursor/monitor updates from the task commit:
+   the journal no longer matches the monitors' persistent state. *)
+let test_no_write_join () =
+  check_mutation ~name:"no_write_join" ~oracle:"golden-reexecution"
+    Nvm.Chaos.no_write_join Scenario.quickstart
+
+(* --- runtime-level mutations --- *)
+
+(* The pre-PR2 ordering bug: the monitor-call active flag is raised
+   before the thread is re-armed and the failure accumulator cleared, so
+   a crash in the window replays a stale verdict. *)
+let test_reorder_begin_mcall () =
+  check_mutation ~name:"reorder_begin_mcall" ~oracle:"golden-reexecution"
+    Runtime.Chaos.reorder_begin_mcall Scenario.quickstart
+
+(* The generation flip commits without its journal entry: golden
+   re-execution replays the run against the pre-update property set and
+   sees a suite it cannot explain. *)
+let test_drop_adapt_journal () =
+  check_mutation ~name:"drop_adapt_journal" ~oracle:"golden-reexecution"
+    Runtime.Chaos.drop_adapt_journal Scenario.quickstart_adapt
+
+(* The arbitrated corrective action is recorded twice per verdict. *)
+let test_double_apply_action () =
+  check_mutation ~name:"double_apply_action" ~oracle:"action-at-most-once"
+    Runtime.Chaos.double_apply_action Scenario.quickstart
+
+(* One committed update flip logs Adaptation_applied twice. *)
+let test_double_adapt_event () =
+  check_mutation ~name:"double_adapt_event" ~oracle:"update-exactly-once"
+    Runtime.Chaos.double_adapt_event Scenario.quickstart_adapt
+
+(* Every injected-crash recovery allocates a fresh uniquely-named NVM
+   cell: the persistent footprint grows run over run. *)
+let test_leak_on_recovery () =
+  check_mutation ~name:"leak_on_recovery" ~oracle:"stable-footprint"
+    Runtime.Chaos.leak_on_recovery Scenario.quickstart
+
+(* --- meta: across the suite, every oracle fired at least once --- *)
+
+let test_all_oracles_covered () =
+  List.iter
+    (fun oracle ->
+      Alcotest.(check bool)
+        (Printf.sprintf "some mutation trips %s" oracle)
+        true
+        (Hashtbl.mem fired_anywhere oracle))
+    all_oracles
+
+let suite =
+  [
+    ("control: all hooks off, campaigns green", `Quick, test_control);
+    ("tx_write_through -> task-atomicity", `Quick, test_tx_write_through);
+    ("no_write_join -> golden-reexecution", `Quick, test_no_write_join);
+    ("reorder_begin_mcall -> golden-reexecution", `Quick,
+      test_reorder_begin_mcall);
+    ("drop_adapt_journal -> golden-reexecution", `Quick,
+      test_drop_adapt_journal);
+    ("double_apply_action -> action-at-most-once", `Quick,
+      test_double_apply_action);
+    ("double_adapt_event -> update-exactly-once", `Quick,
+      test_double_adapt_event);
+    ("leak_on_recovery -> stable-footprint", `Quick, test_leak_on_recovery);
+    ("every oracle fired somewhere", `Quick, test_all_oracles_covered);
+  ]
