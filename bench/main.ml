@@ -60,6 +60,7 @@ module A = Artemis
 module F = A.Fsm.Ast
 module Interp = A.Fsm.Interp
 module Compile = A.Fsm.Compile
+module Table = A.Fsm.Table
 
 (* a synthetic trace over the benchmark's real task set; every end event
    carries the payloads any machine might read *)
@@ -80,25 +81,47 @@ let kernel_trace =
          ])
        tasks)
 
-(* per-machine stepping: one benchmark machine, memory-backed stores *)
+(* per-machine stepping: one benchmark machine, memory-backed stores.
+   Arrays and counted loops, not List.iter2: the engines under test run
+   in the tens of nanoseconds per step, so the harness must not spend a
+   pointer chase per machine. *)
 let fsm_step_kernels () =
   let machines = Scalability.replicated_machines 1 in
   let compiled = List.map Compile.compile machines in
-  let istores = List.map Interp.memory_store machines in
-  let cstores = List.map Compile.memory_store compiled in
+  let tables = List.map Table.compile machines in
+  let machines_a = Array.of_list machines in
+  let compiled_a = Array.of_list compiled in
+  let tables_a = Array.of_list tables in
+  let istores = Array.of_list (List.map Interp.memory_store machines) in
+  let cstores = Array.of_list (List.map Compile.memory_store compiled) in
+  let tinsts = Array.of_list (List.map Table.instance tables) in
+  let trace = Array.of_list kernel_trace in
+  let nev = Array.length trace and nm = Array.length machines_a in
   let interp () =
-    List.iter
-      (fun ev ->
-        List.iter2 (fun m s -> ignore (Interp.step m s ev)) machines istores)
-      kernel_trace
+    for e = 0 to nev - 1 do
+      let ev = trace.(e) in
+      for j = 0 to nm - 1 do
+        ignore (Interp.step machines_a.(j) istores.(j) ev)
+      done
+    done
   in
   let comp () =
-    List.iter
-      (fun ev ->
-        List.iter2 (fun c s -> ignore (Compile.step c s ev)) compiled cstores)
-      kernel_trace
+    for e = 0 to nev - 1 do
+      let ev = trace.(e) in
+      for j = 0 to nm - 1 do
+        ignore (Compile.step compiled_a.(j) cstores.(j) ev)
+      done
+    done
   in
-  (interp, comp)
+  let tbl () =
+    for e = 0 to nev - 1 do
+      let ev = trace.(e) in
+      for j = 0 to nm - 1 do
+        ignore (Table.step tables_a.(j) tinsts.(j) ev)
+      done
+    done
+  in
+  (interp, comp, tbl)
 
 (* suite-level dispatch at the paper's 8x replication: the seed design
    (interpreted machines, every monitor stepped per event) against the
@@ -113,15 +136,28 @@ let dispatch8_kernels () =
     Artemis_monitor.Suite.create ~engine:A.Monitor.Compiled (A.Nvm.create ())
       machines
   in
+  let s_tbl =
+    Artemis_monitor.Suite.create ~engine:A.Monitor.Table (A.Nvm.create ())
+      machines
+  in
+  let trace = Array.of_list kernel_trace in
+  let nev = Array.length trace in
   let interp () =
-    List.iter
-      (fun ev -> ignore (A.Suite.step_all_unindexed s_interp ev))
-      kernel_trace
+    for e = 0 to nev - 1 do
+      ignore (A.Suite.step_all_unindexed s_interp trace.(e))
+    done
   in
   let comp () =
-    List.iter (fun ev -> ignore (A.Suite.step_all s_comp ev)) kernel_trace
+    for e = 0 to nev - 1 do
+      ignore (A.Suite.step_all s_comp trace.(e))
+    done
   in
-  (interp, comp)
+  let tbl () =
+    for e = 0 to nev - 1 do
+      ignore (A.Suite.step_all s_tbl trace.(e))
+    done
+  in
+  (interp, comp, tbl)
 
 (* observability disabled-overhead contract: the same dispatch8 compiled
    kernel with the metrics registry off (the default) and on.  The off
@@ -134,15 +170,84 @@ let obs_kernels () =
       machines
   in
   let s_off = mk () and s_on = mk () in
+  let trace = Array.of_list kernel_trace in
+  let nev = Array.length trace in
   let off () =
-    List.iter (fun ev -> ignore (A.Suite.step_all s_off ev)) kernel_trace
+    for e = 0 to nev - 1 do
+      ignore (A.Suite.step_all s_off trace.(e))
+    done
   in
   let on () =
     A.Obs.set_metrics true;
-    List.iter (fun ev -> ignore (A.Suite.step_all s_on ev)) kernel_trace;
+    for e = 0 to nev - 1 do
+      ignore (A.Suite.step_all s_on trace.(e))
+    done;
     A.Obs.set_metrics false
   in
   (off, on)
+
+(* The contract numbers are *ratios* of same-scale kernels, and the
+   ratio of two independently fitted OLS estimates drifts more than the
+   quantities under test: sequential bechamel runs reported 5-22%
+   phantom obs overhead on a delta that interleaving shows is under 2%,
+   and swung compiled fsm-step by 40% between runs while the table
+   number held still.  So every ratio in the report is measured as a
+   set: alternating rounds over the same kernels, median across rounds
+   - frequency and GC drift then land on all sides of each comparison
+   equally.  Bechamel's per-kernel estimates stay in kernels_ns. *)
+let paired_medians ~rounds ~iters kernels =
+  let n = Array.length kernels in
+  let sample f =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to iters do
+      f ()
+    done;
+    (Unix.gettimeofday () -. t0) /. float_of_int iters *. 1e9
+  in
+  for _ = 1 to max 1 (iters / 10) do
+    Array.iter (fun f -> f ()) kernels
+  done;
+  let samples = Array.make_matrix n rounds 0. in
+  for r = 0 to rounds - 1 do
+    for k = 0 to n - 1 do
+      samples.(k).(r) <- sample kernels.(k)
+    done
+  done;
+  Array.map
+    (fun row ->
+      let b = Array.copy row in
+      Array.sort compare b;
+      b.(rounds / 2))
+    samples
+
+let measure_obs_paired ~fast () =
+  let off, on = obs_kernels () in
+  let rounds = if fast then 5 else 11 in
+  let iters = if fast then 2_000 else 10_000 in
+  match paired_medians ~rounds ~iters [| off; on |] with
+  | [| o; n |] -> (o, n)
+  | _ -> assert false
+
+type engine_paired = {
+  pair : string;
+  interpreted_ns : float;
+  compiled_ns : float;
+  table_ns : float;
+}
+
+let measure_engines_paired ~fast () =
+  let rounds = if fast then 5 else 11 in
+  let iters = if fast then 500 else 3_000 in
+  let measure pair (i, c, t) =
+    match paired_medians ~rounds ~iters [| i; c; t |] with
+    | [| i_ns; c_ns; t_ns |] ->
+        { pair; interpreted_ns = i_ns; compiled_ns = c_ns; table_ns = t_ns }
+    | _ -> assert false
+  in
+  [
+    measure "engine/fsm-step" (fsm_step_kernels ());
+    measure "engine/dispatch8" (dispatch8_kernels ());
+  ]
 
 (* the live-adaptation hot path (PR 4): deliver one property update to a
    freshly deployed health suite - deserialize, validate against the app,
@@ -269,15 +374,17 @@ let experiment_tests =
     ]
 
 let engine_tests =
-  let fsm_i, fsm_c = fsm_step_kernels () in
-  let d8_i, d8_c = dispatch8_kernels () in
+  let fsm_i, fsm_c, fsm_t = fsm_step_kernels () in
+  let d8_i, d8_c, d8_t = dispatch8_kernels () in
   let obs_off, obs_on = obs_kernels () in
   Test.make_grouped ~name:"engine"
     [
       Test.make ~name:"fsm-step-interpreted" (stagedf fsm_i);
       Test.make ~name:"fsm-step-compiled" (stagedf fsm_c);
+      Test.make ~name:"fsm-step-table" (stagedf fsm_t);
       Test.make ~name:"dispatch8-interpreted" (stagedf d8_i);
       Test.make ~name:"dispatch8-compiled" (stagedf d8_c);
+      Test.make ~name:"dispatch8-table" (stagedf d8_t);
       Test.make ~name:"obs-dispatch8-off" (stagedf obs_off);
       Test.make ~name:"obs-dispatch8-on" (stagedf obs_on);
       (* the fault-injection engine's hot loop: a full depth-1 exhaustive
@@ -327,20 +434,15 @@ let print_results header results =
 
 (* --- machine-readable output (hand-rolled JSON; no deps) --- *)
 
-let speedup results pair =
-  match (estimate_ns results (pair ^ "-interpreted"),
-         estimate_ns results (pair ^ "-compiled"))
-  with
-  | Some i, Some c when c > 0. -> Some (i, c, i /. c)
-  | _ -> None
-
-let json_of_engine results pair =
-  match speedup results pair with
-  | None -> Printf.sprintf {|    %S: null|} pair
-  | Some (i, c, s) ->
-      Printf.sprintf
-        {|    %S: { "interpreted_ns": %.0f, "compiled_ns": %.0f, "speedup": %.2f }|}
-        pair i c s
+(* table-vs-compiled is the PR6 acceptance ratio; all three engine
+   numbers here come from the paired measurement, not bechamel *)
+let json_of_engine (e : engine_paired) =
+  Printf.sprintf
+    {|    %S: { "interpreted_ns": %.0f, "compiled_ns": %.0f, "speedup": %.2f, "table_ns": %.0f, "table_speedup": %.2f }|}
+    e.pair e.interpreted_ns e.compiled_ns
+    (e.interpreted_ns /. e.compiled_ns)
+    e.table_ns
+    (e.compiled_ns /. e.table_ns)
 
 let json_of_scalability rows =
   String.concat ",\n"
@@ -373,17 +475,13 @@ let json_of_kernels results =
          | None -> Printf.sprintf {|    %S: null|} name)
   |> String.concat ",\n"
 
-let json_of_obs results =
-  match
-    ( estimate_ns results "engine/obs-dispatch8-off",
-      estimate_ns results "engine/obs-dispatch8-on" )
-  with
-  | Some off, Some on when off > 0. ->
-      Printf.sprintf
-        {|  "obs": { "off_ns": %.0f, "on_ns": %.0f, "overhead_pct": %.2f }|}
-        off on
-        ((on -. off) /. off *. 100.)
-  | _ -> {|  "obs": null|}
+let json_of_obs (off, on) =
+  if off > 0. then
+    Printf.sprintf
+      {|  "obs": { "off_ns": %.0f, "on_ns": %.0f, "overhead_pct": %.2f }|}
+      off on
+      ((on -. off) /. off *. 100.)
+  else {|  "obs": null|}
 
 let json_of_par (depth, nruns, rows) =
   let w1 = (List.hd rows).wall_s in
@@ -409,18 +507,17 @@ let json_of_par (depth, nruns, rows) =
     (Artemis.Par.recommended_jobs ())
     jobs_json
 
-let write_json ~file results ~scalability ~non_watching ~par =
+let write_json ~file results ~obs ~engines ~scalability ~non_watching ~par =
   let oc = open_out file in
   Printf.fprintf oc
     {|{
-  "bench": "domain-parallel campaign runner: work-stealing fan-out with deterministic merge (PR5)",
+  "bench": "zero-alloc table-driven monitor engine + obs hot-path fix (PR6)",
   "kernels_ns": {
 %s
   },
 %s,
 %s,
   "engine_kernels": {
-%s,
 %s
   },
   "scalability": [
@@ -432,10 +529,9 @@ let write_json ~file results ~scalability ~non_watching ~par =
 }
 |}
     (json_of_kernels results)
-    (json_of_obs results)
+    (json_of_obs obs)
     (json_of_par par)
-    (json_of_engine results "engine/fsm-step")
-    (json_of_engine results "engine/dispatch8")
+    (String.concat ",\n" (List.map json_of_engine engines))
     (json_of_scalability scalability)
     (json_of_non_watching non_watching);
   close_out oc;
@@ -466,12 +562,20 @@ let () =
   print_results "Engine comparison: interpreted vs compiled" engine_results;
   let par = par_campaign ~fast:!fast () in
   print_par_campaign par;
-  (match speedup engine_results "engine/fsm-step" with
-  | Some (_, _, s) -> Printf.printf "fsm-step speedup: %.2fx\n" s
-  | None -> ());
-  (match speedup engine_results "engine/dispatch8" with
-  | Some (_, _, s) -> Printf.printf "dispatch8 speedup: %.2fx\n" s
-  | None -> ());
+  let engines = measure_engines_paired ~fast:!fast () in
+  List.iter
+    (fun e ->
+      Printf.printf
+        "%s (paired): interpreted %.0f / compiled %.0f / table %.0f ns; \
+         compiled %.2fx interpreted, table %.2fx compiled\n"
+        e.pair e.interpreted_ns e.compiled_ns e.table_ns
+        (e.interpreted_ns /. e.compiled_ns)
+        (e.compiled_ns /. e.table_ns))
+    engines;
+  let obs = measure_obs_paired ~fast:!fast () in
+  (let off, on = obs in
+   Printf.printf "obs paired off/on: %.0f / %.0f ns (%+.2f%%)\n" off on
+     ((on -. off) /. off *. 100.));
   let experiment_results =
     if !fast then None
     else begin
@@ -488,4 +592,5 @@ let () =
       let extras = if !fast then [ 0; 8 ] else [ 0; 8; 32; 128 ] in
       let scalability = Scalability.run ~factors () in
       let non_watching = Scalability.run_non_watching ~extras () in
-      write_json ~file engine_results ~scalability ~non_watching ~par
+      write_json ~file engine_results ~obs ~engines ~scalability ~non_watching
+        ~par

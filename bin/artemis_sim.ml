@@ -85,7 +85,7 @@ let run_experiment name jobs =
         other;
       2
 
-let run system_name delay_min continuous temp_base show_trace trace_limit show_summary csv_path trace_out metrics_out show_metrics adapt_path experiment jobs =
+let run system_name engine delay_min continuous temp_base show_trace trace_limit show_summary csv_path trace_out metrics_out show_metrics adapt_path experiment jobs =
   if jobs < 1 then begin
     Printf.eprintf "artemis_sim: --jobs must be at least 1 (got %d)\n" jobs;
     2
@@ -104,6 +104,8 @@ let run system_name delay_min continuous temp_base show_trace trace_limit show_s
     match (system, adapt_path) with
     | Ok Config.Mayfly_runtime, Some _ ->
         Error "--adapt requires the artemis runtime"
+    | Ok Config.Mayfly_runtime, None when engine <> None ->
+        Error "--engine requires the artemis runtime"
     | s, _ -> s
   in
   match (system, load_adapt_script adapt_path) with
@@ -119,7 +121,7 @@ let run system_name delay_min continuous temp_base show_trace trace_limit show_s
       Artemis.Obs.set_metrics (metrics_out <> None || show_metrics);
       Artemis.Obs.set_tracing (trace_out <> None);
       let { Config.stats; device; handles } =
-        Config.run_health ?temp_base ?adaptations system supply
+        Config.run_health ?temp_base ?adaptations ?engine system supply
       in
       Format.printf "%a@." Artemis.Stats.pp stats;
       (if adaptations <> None then
@@ -205,6 +207,22 @@ let system_arg =
     value & opt string "artemis"
     & info [ "s"; "system" ] ~docv:"SYSTEM"
         ~doc:"Runtime to use: $(b,artemis) (default) or $(b,mayfly).")
+
+let engine_arg =
+  let engine_conv =
+    Arg.enum
+      [
+        ("interpreted", Artemis.Monitor.Interpreted);
+        ("compiled", Artemis.Monitor.Compiled);
+        ("table", Artemis.Monitor.Table);
+      ]
+  in
+  Arg.(
+    value
+    & opt (some engine_conv) None
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:"Monitor execution backend (artemis runtime only): \
+              $(b,interpreted), $(b,compiled) (the default) or $(b,table).")
 
 let delay_arg =
   Arg.(
@@ -303,7 +321,8 @@ let cmd =
   Cmd.v
     (Cmd.info "artemis_sim" ~doc)
     Term.(
-      const run $ system_arg $ delay_arg $ continuous_arg $ temp_arg $ trace_arg
+      const run $ system_arg $ engine_arg $ delay_arg $ continuous_arg
+      $ temp_arg $ trace_arg
       $ trace_limit_arg $ summary_arg $ csv_arg $ trace_out_arg
       $ metrics_out_arg $ metrics_arg $ adapt_arg $ experiment_arg $ jobs_arg)
 

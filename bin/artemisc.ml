@@ -9,6 +9,58 @@
 open Cmdliner
 
 type emit = Spec | Fsm | C | Lint | Project
+type engine = Interpreted | Compiled | Table
+
+(* --engine: report what each property costs under the chosen execution
+   backend.  For the table engine this is the per-property flat-buffer
+   footprint in words (dense dispatch rows + CSR segments + transition
+   metadata, then bytecode + float pool) - the number an NVM-resident
+   deployment of the tables would occupy. *)
+let engine_report engine machines =
+  let buf = Buffer.create 256 in
+  let adds fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  (match engine with
+  | Interpreted ->
+      adds "engine: interpreted (AST walk, reference semantics)\n";
+      List.iter
+        (fun (m : Artemis.Fsm.Ast.machine) ->
+          adds "%s: %d states, %d vars, %d transitions\n"
+            m.Artemis.Fsm.Ast.machine_name
+            (List.length m.Artemis.Fsm.Ast.states)
+            (List.length m.Artemis.Fsm.Ast.vars)
+            (List.fold_left
+               (fun acc (s : Artemis.Fsm.Ast.state) ->
+                 acc + List.length s.Artemis.Fsm.Ast.transitions)
+               0 m.Artemis.Fsm.Ast.states))
+        machines
+  | Compiled ->
+      adds "engine: compiled (deploy-time closures)\n";
+      List.iter
+        (fun m ->
+          let c = Artemis.Fsm.Compile.compile m in
+          adds "%s: %d states, %d vars, %d watched tasks\n"
+            (Artemis.Fsm.Compile.name c)
+            (Artemis.Fsm.Compile.state_count c)
+            (Artemis.Fsm.Compile.var_count c)
+            (List.length (Artemis.Fsm.Compile.watched_tasks c)))
+        machines
+  | Table ->
+      adds "engine: table (flat dispatch + bytecode)\n";
+      let total = ref 0 in
+      List.iter
+        (fun m ->
+          let t = Artemis.Fsm.Table.compile m in
+          total := !total + Artemis.Fsm.Table.buffer_words t;
+          adds "%s: dispatch %dw + bytecode %dw = %d words (regs: %d int, %d float)\n"
+            (Artemis.Fsm.Table.name t)
+            (Artemis.Fsm.Table.dispatch_words t)
+            (Artemis.Fsm.Table.code_words t)
+            (Artemis.Fsm.Table.buffer_words t)
+            (Artemis.Fsm.Table.int_regs t)
+            (Artemis.Fsm.Table.float_regs t))
+        machines;
+      adds "total: %d words\n" !total);
+  Buffer.contents buf
 
 let read_file path =
   let ic = open_in_bin path in
@@ -16,12 +68,18 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let run emit reset_on_fail input output =
+let run emit engine reset_on_fail input output =
   let text = if input = "-" then In_channel.input_all stdin else read_file input in
   let options = { Artemis.To_fsm.collect_reset_on_fail = reset_on_fail } in
   let result =
     match Artemis.Spec.Parser.parse text with
     | Error msg -> Error msg
+    | Ok spec when engine <> None -> (
+        let machines = Artemis.To_fsm.spec ~options spec in
+        match engine with
+        | Some e -> (
+            try Ok (engine_report e machines) with Failure msg -> Error msg)
+        | None -> assert false)
     | Ok spec -> (
         match emit with
         | Spec -> Ok (Artemis.Spec.Printer.to_string spec)
@@ -105,6 +163,21 @@ let emit_arg =
               monitors, default), $(b,lint) (consistency findings) or \
               $(b,project) (a complete C project tree, concatenated).")
 
+let engine_arg =
+  let engine_conv =
+    Arg.enum
+      [ ("interpreted", Interpreted); ("compiled", Compiled); ("table", Table) ]
+  in
+  Arg.(
+    value
+    & opt (some engine_conv) None
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:"Report the per-property cost of running the compiled machines \
+              under $(docv): $(b,interpreted), $(b,compiled) or $(b,table). \
+              For $(b,table) prints each property's flat-buffer footprint \
+              (dispatch table + bytecode, in words) and its register-file \
+              size.  Replaces the normal $(b,--emit) output.")
+
 let reset_arg =
   Arg.(
     value & flag
@@ -128,6 +201,6 @@ let cmd =
   let doc = "compile ARTEMIS property specifications into runtime monitors" in
   Cmd.v
     (Cmd.info "artemisc" ~doc)
-    Term.(const run $ emit_arg $ reset_arg $ input_arg $ output_arg)
+    Term.(const run $ emit_arg $ engine_arg $ reset_arg $ input_arg $ output_arg)
 
 let () = exit (Cmd.eval' cmd)

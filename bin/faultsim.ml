@@ -40,7 +40,7 @@ let print_violations campaign =
         r.F.violations)
     (campaign.F.baseline :: campaign.F.runs)
 
-let run scenario_name list depth random max_depth seed replay json skip_verify trace_out jobs =
+let run scenario_name engine list depth random max_depth seed replay json skip_verify trace_out jobs =
   Artemis.Obs.reset ();
   Artemis.Obs.set_tracing (trace_out <> None);
   let write_trace code =
@@ -67,6 +67,11 @@ let run scenario_name list depth random max_depth seed replay json skip_verify t
              (List.map (fun s -> s.Scenario.name) Scenario.all));
         2
     | Some scenario -> (
+        let scenario =
+          match engine with
+          | None -> scenario
+          | Some e -> Scenario.with_engine e scenario
+        in
         match replay with
         | Some line -> (
             match F.replay scenario ~line with
@@ -111,6 +116,23 @@ let scenario_arg =
     value & opt string "quickstart"
     & info [ "scenario" ] ~docv:"NAME"
         ~doc:"Scenario to inject into: $(b,quickstart) or $(b,health).")
+
+let engine_arg =
+  let engine_conv =
+    Arg.enum
+      [
+        ("interpreted", Artemis.Monitor.Interpreted);
+        ("compiled", Artemis.Monitor.Compiled);
+        ("table", Artemis.Monitor.Table);
+      ]
+  in
+  Arg.(
+    value
+    & opt (some engine_conv) None
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:"Monitor execution backend for the campaign: \
+              $(b,interpreted), $(b,compiled) (the default) or $(b,table). \
+              All oracles must hold under every engine.")
 
 let list_arg =
   Arg.(
@@ -185,7 +207,7 @@ let cmd =
   Cmd.v
     (Cmd.info "faultsim" ~doc)
     Term.(
-      const run $ scenario_arg $ list_arg $ depth_arg $ random_arg
+      const run $ scenario_arg $ engine_arg $ list_arg $ depth_arg $ random_arg
       $ max_depth_arg $ seed_arg $ replay_arg $ json_arg $ skip_verify_arg
       $ trace_out_arg $ jobs_arg)
 

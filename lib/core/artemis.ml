@@ -52,6 +52,7 @@ module Fsm = struct
   module Typecheck = Artemis_fsm.Typecheck
   module Interp = Artemis_fsm.Interp
   module Compile = Artemis_fsm.Compile
+  module Table = Artemis_fsm.Table
   module Explore = Artemis_fsm.Explore
 end
 
@@ -91,7 +92,8 @@ let compile_exn ?options ?app spec_text =
 
 (** Allocate the application-specific monitors on a device's FRAM.
     [engine] selects the execution backend (default: deploy-time compiled
-    closures; [Monitor.Interpreted] keeps the AST interpreter). *)
+    closures; [Monitor.Interpreted] keeps the AST interpreter;
+    [Monitor.Table] runs the flat-table bytecode engine). *)
 let deploy ?engine device machines =
   Suite.create ?engine (Device.nvm device) machines
 

@@ -34,15 +34,16 @@ type system = Artemis_runtime | Mayfly_runtime
 
 type run = { stats : Stats.t; device : Device.t; handles : Health_app.handles }
 
-let run_health ?temp_base ?horizon ?clock ?options ?config ?adaptations system
-    supply =
+let run_health ?temp_base ?horizon ?clock ?options ?config ?adaptations ?engine
+    system supply =
   let device = device ?horizon ?clock supply in
   let app, handles = Health_app.make ?temp_base (Device.nvm device) in
   let stats =
     match system with
     | Artemis_runtime ->
         let suite =
-          compile_and_deploy_exn ?options device app Health_app.spec_text
+          compile_and_deploy_exn ?options ?engine device app
+            Health_app.spec_text
         in
         Runtime.run ?config ?adaptations device app suite
     | Mayfly_runtime ->

@@ -34,12 +34,14 @@ val run_health :
   ?options:To_fsm.options ->
   ?config:Runtime.config ->
   ?adaptations:(int * Adapt.update) list ->
+  ?engine:Monitor.engine ->
   system ->
   power_supply ->
   run
 (** Build a fresh device, deploy the health-monitoring benchmark with its
     Figure 5 specification (or the Mayfly subset), run it once.
-    [adaptations] (ARTEMIS only) schedules live property updates. *)
+    [adaptations] (ARTEMIS only) schedules live property updates;
+    [engine] (ARTEMIS only) selects the monitor execution backend. *)
 
 val minutes : Stats.t -> float
 (** Total execution time in minutes. *)

@@ -247,7 +247,7 @@ let m_injected = Obs.counter "faultsim_injected"
 let m_violations = Obs.counter "faultsim_violations"
 
 let run_schedule (scenario : Scenario.t) ~seed schedule =
-  let b = scenario.Scenario.build ~seed in
+  let b = scenario.Scenario.build ~engine:None ~seed in
   Obs.incr m_runs;
   (* Each run's device clock restarts at zero; [Scenario.build] installed
      it as the trace clock, so the campaign span starts here. *)

@@ -12,18 +12,18 @@ type built = {
 type t = {
   name : string;
   description : string;
-  build : seed:int -> built;
+  build : engine:Monitor.engine option -> seed:int -> built;
 }
 
-let deploy device app spec ~seed =
+let deploy ?engine device app spec ~seed =
   let machines = compile_exn ~app spec in
-  let suite = deploy device machines in
+  let suite = deploy ?engine device machines in
   let config = { Runtime.default_config with seed } in
   { device; app; suite; machines; config; adaptations = [] }
 
 (* examples/quickstart.ml, reconstructed fresh on every call. *)
 let quickstart =
-  let build ~seed =
+  let build ~engine ~seed =
     let capacitor =
       Capacitor.create ~capacity:(Energy.mj 3.2) ~on_threshold:(Energy.mj 3.1)
         ~off_threshold:(Energy.mj 0.2) ()
@@ -50,7 +50,8 @@ let quickstart =
       Task.app ~name:"quickstart"
         [ { Task.index = 1; tasks = [ sample; transmit ] } ]
     in
-    deploy device app "transmit: { maxTries: 3 onFail: skipPath; }" ~seed
+    deploy ?engine device app "transmit: { maxTries: 3 onFail: skipPath; }"
+      ~seed
   in
   {
     name = "quickstart";
@@ -60,10 +61,10 @@ let quickstart =
   }
 
 let health =
-  let build ~seed =
+  let build ~engine ~seed =
     let device = Device.create () in
     let app, _handles = Health_app.make (Device.nvm device) in
-    deploy device app Health_app.spec_text ~seed
+    deploy ?engine device app Health_app.spec_text ~seed
   in
   {
     name = "health";
@@ -79,8 +80,8 @@ let with_adaptations base ~name ~description adaptations =
     name;
     description;
     build =
-      (fun ~seed ->
-        let b = base.build ~seed in
+      (fun ~engine ~seed ->
+        let b = base.build ~engine ~seed in
         { b with adaptations });
   }
 
@@ -109,6 +110,9 @@ let health_adapt =
           "send: { MITD: 4min dpTask: accel onFail: restartPath maxAttempt: 3 \
            onFail: skipPath Path: 2; }" );
     ]
+
+let with_engine engine base =
+  { base with build = (fun ~engine:_ ~seed -> base.build ~engine:(Some engine) ~seed) }
 
 let all = [ quickstart; health; quickstart_adapt; health_adapt ]
 let find name = List.find_opt (fun s -> s.name = name) all

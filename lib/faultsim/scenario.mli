@@ -24,7 +24,9 @@ type built = {
 type t = {
   name : string;
   description : string;
-  build : seed:int -> built;  (** [seed] feeds the task-context PRNG *)
+  build : engine:Monitor.engine option -> seed:int -> built;
+      (** [seed] feeds the task-context PRNG; [engine] selects the
+          monitor execution backend (default [Compiled]) *)
 }
 
 val quickstart : t
@@ -44,6 +46,12 @@ val health_adapt : t
 (** {!health} plus a live update at iteration 40 tightening the MITD
     window (persistent [attempts] migrated) and removing
     [maxDuration_send]. *)
+
+val with_engine : Monitor.engine -> t -> t
+(** Pin the scenario's monitor engine: the returned scenario builds the
+    same device and application but deploys its suite with [engine],
+    ignoring any engine passed to [build].  Name and description are
+    unchanged, so campaign reports stay comparable across engines. *)
 
 val all : t list
 val find : string -> t option

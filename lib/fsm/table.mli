@@ -1,0 +1,139 @@
+(** Table-driven monitor engine: machines lowered to flat integer arrays.
+
+    The third execution engine (after {!Interp} and {!Compile}).  Where
+    the closure-compiled engine still allocates a closure per compiled
+    expression node and chases a pointer per call, this pass lowers a
+    typechecked machine into dense integer tables:
+
+    - states, variables and watched tasks are interned to dense ids;
+    - trigger dispatch is one dense [(state, kind, task) -> candidates]
+      row lookup (rows are offsets into a CSR-style candidate array);
+    - guards and statement bodies are compiled to a small postfix
+      bytecode executed over an int and a float operand stack, with all
+      literals, [data(_)] keys and precomputed failure records held in
+      constant pools.
+
+    Because the typechecker has already assigned every expression a
+    static type, the bytecode is monomorphic: int, bool and time values
+    travel the int stack ([time] is its microsecond count, [bool] is
+    0/1), floats travel the float stack, and no tagging or boxing
+    happens at run time.  A steady-state step - dispatch, guard
+    evaluation, body execution, state update - allocates nothing
+    (enforced by a [Gc.minor_words] test) and touches only the
+    machine's contiguous register block.
+
+    {!Interp} remains the reference semantics: for every machine, store
+    and event trace, {!step} is observationally equivalent to
+    {!Interp.step} and {!Compile.step} - same states, same variable
+    values, same failures, same dynamic errors with identical messages
+    - enforced by the three-way differential fuzz tests. *)
+
+type t
+(** A lowered machine: immutable tables shared by all its instances. *)
+
+val compile : Ast.machine -> t
+(** Typecheck and lower.  @raise Failure if the machine is ill-typed
+    (same behaviour as {!Typecheck.check_exn}). *)
+
+val machine : t -> Ast.machine
+val name : t -> string
+
+(** {2 Interning tables} *)
+
+val state_count : t -> int
+val state_name : t -> int -> string
+
+val state_id : t -> string -> int
+(** @raise Not_found for an unknown state name. *)
+
+val initial_state : t -> int
+val var_count : t -> int
+val var_name : t -> int -> string
+
+val var_id : t -> string -> int
+(** @raise Not_found for an unknown variable name.  Slots are variable
+    declaration order, compatible with {!Compile.var_id}. *)
+
+val var_decls : t -> Ast.var_decl array
+
+val task_count : t -> int
+(** Watched task names interned by this machine (excludes the implicit
+    "unknown task" dispatch column). *)
+
+(** {2 Flat-buffer footprint}
+
+    Everything the engine touches per step, in machine words.  This is
+    what [artemisc --engine table] reports per property and what an
+    NVM-resident deployment of the tables would occupy. *)
+
+val dispatch_words : t -> int
+(** Dense dispatch rows + CSR candidate segments + per-transition
+    (guard pc, body pc, target) metadata. *)
+
+val code_words : t -> int
+(** Bytecode words + float constant pool entries. *)
+
+val buffer_words : t -> int
+(** [dispatch_words + code_words]. *)
+
+val int_regs : t -> int
+(** Mutable int-class registers (control state + int/bool/time vars). *)
+
+val float_regs : t -> int
+
+(** {2 Instances}
+
+    An instance is a machine's mutable run state: a block of int
+    registers (register 0 is the control state) and a block of float
+    registers, plus reusable operand-stack scratch.  [pack] lays several
+    machines' registers out in one shared pair of arrays, so a whole
+    suite's monitor state is two contiguous buffers - snapshotable with
+    two [Array.copy]. *)
+
+type inst
+
+val instance :
+  ?var_sink:(int -> unit) -> ?state_sink:(int -> unit) -> t -> inst
+(** Fresh instance with registers set from the declarations.
+    [var_sink slot] is called immediately after each variable
+    assignment commits to the register file, [state_sink id] after a
+    fired transition updates the control state - the NVM-backed monitor
+    uses them to write the same FRAM cells the other engines write, in
+    the same order.  Both default to no-ops (the memory-backed form). *)
+
+type packed = {
+  p_ints : int array;  (** every instance's int registers, contiguous *)
+  p_floats : float array;
+  p_insts : inst list;  (** same order as the input tables *)
+}
+
+val pack : t list -> packed
+(** One contiguous register buffer for a whole suite of machines. *)
+
+val step : t -> inst -> Interp.event -> Interp.failure list
+(** Process one event; the first trigger-and-guard-matching transition
+    of the current state fires, in declaration order, exactly as
+    {!Interp.step}.  Returns [[]] (no allocation) on the steady-state
+    path.  @raise Interp.Runtime_error on the same dynamic errors as
+    the other engines (missing [data(x)] payload, division by zero),
+    with identical messages. *)
+
+val current_state : inst -> int
+val set_state : inst -> int -> unit
+
+val read_var : t -> inst -> int -> Ast.value
+(** Box the register holding slot [i] back into an {!Ast.value}. *)
+
+val load_var : t -> inst -> int -> Ast.value -> unit
+(** Poke a value into slot [i]'s register without invoking the sink
+    (used to refresh registers from the durable FRAM copy). *)
+
+val reset_vars : t -> inst -> unit
+(** Registers back to declared initial values and the initial state;
+    sinks are not invoked. *)
+
+(** {2 Static trigger information} *)
+
+val watched_tasks : t -> string list
+val watches_any_event : t -> bool
+val mentions_task : t -> string -> bool

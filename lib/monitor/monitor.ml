@@ -11,7 +11,22 @@ let ty_bytes = function
   | Ast.Tfloat -> 4
   | Ast.Ttime -> 8
 
-type engine = Interpreted | Compiled
+type engine = Interpreted | Compiled | Table
+
+(* The table engine keeps its working state in registers, but the FRAM
+   cells must stay authoritative for crash recovery: the instance's sinks
+   write each assignment through to its cell in program order (so NVM
+   write counts and injection-site hits match the other engines), and the
+   registers are refreshed from the cells whenever they may have diverged
+   - after a transaction abort or power failure (tracked by the store's
+   [Nvm.revert_count]) or an out-of-band cell write (reset, persistent
+   state migration), which forces [synced_at] back to [min_int]. *)
+type table_rt = {
+  table : Table.t;
+  tinst : Table.inst;
+  nvm : Nvm.t;
+  mutable synced_at : int;  (* revert_count at the last register refresh *)
+}
 
 type t = {
   obs : Obs.ctx;  (* the owning device's recording surface *)
@@ -21,6 +36,7 @@ type t = {
   var_cells : Ast.value Nvm.cell array;  (* indexed by variable slot *)
   cstore : Compile.store;
   istore : Interp.store;  (* reference semantics over the same cells *)
+  trt : table_rt option;  (* present iff [engine = Table] *)
   bytes : int;
 }
 
@@ -79,7 +95,27 @@ let create ?(engine = Compiled) ?cell_prefix nvm (machine : Ast.machine) =
     2 + property_table_bytes
     + List.fold_left (fun acc v -> acc + ty_bytes v.Ast.ty) 0 machine.Ast.vars
   in
-  { obs = Nvm.obs nvm; compiled; engine; state_cell; var_cells; cstore; istore; bytes }
+  let trt =
+    match engine with
+    | Interpreted | Compiled -> None
+    | Table ->
+        let table = Table.compile machine in
+        (* the var sink must read back the register it just wrote, so it
+           needs the instance being constructed: tie the knot via a ref *)
+        let self = ref None in
+        let tinst =
+          Table.instance table
+            ~var_sink:(fun slot ->
+              match !self with
+              | Some i ->
+                  Nvm.write_join var_cells.(slot) (Table.read_var table i slot)
+              | None -> ())
+            ~state_sink:(fun id -> Nvm.write_join state_cell id)
+        in
+        self := Some tinst;
+        Some { table; tinst; nvm; synced_at = min_int }
+  in
+  { obs = Nvm.obs nvm; compiled; engine; state_cell; var_cells; cstore; istore; trt; bytes }
 
 let name t = Compile.name t.compiled
 let machine t = Compile.machine t.compiled
@@ -88,18 +124,25 @@ let compiled t = t.compiled
 
 (* Reset/reinit writes join any enclosing transaction (write_join) so a
    path restart can make the whole monitor re-initialisation atomic. *)
+(* any write to the cells that bypasses the table instance's sinks must
+   force a register refresh before the next table step *)
+let invalidate_registers t =
+  match t.trt with Some rt -> rt.synced_at <- min_int | None -> ()
+
 let hard_reset t =
   Nvm.write_join t.state_cell (Compile.initial_state t.compiled);
   Array.iteri
     (fun slot (v : Ast.var_decl) -> Nvm.write_join t.var_cells.(slot) v.Ast.init)
-    (Compile.var_decls t.compiled)
+    (Compile.var_decls t.compiled);
+  invalidate_registers t
 
 let reinitialize t =
   Nvm.write_join t.state_cell (Compile.initial_state t.compiled);
   Array.iteri
     (fun slot (v : Ast.var_decl) ->
       if not v.Ast.persistent then Nvm.write_join t.var_cells.(slot) v.Ast.init)
-    (Compile.var_decls t.compiled)
+    (Compile.var_decls t.compiled);
+  invalidate_registers t
 
 let step t event =
   Obs.Ctx.incr t.obs m_steps;
@@ -107,6 +150,21 @@ let step t event =
     match t.engine with
     | Compiled -> Compile.step t.compiled t.cstore event
     | Interpreted -> Interp.step (Compile.machine t.compiled) t.istore event
+    | Table ->
+        let rt = Option.get t.trt in
+        (* registers go stale only after a rollback (revert counter) or an
+           out-of-band cell write ([invalidate_registers]); on the
+           steady-state path this is one integer compare *)
+        let rc = Nvm.revert_count rt.nvm in
+        if rt.synced_at <> rc then begin
+          Table.set_state rt.tinst (Nvm.read t.state_cell);
+          let cells = t.var_cells in
+          for slot = 0 to Array.length cells - 1 do
+            Table.load_var rt.table rt.tinst slot (Nvm.read cells.(slot))
+          done;
+          rt.synced_at <- rc
+        end;
+        Table.step rt.table rt.tinst event
   in
   (match failures with [] -> () | fs -> Obs.Ctx.add t.obs m_failures (List.length fs));
   failures
@@ -158,6 +216,9 @@ let migrate_persistent ~from t =
                  Nvm.write t.var_cells.(slot) (Nvm.read from.var_cells.(old_slot));
                  Some v.Ast.var_name)
                else None)
+  |> fun migrated ->
+  invalidate_registers t;
+  migrated
 
 let watches_task t task = Compile.mentions_task t.compiled task
 let watches_event t (event : Interp.event) = watches_task t event.Interp.task

@@ -18,6 +18,13 @@ type engine =
       (** Reference semantics: {!Interp.step} over the AST.  Kept for
           differential testing and the interpreted-vs-compiled bench. *)
   | Compiled  (** Deploy-time compiled closures ({!Compile.step}). *)
+  | Table
+      (** Flat-table bytecode engine ({!Table.step}): dense dispatch plus
+          postfix bytecode over an int/float register file.  The FRAM
+          cells stay authoritative — registers are refreshed from the
+          cells before each step and every assignment is written through
+          to its cell in program order, so footprint accounting and
+          crash recovery are identical to the other engines. *)
 
 val create : ?engine:engine -> ?cell_prefix:string -> Nvm.t -> Ast.machine -> t
 (** Typechecks and compiles the machine, then allocates one FRAM cell per

@@ -60,6 +60,7 @@ type t = {
   mutable volatiles : registered list;  (* Ram cells only *)
   mutable tx_open : bool;
   mutable tx_dirty : dirty list;  (* reverse write order *)
+  mutable reverts : int;  (* aborts + power failures, see [revert_count] *)
   mutable tx_begin_us : int;  (* span start when tracing is enabled *)
   mutable probe : (string -> unit) option;
       (* fault-injection hook; fired around state-changing operations with
@@ -91,6 +92,7 @@ let create ?obs () =
     volatiles = [];
     tx_open = false;
     tx_dirty = [];
+    reverts = 0;
     tx_begin_us = 0;
     probe = None;
   }
@@ -193,6 +195,7 @@ let commit_tx t =
 
 let abort_tx t =
   if not t.tx_open then invalid_arg "Nvm.abort_tx: no open transaction";
+  t.reverts <- t.reverts + 1;
   List.iter (fun d -> d.discard ()) t.tx_dirty;
   t.tx_dirty <- [];
   t.tx_open <- false;
@@ -203,8 +206,11 @@ let in_tx t = t.tx_open
 
 let power_failure t =
   Obs.Ctx.incr t.obs m_power_failures;
+  t.reverts <- t.reverts + 1;
   if t.tx_open then abort_tx t;
   List.iter (fun r -> r.reset_volatile ()) t.volatiles
+
+let revert_count t = t.reverts
 
 let footprint t ~kind ~region = t.footprints.(footprint_slot kind region)
 

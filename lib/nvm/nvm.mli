@@ -111,6 +111,14 @@ val power_failure : t -> unit
 (** Model a power failure: abort any open transaction and reset every
     [Ram] cell to its initial value.  [Fram] committed values persist. *)
 
+val revert_count : t -> int
+(** Number of state-revert events (transaction aborts, power failures)
+    since the store was created.  Monotone.  Lets register-caching
+    engines (the table monitor backend) skip re-reading their cells on
+    the steady-state path: registers can only have diverged from the
+    cells after a revert or an out-of-band cell write, and the writers
+    of the latter invalidate explicitly. *)
+
 val footprint : t -> kind:kind -> region:region -> int
 (** Total declared bytes of the cells of that kind and region. *)
 

@@ -148,19 +148,26 @@ module Ctx = struct
     Array.blit arr 0 n 0 (Array.length arr);
     n
 
-  let incr t c =
+  (* [incr]/[add] sit on the per-event monitor path, so the common cases
+     must inline into the caller (ocamlopt without flambda only honours
+     explicit [@inline] across libraries): metrics off is a load and a
+     branch, metrics on is an unsafe in-bounds bump.  Only the
+     late-registered-handle case goes out of line to grow the array. *)
+
+  let [@inline never] grow_add t c n =
+    t.cvals <- grow_int t.cvals c.c_id;
+    t.cvals.(c.c_id) <- t.cvals.(c.c_id) + n
+
+  let [@inline always] add t c n =
     if t.metrics_on then begin
       let id = c.c_id in
-      if id >= Array.length t.cvals then t.cvals <- grow_int t.cvals id;
-      t.cvals.(id) <- t.cvals.(id) + 1
+      let arr = t.cvals in
+      if id < Array.length arr then
+        Array.unsafe_set arr id (Array.unsafe_get arr id + n)
+      else grow_add t c n
     end
 
-  let add t c n =
-    if t.metrics_on then begin
-      let id = c.c_id in
-      if id >= Array.length t.cvals then t.cvals <- grow_int t.cvals id;
-      t.cvals.(id) <- t.cvals.(id) + n
-    end
+  let [@inline always] incr t c = add t c 1
 
   let counter_value t c =
     if c.c_id < Array.length t.cvals then t.cvals.(c.c_id) else 0

@@ -54,3 +54,28 @@ Parse errors carry positions and exit non-zero:
   > SPEC
   spec parse error at 1:16: expected an integer but found identifier "onFail"
   [1]
+
+The --engine flag reports per-property execution-backend cost instead of
+emitting code.  For the table engine that is the flat-buffer footprint in
+words (dispatch table + bytecode) plus the register-file size:
+
+  $ cat > engines.txt <<'SPEC'
+  > accel: { maxTries: 2 onFail: skipPath; }
+  > transmit: { maxTries: 3 onFail: restartTask; MITD: 5min dpTask: accel onFail: restartPath; }
+  > SPEC
+  $ ../../bin/artemisc.exe --engine interpreted engines.txt
+  engine: interpreted (AST walk, reference semantics)
+  maxTries_accel: 2 states, 1 vars, 4 transitions
+  maxTries_transmit: 2 states, 1 vars, 4 transitions
+  MITD_transmit_accel: 2 states, 1 vars, 4 transitions
+  $ ../../bin/artemisc.exe --engine compiled engines.txt
+  engine: compiled (deploy-time closures)
+  maxTries_accel: 2 states, 1 vars, 1 watched tasks
+  maxTries_transmit: 2 states, 1 vars, 1 watched tasks
+  MITD_transmit_accel: 2 states, 1 vars, 2 watched tasks
+  $ ../../bin/artemisc.exe --engine table engines.txt
+  engine: table (flat dispatch + bytecode)
+  maxTries_accel: dispatch 55w + bytecode 8w = 63 words (regs: 2 int, 0 float)
+  maxTries_transmit: dispatch 55w + bytecode 8w = 63 words (regs: 2 int, 0 float)
+  MITD_transmit_accel: dispatch 63w + bytecode 3w = 66 words (regs: 2 int, 0 float)
+  total: 192 words

@@ -1,14 +1,16 @@
-(* Differential fuzzing of the two FSM execution engines: for random
+(* Differential fuzzing of the three FSM execution engines: for random
    well-typed machines and random event traces, the deploy-time compiled
-   closures (Fsm.Compile) must be observationally equivalent to the
-   reference interpreter (Fsm.Interp) - same control state, same variable
-   values, same emitted failures, same dynamic errors - including over
-   NVM-backed monitors with power failures injected between events. *)
+   closures (Fsm.Compile) and the flat-table bytecode engine (Fsm.Table)
+   must be observationally equivalent to the reference interpreter
+   (Fsm.Interp) - same control state, same variable values, same emitted
+   failures, same dynamic errors - including over NVM-backed monitors
+   with power failures injected between events. *)
 
 open Artemis
 module F = Fsm.Ast
 module Interp = Fsm.Interp
 module Compile = Fsm.Compile
+module Table = Fsm.Table
 
 (* --- random well-typed machines --- *)
 
@@ -208,26 +210,35 @@ let equal_outcome a b =
   | Err x, Err y -> String.equal x y
   | Failures _, Err _ | Err _, Failures _ -> false
 
-(* memory-backed stores: pure engine equivalence *)
+(* memory-backed stores: pure three-way engine equivalence *)
 let memory_equivalence =
-  QCheck.Test.make ~name:"compiled = interpreted (memory stores)" ~count:600
+  QCheck.Test.make ~name:"table = compiled = interpreted (memory stores)"
+    ~count:700
     (QCheck.make ~print:show_machine_trace QCheck.Gen.(pair machine trace))
     (fun (m, evs) ->
       let c = Compile.compile m in
+      let t = Table.compile m in
       let istore = Interp.memory_store m and cstore = Compile.memory_store c in
+      let tinst = Table.instance t in
       List.for_all
         (fun ev ->
           let ri = step_catch (fun () -> Interp.step m istore ev) in
           let rc = step_catch (fun () -> Compile.step c cstore ev) in
-          equal_outcome ri rc
+          let rt = step_catch (fun () -> Table.step t tinst ev) in
+          equal_outcome ri rc && equal_outcome ri rt
           && String.equal
                (istore.Interp.get_state ())
                (Compile.state_name c (cstore.Compile.get_state ()))
+          && String.equal
+               (istore.Interp.get_state ())
+               (Table.state_name t (Table.current_state tinst))
           && List.for_all
                (fun (v : F.var_decl) ->
-                 F.same_value
-                   (istore.Interp.get v.F.var_name)
-                   (cstore.Compile.get (Compile.var_id c v.F.var_name)))
+                 let vi = istore.Interp.get v.F.var_name in
+                 F.same_value vi
+                   (cstore.Compile.get (Compile.var_id c v.F.var_name))
+                 && F.same_value vi
+                      (Table.read_var t tinst (Table.var_id t v.F.var_name)))
                var_pool)
         evs)
 
@@ -236,7 +247,8 @@ let memory_equivalence =
    engines must stay in lockstep *)
 let nvm_equivalence =
   QCheck.Test.make
-    ~name:"compiled = interpreted (NVM monitors, power failures)" ~count:500
+    ~name:"table = compiled = interpreted (NVM monitors, power failures)"
+    ~count:500
     (QCheck.make
        ~print:(fun (m, evs, noise) ->
          show_machine_trace (m, evs)
@@ -245,16 +257,22 @@ let nvm_equivalence =
        QCheck.Gen.(
          triple machine trace (list_size (int_range 5 40) (int_bound 9))))
     (fun (m, evs, noise) ->
-      let nvm_i = Nvm.create () and nvm_c = Nvm.create () in
+      let nvm_i = Nvm.create ()
+      and nvm_c = Nvm.create ()
+      and nvm_t = Nvm.create () in
       let mon_i = Monitor.create ~engine:Monitor.Interpreted nvm_i m in
       let mon_c = Monitor.create ~engine:Monitor.Compiled nvm_c m in
+      let mon_t = Monitor.create ~engine:Monitor.Table nvm_t m in
       let agree () =
         String.equal (Monitor.current_state mon_i) (Monitor.current_state mon_c)
+        && String.equal
+             (Monitor.current_state mon_i)
+             (Monitor.current_state mon_t)
         && List.for_all
              (fun (v : F.var_decl) ->
-               F.same_value
-                 (Monitor.read_var mon_i v.F.var_name)
-                 (Monitor.read_var mon_c v.F.var_name))
+               let vi = Monitor.read_var mon_i v.F.var_name in
+               F.same_value vi (Monitor.read_var mon_c v.F.var_name)
+               && F.same_value vi (Monitor.read_var mon_t v.F.var_name))
              var_pool
       in
       let rec go evs noise =
@@ -264,18 +282,21 @@ let nvm_equivalence =
             let n, noise =
               match noise with [] -> (0, []) | n :: rest -> (n, rest)
             in
-            (* inject identical disturbances into both deployments *)
+            (* inject identical disturbances into all three deployments *)
             if n = 9 then begin
               Nvm.power_failure nvm_i;
-              Nvm.power_failure nvm_c
+              Nvm.power_failure nvm_c;
+              Nvm.power_failure nvm_t
             end
             else if n = 8 then begin
               Monitor.reinitialize mon_i;
-              Monitor.reinitialize mon_c
+              Monitor.reinitialize mon_c;
+              Monitor.reinitialize mon_t
             end;
             let ri = step_catch (fun () -> Monitor.step mon_i ev) in
             let rc = step_catch (fun () -> Monitor.step mon_c ev) in
-            equal_outcome ri rc && agree () && go evs noise
+            let rt = step_catch (fun () -> Monitor.step mon_t ev) in
+            equal_outcome ri rc && equal_outcome ri rt && agree () && go evs noise
       in
       go evs noise)
 
@@ -291,11 +312,13 @@ let suite_dispatch_equivalence =
       let ms = List.mapi rename ms in
       let s_idx = Suite.create (Nvm.create ()) ms in
       let s_ref = Suite.create (Nvm.create ()) ms in
+      let s_tbl = Suite.create ~engine:Monitor.Table (Nvm.create ()) ms in
       List.for_all
         (fun ev ->
           let ri = step_catch (fun () -> Suite.step_all s_idx ev) in
           let rr = step_catch (fun () -> Suite.step_all_unindexed s_ref ev) in
-          equal_outcome ri rr)
+          let rt = step_catch (fun () -> Suite.step_all s_tbl ev) in
+          equal_outcome ri rr && equal_outcome ri rt)
         evs)
 
 (* whole-runtime differential across monitor deployments: for every
@@ -318,7 +341,8 @@ let deployment_name = function
 
 let runtime_deployment_equivalence =
   QCheck.Test.make
-    ~name:"compiled = interpreted (full runtime, all deployments)" ~count:60
+    ~name:"table = compiled = interpreted (full runtime, all deployments)"
+    ~count:60
     (QCheck.make
        ~print:(fun (m, d) ->
          Printf.sprintf "%s / %s" (deployment_name d)
@@ -360,17 +384,20 @@ let runtime_deployment_equivalence =
       in
       let oi, ri, msi = exec Monitor.Interpreted in
       let oc, rc, msc = exec Monitor.Compiled in
-      equal_outcome oi oc && ri = rc
-      && List.for_all2
-           (fun a b ->
-             String.equal (Monitor.current_state a) (Monitor.current_state b)
-             && List.for_all
-                  (fun (v : F.var_decl) ->
-                    F.same_value
-                      (Monitor.read_var a v.F.var_name)
-                      (Monitor.read_var b v.F.var_name))
-                  var_pool)
-           msi msc)
+      let ot, rt, mst = exec Monitor.Table in
+      let monitors_agree =
+        List.for_all2
+          (fun a b ->
+            String.equal (Monitor.current_state a) (Monitor.current_state b)
+            && List.for_all
+                 (fun (v : F.var_decl) ->
+                   F.same_value
+                     (Monitor.read_var a v.F.var_name)
+                     (Monitor.read_var b v.F.var_name))
+                 var_pool)
+      in
+      equal_outcome oi oc && equal_outcome oi ot && ri = rc && ri = rt
+      && monitors_agree msi msc && monitors_agree msi mst)
 
 let suite =
   [

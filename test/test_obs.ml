@@ -94,7 +94,7 @@ let test_span_clamps_and_balances () =
 (* --- golden test: a full quickstart run with observability on --- *)
 
 let quickstart_run () =
-  let b = Artemis_faultsim.Scenario.quickstart.Artemis_faultsim.Scenario.build ~seed:42 in
+  let b = Artemis_faultsim.Scenario.quickstart.Artemis_faultsim.Scenario.build ~engine:None ~seed:42 in
   Runtime.run ~config:b.Artemis_faultsim.Scenario.config
     b.Artemis_faultsim.Scenario.device b.Artemis_faultsim.Scenario.app
     b.Artemis_faultsim.Scenario.suite
@@ -166,7 +166,7 @@ let test_observing_does_not_perturb_the_run () =
     with_obs ~metrics ~tracing (fun () ->
         let b =
           Artemis_faultsim.Scenario.quickstart.Artemis_faultsim.Scenario.build
-            ~seed:7
+            ~engine:None ~seed:7
         in
         ignore
           (Runtime.run ~config:b.Artemis_faultsim.Scenario.config

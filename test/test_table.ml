@@ -1,0 +1,270 @@
+(* Unit tests for the flat-table bytecode engine (Fsm.Table): interning,
+   CSR dispatch lookup, bytecode edge cases (division by zero, NaN), the
+   packed suite buffer, the zero-allocation steady-state contract, and a
+   faultsim depth-1 campaign under the Table engine.  Randomized
+   three-way equivalence lives in test_differential.ml. *)
+
+open Artemis
+module F = Fsm.Ast
+module Interp = Fsm.Interp
+module Compile = Fsm.Compile
+module Table = Fsm.Table
+
+let parse = Fsm.Parser.parse_machine_exn
+
+let failure =
+  Alcotest.testable
+    (fun ppf (f : Interp.failure) ->
+      Format.fprintf ppf "%s/%s" f.Interp.failed_machine
+        (F.action_to_string f.Interp.action))
+    ( = )
+
+let machine_text =
+  {|
+machine m {
+  var x : int = 0;
+  persistent var keep : int = 7;
+  initial state A {
+    on startTask(t) when (x < 2) { x := x + 1; } -> B;
+    on startTask(t) { fail restartTask; } -> A;
+  }
+  state B {
+    on endTask(t) -> A;
+    on anyEvent when (x > 10) { fail skipPath Path 2; } -> B;
+  }
+}
+|}
+
+let test_interning () =
+  let m = parse machine_text in
+  let t = Table.compile m in
+  let c = Compile.compile m in
+  Alcotest.(check int) "state count" 2 (Table.state_count t);
+  Alcotest.(check string) "state 0" "A" (Table.state_name t 0);
+  Alcotest.(check string) "state 1" "B" (Table.state_name t 1);
+  Alcotest.(check int) "id of B" 1 (Table.state_id t "B");
+  Alcotest.(check int) "initial is A" 0 (Table.initial_state t);
+  Alcotest.(check int) "var count" 2 (Table.var_count t);
+  Alcotest.(check string) "slot 0" "x" (Table.var_name t 0);
+  Alcotest.(check int) "slot of keep" 1 (Table.var_id t "keep");
+  (* slot numbering is shared with the compiled engine, so NVM cell
+     layouts are interchangeable between engines *)
+  List.iter
+    (fun (v : F.var_decl) ->
+      Alcotest.(check int)
+        ("slot of " ^ v.F.var_name)
+        (Compile.var_id c v.F.var_name)
+        (Table.var_id t v.F.var_name))
+    m.F.vars;
+  (match Table.state_id t "nope" with
+  | exception Not_found -> ()
+  | _ -> Alcotest.fail "unknown state must raise");
+  Alcotest.(check (list string)) "watched tasks" [ "t" ] (Table.watched_tasks t);
+  Alcotest.(check bool) "uses anyEvent" true (Table.watches_any_event t);
+  Alcotest.(check bool) "mentions watched" true (Table.mentions_task t "t");
+  Alcotest.(check bool) "anyEvent mentions all" true (Table.mentions_task t "zz")
+
+let test_footprint () =
+  let t = Table.compile (parse machine_text) in
+  Alcotest.(check bool) "dispatch table non-empty" true (Table.dispatch_words t > 0);
+  Alcotest.(check bool) "bytecode non-empty" true (Table.code_words t > 0);
+  Alcotest.(check int) "buffer = dispatch + code"
+    (Table.dispatch_words t + Table.code_words t)
+    (Table.buffer_words t);
+  (* register file: control state + 2 int vars, no floats *)
+  Alcotest.(check int) "int registers" 3 (Table.int_regs t);
+  Alcotest.(check int) "float registers" 0 (Table.float_regs t)
+
+(* CSR dispatch: the (state, kind, task) row must deliver exactly the
+   declaration-order candidates, with unknown tasks falling back to the
+   anyEvent-only column. *)
+let test_csr_dispatch () =
+  let t = Table.compile (parse machine_text) in
+  let inst = Table.instance t in
+  (* A + start(t): guard x<2 passes, first transition fires -> B *)
+  ignore (Table.step t inst (Helpers.event ~task:"t" ()));
+  Alcotest.(check int) "A -start t-> B" 1 (Table.current_state inst);
+  (* B + start for an unknown task: anyEvent candidate, guard x>10 false,
+     implicit self-transition *)
+  Alcotest.(check (list failure)) "unknown task: no fire" []
+    (Table.step t inst (Helpers.event ~task:"zz" ()));
+  Alcotest.(check int) "still in B" 1 (Table.current_state inst);
+  (* B + end(t) -> A *)
+  ignore (Table.step t inst (Helpers.event ~kind:Interp.End ~task:"t" ()));
+  Alcotest.(check int) "B -end t-> A" 0 (Table.current_state inst);
+  (* end(t) in A matches nothing: stay *)
+  ignore (Table.step t inst (Helpers.event ~kind:Interp.End ~task:"t" ()));
+  Alcotest.(check int) "A ignores end(t)" 0 (Table.current_state inst);
+  (* exhaust the guard: x reaches 2, then the fail fallback fires *)
+  ignore (Table.step t inst (Helpers.event ~task:"t" ()));  (* x=2, -> B *)
+  ignore (Table.step t inst (Helpers.event ~kind:Interp.End ~task:"t" ()));
+  let failures = Table.step t inst (Helpers.event ~task:"t" ()) in
+  Alcotest.(check (list failure)) "fallback fails"
+    [ { Interp.failed_machine = "m"; action = F.Restart_task; target_path = None } ]
+    failures
+
+let test_division_by_zero () =
+  let m =
+    parse
+      {|
+machine div {
+  var x : int = 1;
+  initial state A {
+    on startTask(t) { x := x / (x - 1); } -> A;
+    on endTask(t) { x := x % (x - 1); } -> A;
+  }
+}
+|}
+  in
+  let t = Table.compile m in
+  let inst = Table.instance t in
+  (match Table.step t inst (Helpers.event ~task:"t" ()) with
+  | exception Interp.Runtime_error msg ->
+      Alcotest.(check string) "same message as interpreter"
+        "integer division by zero" msg
+  | _ -> Alcotest.fail "div by zero must raise");
+  (match Table.step t inst (Helpers.event ~kind:Interp.End ~task:"t" ()) with
+  | exception Interp.Runtime_error msg ->
+      Alcotest.(check string) "same message as interpreter" "modulo by zero" msg
+  | _ -> Alcotest.fail "mod by zero must raise")
+
+let test_missing_dep_data () =
+  let m =
+    parse
+      {|
+machine dep {
+  var f : float = 0.0;
+  initial state A {
+    on startTask(t) { f := data(d); } -> A;
+  }
+}
+|}
+  in
+  let t = Table.compile m in
+  let inst = Table.instance t in
+  match Table.step t inst (Helpers.event ~task:"t" ~dep_data:[] ()) with
+  | exception Interp.Runtime_error msg ->
+      Alcotest.(check string) "same message as interpreter"
+        "event carries no data for \"d\"" msg
+  | _ -> Alcotest.fail "missing payload must raise"
+
+(* NaN handling: 0/0 stores NaN; [Ast.same_value] treats NaN as equal to
+   itself (totals via Float.compare) while the machine-level IEEE [=]
+   keeps NaN <> NaN - both must match the interpreter exactly. *)
+let test_nan_semantics () =
+  let m =
+    parse
+      {|
+machine nan {
+  var f : float = 0.0;
+  var b : bool = false;
+  initial state A {
+    on startTask(t) { f := f / f; b := f == f; } -> A;
+  }
+}
+|}
+  in
+  let t = Table.compile m in
+  let inst = Table.instance t in
+  let istore = Interp.memory_store m in
+  ignore (Table.step t inst (Helpers.event ~task:"t" ()));
+  ignore (Interp.step m istore (Helpers.event ~task:"t" ()));
+  let tf = Table.read_var t inst (Table.var_id t "f") in
+  Alcotest.(check bool) "f is NaN" true
+    (match tf with F.Vfloat x -> Float.is_nan x | _ -> false);
+  Alcotest.check Helpers.value "NaN totals agree with interp"
+    (istore.Interp.get "f") tf;
+  (* b := f = f used IEEE equality mid-step: NaN <> NaN *)
+  Alcotest.check Helpers.value "IEEE NaN <> NaN" (F.Vbool false)
+    (Table.read_var t inst (Table.var_id t "b"))
+
+(* The ISSUE contract: a steady-state step allocates nothing.  Drive a
+   machine through guard evaluation, arithmetic and register stores for
+   10k steps and require the minor-heap delta to stay within a small
+   constant slack (the Gc probe itself boxes a float). *)
+let test_zero_allocation () =
+  let m =
+    parse
+      {|
+machine hot {
+  var x : int = 0;
+  var f : float = 1.5;
+  initial state A {
+    on startTask(t) when (x < 1000000 && f < 100000.0) { x := x + 1; f := f * 1.0001; } -> B;
+  }
+  state B {
+    on endTask(t) when (x % 7 != 3 || f > 0.0) { x := x + 1; } -> A;
+  }
+}
+|}
+  in
+  let t = Table.compile m in
+  let inst = Table.instance t in
+  let ev_start = Helpers.event ~task:"t" () in
+  let ev_end = Helpers.event ~kind:Interp.End ~task:"t" () in
+  (* warm up: fault in any lazy setup *)
+  ignore (Table.step t inst ev_start);
+  ignore (Table.step t inst ev_end);
+  let before = Gc.minor_words () in
+  for _ = 1 to 5_000 do
+    ignore (Table.step t inst ev_start);
+    ignore (Table.step t inst ev_end)
+  done;
+  let delta = Gc.minor_words () -. before in
+  if delta > 256. then
+    Alcotest.failf "10k steps allocated %.0f minor words (want ~0)" delta
+
+let test_packed_suite () =
+  let m1 = parse machine_text in
+  let m2 =
+    parse
+      {|
+machine other {
+  var f : float = 2.5;
+  initial state S {
+    on startTask(u) { f := f + 0.5; } -> S;
+  }
+}
+|}
+  in
+  let t1 = Table.compile m1 and t2 = Table.compile m2 in
+  let packed = Table.pack [ t1; t2 ] in
+  Alcotest.(check int) "ints contiguous"
+    (Table.int_regs t1 + Table.int_regs t2)
+    (Array.length packed.Table.p_ints);
+  (match packed.Table.p_insts with
+  | [ i1; i2 ] ->
+      ignore (Table.step t1 i1 (Helpers.event ~task:"t" ()));
+      ignore (Table.step t2 i2 (Helpers.event ~task:"u" ()));
+      Alcotest.(check int) "machine 1 stepped" 1 (Table.current_state i1);
+      Alcotest.check Helpers.value "machine 2 stepped" (F.Vfloat 3.0)
+        (Table.read_var t2 i2 0);
+      (* both live in the one shared register pair *)
+      Alcotest.(check int) "suite state visible in shared buffer" 1
+        packed.Table.p_ints.(0)
+  | _ -> Alcotest.fail "two instances expected")
+
+(* the crash-recovery contract under the table engine: depth-1 exhaustive
+   fault injection on quickstart, all four oracles green *)
+let test_faultsim_depth1_table () =
+  let scenario =
+    Artemis_faultsim.Scenario.with_engine Monitor.Table
+      Artemis_faultsim.Scenario.quickstart
+  in
+  let campaign = Artemis_faultsim.Faultsim.exhaustive scenario ~seed:11 ~depth:1 in
+  Alcotest.(check int) "no oracle violations" 0
+    (Artemis_faultsim.Faultsim.total_violations campaign)
+
+let suite =
+  [
+    Alcotest.test_case "interning tables" `Quick test_interning;
+    Alcotest.test_case "flat-buffer footprint" `Quick test_footprint;
+    Alcotest.test_case "CSR dispatch lookup" `Quick test_csr_dispatch;
+    Alcotest.test_case "division by zero" `Quick test_division_by_zero;
+    Alcotest.test_case "missing data() payload" `Quick test_missing_dep_data;
+    Alcotest.test_case "NaN semantics" `Quick test_nan_semantics;
+    Alcotest.test_case "zero allocation per step" `Quick test_zero_allocation;
+    Alcotest.test_case "packed suite buffer" `Quick test_packed_suite;
+    Alcotest.test_case "faultsim depth-1 (table engine)" `Quick
+      test_faultsim_depth1_table;
+  ]
