@@ -228,6 +228,30 @@ let measure_obs_paired ~fast () =
   | [| o; n |] -> (o, n)
   | _ -> assert false
 
+(* input-freshness oracle overhead (PR 7): the same depth-1 exhaustive
+   campaign with and without the tracker attached.  quickstart-fresh is
+   quickstart plus the freshness tracker on the record chokepoint, so
+   the paired ratio prices the oracle's stamp/check/violation work on
+   the campaign hot loop - the acceptance gate is <= 5%. *)
+let freshness_kernels () =
+  let module F = Artemis_faultsim.Faultsim in
+  let module S = Artemis_faultsim.Scenario in
+  let plain () = ignore (F.exhaustive S.quickstart ~seed:42 ~depth:1) in
+  let fresh () = ignore (F.exhaustive S.quickstart_fresh ~seed:42 ~depth:1) in
+  (plain, fresh)
+
+let measure_freshness_paired ~fast () =
+  let plain, fresh = freshness_kernels () in
+  (* The quantity gated in CI is the ratio of two ~10 ms campaigns, so
+     even fast mode keeps the full sampling budget (~2 s total): at
+     rounds=5/iters=3 the paired median still swung about +-4 pp,
+     straddling the 5% gate. *)
+  ignore fast;
+  let rounds = 15 and iters = 30 in
+  match paired_medians ~rounds ~iters [| plain; fresh |] with
+  | [| p; f |] -> (p, f)
+  | _ -> assert false
+
 type engine_paired = {
   pair : string;
   interpreted_ns : float;
@@ -394,6 +418,12 @@ let engine_tests =
              ignore
                (Artemis_faultsim.Faultsim.exhaustive
                   Artemis_faultsim.Scenario.quickstart ~seed:42 ~depth:1)));
+      (* the same campaign with the input-freshness tracker attached *)
+      Test.make ~name:"faultsim-depth1-fresh"
+        (stagedf (fun () ->
+             ignore
+               (Artemis_faultsim.Faultsim.exhaustive
+                  Artemis_faultsim.Scenario.quickstart_fresh ~seed:42 ~depth:1)));
       Test.make ~name:"adapt-apply" (stagedf (adapt_apply_kernel ()));
     ]
 
@@ -483,6 +513,14 @@ let json_of_obs (off, on) =
       ((on -. off) /. off *. 100.)
   else {|  "obs": null|}
 
+let json_of_freshness (plain, fresh) =
+  if plain > 0. then
+    Printf.sprintf
+      {|  "freshness": { "plain_campaign_ns": %.0f, "fresh_campaign_ns": %.0f, "overhead_pct": %.2f }|}
+      plain fresh
+      ((fresh -. plain) /. plain *. 100.)
+  else {|  "freshness": null|}
+
 let json_of_par (depth, nruns, rows) =
   let w1 = (List.hd rows).wall_s in
   let jobs_json =
@@ -507,14 +545,16 @@ let json_of_par (depth, nruns, rows) =
     (Artemis.Par.recommended_jobs ())
     jobs_json
 
-let write_json ~file results ~obs ~engines ~scalability ~non_watching ~par =
+let write_json ~file results ~obs ~freshness ~engines ~scalability
+    ~non_watching ~par =
   let oc = open_out file in
   Printf.fprintf oc
     {|{
-  "bench": "zero-alloc table-driven monitor engine + obs hot-path fix (PR6)",
+  "bench": "WAR-hazard static analysis + input-freshness oracle (PR7)",
   "kernels_ns": {
 %s
   },
+%s,
 %s,
 %s,
   "engine_kernels": {
@@ -530,6 +570,7 @@ let write_json ~file results ~obs ~engines ~scalability ~non_watching ~par =
 |}
     (json_of_kernels results)
     (json_of_obs obs)
+    (json_of_freshness freshness)
     (json_of_par par)
     (String.concat ",\n" (List.map json_of_engine engines))
     (json_of_scalability scalability)
@@ -576,6 +617,11 @@ let () =
   (let off, on = obs in
    Printf.printf "obs paired off/on: %.0f / %.0f ns (%+.2f%%)\n" off on
      ((on -. off) /. off *. 100.));
+  let freshness = measure_freshness_paired ~fast:!fast () in
+  (let plain, fresh = freshness in
+   Printf.printf "freshness paired plain/fresh campaign: %.0f / %.0f ns (%+.2f%%)\n"
+     plain fresh
+     ((fresh -. plain) /. plain *. 100.));
   let experiment_results =
     if !fast then None
     else begin
@@ -592,5 +638,5 @@ let () =
       let extras = if !fast then [ 0; 8 ] else [ 0; 8; 32; 128 ] in
       let scalability = Scalability.run ~factors () in
       let non_watching = Scalability.run_non_watching ~extras () in
-      write_json ~file engine_results ~obs ~engines ~scalability ~non_watching
-        ~par
+      write_json ~file engine_results ~obs ~freshness ~engines ~scalability
+        ~non_watching ~par

@@ -68,7 +68,41 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let run emit engine reset_on_fail input output =
+(* --check: rebuild a faultsim scenario from the catalogue and run the
+   static WAR-hazard pass (Artemis.Consistency.War) over its task
+   surface.  The scenario is built fresh (seed 42) purely to be
+   recorded, so the pass's committed-write side effects are harmless. *)
+let check_scenarios names allow_hazard =
+  let module Scenario = Artemis_faultsim.Scenario in
+  let known () =
+    String.concat "|" (List.map (fun (s : Scenario.t) -> s.name) Scenario.all)
+  in
+  let rec go worst = function
+    | [] -> worst
+    | name :: rest -> (
+        match Scenario.find name with
+        | None ->
+            Printf.eprintf "unknown scenario %S (%s)\n" name (known ());
+            1
+        | Some sc ->
+            let b = sc.Scenario.build ~engine:None ~seed:42 in
+            let report =
+              Artemis.Consistency.War.analyze_app
+                (Artemis.Device.nvm b.Scenario.device)
+                b.Scenario.app
+            in
+            Printf.printf "scenario %s: %s" name
+              (Artemis.Consistency.War.report_to_string report);
+            let worst =
+              if Artemis.Consistency.War.has_hazards report && not allow_hazard
+              then max worst 1
+              else worst
+            in
+            go worst rest)
+  in
+  go 0 names
+
+let run_compile emit engine reset_on_fail input output =
   let text = if input = "-" then In_channel.input_all stdin else read_file input in
   let options = { Artemis.To_fsm.collect_reset_on_fail = reset_on_fail } in
   let result =
@@ -149,6 +183,10 @@ let run emit engine reset_on_fail input output =
           Out_channel.with_open_bin path (fun oc -> output_string oc out);
           0)
 
+let run emit engine reset_on_fail check allow_hazard input output =
+  if check <> [] then check_scenarios check allow_hazard
+  else run_compile emit engine reset_on_fail input output
+
 let emit_arg =
   let stage_conv =
     Arg.enum
@@ -186,6 +224,22 @@ let reset_arg =
               (counter zeroed on failure) instead of the accumulate \
               default.")
 
+let check_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "check" ] ~docv:"SCENARIO"
+        ~doc:"Run the static WAR-hazard pass over the named faultsim \
+              scenario's task surface instead of compiling a \
+              specification.  Repeatable.  Exits 1 if any hazard is \
+              found, unless $(b,--allow-hazard) is also given.")
+
+let allow_hazard_arg =
+  Arg.(
+    value & flag
+    & info [ "allow-hazard" ]
+        ~doc:"Report WAR hazards without failing: $(b,--check) exits 0 \
+              even when hazards are found.")
+
 let input_arg =
   Arg.(
     value & pos 0 string "-"
@@ -201,6 +255,8 @@ let cmd =
   let doc = "compile ARTEMIS property specifications into runtime monitors" in
   Cmd.v
     (Cmd.info "artemisc" ~doc)
-    Term.(const run $ emit_arg $ engine_arg $ reset_arg $ input_arg $ output_arg)
+    Term.(
+      const run $ emit_arg $ engine_arg $ reset_arg $ check_arg
+      $ allow_hazard_arg $ input_arg $ output_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -115,7 +115,11 @@ let scenario_arg =
   Arg.(
     value & opt string "quickstart"
     & info [ "scenario" ] ~docv:"NAME"
-        ~doc:"Scenario to inject into: $(b,quickstart) or $(b,health).")
+        ~doc:"Scenario to inject into: $(b,quickstart), $(b,health), their \
+              live-adaptation variants $(b,quickstart-adapt) and \
+              $(b,health-adapt), the freshness-budgeted \
+              $(b,quickstart-fresh), or the deliberately buggy \
+              $(b,stale-read) and $(b,war-buggy).")
 
 let engine_arg =
   let engine_conv =

@@ -41,6 +41,12 @@ let index_of segments name =
   in
   go 0 segments
 
+(* The WAR-analysis surface (PR 7): segment bodies are the checkpoint
+   runtime's unit of re-execution - a power failure rolls back to the
+   last checkpoint and re-runs the segment, so a segment-local
+   read-then-plain-write is non-idempotent exactly like a task's. *)
+let bodies p = List.map (fun s -> (s.name, s.body)) p.segments
+
 let validate p =
   let ( let* ) r f = Result.bind r f in
   let* () = if p.segments = [] then Error "program has no segments" else Ok () in

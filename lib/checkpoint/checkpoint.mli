@@ -68,6 +68,12 @@ val validate : program -> (unit, string) result
     earlier segments; [Restart_from] targets exist and precede the
     annotated segment. *)
 
+val bodies : program -> (string * (Task.context -> unit)) list
+(** Segment bodies in program order: the access-recording surface for
+    the static WAR-hazard analysis
+    ({!Artemis_consistency.War.analyze_bodies}) - a segment is the
+    checkpoint runtime's unit of re-execution. *)
+
 type config = {
   checkpoint_cycles : int;  (** cost of taking one checkpoint *)
   restore_cycles : int;  (** cost of restoring after a reboot *)

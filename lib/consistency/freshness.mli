@@ -1,0 +1,101 @@
+(** Dynamic input-freshness oracle (PR 7).
+
+    Intermittent systems silently accumulate {e data age} across power
+    failures: a sensor sample taken before an outage can be minutes old
+    by the time the consuming task finally commits ("Automatically
+    Enforcing Fresh and Consistent Inputs in Intermittent Systems",
+    arXiv 2104.04616).  The paper's monitors express MITD windows over
+    task pairs; this tracker audits the complementary runtime-level
+    invariant: no declared consumer may start or commit against producer
+    data older than the scenario's freshness budget.
+
+    The tracker is driven from the {!Artemis_device.Device.record}
+    chokepoint (install {!on_event} with [Device.set_on_record]), so
+    every runtime backend that logs task events through a device feeds
+    it: producer [Task_completed] stamps the source, consumer
+    [Task_started]/[Task_completed] audits every declared source's age.
+
+    {b Anti-laundering} (the PR 7 bugfix satellite): a stamp taken while
+    a transaction is open is {e provisional} and snapshots the store's
+    {!Artemis_nvm.Nvm.revert_count}.  It only becomes durable via
+    {!seal} with the revert count unchanged; an [abort_tx] or power
+    failure in between bumps the count and the stamp dies - a reverted
+    transaction can never launder a stale timestamp as fresh. *)
+
+open Artemis_util
+
+type violation = {
+  v_consumer : string;
+  v_source : string;
+  v_age_us : int option;  (** [None]: no valid stamp existed (unstamped) *)
+  v_at_us : int;  (** tracker-clock time of the consumption *)
+}
+
+type t
+
+val create :
+  clock:(unit -> int) ->
+  ?in_tx:(unit -> bool) ->
+  ?revert_count:(unit -> int) ->
+  budget:Time.t ->
+  reads:(string * string list) list ->
+  unit ->
+  t
+(** [clock] returns microseconds (wire the device's simulated clock:
+    [fun () -> Time.to_us (Device.sim_time device)]).  [reads] declares
+    each consumer task's source tasks.  [in_tx]/[revert_count] feed the
+    provisional-stamp protocol and default to "never in a transaction"
+    for pure unit tests. *)
+
+val stamp : t -> source:string -> unit
+(** Timestamp [source]'s data as produced now.  Provisional when taken
+    inside an open transaction.  No-op for tasks that are not a declared
+    source, and under [Chaos.skip_freshness_stamp]. *)
+
+val seal : t -> source:string -> unit
+(** Commit point: a provisional stamp whose revert count is unchanged
+    becomes durable; one invalidated by an abort or power failure in
+    between is dropped. *)
+
+val check : t -> consumer:string -> unit
+(** Audit every declared source of [consumer]: no valid stamp records an
+    unstamped violation, a valid stamp older than the budget records a
+    stale one. *)
+
+val on_event : t -> Artemis_trace.Event.t -> unit
+(** Chokepoint driver: consumer [Task_started]/[Task_completed] run
+    {!check}; producer [Task_started] notes a {e pending} start time and
+    [Task_completed] runs {!stamp} then {!seal}; [Reboot] applies the
+    chaos clock skew when enabled.
+
+    The pending start time closes the lost-completion window: a crash
+    can land between the producer's durable commit and its
+    [Task_completed] record, so the data persisted but the stamping
+    event never arrives.  Path order guarantees a consumer only runs
+    after its producer committed (a reverted producer re-executes,
+    emitting a fresh [Task_started], before control moves on), so a
+    consumer check that finds only the pending entry promotes it to a
+    durable stamp - conservatively timestamped at the producer's
+    {e start}, never later than the data actually is. *)
+
+val violations : t -> violation list
+(** In occurrence order (deterministic for a deterministic run). *)
+
+val budget : t -> Time.t
+
+val violation_to_string : Time.t -> violation -> string
+(** Rendered against the budget, e.g. for oracle reports. *)
+
+(** Test-only chaos hooks (see test/test_oracle_sensitivity.ml). *)
+module Chaos : sig
+  val skip_freshness_stamp : bool ref
+  (** Producer completions stop stamping: every declared consumer
+      trips the unstamped check. *)
+
+  val clock_skip_on_recovery : bool ref
+  (** Each reboot skews the tracker clock one hour forward (a
+      remanence-timekeeper misestimate): any consumption after a crash
+      reads as stale. *)
+
+  val reset : unit -> unit
+end

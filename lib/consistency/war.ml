@@ -1,0 +1,123 @@
+open Artemis_util
+module Nvm = Artemis_nvm.Nvm
+module Task = Artemis_task.Task
+
+type hazard = {
+  haz_task : string;
+  haz_cell : string;
+  haz_region : Nvm.region;
+}
+
+type report = { analyzed : string list; hazards : hazard list }
+
+let has_hazards r = r.hazards <> []
+
+let merge reports =
+  {
+    analyzed = List.concat_map (fun r -> r.analyzed) reports;
+    hazards = List.concat_map (fun r -> r.hazards) reports;
+  }
+
+let region_to_string = function
+  | Nvm.Runtime -> "runtime"
+  | Nvm.Monitor -> "monitor"
+  | Nvm.Application -> "application"
+  | Nvm.Staging -> "staging"
+
+(* Scan one body's access trace in program order.  A FRAM cell is
+   hazardous when some read of it precedes a later direct persistent
+   write ([Write_op]): the write survives a crash, so the re-executed
+   body reads post-write state - the WAR non-idempotence of Surbatovich
+   et al.  Buffered writes ([Tx_write_op]) are crash-discarded and safe;
+   volatile cells reset at reboot and are safe. *)
+let hazards_of_trace ~task accesses =
+  let read_seen = Hashtbl.create 8 in
+  let flagged = Hashtbl.create 8 in
+  let out = ref [] in
+  List.iter
+    (fun (a : Nvm.access) ->
+      let key = (a.Nvm.acc_region, a.Nvm.acc_name) in
+      match a.Nvm.acc_op with
+      | Nvm.Read_op -> Hashtbl.replace read_seen key ()
+      | Nvm.Tx_write_op -> ()
+      | Nvm.Write_op ->
+          if
+            a.Nvm.acc_kind = Nvm.Fram
+            && Hashtbl.mem read_seen key
+            && not (Hashtbl.mem flagged key)
+          then begin
+            Hashtbl.replace flagged key ();
+            out :=
+              { haz_task = task; haz_cell = a.Nvm.acc_name;
+                haz_region = a.Nvm.acc_region }
+              :: !out
+          end)
+    accesses;
+  List.rev !out
+
+(* Record one body: recorder installed, a fresh transaction opened so
+   [write_join] resolves exactly as under the runtime, everything
+   unwound afterwards (the transaction aborted, the recorder cleared)
+   even when the body raises. *)
+let record_one nvm ~run =
+  if Nvm.in_tx nvm then
+    invalid_arg "War.analyze: a transaction is already open on the store";
+  let accesses = ref [] in
+  Nvm.set_recorder nvm (Some (fun a -> accesses := a :: !accesses));
+  Nvm.begin_tx nvm;
+  Fun.protect
+    ~finally:(fun () ->
+      Nvm.set_recorder nvm None;
+      if Nvm.in_tx nvm then Nvm.abort_tx nvm)
+    (fun () -> try run () with _ -> ());
+  List.rev !accesses
+
+let analyze_bodies nvm ?(seed = 42) named_bodies =
+  let prng = Prng.create ~seed in
+  let results =
+    List.map
+      (fun (name, body) ->
+        let ctx = { Task.nvm; now = Time.zero; prng } in
+        let accesses = record_one nvm ~run:(fun () -> body ctx) in
+        (name, hazards_of_trace ~task:name accesses))
+      named_bodies
+  in
+  {
+    analyzed = List.map fst results;
+    hazards = List.concat_map snd results;
+  }
+
+let analyze_app nvm ?seed app = analyze_bodies nvm ?seed (Task.bodies app)
+
+let analyze_steps nvm ?(seed = 42) ~name steps =
+  ignore seed;
+  let results =
+    Array.to_list steps
+    |> List.mapi (fun i step ->
+           let label = Printf.sprintf "%s#%d" name i in
+           let accesses = record_one nvm ~run:step in
+           (label, hazards_of_trace ~task:label accesses))
+  in
+  {
+    analyzed = List.map fst results;
+    hazards = List.concat_map snd results;
+  }
+
+let hazard_to_string h =
+  Printf.sprintf
+    "WAR hazard: task %S reads then writes %s cell %S outside a transaction"
+    h.haz_task (region_to_string h.haz_region) h.haz_cell
+
+let report_to_string r =
+  let buf = Buffer.create 256 in
+  Printf.ksprintf (Buffer.add_string buf) "%d tasks analyzed\n"
+    (List.length r.analyzed);
+  List.iter
+    (fun h -> Buffer.add_string buf (hazard_to_string h ^ "\n"))
+    r.hazards;
+  (if r.hazards = [] then Buffer.add_string buf "no WAR hazards\n"
+   else
+     Printf.ksprintf (Buffer.add_string buf) "%d hazard%s\n"
+       (List.length r.hazards)
+       (if List.length r.hazards = 1 then "" else "s"));
+  Buffer.contents buf

@@ -56,6 +56,16 @@ module Fsm = struct
   module Explore = Artemis_fsm.Explore
 end
 
+(** Memory-consistency and input-freshness checking (PR 7): a static
+    WAR-hazard pass over recorded per-task NVM access sets, and the
+    dynamic freshness tracker behind faultsim's [input-freshness]
+    oracle.  (Distinct from {!Spec.Consistency}, the specification
+    linter.) *)
+module Consistency = struct
+  module War = Artemis_consistency.War
+  module Freshness = Artemis_consistency.Freshness
+end
+
 module To_fsm = Artemis_transform.To_fsm
 module To_c = Artemis_transform.To_c
 module To_c_project = Artemis_transform.To_c_project

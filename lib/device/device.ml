@@ -92,6 +92,10 @@ type t = {
   mutable energy_monitor : Energy.energy;
   mutable failures : int;
   mutable starved : bool;
+  mutable on_record : (Event.t -> unit) option;
+      (* event-tap at the [record] chokepoint: the freshness tracker
+         (PR 7) subscribes here, so every runtime backend that logs
+         through this device feeds it without depending on it *)
 }
 
 let default_capacitor () =
@@ -136,6 +140,7 @@ let create ?capacitor ?policy ?clock ?horizon ?obs () =
     energy_monitor = Energy.zero;
     failures = 0;
     starved = false;
+    on_record = None;
   }
 
 let nvm t = t.nvm
@@ -144,9 +149,11 @@ let log t = t.log
 let capacitor t = t.capacitor
 let now t = Clock.now t.clock
 let sim_time t = Clock.elapsed_ground_truth t.clock
+let set_on_record t hook = t.on_record <- hook
 let record t event =
   Log.record t.log ~at:(now t) event;
-  observe_event t.obs event
+  observe_event t.obs event;
+  match t.on_record with None -> () | Some f -> f event
 
 let account t category dt energy =
   (match category with

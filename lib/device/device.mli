@@ -61,6 +61,15 @@ val sim_time : t -> Time.t
 val record : t -> Artemis_trace.Event.t -> unit
 (** Log an event at the current time. *)
 
+val set_on_record : t -> (Artemis_trace.Event.t -> unit) option -> unit
+(** Install (or clear) an event tap invoked synchronously by {!record}
+    after the event has been logged.  Every runtime backend logs through
+    this single chokepoint, so a subscriber - the input-freshness
+    tracker ({!Artemis_consistency.Freshness}) timestamps producer
+    completions and audits consumer starts/commits here - observes all
+    of them without the device depending on it.  The hook must not
+    raise and must not call back into the device. *)
+
 val consume :
   t -> category -> ?during:string -> power:Energy.power -> duration:Time.t ->
   unit -> consume_result

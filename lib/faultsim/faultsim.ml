@@ -242,6 +242,23 @@ let action_violations log =
     (Log.events log);
   List.rev !violations
 
+(* Oracle 6 (PR 7): input freshness.  The scenario's tracker audited
+   every consumer start/commit as the run recorded events; harvest its
+   violations.  Trackers are per-build, so parallel campaign runs stay
+   independent and the report byte-identical for every --jobs. *)
+let freshness_violations (b : Scenario.built) =
+  match b.Scenario.freshness with
+  | None -> []
+  | Some tracker ->
+      let budget = Consistency.Freshness.budget tracker in
+      List.map
+        (fun v ->
+          {
+            oracle = "input-freshness";
+            detail = Consistency.Freshness.violation_to_string budget v;
+          })
+        (Consistency.Freshness.violations tracker)
+
 let m_runs = Obs.counter "faultsim_runs"
 let m_injected = Obs.counter "faultsim_injected"
 let m_violations = Obs.counter "faultsim_violations"
@@ -313,6 +330,7 @@ let run_schedule (scenario : Scenario.t) ~seed schedule =
     @ golden_violations b result
     @ action_violations (Device.log b.Scenario.device)
     @ adaptation_violations b result (Device.log b.Scenario.device)
+    @ freshness_violations b
   in
   Obs.add m_violations (List.length violations);
   if Obs.tracing_enabled () then begin

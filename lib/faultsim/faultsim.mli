@@ -8,7 +8,7 @@
     a scenario under a schedule is fully deterministic, so any failing
     campaign run collapses to a one-line reproducer.
 
-    After every run four invariant oracles check the crash-consistency
+    After every run six invariant oracles check the crash-consistency
     contract the paper's runtime promises (Sections 3.1 and 4.1):
 
     - {b task-atomicity}: committed application-region FRAM only ever
@@ -23,7 +23,17 @@
       re-applied after a reboot);
     - {b stable-footprint}: injected runs allocate exactly the FRAM/RAM
       cells of the uninjected baseline (recovery paths never leak
-      persistent state). *)
+      persistent state);
+    - {b update-exactly-once}: a live property update delivered mid-run
+      (PR 4) is applied exactly once, however many crashes interrupt its
+      installation window;
+    - {b input-freshness} (PR 7): scenarios built with
+      {!Scenario.with_freshness} carry an
+      {!Artemis.Consistency.Freshness} tracker on the device's record
+      chokepoint; any declared consumer that starts or commits against
+      producer data older than the scenario's budget - data age
+      accumulates silently across power failures - becomes a campaign
+      violation. *)
 
 (** {2 Injection sites} *)
 

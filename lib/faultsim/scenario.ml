@@ -7,6 +7,7 @@ type built = {
   machines : Fsm.Ast.machine list;
   config : Runtime.config;
   adaptations : (int * Adapt.update) list;
+  freshness : Consistency.Freshness.t option;
 }
 
 type t = {
@@ -19,7 +20,7 @@ let deploy ?engine device app spec ~seed =
   let machines = compile_exn ~app spec in
   let suite = deploy ?engine device machines in
   let config = { Runtime.default_config with seed } in
-  { device; app; suite; machines; config; adaptations = [] }
+  { device; app; suite; machines; config; adaptations = []; freshness = None }
 
 (* examples/quickstart.ml, reconstructed fresh on every call. *)
 let quickstart =
@@ -111,8 +112,143 @@ let health_adapt =
            onFail: skipPath Path: 2; }" );
     ]
 
+(* --- consistency & freshness scenarios (PR 7) --- *)
+
+(* Attach an input-freshness tracker to a scenario: the tracker reads
+   the device's simulated clock and revert counter and subscribes to the
+   Device.record chokepoint, so every task event the run logs feeds it.
+   One fresh tracker per build keeps parallel campaigns deterministic. *)
+let with_freshness base ~name ~description ~budget ~reads =
+  {
+    name;
+    description;
+    build =
+      (fun ~engine ~seed ->
+        let b = base.build ~engine ~seed in
+        let device = b.device in
+        let nvm = Device.nvm device in
+        let tracker =
+          Consistency.Freshness.create
+            ~clock:(fun () -> Time.to_us (Device.sim_time device))
+            ~in_tx:(fun () -> Nvm.in_tx nvm)
+            ~revert_count:(fun () -> Nvm.revert_count nvm)
+            ~budget ~reads ()
+        in
+        Device.set_on_record device
+          (Some (Consistency.Freshness.on_event tracker));
+        { b with freshness = Some tracker });
+  }
+
+let quickstart_fresh =
+  (* quickstart under a generous freshness budget: the doomed transmit
+     retries across 30 s charging delays, but sample's data never ages
+     past 10 minutes, so the oracle stays silent - until a chaos hook
+     (skipped stamps, recovery clock skip) re-introduces the bug. *)
+  with_freshness quickstart ~name:"quickstart-fresh"
+    ~description:
+      "quickstart plus an input-freshness budget: transmit must consume \
+       sample data younger than 10 minutes"
+    ~budget:(Time.of_min 10)
+    ~reads:[ ("transmit", [ "sample" ]) ]
+
+(* Deliberately-buggy app #1: a driver-shim task that accumulates into a
+   raw Runtime-region FRAM word with a direct write - the classic WAR
+   hazard.  The task-atomicity oracle only snapshots the Application
+   region (task transactions only protect application state), so no
+   dynamic oracle can see the double-apply; only the static WAR pass
+   flags it.  That asymmetry is this scenario's reason to exist. *)
+let war_buggy =
+  let build ~engine ~seed =
+    let device = Device.create () in
+    let nvm = Device.nvm device in
+    let samples =
+      Channel.create nvm ~name:"samples" ~bytes_per_item:4 ~capacity:4
+    in
+    let acc =
+      Nvm.cell nvm ~region:Nvm.Runtime ~name:"drv.filter.acc" ~bytes:4 0
+    in
+    let sense =
+      Task.make ~name:"sense" ~duration:(Time.of_ms 100) ~power:(Energy.mw 2.)
+        ~body:(fun _ -> Channel.push samples 19.0)
+        ()
+    in
+    let filter =
+      Task.make ~name:"filter" ~duration:(Time.of_ms 80) ~power:(Energy.mw 3.)
+        ~body:(fun _ ->
+          (* BUG (deliberate): read-modify-write of persistent state
+             outside the task transaction - re-execution double-counts *)
+          Nvm.write acc (Nvm.read acc + 1))
+        ()
+    in
+    let app =
+      Task.app ~name:"war-buggy"
+        [ { Task.index = 1; tasks = [ sense; filter ] } ]
+    in
+    deploy ?engine device app "filter: { maxTries: 3 onFail: skipPath; }"
+      ~seed
+  in
+  {
+    name = "war-buggy";
+    description =
+      "deliberately buggy: filter read-modify-writes a Runtime-region cell \
+       outside its transaction (WAR hazard for the static pass; invisible \
+       to the dynamic oracles)";
+    build;
+  }
+
+(* Deliberately-buggy app #2: the consumer's freshness budget (10 s) is
+   shorter than the charging delay (30 s).  The uninjected baseline runs
+   both tasks on one charge and stays green; any injected crash between
+   the sense commit and the report commit inserts a 30 s outage, so the
+   report consumes stale data and the input-freshness oracle fires.  No
+   other oracle is violated: state stays transactional throughout. *)
+let stale_read =
+  let base =
+    let build ~engine ~seed =
+      let device =
+        Device.create ~policy:(Charging_policy.Fixed_delay (Time.of_sec 30)) ()
+      in
+      let nvm = Device.nvm device in
+      let samples =
+        Channel.create nvm ~name:"samples" ~bytes_per_item:4 ~capacity:4
+      in
+      let reported = Nvm.cell nvm ~region:Nvm.Application ~name:"reported" ~bytes:4 0 in
+      let sense =
+        Task.make ~name:"sense" ~duration:(Time.of_ms 100)
+          ~power:(Energy.mw 2.)
+          ~body:(fun _ -> Channel.push samples 23.4)
+          ()
+      in
+      let report =
+        Task.make ~name:"report" ~duration:(Time.of_ms 120)
+          ~power:(Energy.mw 5.)
+          ~body:(fun _ ->
+            let items = Channel.take_all samples in
+            Nvm.tx_write reported (Nvm.read reported + List.length items))
+          ()
+      in
+      let app =
+        Task.app ~name:"stale-read"
+          [ { Task.index = 1; tasks = [ sense; report ] } ]
+      in
+      deploy ?engine device app "report: { maxTries: 5 onFail: skipPath; }"
+        ~seed
+    in
+    { name = "stale-read"; description = ""; build }
+  in
+  with_freshness base ~name:"stale-read"
+    ~description:
+      "deliberately buggy: report's 10 s freshness budget is shorter than \
+       the 30 s charging delay, so any crash between sense and report \
+       commits makes the consumed data stale"
+    ~budget:(Time.of_sec 10)
+    ~reads:[ ("report", [ "sense" ]) ]
+
 let with_engine engine base =
   { base with build = (fun ~engine:_ ~seed -> base.build ~engine:(Some engine) ~seed) }
 
-let all = [ quickstart; health; quickstart_adapt; health_adapt ]
+let all =
+  [ quickstart; health; quickstart_adapt; health_adapt; quickstart_fresh;
+    stale_read; war_buggy ]
+
 let find name = List.find_opt (fun s -> s.name = name) all

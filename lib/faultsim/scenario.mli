@@ -19,6 +19,11 @@ type built = {
   adaptations : (int * Adapt.update) list;
       (** live property updates delivered mid-run (PR 4); empty for the
           classic scenarios *)
+  freshness : Consistency.Freshness.t option;
+      (** input-freshness tracker wired to the device's record
+          chokepoint (PR 7); its violations become the campaign's
+          [input-freshness] oracle.  [None] for scenarios without a
+          freshness budget. *)
 }
 
 type t = {
@@ -46,6 +51,35 @@ val health_adapt : t
 (** {!health} plus a live update at iteration 40 tightening the MITD
     window (persistent [attempts] migrated) and removing
     [maxDuration_send]. *)
+
+val quickstart_fresh : t
+(** {!quickstart} plus a 10-minute input-freshness budget on
+    [transmit <- sample]: green under every clean campaign, the mutation
+    target for the freshness chaos hooks. *)
+
+val stale_read : t
+(** Deliberately buggy: the consumer's 10 s freshness budget is shorter
+    than the 30 s charging delay, so any injected crash between the
+    producer's and the consumer's commits makes the consumed input
+    stale.  Only the [input-freshness] oracle fires. *)
+
+val war_buggy : t
+(** Deliberately buggy: a task read-modify-writes a Runtime-region FRAM
+    cell outside its transaction.  Invisible to all five dynamic
+    oracles (task transactions only guard the Application region) -
+    exactly the gap the static WAR pass
+    ({!Artemis.Consistency.War}) closes. *)
+
+val with_freshness :
+  t ->
+  name:string ->
+  description:string ->
+  budget:Artemis.Time.t ->
+  reads:(string * string list) list ->
+  t
+(** Attach an input-freshness tracker (budget + consumer/source
+    declarations) to a scenario; the rebuilt scenario allocates a fresh
+    tracker per build, keeping parallel campaigns deterministic. *)
 
 val with_engine : Monitor.engine -> t -> t
 (** Pin the scenario's monitor engine: the returned scenario builds the

@@ -24,6 +24,13 @@ val create :
 val pc : t -> int
 val length : t -> int
 
+val steps : t -> (unit -> unit) array
+(** The thread's step bodies, in program order - the access-recording
+    surface for the static WAR-hazard analysis
+    ({!Artemis_consistency.War.analyze_steps}): each step runs inside
+    its own transaction, so a step-local read-then-plain-write is a
+    re-execution hazard exactly as in a task body. *)
+
 val fresh : t -> bool
 (** No step has run since the last {!reset} (pc = 0). *)
 

@@ -33,6 +33,20 @@ let validate armed_list =
     Error "negative arrival time"
   else Ok ()
 
+(* The WAR-analysis surface (PR 7): every distinct task body across all
+   armed threads, in scheduling-surface order.  InK runs each task
+   inside a transaction exactly like the ARTEMIS runtime, so the same
+   read-then-plain-write rule applies. *)
+let bodies armed_list =
+  let seen = Hashtbl.create 16 in
+  List.concat_map (fun a -> a.thread.tasks) armed_list
+  |> List.filter_map (fun (t : Task.t) ->
+         if Hashtbl.mem seen t.Task.name then None
+         else begin
+           Hashtbl.add seen t.Task.name ();
+           Some (t.Task.name, t.Task.body)
+         end)
+
 type config = {
   kernel_cycles_per_event : int;
   mcu_power : Energy.power;

@@ -36,6 +36,11 @@ val validate : armed list -> (unit, string) result
 (** Non-empty; thread names unique; chains non-empty; arrivals
     non-negative. *)
 
+val bodies : armed list -> (string * (Task.context -> unit)) list
+(** Every distinct task body across all armed threads, named, in
+    first-appearance order: the access-recording surface for the static
+    WAR-hazard analysis ({!Artemis_consistency.War.analyze_bodies}). *)
+
 type config = {
   kernel_cycles_per_event : int;  (** scheduler bookkeeping per task event *)
   mcu_power : Energy.power;

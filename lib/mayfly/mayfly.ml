@@ -30,6 +30,10 @@ let annotations_of_spec spec =
       if annotations = [] then None else Some (task, annotations))
     spec
 
+(* Mayfly executes the same Task.app surface as the ARTEMIS runtime, so
+   its WAR-analysis surface is the app's distinct task bodies. *)
+let bodies = Task.bodies
+
 type config = { cost_model : Cost_model.t; max_loop_iterations : int; seed : int }
 
 let default_config =

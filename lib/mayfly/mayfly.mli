@@ -29,6 +29,11 @@ val annotations_of_spec : Artemis_spec.Ast.t -> (string * annotation list) list
     subset Mayfly supports, Section 5.1.1) and drop the rest - including
     any [maxAttempt] guards. *)
 
+val bodies : Task.app -> (string * (Task.context -> unit)) list
+(** The access-recording surface for the static WAR-hazard analysis:
+    Mayfly executes the same {!Task.app} task bodies (transactionally)
+    as the ARTEMIS runtime, so the surface is {!Task.bodies}. *)
+
 type config = { cost_model : Cost_model.t; max_loop_iterations : int; seed : int }
 
 val default_config : config

@@ -31,11 +31,33 @@ let injection_sites =
 module Chaos = struct
   let no_write_join = ref false  (* write_join always writes through *)
   let tx_write_through = ref false  (* tx_write commits immediately *)
+  let hazardous_nontx_write = ref false
+  (* channel pushes bypass the task transaction (see Channel.push): the
+     canonical WAR hazard the static consistency pass exists to flag *)
 
   let reset () =
     no_write_join := false;
-    tx_write_through := false
+    tx_write_through := false;
+    hazardous_nontx_write := false
 end
+
+(* --- access recording (PR 7) ---
+
+   The static WAR-hazard analysis observes a task body's reads and
+   writes by installing a recorder and running the body once.  The
+   recorder is a single optional field: the hot paths pay one branch
+   when it is absent, and the access record is only allocated when a
+   recording pass is active. *)
+
+type access_op = Read_op | Write_op | Tx_write_op
+
+type access = {
+  acc_name : string;
+  acc_region : region;
+  acc_kind : kind;
+  acc_op : access_op;
+  acc_in_tx : bool;
+}
 
 (* Per-cell hooks let the store manipulate heterogeneous cells uniformly. *)
 type registered = {
@@ -65,11 +87,14 @@ type t = {
   mutable probe : (string -> unit) option;
       (* fault-injection hook; fired around state-changing operations with
          the site label, and allowed to raise [Injected_failure] *)
+  mutable recorder : (access -> unit) option;
+      (* access-set recorder for the static WAR-hazard pass (PR 7) *)
 }
 
 type 'a cell = {
   store : t;
   name : string;
+  region : region;
   kind : kind;
   initial : 'a;
   mutable committed : 'a;
@@ -95,11 +120,26 @@ let create ?obs () =
     reverts = 0;
     tx_begin_us = 0;
     probe = None;
+    recorder = None;
   }
 
 let obs t = t.obs
 let set_probe t p = t.probe <- p
 let fire t site = match t.probe with None -> () | Some p -> p site
+let set_recorder t r = t.recorder <- r
+
+let record_access c op =
+  match c.store.recorder with
+  | None -> ()
+  | Some f ->
+      f
+        {
+          acc_name = c.name;
+          acc_region = c.region;
+          acc_kind = c.kind;
+          acc_op = op;
+          acc_in_tx = c.store.tx_open;
+        }
 
 let cell t ~region ?(kind = Fram) ~name ~bytes init =
   if bytes < 0 then invalid_arg "Nvm.cell: negative size";
@@ -107,7 +147,8 @@ let cell t ~region ?(kind = Fram) ~name ~bytes init =
     invalid_arg (Printf.sprintf "Nvm.cell: duplicate cell %S" name);
   Hashtbl.replace t.names (region, name) ();
   let c =
-    { store = t; name; kind; initial = init; committed = init; pending = None }
+    { store = t; name; region; kind; initial = init; committed = init;
+      pending = None }
   in
   let registered =
     {
@@ -126,7 +167,9 @@ let cell t ~region ?(kind = Fram) ~name ~bytes init =
   if kind = Ram then t.volatiles <- registered :: t.volatiles;
   c
 
-let read c = match c.pending with Some v -> v | None -> c.committed
+let read c =
+  (match c.store.recorder with None -> () | Some _ -> record_access c Read_op);
+  match c.pending with Some v -> v | None -> c.committed
 
 let write c v =
   (match (c.kind, c.pending) with
@@ -134,6 +177,7 @@ let write c v =
       invalid_arg
         (Printf.sprintf "Nvm.write: cell %S has an uncommitted tx value" c.name)
   | (Fram | Ram), _ -> ());
+  record_access c Write_op;
   Obs.Ctx.incr c.store.obs m_writes;
   fire c.store "nvm.write.before";
   c.committed <- v;
@@ -157,6 +201,7 @@ let tx_write c v =
   if not c.store.tx_open then invalid_arg "Nvm.tx_write: no open transaction";
   if c.kind = Ram then
     invalid_arg (Printf.sprintf "Nvm.tx_write: cell %S is volatile" c.name);
+  record_access c Tx_write_op;
   Obs.Ctx.incr c.store.obs m_tx_writes;
   fire c.store "nvm.tx_write.before";
   (if !Chaos.tx_write_through then c.committed <- v

@@ -62,6 +62,27 @@ val set_probe : t -> (string -> unit) option -> unit
     Recovery paths ({!power_failure}, {!abort_tx}) and reads never fire
     the probe. *)
 
+type access_op =
+  | Read_op
+  | Write_op     (** direct persistent write ({!write}) *)
+  | Tx_write_op  (** transactionally buffered write ({!tx_write}) *)
+
+type access = {
+  acc_name : string;
+  acc_region : region;
+  acc_kind : kind;
+  acc_op : access_op;
+  acc_in_tx : bool;  (** a task transaction was open at the access *)
+}
+(** One cell access, as seen by a recording pass (PR 7). *)
+
+val set_recorder : t -> (access -> unit) option -> unit
+(** Install (or clear) the access recorder.  While installed, every
+    {!read}, {!write} and {!tx_write} reports its cell and operation;
+    the static WAR-hazard analysis ({!Artemis_consistency.War}) uses
+    this to collect per-task access sets by running each task body once.
+    The hot paths pay a single branch when no recorder is installed. *)
+
 val cell :
   t -> region:region -> ?kind:kind -> name:string -> bytes:int -> 'a -> 'a cell
 (** [cell t ~region ~name ~bytes init] allocates a cell holding [init].
@@ -113,11 +134,19 @@ val power_failure : t -> unit
 
 val revert_count : t -> int
 (** Number of state-revert events (transaction aborts, power failures)
-    since the store was created.  Monotone.  Lets register-caching
-    engines (the table monitor backend) skip re-reading their cells on
-    the steady-state path: registers can only have diverged from the
-    cells after a revert or an out-of-band cell write, and the writers
-    of the latter invalidate explicitly. *)
+    since the store was created.  Monotone: {b both} {!abort_tx} and
+    {!power_failure} bump it (a power failure with an open transaction
+    bumps twice; consumers must compare for inequality, never count).
+    Two consumers rely on this:
+    - register-caching engines (the table monitor backend) skip
+      re-reading their cells on the steady-state path: registers can
+      only have diverged after a revert or an out-of-band cell write,
+      and the writers of the latter invalidate explicitly;
+    - the freshness tracker ({!Artemis_consistency.Freshness}) snapshots
+      it when a timestamp is taken inside an open transaction, so a
+      stamp whose enclosing transaction was reverted - by an explicit
+      abort as much as by a power failure - can never launder a stale
+      input as fresh. *)
 
 val footprint : t -> kind:kind -> region:region -> int
 (** Total declared bytes of the cells of that kind and region. *)
@@ -145,6 +174,14 @@ module Chaos : sig
   (** {!tx_write} publishes immediately instead of buffering - task
       writes stop being all-or-nothing, so a mid-task crash leaves a
       half-executed task visible (defeats task-transaction atomicity). *)
+
+  val hazardous_nontx_write : bool ref
+  (** [Channel.push] writes the channel cell directly instead of through
+      the task transaction - the classic read-then-write (WAR) hazard:
+      a crash after the push but before task commit leaves the pushed
+      item durable, and the re-executed task pushes it again.  The
+      static WAR pass ({!Artemis_consistency.War}) must flag it; the
+      task-atomicity oracle catches it dynamically. *)
 
   val reset : unit -> unit
   (** Clear every flag. *)

@@ -502,6 +502,12 @@ let execute_task st =
       Nvm.tx_write st.cursor
         { c with finished = true; end_ts = Device.now st.device };
       Nvm.commit_tx nvm;
+      (* Commit strictly before the completion record: the record
+         chokepoint feeds observers like the input-freshness tracker
+         (Consistency.Freshness via Device.set_on_record), whose stamps
+         must describe durable data.  A crash between these two lines
+         loses only the event - the tracker recovers it from the task's
+         earlier Task_started (its pending-stamp protocol). *)
       Device.record st.device (Event.Task_completed { task = task.Task.name })
 
 (* --- verdict application --- *)

@@ -22,7 +22,12 @@ let push t v =
       List.filteri (fun i _ -> i < t.capacity - 1) current
     else current
   in
-  Nvm.tx_write t.cell (v :: bounded)
+  if !Nvm.Chaos.hazardous_nontx_write then
+    (* mutation-suite variant (PR 7): the push bypasses the task
+       transaction, re-introducing the WAR hazard the static
+       consistency pass flags *)
+    Nvm.write t.cell (v :: bounded)
+  else Nvm.tx_write t.cell (v :: bounded)
 
 let take_all t =
   let all = items t in

@@ -76,3 +76,17 @@ let task_names a =
 
 let find_path a index = List.find_opt (fun p -> p.index = index) a.paths
 let path_count a = List.length a.paths
+
+(* The WAR-analysis surface (PR 7): every distinct task body, named, in
+   first-appearance order.  This is the execution surface of the ARTEMIS
+   runtime and of the Mayfly baseline (both run Task.app values); InK
+   and the checkpoint runtime expose their own [bodies]. *)
+let bodies a =
+  let seen = Hashtbl.create 16 in
+  List.concat_map (fun p -> p.tasks) a.paths
+  |> List.filter_map (fun t ->
+         if Hashtbl.mem seen t.name then None
+         else begin
+           Hashtbl.add seen t.name ();
+           Some (t.name, t.body)
+         end)

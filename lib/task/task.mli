@@ -54,3 +54,9 @@ val task_names : app -> string list
 val find_path : app -> int -> path option
 
 val path_count : app -> int
+
+val bodies : app -> (string * (context -> unit)) list
+(** Every distinct task body, named, in first-appearance order: the
+    access-recording surface the static WAR-hazard analysis
+    ({!Artemis_consistency.War}) runs over.  This is the execution
+    surface of both the ARTEMIS runtime and the Mayfly baseline. *)

@@ -79,3 +79,39 @@ words (dispatch table + bytecode) plus the register-file size:
   maxTries_transmit: dispatch 55w + bytecode 8w = 63 words (regs: 2 int, 0 float)
   MITD_transmit_accel: dispatch 63w + bytecode 3w = 66 words (regs: 2 int, 0 float)
   total: 192 words
+
+The --check flag runs the static WAR-hazard pass (PR 7) over a faultsim
+scenario's task surface: a task that reads a persistent cell and later
+writes it back outside its transaction is non-idempotent under
+re-execution, invisible to the dynamic oracles when the cell lies
+outside the Application region, and rejected here with exit 1:
+
+  $ ../../bin/artemisc.exe --check war-buggy
+  scenario war-buggy: 2 tasks analyzed
+  WAR hazard: task "filter" reads then writes runtime cell "drv.filter.acc" outside a transaction
+  1 hazard
+  [1]
+
+Clean scenarios pass, several can be checked at once:
+
+  $ ../../bin/artemisc.exe --check quickstart --check health --check stale-read
+  scenario quickstart: 2 tasks analyzed
+  no WAR hazards
+  scenario health: 8 tasks analyzed
+  no WAR hazards
+  scenario stale-read: 2 tasks analyzed
+  no WAR hazards
+
+--allow-hazard downgrades the verdict to report-only (a migration
+escape hatch, not a recommendation):
+
+  $ ../../bin/artemisc.exe --check war-buggy --allow-hazard
+  scenario war-buggy: 2 tasks analyzed
+  WAR hazard: task "filter" reads then writes runtime cell "drv.filter.acc" outside a transaction
+  1 hazard
+
+Unknown scenarios are rejected:
+
+  $ ../../bin/artemisc.exe --check nope
+  unknown scenario "nope" (quickstart|health|quickstart-adapt|health-adapt|quickstart-fresh|stale-read|war-buggy)
+  [1]

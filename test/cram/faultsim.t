@@ -60,10 +60,41 @@ A single schedule replays from its one-line reproducer:
   $ ../../bin/faultsim.exe --scenario quickstart --replay '42:6@0,4@1'
   replay 42:6@0,4@1: completed, 0 violations, reproducible
 
+The input-freshness oracle (PR 7) audits declared producer/consumer
+pairs against a per-scenario data-age budget.  quickstart-fresh adds a
+generous 10-minute budget to the quickstart app and stays green at
+every crash instant, while stale-read's deliberately-buggy 10-second
+budget is shorter than its 30-second charging delay, so any crash
+between the producing and consuming commits surfaces stale data — and
+only that oracle fires, with a one-line shrunk reproducer:
+
+  $ ../../bin/faultsim.exe --scenario quickstart-fresh --depth 1
+  scenario quickstart-fresh: 20 injection sites
+  baseline: completed, 0 violations
+  exhaustive (depth 1): 160 runs, coverage 12/20, 0 violations
+
+  $ ../../bin/faultsim.exe --scenario stale-read --depth 1 2>&1 | grep -v VIOLATION
+  scenario stale-read: 20 injection sites
+  baseline: completed, 0 violations
+  exhaustive (depth 1): 112 runs, coverage 12/20, 100 violations
+  minimal reproducer: 42:0@6
+  $ ../../bin/faultsim.exe --scenario stale-read --replay '42:0@6' 2>&1 | grep VIOLATION | head -1
+  VIOLATION [input-freshness] report consumed sense data aged 30000580us (budget 10000000us) at 30101160us
+
+The war-buggy scenario read-modify-writes a Runtime-region cell outside
+its task transaction.  Task transactions only guard the Application
+region, so every dynamic oracle stays green — the gap the static WAR
+pass (artemisc --check) exists to close:
+
+  $ ../../bin/faultsim.exe --scenario war-buggy --depth 1
+  scenario war-buggy: 20 injection sites
+  baseline: completed, 0 violations
+  exhaustive (depth 1): 110 runs, coverage 12/20, 0 violations
+
 Bad input is rejected:
 
   $ ../../bin/faultsim.exe --scenario nope
-  unknown scenario "nope" (quickstart|health|quickstart-adapt|health-adapt)
+  unknown scenario "nope" (quickstart|health|quickstart-adapt|health-adapt|quickstart-fresh|stale-read|war-buggy)
   [2]
   $ ../../bin/faultsim.exe --replay '42:99@0'
   bad replay line: site 99 out of range [0,19]

@@ -16,7 +16,7 @@ module Scenario = Artemis_faultsim.Scenario
 
 let all_oracles =
   [ "task-atomicity"; "golden-reexecution"; "action-at-most-once";
-    "update-exactly-once"; "stable-footprint" ]
+    "update-exactly-once"; "stable-footprint"; "input-freshness" ]
 
 (* Oracles fired across the whole suite; the meta-test at the bottom
    checks every oracle appears at least once. *)
@@ -37,7 +37,8 @@ let oracle_counts campaign =
 
 let reset_all_chaos () =
   Nvm.Chaos.reset ();
-  Runtime.Chaos.reset ()
+  Runtime.Chaos.reset ();
+  Consistency.Freshness.Chaos.reset ()
 
 (* Run [campaign ()] with [flag] set, hooks always cleared afterwards
    (even on assertion failure, so one failing mutation cannot poison the
@@ -71,7 +72,17 @@ let test_control () =
   let c = F.exhaustive Scenario.quickstart ~seed:42 ~depth:1 in
   Alcotest.(check int) "quickstart clean" 0 (F.total_violations c);
   let ca = F.exhaustive Scenario.quickstart_adapt ~seed:42 ~depth:1 in
-  Alcotest.(check int) "quickstart-adapt clean" 0 (F.total_violations ca)
+  Alcotest.(check int) "quickstart-adapt clean" 0 (F.total_violations ca);
+  (* a generous freshness budget never fires without a chaos hook, even
+     across crash-inserted 30 s outages *)
+  let cf = F.exhaustive Scenario.quickstart_fresh ~seed:42 ~depth:1 in
+  Alcotest.(check int) "quickstart-fresh clean" 0 (F.total_violations cf);
+  (* the WAR-hazard app is invisible to every *dynamic* oracle: task
+     transactions only guard the Application region, and the buggy task
+     read-modify-writes a Runtime-region cell (the static pass below is
+     the only thing that catches it) *)
+  let cw = F.exhaustive Scenario.war_buggy ~seed:42 ~depth:1 in
+  Alcotest.(check int) "war-buggy dynamically clean" 0 (F.total_violations cw)
 
 (* --- NVM-level mutations --- *)
 
@@ -122,6 +133,43 @@ let test_leak_on_recovery () =
   check_mutation ~name:"leak_on_recovery" ~oracle:"stable-footprint"
     Runtime.Chaos.leak_on_recovery Scenario.quickstart
 
+(* Channel pushes bypass the task transaction and land directly in
+   committed Application-region FRAM: a crash mid-task exposes the
+   half-pushed item (dynamic task-atomicity violation), and the same
+   plain write turns the push's read-modify-write into a textbook WAR
+   hazard the static pass must flag. *)
+let test_hazardous_nontx_write () =
+  check_mutation ~name:"hazardous_nontx_write" ~oracle:"task-atomicity"
+    Nvm.Chaos.hazardous_nontx_write Scenario.quickstart;
+  let report =
+    Fun.protect ~finally:reset_all_chaos (fun () ->
+        Nvm.Chaos.hazardous_nontx_write := true;
+        let b = Scenario.quickstart.Scenario.build ~engine:None ~seed:42 in
+        Consistency.War.analyze_app (Device.nvm b.Scenario.device)
+          b.Scenario.app)
+  in
+  Alcotest.(check bool)
+    "hazardous_nontx_write: static WAR pass flags the channel cell" true
+    (List.exists
+       (fun (h : Consistency.War.hazard) -> h.haz_cell = "chan:samples")
+       report.Consistency.War.hazards)
+
+(* --- freshness-level mutations --- *)
+
+(* Producer completions stop stamping their data: every consumer check
+   finds no provable timestamp and reports unstamped consumption. *)
+let test_skip_freshness_stamp () =
+  check_mutation ~name:"skip_freshness_stamp" ~oracle:"input-freshness"
+    Consistency.Freshness.Chaos.skip_freshness_stamp Scenario.quickstart_fresh
+
+(* A remanence-timekeeper misestimate: every recovery skews the tracker
+   clock an hour forward, so any consumption after a crash reads as far
+   beyond the 10-minute budget. *)
+let test_clock_skip_on_recovery () =
+  check_mutation ~name:"clock_skip_on_recovery" ~oracle:"input-freshness"
+    Consistency.Freshness.Chaos.clock_skip_on_recovery
+    Scenario.quickstart_fresh
+
 (* --- meta: across the suite, every oracle fired at least once --- *)
 
 let test_all_oracles_covered () =
@@ -147,5 +195,11 @@ let suite =
     ("double_adapt_event -> update-exactly-once", `Quick,
       test_double_adapt_event);
     ("leak_on_recovery -> stable-footprint", `Quick, test_leak_on_recovery);
+    ("hazardous_nontx_write -> task-atomicity + static WAR", `Quick,
+      test_hazardous_nontx_write);
+    ("skip_freshness_stamp -> input-freshness", `Quick,
+      test_skip_freshness_stamp);
+    ("clock_skip_on_recovery -> input-freshness", `Quick,
+      test_clock_skip_on_recovery);
     ("every oracle fired somewhere", `Quick, test_all_oracles_covered);
   ]

@@ -1,0 +1,336 @@
+(* Static WAR-hazard analysis (PR 7).
+
+   Two layers of evidence:
+
+   - unit tests pin the pass's judgement on hand-written bodies and on
+     the shipped scenario catalogue across all four backend task
+     surfaces (ARTEMIS runtime / Mayfly via [Task.bodies], InK via
+     [Ink.bodies], checkpoints via [Checkpoint.bodies], immortal
+     threads via [analyze_steps]);
+
+   - a QCheck differential test generates random task bodies over a
+     small FRAM cell set and checks the pass against a trivially-correct
+     crash-replay reference on pure arrays: if re-executing the body
+     after a crash at ANY prefix can diverge from the crash-free run,
+     the static pass must flag at least one hazard (soundness).  Fully
+     transactional bodies must never be flagged (no false positives on
+     the programming model the runtime actually promises). *)
+
+open Artemis
+module War = Consistency.War
+module Scenario = Artemis_faultsim.Scenario
+
+let fresh_store () =
+  let nvm = Nvm.create () in
+  let a = Nvm.cell nvm ~region:Nvm.Application ~name:"a" ~bytes:4 5 in
+  let b = Nvm.cell nvm ~region:Nvm.Application ~name:"b" ~bytes:4 (-3) in
+  let scratch =
+    Nvm.cell nvm ~region:Nvm.Runtime ~kind:Nvm.Ram ~name:"scratch" ~bytes:4 0
+  in
+  (nvm, a, b, scratch)
+
+let analyze_body name body =
+  let nvm, a, b, scratch = fresh_store () in
+  War.analyze_bodies nvm [ (name, fun _ -> body a b scratch) ]
+
+(* --- unit: hand-written bodies --- *)
+
+let test_flags_read_modify_write () =
+  let r =
+    analyze_body "rmw" (fun a _ _ -> Nvm.write a (Nvm.read a + 1))
+  in
+  Alcotest.(check bool) "flagged" true (War.has_hazards r);
+  match r.War.hazards with
+  | [ h ] ->
+      Alcotest.(check string) "task" "rmw" h.War.haz_task;
+      Alcotest.(check string) "cell" "a" h.War.haz_cell
+  | hs -> Alcotest.failf "expected exactly one hazard, got %d" (List.length hs)
+
+let test_tx_write_is_safe () =
+  let r =
+    analyze_body "tx-rmw" (fun a _ _ -> Nvm.tx_write a (Nvm.read a + 1))
+  in
+  Alcotest.(check bool) "tx-buffered rmw not flagged" false (War.has_hazards r)
+
+let test_volatile_is_safe () =
+  let r =
+    analyze_body "ram-rmw" (fun _ _ s -> Nvm.write s (Nvm.read s + 1))
+  in
+  Alcotest.(check bool) "volatile rmw not flagged" false (War.has_hazards r)
+
+let test_blind_write_is_safe () =
+  let r = analyze_body "blind" (fun a _ _ -> Nvm.write a 99) in
+  Alcotest.(check bool) "write without read not flagged" false
+    (War.has_hazards r)
+
+let test_write_then_read_is_safe () =
+  let r =
+    analyze_body "wtr" (fun a _ _ ->
+        Nvm.write a 7;
+        ignore (Nvm.read a))
+  in
+  Alcotest.(check bool) "write-then-read not flagged" false (War.has_hazards r)
+
+let test_cross_cell_read_then_write () =
+  (* read a, then plain-write a via a copy chain: a is read at one
+     point and directly written at a later one - flagged, whatever
+     cell the intermediate value passed through *)
+  let r =
+    analyze_body "chain" (fun a b _ ->
+        Nvm.write b (Nvm.read a);
+        Nvm.write a (Nvm.read b))
+  in
+  Alcotest.(check bool) "read-then-later-write flagged" true
+    (War.has_hazards r)
+
+(* --- unit: the scenario catalogue --- *)
+
+let build name =
+  match Scenario.find name with
+  | Some sc -> sc.Scenario.build ~engine:None ~seed:42
+  | None -> Alcotest.failf "scenario %s missing" name
+
+let test_war_buggy_flagged () =
+  let b = build "war-buggy" in
+  let r = War.analyze_app (Device.nvm b.Scenario.device) b.Scenario.app in
+  Alcotest.(check bool) "war-buggy flagged" true (War.has_hazards r);
+  Alcotest.(check bool) "names the accumulator cell" true
+    (List.exists
+       (fun h -> h.War.haz_task = "filter" && h.War.haz_cell = "drv.filter.acc")
+       r.War.hazards)
+
+let test_shipped_scenarios_clean () =
+  List.iter
+    (fun name ->
+      let b = build name in
+      let r = War.analyze_app (Device.nvm b.Scenario.device) b.Scenario.app in
+      Alcotest.(check int)
+        (Printf.sprintf "%s has no WAR hazards" name)
+        0
+        (List.length r.War.hazards))
+    [ "quickstart"; "health"; "quickstart-fresh"; "stale-read" ]
+
+let test_soil_app_clean () =
+  let nvm = Nvm.create () in
+  let app, _handles = Soil_app.make nvm in
+  let r = War.analyze_app nvm app in
+  Alcotest.(check int) "soil app has no WAR hazards" 0
+    (List.length r.War.hazards)
+
+(* --- unit: the four backend task surfaces --- *)
+
+let hazardous_task nvm =
+  let acc = Nvm.cell nvm ~region:Nvm.Runtime ~name:"acc" ~bytes:4 0 in
+  Task.make ~name:"bump" ~duration:(Time.of_ms 10) ~power:(Energy.mw 1.)
+    ~body:(fun _ -> Nvm.write acc (Nvm.read acc + 1))
+    ()
+
+let test_ink_surface () =
+  let nvm = Nvm.create () in
+  let armed =
+    [
+      {
+        Ink.thread =
+          {
+            Ink.thread_name = "t";
+            priority = 1;
+            tasks = [ hazardous_task nvm ];
+            expiry = None;
+          };
+        arrival = Time.zero;
+      };
+    ]
+  in
+  let r = War.analyze_bodies nvm (Ink.bodies armed) in
+  Alcotest.(check bool) "InK surface flagged" true (War.has_hazards r)
+
+let test_checkpoint_surface () =
+  let nvm = Nvm.create () in
+  let acc = Nvm.cell nvm ~region:Nvm.Application ~name:"ckpt.acc" ~bytes:4 0 in
+  let seg =
+    Checkpoint.segment ~name:"s1" ~duration:(Time.of_ms 10)
+      ~power:(Energy.mw 1.)
+      ~body:(fun _ -> Nvm.write acc (Nvm.read acc + 1))
+      ()
+  in
+  let program = { Checkpoint.program_name = "p"; segments = [ seg ] } in
+  let r = War.analyze_bodies nvm (Checkpoint.bodies program) in
+  Alcotest.(check bool) "checkpoint surface flagged" true (War.has_hazards r)
+
+let test_immortal_surface () =
+  let nvm = Nvm.create () in
+  let acc = Nvm.cell nvm ~region:Nvm.Monitor ~name:"imm.acc" ~bytes:4 0 in
+  let safe = Nvm.cell nvm ~region:Nvm.Monitor ~name:"imm.safe" ~bytes:4 0 in
+  let thread =
+    Immortal.create nvm ~region:Nvm.Monitor ~name:"mon"
+      ~steps:
+        [|
+          (fun () -> Nvm.write safe 1);
+          (fun () -> Nvm.write acc (Nvm.read acc + 1));
+        |]
+  in
+  let r =
+    War.analyze_steps nvm ~name:"mon" (Immortal.steps thread)
+  in
+  Alcotest.(check bool) "immortal surface flagged" true (War.has_hazards r);
+  (* per-step transactions: the hazard is localized to step 1 *)
+  Alcotest.(check bool) "hazard names the step" true
+    (List.exists (fun h -> h.War.haz_task = "mon#1") r.War.hazards)
+
+(* --- differential: random bodies vs brute-force crash replay --- *)
+
+let n_cells = 3
+let init = [| 5; -3; 11 |]
+
+type bop =
+  | Incr_plain of int  (* write c (read c + 1): the canonical hazard *)
+  | Incr_tx of int  (* tx_write c (read c + 1): crash-safe *)
+  | Set_plain of int * int  (* write c k: blind, idempotent *)
+  | Set_tx of int * int
+  | Copy_plain of int * int  (* write c_j (read c_i) *)
+
+let print_bop = function
+  | Incr_plain i -> Printf.sprintf "c%d := c%d + 1" i i
+  | Incr_tx i -> Printf.sprintf "c%d :=tx c%d + 1" i i
+  | Set_plain (i, k) -> Printf.sprintf "c%d := %d" i k
+  | Set_tx (i, k) -> Printf.sprintf "c%d :=tx %d" i k
+  | Copy_plain (i, j) -> Printf.sprintf "c%d := c%d" j i
+
+(* The store raises on a plain write over a cell with a pending tx
+   write; the runtime's programming model simply never does that.  The
+   pending-set evolution of a body is the same on every (re-)execution,
+   so one static pass yields the legal subsequence. *)
+let sanitize ops =
+  let pending = Array.make n_cells false in
+  List.filter
+    (fun op ->
+      match op with
+      | Incr_tx i | Set_tx (i, _) ->
+          pending.(i) <- true;
+          true
+      | Incr_plain i | Set_plain (i, _) -> not pending.(i)
+      | Copy_plain (_, j) -> not pending.(j))
+    ops
+
+(* Pure reference semantics: committed array + tx-pending overlay,
+   reads see the overlay (the body runs inside one open transaction). *)
+let pure_read committed pending i =
+  match pending.(i) with Some v -> v | None -> committed.(i)
+
+let pure_apply committed pending = function
+  | Incr_plain i -> committed.(i) <- pure_read committed pending i + 1
+  | Incr_tx i -> pending.(i) <- Some (pure_read committed pending i + 1)
+  | Set_plain (i, k) -> committed.(i) <- k
+  | Set_tx (i, k) -> pending.(i) <- Some k
+  | Copy_plain (i, j) -> committed.(j) <- pure_read committed pending i
+
+let pure_commit committed pending =
+  Array.iteri
+    (fun i p -> match p with Some v -> committed.(i) <- v | None -> ())
+    pending;
+  Array.fill pending 0 n_cells None
+
+(* Run the whole body over [committed] and commit its transaction. *)
+let pure_run committed ops =
+  let pending = Array.make n_cells None in
+  List.iter (pure_apply committed pending) ops;
+  pure_commit committed pending
+
+(* Crash after the first [k] operations (tx buffer discarded, plain
+   writes durable), then re-execute the body from the top, as the
+   runtime does.  Returns the final committed state. *)
+let crash_replay_final ops k =
+  let committed = Array.copy init in
+  let pending = Array.make n_cells None in
+  List.iteri (fun n op -> if n < k then pure_apply committed pending op) ops;
+  (* power failure: pending discarded, committed survives *)
+  pure_run committed ops;
+  committed
+
+let diverges ops =
+  let straight = Array.copy init in
+  pure_run straight ops;
+  let rec loop k =
+    if k > List.length ops then false
+    else if crash_replay_final ops k <> straight then true
+    else loop (k + 1)
+  in
+  loop 0
+
+let static_flags ops =
+  let nvm = Nvm.create () in
+  let cells =
+    Array.init n_cells (fun i ->
+        Nvm.cell nvm ~region:Nvm.Application
+          ~name:(Printf.sprintf "c%d" i)
+          ~bytes:4 init.(i))
+  in
+  let body _ =
+    List.iter
+      (function
+        | Incr_plain i -> Nvm.write cells.(i) (Nvm.read cells.(i) + 1)
+        | Incr_tx i -> Nvm.tx_write cells.(i) (Nvm.read cells.(i) + 1)
+        | Set_plain (i, k) -> Nvm.write cells.(i) k
+        | Set_tx (i, k) -> Nvm.tx_write cells.(i) k
+        | Copy_plain (i, j) -> Nvm.write cells.(j) (Nvm.read cells.(i)))
+      ops
+  in
+  War.has_hazards (War.analyze_bodies nvm [ ("body", body) ])
+
+let bop_gen =
+  QCheck.Gen.(
+    let cell = int_bound (n_cells - 1) in
+    let v = int_range (-50) 50 in
+    frequency
+      [
+        (3, map (fun i -> Incr_plain i) cell);
+        (3, map (fun i -> Incr_tx i) cell);
+        (2, map2 (fun i k -> Set_plain (i, k)) cell v);
+        (2, map2 (fun i k -> Set_tx (i, k)) cell v);
+        (3, map2 (fun i j -> Copy_plain (i, j)) cell cell);
+      ])
+
+let arb_body =
+  QCheck.make
+    ~print:(fun ops -> String.concat "; " (List.map print_bop ops))
+    QCheck.Gen.(list_size (int_range 0 12) bop_gen)
+
+(* Soundness: whenever the brute-force crash replay can observe a
+   divergent final state, the static pass reports a hazard. *)
+let soundness =
+  QCheck.Test.make ~name:"crash-replay divergence implies a WAR flag"
+    ~count:500 arb_body (fun raw ->
+      let ops = sanitize raw in
+      (not (diverges ops)) || static_flags ops)
+
+(* No false positives on the promised programming model: a body whose
+   persistent writes are all transactional is never flagged (and never
+   diverges). *)
+let tx_only_clean =
+  QCheck.Test.make ~name:"fully transactional bodies are never flagged"
+    ~count:300 arb_body (fun raw ->
+      let ops =
+        List.filter
+          (function Incr_tx _ | Set_tx _ -> true | _ -> false)
+          (sanitize raw)
+      in
+      (not (diverges ops)) && not (static_flags ops))
+
+let suite =
+  [
+    ("flags read-modify-write", `Quick, test_flags_read_modify_write);
+    ("tx_write rmw is safe", `Quick, test_tx_write_is_safe);
+    ("volatile rmw is safe", `Quick, test_volatile_is_safe);
+    ("blind write is safe", `Quick, test_blind_write_is_safe);
+    ("write-then-read is safe", `Quick, test_write_then_read_is_safe);
+    ("cross-cell read-then-write flagged", `Quick,
+      test_cross_cell_read_then_write);
+    ("war-buggy scenario flagged", `Quick, test_war_buggy_flagged);
+    ("shipped scenarios clean", `Quick, test_shipped_scenarios_clean);
+    ("soil app clean", `Quick, test_soil_app_clean);
+    ("InK task surface", `Quick, test_ink_surface);
+    ("checkpoint segment surface", `Quick, test_checkpoint_surface);
+    ("immortal step surface", `Quick, test_immortal_surface);
+    QCheck_alcotest.to_alcotest soundness;
+    QCheck_alcotest.to_alcotest tx_only_clean;
+  ]
