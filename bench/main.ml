@@ -351,6 +351,72 @@ let print_par_campaign (depth, nruns, rows) =
   end;
   flush stdout
 
+(* --- fleet runner (PR 8): wall-clock of a quickstart device fleet at
+   jobs 1 vs auto, byte-identity asserted like the campaign kernel.
+   Chunking is automatic, so this also exercises the coarse-claim
+   scheduling path the campaign kernel (explicit runs) shares. *)
+
+type fleet_row = { fjobs : int; fwall_s : float; fidentical : bool }
+
+let fleet_bench ~fast () =
+  let seeds = if fast then 64 else 5_000 in
+  let spec =
+    match
+      Fleet.spec_of_json
+        (Printf.sprintf
+           {|{"name": "bench", "scenarios": ["quickstart"],
+              "seeds": {"count": %d}, "harvesters": ["default", "fixed:5s"]}|}
+           seeds)
+    with
+    | Ok s -> s
+    | Error e -> failwith e
+  in
+  let report_bytes report =
+    let path = Filename.temp_file "fleet_bench" ".json" in
+    Fun.protect
+      ~finally:(fun () -> Sys.remove path)
+      (fun () ->
+        Out_channel.with_open_bin path (fun oc ->
+            Fleet.output_report_json ~devices:true oc report);
+        In_channel.with_open_bin path In_channel.input_all)
+  in
+  let timed jobs =
+    let t0 = Unix.gettimeofday () in
+    let r = Fleet.run ~jobs spec in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let r1, w1 = timed 1 in
+  let base = report_bytes r1 in
+  let auto = Artemis.Par.recommended_jobs () in
+  let rows =
+    { fjobs = 1; fwall_s = w1; fidentical = true }
+    :: List.map
+         (fun jobs ->
+           let r, w = timed jobs in
+           { fjobs = jobs; fwall_s = w;
+             fidentical = String.equal base (report_bytes r) })
+         (List.sort_uniq compare [ 2; auto ] |> List.filter (fun j -> j > 1))
+  in
+  (Fleet.spec_size spec, rows)
+
+let print_fleet_bench (devices, rows) =
+  Printf.printf "\n=== fleet: quickstart x %d devices, %d core(s) ===\n" devices
+    (Artemis.Par.recommended_jobs ());
+  let w1 = (List.hd rows).fwall_s in
+  List.iter
+    (fun r ->
+      Printf.printf "jobs %d: %6.3f s  (%.2fx)%s\n" r.fjobs r.fwall_s
+        (if r.fwall_s > 0. then w1 /. r.fwall_s else 0.)
+        (if r.fidentical then "" else "  REPORT MISMATCH"))
+    rows;
+  if List.for_all (fun r -> r.fidentical) rows then
+    print_endline "fleet report byte-identical across all job counts"
+  else begin
+    prerr_endline "fleet: parallel report differs from sequential";
+    exit 1
+  end;
+  flush stdout
+
 (* --- Bechamel micro-benchmarks --- *)
 
 open Bechamel
@@ -545,15 +611,40 @@ let json_of_par (depth, nruns, rows) =
     (Artemis.Par.recommended_jobs ())
     jobs_json
 
+let json_of_fleet (devices, rows) =
+  let w1 = (List.hd rows).fwall_s in
+  let jobs_json =
+    String.concat ",\n"
+      (List.map
+         (fun r ->
+           Printf.sprintf
+             {|      { "jobs": %d, "wall_s": %.3f, "speedup": %.2f, "identical": %b }|}
+             r.fjobs r.fwall_s
+             (if r.fwall_s > 0. then w1 /. r.fwall_s else 0.)
+             r.fidentical)
+         rows)
+  in
+  Printf.sprintf
+    {|  "fleet": {
+    "scenario": "quickstart", "devices": %d, "cores": %d,
+    "jobs": [
+%s
+    ]
+  }|}
+    devices
+    (Artemis.Par.recommended_jobs ())
+    jobs_json
+
 let write_json ~file results ~obs ~freshness ~engines ~scalability
-    ~non_watching ~par =
+    ~non_watching ~par ~fleet =
   let oc = open_out file in
   Printf.fprintf oc
     {|{
-  "bench": "WAR-hazard static analysis + input-freshness oracle (PR7)",
+  "bench": "fleet runner + parallel-scaling fixes (PR8)",
   "kernels_ns": {
 %s
   },
+%s,
 %s,
 %s,
 %s,
@@ -572,6 +663,7 @@ let write_json ~file results ~obs ~freshness ~engines ~scalability
     (json_of_obs obs)
     (json_of_freshness freshness)
     (json_of_par par)
+    (json_of_fleet fleet)
     (String.concat ",\n" (List.map json_of_engine engines))
     (json_of_scalability scalability)
     (json_of_non_watching non_watching);
@@ -603,6 +695,8 @@ let () =
   print_results "Engine comparison: interpreted vs compiled" engine_results;
   let par = par_campaign ~fast:!fast () in
   print_par_campaign par;
+  let fleet = fleet_bench ~fast:!fast () in
+  print_fleet_bench fleet;
   let engines = measure_engines_paired ~fast:!fast () in
   List.iter
     (fun e ->
@@ -639,4 +733,4 @@ let () =
       let scalability = Scalability.run ~factors () in
       let non_watching = Scalability.run_non_watching ~extras () in
       write_json ~file engine_results ~obs ~freshness ~engines ~scalability
-        ~non_watching ~par
+        ~non_watching ~par ~fleet

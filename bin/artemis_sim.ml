@@ -86,11 +86,13 @@ let run_experiment name jobs =
       2
 
 let run system_name engine delay_min continuous temp_base show_trace trace_limit show_summary csv_path trace_out metrics_out show_metrics adapt_path experiment jobs =
-  if jobs < 1 then begin
-    Printf.eprintf "artemis_sim: --jobs must be at least 1 (got %d)\n" jobs;
+  if jobs < 0 then begin
+    Printf.eprintf "artemis_sim: --jobs must be 0 (auto) or positive (got %d)\n"
+      jobs;
     2
   end
   else
+  let jobs = if jobs = 0 then Artemis.Par.recommended_jobs () else jobs in
   match experiment with
   | Some name -> run_experiment name jobs
   | None ->
@@ -312,9 +314,9 @@ let jobs_arg =
     value & opt int 1
     & info [ "jobs" ] ~docv:"N"
         ~doc:
-          "Worker domains for $(b,--experiment) sweeps (default 1). \
-           Rows are distributed over $(docv) domains; the output is \
-           identical for every job count.")
+          "Worker domains for $(b,--experiment) sweeps (default 1; 0 means \
+           auto: one worker per core).  Rows are distributed over $(docv) \
+           domains; the output is identical for every job count.")
 
 let cmd =
   let doc = "simulate the health-monitoring benchmark on intermittent power" in

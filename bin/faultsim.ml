@@ -54,11 +54,13 @@ let run scenario_name engine list depth random max_depth seed replay json skip_v
   in
   write_trace
   @@
-  if jobs < 1 then begin
-    Printf.eprintf "faultsim: --jobs must be at least 1 (got %d)\n" jobs;
+  if jobs < 0 then begin
+    Printf.eprintf "faultsim: --jobs must be 0 (auto) or positive (got %d)\n" jobs;
     2
   end
-  else if list then list_sites ()
+  else
+  let jobs = if jobs = 0 then Artemis.Par.recommended_jobs () else jobs in
+  if list then list_sites ()
   else
     match Scenario.find scenario_name with
     | None ->
@@ -96,7 +98,7 @@ let run scenario_name engine list depth random max_depth seed replay json skip_v
                   F.random_campaign ~jobs scenario ~seed ~runs ~max_depth
               | None -> F.exhaustive ~jobs scenario ~seed ~depth
             in
-            if json then print_string (F.campaign_to_json campaign)
+            if json then F.output_campaign_json stdout campaign
             else begin
               print_string (F.campaign_summary campaign);
               print_violations campaign
@@ -200,9 +202,9 @@ let jobs_arg =
     value & opt int 1
     & info [ "jobs" ] ~docv:"N"
         ~doc:
-          "Fan campaign runs out over $(docv) domains (default 1).  The \
-           report and any exported trace are byte-identical for every \
-           $(docv); use \\$(nproc) to saturate the machine.")
+          "Fan campaign runs out over $(docv) domains (default 1); 0 means \
+           auto: one worker per core.  The report and any exported trace \
+           are byte-identical for every $(docv).")
 
 let cmd =
   let doc =

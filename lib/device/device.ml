@@ -79,7 +79,7 @@ type t = {
   obs : Obs.ctx;
   clock : Clock.t;
   capacitor : Capacitor.t;
-  policy : Charging_policy.t;
+  mutable policy : Charging_policy.t;
   log : Log.t;
   horizon : Time.t;
   mutable scheduled_failures : Time.t list;  (* sorted ascending *)
@@ -147,6 +147,7 @@ let nvm t = t.nvm
 let obs t = t.obs
 let log t = t.log
 let capacitor t = t.capacitor
+let set_policy t policy = t.policy <- policy
 let now t = Clock.now t.clock
 let sim_time t = Clock.elapsed_ground_truth t.clock
 let set_on_record t hook = t.on_record <- hook

@@ -52,6 +52,12 @@ val obs : t -> Artemis_obs.Obs.ctx
 val log : t -> Artemis_trace.Log.t
 val capacitor : t -> Artemis_energy.Capacitor.t
 
+val set_policy : t -> Artemis_energy.Charging_policy.t -> unit
+(** Replace the charging policy.  Scenario builders pick their own
+    policy at {!create} time; the fleet runner overrides it here to
+    sweep one scenario across harvester profiles before the run
+    starts. *)
+
 val now : t -> Time.t
 (** Timestamp as the software observes it (persistent-clock read). *)
 

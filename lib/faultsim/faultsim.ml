@@ -445,32 +445,45 @@ let shrink_first_violation scenario baseline runs =
       let minimal = if still bad.schedule then shrink still bad.schedule else bad.schedule in
       Some (replay_line ~seed:bad.seed minimal)
 
-(* --- parallel fan-out (PR 5) ---
+(* --- parallel fan-out (PR 5, scaling fixed PR 8) ---
 
-   Each run executes against its own fresh [Obs] context (so worker
-   domains never share a trace buffer or metric slots), and the per-run
-   contexts are absorbed into the campaign's context in run-id order.
+   When the campaign context is recording (metrics or tracing on), each
+   run executes against its own fresh [Obs] context (so worker domains
+   never share a trace buffer or metric slots), and the per-run contexts
+   are absorbed into the campaign's context in run-id order.
    [Ctx.absorb] reproduces exactly what sequential execution would have
    recorded - counters sum, each run's events land after the previous
    run's one-second gap - so the merged report and trace are
-   byte-identical for every [jobs] value. *)
+   byte-identical for every [jobs] value.
+
+   When nothing is recording (the common campaign configuration), a
+   per-run context is pure allocation: every guarded [Obs] call is a
+   no-op either way.  Runs then share their worker domain's own context
+   - one per worker, not one per run - and the merge step disappears. *)
 
 let run_isolated parent scenario ~seed schedule =
   let ctx = Obs.Ctx.create ~like:parent () in
   let r = Obs.with_ctx ctx (fun () -> run_schedule scenario ~seed schedule) in
   (r, ctx)
 
-let run_schedules ~jobs scenario ~baseline plans =
+let run_schedules ~jobs scenario ~baseline ~n plan =
   let parent = Obs.current () in
-  let arr = Array.of_list plans in
+  let observed =
+    Obs.Ctx.metrics_enabled parent || Obs.Ctx.tracing_enabled parent
+  in
   let results =
-    Par.map ~jobs (Array.length arr) (fun i ->
-        let seed, schedule = arr.(i) in
-        run_isolated parent scenario ~seed schedule)
+    Par.map ~jobs n (fun i ->
+        let seed, schedule = plan i in
+        if observed then
+          let r, ctx = run_isolated parent scenario ~seed schedule in
+          (r, Some ctx)
+        else (run_schedule scenario ~seed schedule, None))
   in
   Array.to_list results
   |> List.map (fun (r, ctx) ->
-         Obs.Ctx.absorb ~into:parent ctx;
+         (match ctx with
+         | Some ctx -> Obs.Ctx.absorb ~into:parent ctx
+         | None -> ());
          check_footprint baseline r)
 
 let exhaustive ?(jobs = 1) scenario ~seed ~depth =
@@ -498,11 +511,11 @@ let exhaustive ?(jobs = 1) scenario ~seed ~depth =
            schedules)
   in
   let schedules =
-    List.concat (List.init depth (fun d -> deepen (d + 1) level1))
+    Array.of_list (List.concat (List.init depth (fun d -> deepen (d + 1) level1)))
   in
   let runs =
-    run_schedules ~jobs scenario ~baseline
-      (List.map (fun s -> (seed, s)) schedules)
+    run_schedules ~jobs scenario ~baseline ~n:(Array.length schedules)
+      (fun i -> (seed, schedules.(i)))
   in
   {
     scenario = scenario.Scenario.name;
@@ -522,20 +535,23 @@ let random_campaign ?(jobs = 1) scenario ~seed ~runs ~max_depth =
   if jobs < 1 then invalid_arg "Faultsim.random_campaign: jobs must be positive";
   let prng = Prng.create ~seed in
   let baseline = run_schedule scenario ~seed [] in
-  (* Every PRNG draw happens here, sequentially, before any fan-out: the
-     plan a given run id gets is independent of [jobs]. *)
-  let plans =
-    List.init runs (fun _ ->
-        let run_seed = Prng.int_range prng ~lo:0 ~hi:(1 lsl 30) in
-        let depth = Prng.int_range prng ~lo:1 ~hi:max_depth in
-        let schedule =
-          List.init depth (fun _ ->
-              ( Prng.int_range prng ~lo:0 ~hi:(site_count - 1),
-                Prng.int_range prng ~lo:0 ~hi:12 ))
-        in
-        (run_seed, schedule))
+  (* Run [i]'s plan comes from a child PRNG split off the campaign
+     generator at index [i]: a pure function of (seed, i), so the plan a
+     given run id gets is independent of [jobs] - and nothing is drawn
+     sequentially up front, so fan-out starts immediately and the
+     campaign never materialises all schedules at once. *)
+  let plan i =
+    let p = Prng.split prng ~index:i in
+    let run_seed = Prng.int_range p ~lo:0 ~hi:(1 lsl 30) in
+    let depth = Prng.int_range p ~lo:1 ~hi:max_depth in
+    let schedule =
+      List.init depth (fun _ ->
+          ( Prng.int_range p ~lo:0 ~hi:(site_count - 1),
+            Prng.int_range p ~lo:0 ~hi:12 ))
+    in
+    (run_seed, schedule)
   in
-  let results = run_schedules ~jobs scenario ~baseline plans in
+  let results = run_schedules ~jobs scenario ~baseline ~n:runs plan in
   {
     scenario = scenario.Scenario.name;
     mode = "random";
@@ -591,9 +607,11 @@ let run_to_json r =
               (json_string v.oracle) (json_string v.detail))
           r.violations))
 
-let campaign_to_json c =
-  let buf = Buffer.create 4096 in
-  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+(* The report renderer is written against a string sink so campaign-
+   and fleet-scale reports can stream straight to an output channel:
+   only one run's row is ever in memory, never the whole document. *)
+let write_campaign_json ~emit c =
+  let add fmt = Printf.ksprintf emit fmt in
   add "{\n";
   add "  \"scenario\": %s,\n" (json_string c.scenario);
   add "  \"mode\": %s,\n" (json_string c.mode);
@@ -607,17 +625,22 @@ let campaign_to_json c =
   add "  \"coverage\": \"%d/%d\",\n" (List.length c.covered) site_count;
   add "  \"baseline\": %s,\n" (run_to_json c.baseline);
   add "  \"runs\": [\n";
+  let last = List.length c.runs - 1 in
   List.iteri
-    (fun i r ->
-      add "    %s%s\n" (run_to_json r)
-        (if i = List.length c.runs - 1 then "" else ","))
+    (fun i r -> add "    %s%s\n" (run_to_json r) (if i = last then "" else ","))
     c.runs;
   add "  ],\n";
   add "  \"total_runs\": %d,\n" (List.length c.runs);
   add "  \"total_violations\": %d,\n" (total_violations c);
   add "  \"shrunk\": %s\n"
     (match c.shrunk with None -> "null" | Some line -> json_string line);
-  add "}\n";
+  add "}\n"
+
+let output_campaign_json oc c = write_campaign_json ~emit:(output_string oc) c
+
+let campaign_to_json c =
+  let buf = Buffer.create 4096 in
+  write_campaign_json ~emit:(Buffer.add_string buf) c;
   Buffer.contents buf
 
 let campaign_summary c =

@@ -116,13 +116,15 @@ val exhaustive : ?jobs:int -> Scenario.t -> seed:int -> depth:int -> campaign
 
 val random_campaign :
   ?jobs:int -> Scenario.t -> seed:int -> runs:int -> max_depth:int -> campaign
-(** Seeded random schedules: each run draws its own seed, a depth in
+(** Seeded random schedules: run [i] draws its own seed, a depth in
     [1, max_depth] and per-entry sites/occurrences from a splitmix64
-    stream, so the whole campaign is reproducible from [seed] (every
-    draw happens before the fan-out, so results are also independent of
-    [jobs], as in {!exhaustive}).  On the first violating run the
-    schedule is greedily shrunk (drop entries, then lower occurrences)
-    to a minimal reproducer. *)
+    stream split off the campaign generator at index [i]
+    ({!Artemis.Prng.split}) - a pure function of [(seed, i)], so the
+    whole campaign is reproducible from [seed], results are independent
+    of [jobs] as in {!exhaustive}, and fan-out starts immediately with
+    no sequential pre-draw or all-schedules materialisation.  On the
+    first violating run the schedule is greedily shrunk (drop entries,
+    then lower occurrences) to a minimal reproducer. *)
 
 val total_violations : campaign -> int
 
@@ -134,6 +136,16 @@ val replay : Scenario.t -> line:string -> (run_result * bool, string) result
 
 val campaign_to_json : campaign -> string
 (** Hand-rendered JSON with a fixed key order, so reports diff cleanly. *)
+
+val output_campaign_json : out_channel -> campaign -> unit
+(** The same document streamed row by row to [oc]: a campaign-scale
+    report is never held in memory as one string.  Byte-identical to
+    {!campaign_to_json}. *)
+
+val json_string : string -> string
+(** One JSON string literal (escaped, quoted) in the house rendering -
+    shared with the fleet report writer so the two reports escape
+    identically. *)
 
 val campaign_summary : campaign -> string
 (** Short human-readable summary (used by the CLI and the cram test). *)

@@ -7,6 +7,21 @@
    operations are two integer updates, so the lock is never contended
    for long and the scheme needs no atomics or lock-free queues.
 
+   Two scaling bugs fixed in PR 8 (BENCH_PR5 measured jobs=8 at 2.2x the
+   jobs=1 wall time on one core):
+
+   - the default chunk was 1, so every mapped item took the global mutex
+     once; under contention each blocked lock is a futex round-trip, and
+     on an oversubscribed machine it is a scheduler quantum.  The chunk
+     now defaults to ~n/(jobs*8) so the whole map costs O(jobs) lock
+     operations while steals can still rebalance tails.
+   - [jobs] was taken literally, so asking for more workers than the
+     machine has cores spawned domains that can only time-slice - and
+     every minor GC then waits for all of them to reach a safepoint.
+     Effective parallelism is now capped at
+     [Domain.recommended_domain_count]; results are written at their
+     input index, so the output is identical either way.
+
    Results land in a preallocated array at their input index, so the
    output order is independent of the (nondeterministic) execution
    order - this is what lets the parallel campaign runner produce
@@ -16,14 +31,24 @@ type range = { mutable lo : int; mutable hi : int }  (* [lo, hi) *)
 
 let recommended_jobs () = Domain.recommended_domain_count ()
 
-let map ~jobs ?(chunk = 1) n f =
+(* One lock operation per ~1/8 of a worker's even share: coarse enough
+   that the mutex disappears from profiles, fine enough that stealing
+   can still even out a skewed tail. *)
+let auto_chunk ~jobs n = max 1 (n / (jobs * 8))
+
+let map ~jobs ?chunk n f =
   if jobs < 1 then invalid_arg "Par.map: jobs must be >= 1";
-  if chunk < 1 then invalid_arg "Par.map: chunk must be >= 1";
+  (match chunk with
+  | Some c when c < 1 -> invalid_arg "Par.map: chunk must be >= 1"
+  | _ -> ());
   if n < 0 then invalid_arg "Par.map: negative size";
-  let jobs = min jobs n in
+  let jobs = min (min jobs n) (max 1 (recommended_jobs ())) in
   if n = 0 then [||]
   else if jobs <= 1 then Array.init n f
   else begin
+    let chunk =
+      match chunk with Some c -> c | None -> auto_chunk ~jobs n
+    in
     let results = Array.make n None in
     let mu = Mutex.create () in
     let failed : (exn * Printexc.raw_backtrace) option ref = ref None in

@@ -16,15 +16,24 @@
 
 val recommended_jobs : unit -> int
 (** [Domain.recommended_domain_count ()]: what [--jobs] defaults to when
-    the caller asks for "all cores". *)
+    the caller asks for "all cores" ([--jobs 0] in the CLIs). *)
+
+val auto_chunk : jobs:int -> int -> int
+(** The default chunk for an [n]-item map over [jobs] workers:
+    [max 1 (n / (jobs * 8))].  The whole map then costs O(jobs) lock
+    operations instead of O(n), while steals can still rebalance a
+    skewed tail. *)
 
 val map : jobs:int -> ?chunk:int -> int -> (int -> 'a) -> 'a array
-(** [map ~jobs n f] is [Array.init n f] evaluated on [min jobs n]
-    domains ([jobs = 1] runs inline with no domain spawned).  [chunk]
-    (default 1) is how many consecutive indices a worker claims per
-    queue operation - raise it when per-index work is tiny.  If [f]
-    raises, the first exception (by completion order) is re-raised after
-    all workers drain.
+(** [map ~jobs n f] is [Array.init n f] evaluated in parallel.  The
+    effective worker count is [jobs] capped at both [n] and
+    {!recommended_jobs} - extra domains beyond the machine's cores can
+    only time-slice and stall every minor GC, so they are never spawned
+    (an effective count of 1 runs inline with no domain spawned).
+    [chunk] is how many consecutive indices a worker claims per queue
+    operation; it defaults to {!auto_chunk} and results are identical
+    for every chunk value.  If [f] raises, the first exception (by
+    completion order) is re-raised after all workers drain.
 
     @raise Invalid_argument if [jobs < 1] or [chunk < 1]. *)
 

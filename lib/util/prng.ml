@@ -13,6 +13,22 @@ let next_int64 t =
 
 let next_int t = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2)
 
+(* Independent stream per index, derived without drawing from [t]: the
+   parent state and the index are combined and pushed through two
+   finalizer rounds so neighbouring indices land on uncorrelated
+   trajectories.  Deterministic in (parent state, index) only, which is
+   what lets a parallel fan-out derive run [i]'s stream directly. *)
+let split t ~index =
+  if index < 0 then invalid_arg "Prng.split: negative index";
+  let child =
+    { state =
+        Int64.add t.state
+          (Int64.mul (Int64.of_int (index + 1)) 0x9E3779B97F4A7C15L) }
+  in
+  ignore (next_int64 child);
+  ignore (next_int64 child);
+  child
+
 let int_range t ~lo ~hi =
   if hi < lo then invalid_arg "Prng.int_range: hi < lo";
   lo + (next_int t mod (hi - lo + 1))

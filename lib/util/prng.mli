@@ -10,6 +10,14 @@ type t
 val create : seed:int -> t
 val copy : t -> t
 
+val split : t -> index:int -> t
+(** A child generator derived from [t]'s current state and [index]
+    without advancing [t].  The same (state, index) pair always yields
+    the same stream, and distinct indices yield uncorrelated streams -
+    the per-run derivation the parallel campaign fan-out uses so no
+    sequential pre-drawing is needed.
+    @raise Invalid_argument if [index < 0]. *)
+
 val next_int : t -> int
 (** Next non-negative 62-bit integer. *)
 

@@ -1,0 +1,63 @@
+The fleet runner expands scenario x seed x harvester x engine into a
+device matrix and prints one deterministic report (--jobs defaults to
+auto, so the pinned output below doubles as a parallel-determinism
+check on multi-core machines):
+
+  $ ../../bin/artemis_fleet.exe --name smoke --scenario quickstart --seeds 4 --harvester default --harvester fixed:30s
+  fleet smoke: 8 devices (1 scenarios x 2 harvesters x 1 engines x 4 seeds)
+  outcomes: completed=8
+  verdicts: skipPath=8
+  energy uJ: p50=9000.8 p90=9000.8 p99=9000.8 max=9000.8
+  worst devices:
+    #0 quickstart seed=0 default default completed failures=3 energy=9000.8uJ
+    #1 quickstart seed=1 default default completed failures=3 energy=9000.8uJ
+    #2 quickstart seed=2 default default completed failures=3 energy=9000.8uJ
+    #3 quickstart seed=3 default default completed failures=3 energy=9000.8uJ
+    #4 quickstart seed=0 fixed:30s default completed failures=3 energy=9000.8uJ
+
+The same fleet can come from a spec file; the JSON report carries the
+per-cell roll-ups:
+
+  $ cat > fleet.json <<'EOF'
+  > {"name": "spec-smoke",
+  >  "scenarios": ["quickstart"],
+  >  "seeds": {"first": 0, "count": 2},
+  >  "harvesters": ["default"],
+  >  "engines": ["compiled", "table"]}
+  > EOF
+  $ ../../bin/artemis_fleet.exe --spec fleet.json --json | head -12
+  {
+    "fleet": "spec-smoke",
+    "devices": 4,
+    "scenarios": ["quickstart"],
+    "seeds": {"first": 0, "count": 2},
+    "harvesters": ["default"],
+    "engines": ["compiled", "table"],
+    "outcomes": {"completed": 4},
+    "verdicts": {"skipPath": 4},
+    "energyPercentilesUj": {"p50": 9000.840, "p90": 9000.840, "p99": 9000.840, "max": 9000.840},
+    "groups": [
+      {"scenario": "quickstart", "harvester": "default", "engine": "compiled", "devices": 2, "completed": 2, "powerFailures": 6, "verdicts": 2, "energyUj": 18001.680},
+
+The report is byte-identical for every jobs/chunk combination:
+
+  $ ../../bin/artemis_fleet.exe --spec fleet.json --json --devices --jobs 1 > j1.json
+  $ ../../bin/artemis_fleet.exe --spec fleet.json --json --devices --jobs 8 --chunk 1 > j8.json
+  $ ../../bin/artemis_fleet.exe --spec fleet.json --json --devices --jobs 0 > auto.json
+  $ cmp j1.json j8.json
+  $ cmp j1.json auto.json
+
+Bad inputs are reported with context:
+
+  $ ../../bin/artemis_fleet.exe --scenario nope --seeds 1
+  artemis_fleet: unknown scenario "nope" (quickstart|health|quickstart-adapt|health-adapt|quickstart-fresh|stale-read|war-buggy)
+  [1]
+  $ ../../bin/artemis_fleet.exe --harvester fixed:30 --seeds 1
+  artemis_fleet: delay needs a unit suffix (us|ms|s|min): "30"
+  [1]
+  $ ../../bin/artemis_fleet.exe --seeds 0
+  artemis_fleet: seeds.count must be positive
+  [1]
+  $ ../../bin/artemis_fleet.exe --jobs=-1 --seeds 1
+  artemis_fleet: --jobs must be 0 (auto) or positive (got -1)
+  [2]

@@ -113,8 +113,11 @@ JSON report and the exit status are the same for every job count:
   $ ../../bin/faultsim.exe --scenario quickstart --depth 1 --json --skip-replay-check --jobs 4 > par.json
   $ cmp seq.json par.json
 
-A non-positive worker count is rejected:
+--jobs 0 means auto: one worker per core, still byte-identical
+(PR 8); a negative worker count is rejected:
 
-  $ ../../bin/faultsim.exe --scenario quickstart --depth 1 --jobs 0
-  faultsim: --jobs must be at least 1 (got 0)
+  $ ../../bin/faultsim.exe --scenario quickstart --depth 1 --json --skip-replay-check --jobs 0 > auto.json
+  $ cmp seq.json auto.json
+  $ ../../bin/faultsim.exe --scenario quickstart --depth 1 --jobs=-3
+  faultsim: --jobs must be 0 (auto) or positive (got -3)
   [2]

@@ -51,17 +51,21 @@ let test_par_map_propagates_exn () =
       | exception Boom 17 -> ())
     [ 1; 4 ]
 
-(* every worker domain starts with its own quiet Obs context, so a
-   mapped function that records observability data never touches the
-   parent's context by accident *)
+(* every spawned worker domain starts with its own quiet Obs context;
+   items that land on the calling domain (always possible - worker 0
+   runs there, and the PR 8 core cap may run the whole map inline) share
+   the caller's context, which is why recording mapped code must isolate
+   itself explicitly (next test) *)
 let test_par_map_worker_ctx_isolated () =
   let parent = Obs.current () in
   let before = Obs.Ctx.event_count parent in
   let ctxs =
     Par.map ~jobs:4 8 (fun i ->
         let ctx = Obs.current () in
-        Obs.Ctx.set_tracing ctx true;
-        Obs.Ctx.instant ctx ~cat:"test" ~ts:i "tick";
+        if ctx != parent then begin
+          Obs.Ctx.set_tracing ctx true;
+          Obs.Ctx.instant ctx ~cat:"test" ~ts:i "tick"
+        end;
         ctx)
   in
   Alcotest.(check int) "parent ctx untouched" before
@@ -70,6 +74,27 @@ let test_par_map_worker_ctx_isolated () =
     (fun ctx ->
       Alcotest.(check bool) "worker recorded into its own ctx" true
         (ctx == parent || Obs.Ctx.event_count ctx >= 1))
+    ctxs
+
+(* the isolation pattern the campaign and fleet runners actually use:
+   an explicit per-item context under [with_ctx] keeps the parent byte
+   clean for every jobs value, even when the map runs inline *)
+let test_par_map_explicit_isolation () =
+  let parent = Obs.current () in
+  let before = Obs.Ctx.event_count parent in
+  let ctxs =
+    Par.map ~jobs:4 8 (fun i ->
+        let ctx = Obs.Ctx.create () in
+        Obs.Ctx.set_tracing ctx true;
+        Obs.with_ctx ctx (fun () -> Obs.instant ~cat:"test" ~ts:i "tick");
+        ctx)
+  in
+  Alcotest.(check int) "parent ctx untouched" before
+    (Obs.Ctx.event_count parent);
+  Array.iter
+    (fun ctx ->
+      Alcotest.(check int) "each item recorded into its own ctx" 1
+        (Obs.Ctx.event_count ctx))
     ctxs
 
 (* --- Obs: two domains recording concurrently never interleave --- *)
@@ -165,6 +190,31 @@ let random_jobs_invariant =
       in
       String.equal (run 1) (run 4))
 
+(* PR 8: the chunk size is a throughput knob only - results land at
+   their input index whatever granularity workers claim them at. *)
+let chunk_invariant =
+  QCheck.Test.make ~name:"Par.map results are chunk-invariant" ~count:100
+    QCheck.(
+      make
+        ~print:(fun (n, jobs, chunk) ->
+          Printf.sprintf "(n=%d, jobs=%d, chunk=%s)" n jobs
+            (match chunk with None -> "auto" | Some c -> string_of_int c))
+        Gen.(
+          let* n = 0 -- 200 in
+          let* jobs = 1 -- 9 in
+          let* chunk = opt (1 -- 64) in
+          return (n, jobs, chunk)))
+    (fun (n, jobs, chunk) ->
+      Par.map ~jobs ?chunk n (fun i -> (i * 7) mod 13)
+      = Array.init n (fun i -> (i * 7) mod 13))
+
+let test_auto_chunk () =
+  (* ~8 chunks per worker, never zero, and a single worker takes the
+     whole range in one claim-free pass anyway. *)
+  Alcotest.(check int) "n < jobs*8" 1 (Par.auto_chunk ~jobs:4 7);
+  Alcotest.(check int) "10k over 4" 312 (Par.auto_chunk ~jobs:4 10_000);
+  Alcotest.(check int) "empty" 1 (Par.auto_chunk ~jobs:4 0)
+
 let suite =
   [
     ("Par.map: input order, any jobs/n", `Quick, test_par_map_order);
@@ -174,10 +224,14 @@ let suite =
     ("Par.map: first exception propagates", `Quick, test_par_map_propagates_exn);
     ("Par.map: worker Obs contexts are private", `Quick,
       test_par_map_worker_ctx_isolated);
+    ("Par.map: explicit per-item ctx isolation", `Quick,
+      test_par_map_explicit_isolation);
     ("Obs: two domains record without interleaving", `Quick,
       test_obs_two_domain_isolation);
     ("Obs: absorb stitches the sequential timeline", `Quick,
       test_obs_absorb_stitches);
+    ("Par.auto_chunk: ~8 chunks per worker, min 1", `Quick, test_auto_chunk);
     QCheck_alcotest.to_alcotest exhaustive_jobs_invariant;
     QCheck_alcotest.to_alcotest random_jobs_invariant;
+    QCheck_alcotest.to_alcotest chunk_invariant;
   ]
