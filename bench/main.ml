@@ -295,6 +295,19 @@ let adapt_apply_kernel () =
     | A.Adapt.Applied _ -> ()
     | A.Adapt.Idle | A.Adapt.Rejected _ -> assert false
 
+(* the PR 9 static pass: lower every health property through the table
+   engine and bound one monitor call against the whole suite - the cost
+   an OTA validate pays per admission check *)
+let energy_bound_kernel () =
+  let nvm = A.Nvm.create () in
+  let app, _ = A.Health_app.make nvm in
+  let machines = A.compile_exn ~app A.Health_app.spec_text in
+  let model = A.Cost_model.default in
+  fun () ->
+    ignore
+      (A.Energy_analysis.suite_call_bound ~model
+         (List.map (A.Energy_analysis.property_bound ~model) machines))
+
 (* --- parallel campaign runner (PR 5): wall-clock of the depth-2
    quickstart exhaustive campaign at 1/2/4/8 worker domains.  Every
    jobs setting must produce a report byte-identical to sequential -
@@ -491,6 +504,7 @@ let engine_tests =
                (Artemis_faultsim.Faultsim.exhaustive
                   Artemis_faultsim.Scenario.quickstart_fresh ~seed:42 ~depth:1)));
       Test.make ~name:"adapt-apply" (stagedf (adapt_apply_kernel ()));
+      Test.make ~name:"energy-bound-health" (stagedf (energy_bound_kernel ()));
     ]
 
 let run_bechamel ~fast tests =
@@ -640,7 +654,7 @@ let write_json ~file results ~obs ~freshness ~engines ~scalability
   let oc = open_out file in
   Printf.fprintf oc
     {|{
-  "bench": "fleet runner + parallel-scaling fixes (PR8)",
+  "bench": "energy-admissibility analysis + cost-model rounding fixes (PR9)",
   "kernels_ns": {
 %s
   },

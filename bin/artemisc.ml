@@ -102,6 +102,95 @@ let check_scenarios names allow_hazard =
   in
   go 0 names
 
+(* --energy-report: rebuild a faultsim scenario and run the PR 9 static
+   energy-admissibility analysis over its deployed properties and every
+   scheduled OTA payload.  Exits 1 when anything classifies "may
+   livelock" - the same condition under which the runtime's adaptation
+   validate step refuses the update as energy-inadmissible. *)
+let energy_report names as_json =
+  let module Scenario = Artemis_faultsim.Scenario in
+  let module Ea = Artemis.Energy_analysis in
+  let known () =
+    String.concat "|" (List.map (fun (s : Scenario.t) -> s.name) Scenario.all)
+  in
+  let payload_machines (u : Artemis.Adapt.update) =
+    match u.Artemis.Adapt.payload with
+    | None -> Ok []
+    | Some (Artemis.Adapt.Machine_source src) -> Artemis.Fsm.Parser.parse src
+    | Some (Artemis.Adapt.Spec_source src) -> (
+        match Artemis.Spec.Parser.parse src with
+        | Error e -> Error e
+        | Ok spec -> Ok (Artemis.To_fsm.spec spec))
+  in
+  let rec go worst = function
+    | [] -> worst
+    | name :: rest -> (
+        match Scenario.find name with
+        | None ->
+            Printf.eprintf "unknown scenario %S (%s)\n" name (known ());
+            1
+        | Some sc -> (
+            let b = sc.Scenario.build ~engine:None ~seed:42 in
+            let model = b.Scenario.config.Artemis.Runtime.cost_model in
+            let deployment = b.Scenario.config.Artemis.Runtime.deployment in
+            let budget = Ea.budget_of_device b.Scenario.device in
+            let deployed =
+              Ea.analyze ~deployment ~model ~budget ~origin:"deployed"
+                b.Scenario.machines
+            in
+            let updates =
+              List.concat_map
+                (fun (_at, u) ->
+                  match payload_machines u with
+                  | Error e ->
+                      Printf.eprintf "scenario %s: bad update payload: %s\n"
+                        name e;
+                      []
+                  | Ok machines ->
+                      Ea.analyze ~deployment ~model ~budget
+                        ~origin:(Printf.sprintf "update #%d" u.Artemis.Adapt.id)
+                        machines)
+                b.Scenario.adaptations
+            in
+            let entries = deployed @ updates in
+            let buf = Buffer.create 1024 in
+            if as_json then
+              Ea.render_json ~scenario:name ~deployment ~model ~budget entries
+                buf
+            else begin
+              Ea.render_human ~scenario:name ~deployment ~model ~budget
+                entries buf;
+              (* surface the adapt-time admission verdict for every
+                 scheduled update: exactly what Adapt.validate will say *)
+              List.iter
+                (fun (_at, u) ->
+                  match payload_machines u with
+                  | Error _ -> ()
+                  | Ok machines -> (
+                      match Ea.admit ~deployment ~model ~budget machines with
+                      | Ok () ->
+                          Buffer.add_string buf
+                            (Printf.sprintf
+                               "  update #%d: admissible (validate will \
+                                accept)\n"
+                               u.Artemis.Adapt.id)
+                      | Error reason ->
+                          Buffer.add_string buf
+                            (Printf.sprintf
+                               "  update #%d: rejected by validate: %s\n"
+                               u.Artemis.Adapt.id reason)))
+                b.Scenario.adaptations
+            end;
+            print_string (Buffer.contents buf);
+            let livelocks =
+              List.exists (fun e -> e.Ea.e_class = Ea.May_livelock) entries
+            in
+            match livelocks with
+            | true -> go (max worst 1) rest
+            | false -> go worst rest))
+  in
+  go 0 names
+
 let run_compile emit engine reset_on_fail input output =
   let text = if input = "-" then In_channel.input_all stdin else read_file input in
   let options = { Artemis.To_fsm.collect_reset_on_fail = reset_on_fail } in
@@ -183,8 +272,10 @@ let run_compile emit engine reset_on_fail input output =
           Out_channel.with_open_bin path (fun oc -> output_string oc out);
           0)
 
-let run emit engine reset_on_fail check allow_hazard input output =
+let run emit engine reset_on_fail check allow_hazard energy energy_json input
+    output =
   if check <> [] then check_scenarios check allow_hazard
+  else if energy <> [] then energy_report energy energy_json
   else run_compile emit engine reset_on_fail input output
 
 let emit_arg =
@@ -240,6 +331,23 @@ let allow_hazard_arg =
         ~doc:"Report WAR hazards without failing: $(b,--check) exits 0 \
               even when hazards are found.")
 
+let energy_report_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "energy-report" ] ~docv:"SCENARIO"
+        ~doc:"Run the static energy-admissibility analysis over the named \
+              faultsim scenario: per-property worst-case monitor-call \
+              bounds against the device's usable charge budget, for the \
+              deployed suite and every scheduled OTA payload.  Repeatable. \
+              Exits 1 if any property classifies \"may livelock\".")
+
+let energy_json_arg =
+  Arg.(
+    value & flag
+    & info [ "energy-json" ]
+        ~doc:"Emit the $(b,--energy-report) analysis as one line of JSON \
+              per scenario instead of the human-readable table.")
+
 let input_arg =
   Arg.(
     value & pos 0 string "-"
@@ -257,6 +365,7 @@ let cmd =
     (Cmd.info "artemisc" ~doc)
     Term.(
       const run $ emit_arg $ engine_arg $ reset_arg $ check_arg
-      $ allow_hazard_arg $ input_arg $ output_arg)
+      $ allow_hazard_arg $ energy_report_arg $ energy_json_arg $ input_arg
+      $ output_arg)
 
 let () = exit (Cmd.eval' cmd)

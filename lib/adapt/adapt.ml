@@ -224,6 +224,11 @@ type t = {
      which is also what makes the retry safe: building twice would
      re-allocate the generation's cells and trip duplicate detection. *)
   suites : (int, built) Hashtbl.t;
+  (* Extra validate-time gate over the update's parsed machines - the
+     runtime installs the energy-admissibility check here (PR 9), so an
+     over-budget update is refused before it can be staged into a
+     generation. *)
+  admission : Ast.machine list -> (unit, string) result;
 }
 
 type applied = { id : int; generation : int; migrations : migration list }
@@ -233,7 +238,8 @@ type outcome =
   | Applied of applied
   | Rejected of { id : int; reason : string }
 
-let create ?(engine = Monitor.Compiled) nvm ~app suite =
+let create ?(engine = Monitor.Compiled) ?(admission = fun _ -> Ok ()) nvm ~app
+    suite =
   let buffer =
     Nvm.cell nvm ~region:Staging ~name:"adapt.buffer" ~bytes:512 None
   in
@@ -243,7 +249,7 @@ let create ?(engine = Monitor.Compiled) nvm ~app suite =
   in
   let suites = Hashtbl.create 4 in
   Hashtbl.replace suites 0 { suite; replaced = []; added = []; removed = [] };
-  { nvm; app; engine; buffer; control; suites }
+  { nvm; app; engine; buffer; control; suites; admission }
 
 let generation t = (Nvm.read t.control).generation
 let applied_ids t = List.rev (Nvm.read t.control).applied
@@ -273,7 +279,7 @@ let stage ?(probe = fun _ -> ()) t update =
 (* --- validation (the device refuses an update rather than deploying a
    broken suite) --- *)
 
-let validate t update =
+let validate_structure t update =
   let current = active t in
   let missing =
     List.filter (fun name -> Suite.find current name = None) update.remove
@@ -319,6 +325,17 @@ let validate t update =
             match List.iter check_machine machines with
             | () -> Ok machines
             | exception Failure msg -> Error msg))
+
+(* Structural validation first, then the installed admission gate (the
+   runtime's energy-admissibility analysis) over the update's parsed
+   machines.  A pure removal validates against the empty machine list. *)
+let validate t update =
+  match validate_structure t update with
+  | Error _ as e -> e
+  | Ok machines -> (
+      match t.admission machines with
+      | Ok () -> Ok machines
+      | Error reason -> Error reason)
 
 (* --- building the next generation --- *)
 

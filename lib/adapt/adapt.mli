@@ -92,10 +92,20 @@ type outcome =
   | Applied of applied
   | Rejected of { id : int; reason : string }
 
-val create : ?engine:Monitor.engine -> Nvm.t -> app:Task.app -> Suite.t -> t
+val create :
+  ?engine:Monitor.engine ->
+  ?admission:(Artemis_fsm.Ast.machine list -> (unit, string) result) ->
+  Nvm.t ->
+  app:Task.app ->
+  Suite.t ->
+  t
 (** [create nvm ~app suite] installs [suite] as generation 0 and
     allocates the staging cells.  [engine] (default [Compiled]) is used
-    for monitors built by future updates. *)
+    for monitors built by future updates.  [admission] (default: accept
+    everything) runs at the end of {!validate} over the update's parsed
+    machines; the runtime installs the PR 9 energy-admissibility check
+    here, so an over-budget update is rejected with its
+    ["energy-inadmissible: ..."] reason on the normal rejection path. *)
 
 val generation : t -> int
 val active : t -> Suite.t

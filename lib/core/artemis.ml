@@ -32,6 +32,7 @@ module Export = Artemis_trace.Export
 module Summary = Artemis_trace.Summary
 module Device = Artemis_device.Device
 module Cost_model = Artemis_device.Cost_model
+module Energy_analysis = Artemis_energy_analysis.Energy_analysis
 module Task = Artemis_task.Task
 module Channel = Artemis_task.Channel
 module Health_app = Artemis_task.Health_app

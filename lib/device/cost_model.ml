@@ -8,6 +8,8 @@ type t = {
   artemis_monitor_cycles_per_property : int;
   mayfly_runtime_cycles_per_event : int;
   mayfly_cycles_per_property : int;
+  table_op_cycles : int;
+  nvm_write_cycles : int;
 }
 
 let default =
@@ -19,11 +21,17 @@ let default =
     artemis_monitor_cycles_per_property = 120;
     mayfly_runtime_cycles_per_event = 260;
     mayfly_cycles_per_property = 150;
+    table_op_cycles = 6;
+    nvm_write_cycles = 30;
   }
 
 let cycles_to_time t cycles =
-  (* 1e6 us per second / f cycles per second = us per cycle *)
-  Time.of_us (cycles * 1_000_000 / t.mcu_frequency_hz)
+  (* 1e6 us per second / f cycles per second = us per cycle; round UP so
+     the conversion is conservative - truncating under-accounted every
+     overhead at frequencies that don't divide 1 MHz (180 cycles at
+     8 MHz is 22.5 us, not 22), which would let a measured cost exceed
+     a static bound built from the same constants. *)
+  Time.of_us ((cycles * 1_000_000 + t.mcu_frequency_hz - 1) / t.mcu_frequency_hz)
 
 let artemis_runtime_overhead t = cycles_to_time t t.artemis_runtime_cycles_per_event
 

@@ -24,11 +24,23 @@ type t = {
       (** Mayfly main-loop bookkeeping per task event *)
   mayfly_cycles_per_property : int;
       (** fused in-loop check (expiration / collect) *)
+  table_op_cycles : int;
+      (** worst-case cycles per executed monitor guard/body bytecode op
+          (energy-admissibility bound margin; not charged by the
+          simulator, which uses the flat per-property constant) *)
+  nvm_write_cycles : int;
+      (** worst-case cycles per FRAM word write a fired monitor body
+          performs (bound margin, same caveat as {!table_op_cycles}) *)
 }
 
 val default : t
 
 val cycles_to_time : t -> int -> Time.t
+(** Rounds {e up} to the next microsecond: the conversion feeds static
+    bounds, so it must never under-account.  Exact (byte-identical to
+    the historical truncating version) whenever
+    [cycles * 1_000_000 mod mcu_frequency_hz = 0] - in particular at
+    the 1 MHz default. *)
 
 val artemis_runtime_overhead : t -> Time.t
 (** Per task event (start or end). *)

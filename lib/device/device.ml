@@ -148,6 +148,7 @@ let obs t = t.obs
 let log t = t.log
 let capacitor t = t.capacitor
 let set_policy t policy = t.policy <- policy
+let policy t = t.policy
 let now t = Clock.now t.clock
 let sim_time t = Clock.elapsed_ground_truth t.clock
 let set_on_record t hook = t.on_record <- hook

@@ -53,6 +53,7 @@ val log : t -> Artemis_trace.Log.t
 val capacitor : t -> Artemis_energy.Capacitor.t
 
 val set_policy : t -> Artemis_energy.Charging_policy.t -> unit
+val policy : t -> Artemis_energy.Charging_policy.t
 (** Replace the charging policy.  Scenario builders pick their own
     policy at {!create} time; the fleet runner overrides it here to
     sweep one scenario across harvester profiles before the run

@@ -19,6 +19,8 @@ let create ~capacity ~on_threshold ~off_threshold ?initial () =
   { capacity; on_threshold; off_threshold; level = initial }
 
 let capacity t = t.capacity
+let on_threshold t = t.on_threshold
+let off_threshold t = t.off_threshold
 let level t = t.level
 let usable t = Energy.sub t.level t.off_threshold
 let usable_budget t = Energy.sub t.capacity t.off_threshold

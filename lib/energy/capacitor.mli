@@ -22,6 +22,8 @@ val create :
     level is within [off_threshold, capacity] (default: full). *)
 
 val capacity : t -> Energy.energy
+val on_threshold : t -> Energy.energy
+val off_threshold : t -> Energy.energy
 val level : t -> Energy.energy
 
 val usable : t -> Energy.energy

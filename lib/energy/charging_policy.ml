@@ -7,10 +7,25 @@ let recharge policy ~now ~capacitor =
   | Fixed_delay d ->
       Capacitor.recharge_full capacitor;
       Some d
-  | From_harvester h -> (
-      let deficit = Capacitor.deficit_to_turn_on capacitor in
-      match Harvester.time_to_harvest h ~now deficit with
-      | None -> None
-      | Some dt ->
-          Capacitor.charge capacitor (Harvester.harvested h ~from_:now ~until:(Time.add now dt));
-          Some dt)
+  | From_harvester h ->
+      (* [time_to_harvest] inverts the energy integral through a float
+         seconds->us conversion that rounds to nearest, so the returned
+         window can undershoot the deficit by a fraction of a sample -
+         charging exactly the harvested integral then leaves the level a
+         hair below [on_threshold] and the device would reboot still
+         unable to turn on.  Top up: keep extending the window (by at
+         least 1 us, the clock granule) until the turn-on threshold is
+         actually reached. *)
+      let rec top_up now waited =
+        if Capacitor.can_turn_on capacitor then Some waited
+        else
+          let deficit = Capacitor.deficit_to_turn_on capacitor in
+          match Harvester.time_to_harvest h ~now deficit with
+          | None -> None (* harvest exhausted below threshold: starved *)
+          | Some dt ->
+              let dt = Time.max dt (Time.of_us 1) in
+              Capacitor.charge capacitor
+                (Harvester.harvested h ~from_:now ~until:(Time.add now dt));
+              top_up (Time.add now dt) (Time.add waited dt)
+      in
+      top_up now Time.zero

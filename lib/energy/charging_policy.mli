@@ -21,4 +21,7 @@ val recharge :
   t -> now:Time.t -> capacitor:Capacitor.t -> Time.t option
 (** Apply the policy after a brown-out at absolute time [now]: charges
     [capacitor] and returns the off-time, or [None] when the harvester can
-    never bring the device back (permanent starvation). *)
+    never bring the device back (permanent starvation).  On [Some _] the
+    capacitor is guaranteed to have reached its turn-on threshold, even
+    when the harvester's integral inversion rounds the charging window
+    down by a fraction of a sample. *)

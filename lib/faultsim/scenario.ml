@@ -244,11 +244,76 @@ let stale_read =
     ~budget:(Time.of_sec 10)
     ~reads:[ ("report", [ "sense" ]) ]
 
+(* Seeded over-budget scenario (PR 9): a micro-capacitor device whose
+   deployed property is energy-admissible, plus a scheduled OTA update
+   carrying a property whose worst-case monitor-call bound exceeds the
+   whole usable charge budget - the energy-admissibility analysis must
+   classify it "may livelock" and the adaptation validate step must
+   refuse it as energy-inadmissible.  The update is scheduled far past
+   the app's lifetime, so normal runs complete cleanly; only the static
+   report and the validate path ever see the heavy payload. *)
+let livelock_prop =
+  (* ~20 FRAM stores per fired body at nvm_write_cycles each: the
+     structural bound alone dwarfs the 1.0 uJ usable budget. *)
+  let heavy_machine_src =
+    let vars =
+      String.concat "\n  "
+        (List.init 20 (fun i -> Printf.sprintf "var w%d : int = 0;" i))
+    in
+    let stmts =
+      String.concat "\n      "
+        (List.init 20 (fun i -> Printf.sprintf "w%d := (w%d + 1);" i i))
+    in
+    Printf.sprintf
+      "machine audit_log {\n\
+      \  %s\n\
+      \  initial state Idle {\n\
+      \    on endTask(ping) {\n\
+      \      %s\n\
+      \    } -> Idle;\n\
+      \  }\n\
+       }"
+      vars stmts
+  in
+  let build ~engine ~seed =
+    let capacitor =
+      Capacitor.create ~capacity:(Energy.uj 1.8) ~on_threshold:(Energy.uj 1.6)
+        ~off_threshold:(Energy.uj 0.8) ()
+    in
+    let device =
+      Device.create ~capacitor
+        ~policy:(Charging_policy.Fixed_delay (Time.of_sec 1))
+        ()
+    in
+    let ping =
+      Task.make ~name:"ping" ~duration:(Time.of_us 200) ~power:(Energy.mw 1.2)
+        ()
+    in
+    let app =
+      Task.app ~name:"livelock-prop" [ { Task.index = 1; tasks = [ ping ] } ]
+    in
+    let b =
+      deploy ?engine device app "ping: { maxTries: 3 onFail: skipPath; }" ~seed
+    in
+    {
+      b with
+      adaptations = [ (1_000_000, Adapt.machine_update ~id:1 heavy_machine_src) ];
+    }
+  in
+  {
+    name = "livelock-prop";
+    description =
+      "seeded over-budget update: 1.0 uJ usable budget, scheduled OTA payload \
+       whose 20-store monitor body can never complete a call on one charge \
+       (must classify 'may livelock' and be refused as energy-inadmissible)";
+    build;
+  }
+
 let with_engine engine base =
   { base with build = (fun ~engine:_ ~seed -> base.build ~engine:(Some engine) ~seed) }
 
 let all =
   [ quickstart; health; quickstart_adapt; health_adapt; quickstart_fresh;
-    stale_read; war_buggy ]
+    stale_read; war_buggy; livelock_prop ]
 
 let find name = List.find_opt (fun s -> s.name = name) all

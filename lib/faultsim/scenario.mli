@@ -70,6 +70,15 @@ val war_buggy : t
     exactly the gap the static WAR pass
     ({!Artemis.Consistency.War}) closes. *)
 
+val livelock_prop : t
+(** Seeded over-budget scenario (PR 9): a micro-capacitor device
+    (1.0 uJ usable) whose deployed property is admissible, plus a
+    scheduled OTA update whose 20-store monitor body bounds far above
+    one charge.  The energy-admissibility report must classify the
+    payload "may livelock" and the adaptation validate step must refuse
+    it with an [energy-inadmissible] reason; the update is scheduled
+    past the app's lifetime, so ordinary runs complete cleanly. *)
+
 val with_freshness :
   t ->
   name:string ->

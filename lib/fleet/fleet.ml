@@ -367,6 +367,14 @@ let percentile sample q =
   if n = 0 then invalid_arg "Fleet.percentile: empty sample";
   if not (q >= 0. && q <= 1.) then
     invalid_arg "Fleet.percentile: q must be in [0, 1]";
+  (* Float.compare totally orders NaN above every float, so a single
+     NaN sample would silently surface as p99/max in the fleet roll-up.
+     Refuse loudly instead of reporting garbage. *)
+  Array.iter
+    (fun x ->
+      if not (Float.is_finite x) then
+        invalid_arg "Fleet.percentile: non-finite sample")
+    sample;
   let sorted = Array.copy sample in
   Array.sort Float.compare sorted;
   let rank = int_of_float (Float.ceil (q *. float_of_int n)) - 1 in

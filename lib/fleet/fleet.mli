@@ -119,7 +119,9 @@ val worst_devices : k:int -> device_result list -> device_result list
 
 val percentile : float array -> float -> float
 (** Nearest-rank percentile of an unsorted sample, [q] in [0, 1].
-    @raise Invalid_argument on an empty sample. *)
+    @raise Invalid_argument on an empty sample or any non-finite sample
+    value (a NaN would otherwise sort above every float and surface as
+    p99/max). *)
 
 val run :
   ?jobs:int ->

@@ -1159,3 +1159,95 @@ let step t inst (ev : Interp.event) =
       result
     end
   end
+
+(* --- static worst-case step costs (energy-admissibility analysis) --- *)
+
+(* Inline operand words following each opcode; must match [exec]. *)
+let operand_words = function
+  | 1 (* IPUSH *) | 2 (* FPUSH *) | 3 (* ILOAD *) | 4 (* FLOAD *)
+  | 9 (* DEPLOAD *) | 35 (* JMP *) | 36 (* JZ *) | 37 (* FAIL *) -> 1
+  | 5 (* ISTORE *) | 6 (* FSTORE *) -> 2
+  | _ -> 0
+
+(* Linear scan from [pc] to the program's terminating HALT.  The
+   statement language has no loops, so every jump the lowering emits is
+   forward and each op executes at most once: the (ops, stores) of the
+   whole scan are a sound upper bound on any dynamic execution from
+   [pc]. *)
+let program_cost t pc =
+  let ops = ref 0 and writes = ref 0 and p = ref pc in
+  while t.code.(!p) <> op_halt do
+    let op = t.code.(!p) in
+    incr ops;
+    if op = op_istore || op = op_fstore then incr writes;
+    p := !p + 1 + operand_words op
+  done;
+  (!ops, !writes)
+
+let guard_ops t tr =
+  match t.tr_qg.(tr) with
+  | 0 ->
+      let g = t.tr_guard_pc.(tr) in
+      if g < 0 then 0 else fst (program_cost t g)
+  | 1 -> 0 (* unconditional *)
+  | q when q < 8 -> 1 (* reg CMP k *)
+  | _ -> 2 (* (t - reg) CMP k *)
+
+(* (ops, var stores) of a fired body; the control-state write is charged
+   separately by the caller. *)
+let body_cost t tr =
+  match t.tr_qb.(tr) with
+  | 0 ->
+      let b = t.tr_body_pc.(tr) in
+      if b < 0 then (0, 0) else program_cost t b
+  | 1 -> (0, 0) (* empty *)
+  | 2 (* reg := k *) | 4 (* reg := t *) -> (1, 1)
+  | _ -> (2, 1) (* reg := reg + k *)
+
+type step_cost = {
+  cost_state : string;
+  cost_start : bool;  (** true for a start event, false for an end event *)
+  cost_guard_ops : int;
+  cost_body_ops : int;
+  cost_nvm_writes : int;
+}
+
+let step_costs t =
+  let acc = ref [] in
+  for state = Array.length t.state_names - 1 downto 0 do
+    for kind = 1 downto 0 do
+      let base = ((state * 2) + kind) lsl t.row_shift in
+      let gmax = ref 0 and bmax = ref 0 and wmax = ref 0 in
+      let fires = ref false in
+      for col = 0 to t.n_tasks do
+        let seg = t.dispatch.(base + col) in
+        if seg >= 0 then begin
+          fires := true;
+          (* worst case: every candidate guard runs (none passes until
+             the last), then the worst body fires *)
+          let gsum = ref 0 in
+          let n = t.cands.(seg) in
+          for i = 0 to n - 1 do
+            let tr = t.cands.(seg + 1 + i) in
+            gsum := !gsum + guard_ops t tr;
+            let bops, bwrites = body_cost t tr in
+            bmax := max !bmax bops;
+            (* + 1: the fired transition always writes the control state *)
+            wmax := max !wmax (bwrites + 1)
+          done;
+          gmax := max !gmax !gsum
+        end
+      done;
+      if !fires then
+        acc :=
+          {
+            cost_state = t.state_names.(state);
+            cost_start = kind = 0;
+            cost_guard_ops = !gmax;
+            cost_body_ops = !bmax;
+            cost_nvm_writes = !wmax;
+          }
+          :: !acc
+    done
+  done;
+  !acc

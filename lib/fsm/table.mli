@@ -137,3 +137,28 @@ val reset_vars : t -> inst -> unit
 val watched_tasks : t -> string list
 val watches_any_event : t -> bool
 val mentions_task : t -> string -> bool
+
+(** {2 Static worst-case step costs}
+
+    Per-(state, event-kind) worst-case work of one {!step}, measured in
+    executed bytecode ops and FRAM writes - the structural inputs of the
+    energy-admissibility analysis.  Sound because the statement language
+    has no loops: every jump is forward, so a linear opcode scan to the
+    program's HALT bounds any dynamic execution.  Quick-form (quickened)
+    guards and bodies are charged their equivalent op counts. *)
+
+type step_cost = {
+  cost_state : string;
+  cost_start : bool;  (** true for a start event, false for an end event *)
+  cost_guard_ops : int;
+      (** every candidate guard of the worst dispatch column evaluates *)
+  cost_body_ops : int;  (** worst single fired body *)
+  cost_nvm_writes : int;
+      (** fired body's var stores + the control-state write *)
+}
+
+val step_costs : t -> step_cost list
+(** One entry per (state, kind) from which at least one transition can
+    fire; a step from any other configuration does dispatch work only.
+    Each field is maximised independently over the dispatch columns, so
+    combining them stays an upper bound for every concrete event. *)

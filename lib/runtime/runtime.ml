@@ -13,6 +13,7 @@ module Monitor = Artemis_monitor.Monitor
 module Immortal = Artemis_immortal.Immortal
 module Obs = Artemis_obs.Obs
 module Adapt = Artemis_adapt.Adapt
+module Energy_analysis = Artemis_energy_analysis.Energy_analysis
 
 let m_monitor_calls = Obs.counter "monitor_calls"
 let h_task_attempt = Obs.histogram "task_attempt_us"
@@ -62,7 +63,10 @@ let observed obs ~cat ?args ?hist name f =
         raise e
   end
 
-type monitor_deployment =
+(* Re-export of the canonical definition in {!Energy_analysis}: the
+   static admissibility pass and the simulator must price deployments
+   from the same type and the same cost functions. *)
+type monitor_deployment = Energy_analysis.deployment =
   | Separate_module
   | Inlined
   | External_wireless of { radio_power : Energy.power; round_trip : Time.t }
@@ -189,6 +193,10 @@ type state = {
   probe : string -> unit;  (** fault-injection hook for runtime sites *)
   journaling : bool;  (** record the committed event prefix in [mcall] *)
   mutable iterations : int;
+  mutable max_mcall_energy : Energy.energy;
+      (** worst observed Monitor_work energy of a single
+          [resume_monitor_call] attempt (the energy-admissibility
+          bound-domination witness) *)
 }
 
 type mcall_result = Pending | Verdict of Interp.failure list
@@ -267,7 +275,18 @@ let make_state ?(probe = fun _ -> ()) ?(journaling = false) ?(adaptations = [])
     | m :: _ -> Monitor.engine m
     | [] -> Monitor.Compiled
   in
-  let adapt = Adapt.create ~engine nvm ~app suite in
+  (* Energy admission for OTA updates (PR 9): a validated update whose
+     properties could never complete a monitor call on one capacitor
+     charge is refused as energy-inadmissible before it can be staged
+     into the suite.  The budget is read per call so a policy swapped
+     mid-run is honoured. *)
+  let admission machines =
+    Energy_analysis.admit ~deployment:config.deployment
+      ~model:config.cost_model
+      ~budget:(Energy_analysis.budget_of_device device)
+      machines
+  in
+  let adapt = Adapt.create ~engine ~admission nvm ~app suite in
   let deliveries =
     List.map
       (fun (at, update) ->
@@ -303,6 +322,7 @@ let make_state ?(probe = fun _ -> ()) ?(journaling = false) ?(adaptations = [])
     probe;
     journaling;
     iterations = 0;
+    max_mcall_energy = Energy.zero;
   }
 
 let path_count st = Array.length st.paths
@@ -321,27 +341,14 @@ let consume_monitor st ~power ~duration =
 (* Per-deployment monitor costs (Section 7 "Implementation Alternatives"):
    (dispatch cost, per-property cost).  Inlined monitoring halves the
    per-check cycles and has no dispatch; external monitoring pays a radio
-   round-trip per event and evaluates off-device. *)
+   round-trip per event and evaluates off-device.  Delegated to
+   {!Energy_analysis} so the static bound prices exactly what the
+   simulator charges. *)
 let monitor_dispatch_cost st =
-  let model = st.config.cost_model in
-  match st.config.deployment with
-  | Separate_module ->
-      ( overhead_power st,
-        Cost_model.cycles_to_time model model.Cost_model.artemis_monitor_dispatch_cycles )
-  | Inlined -> (overhead_power st, Time.zero)
-  | External_wireless { radio_power; round_trip } -> (radio_power, round_trip)
+  Energy_analysis.dispatch_cost st.config.cost_model st.config.deployment
 
 let monitor_step_cost st =
-  let model = st.config.cost_model in
-  match st.config.deployment with
-  | Separate_module ->
-      ( overhead_power st,
-        Cost_model.cycles_to_time model model.Cost_model.artemis_monitor_cycles_per_property )
-  | Inlined ->
-      ( overhead_power st,
-        Cost_model.cycles_to_time model
-          (model.Cost_model.artemis_monitor_cycles_per_property / 2) )
-  | External_wireless _ -> (overhead_power st, Time.zero)
+  Energy_analysis.step_cost st.config.cost_model st.config.deployment
 
 let capacitor_mj st = Energy.to_mj (Capacitor.level (Device.capacitor st.device))
 
@@ -354,7 +361,7 @@ let capacitor_mj st = Energy.to_mj (Capacitor.level (Device.capacitor st.device)
    O(1) table lookup (covered by the per-call dispatch cost).  Monitor
    overhead therefore scales with the monitors an event can fire, not
    with the deployed property count. *)
-let resume_monitor_call st =
+let resume_monitor_call_inner st =
   observed (Device.obs st.device) ~cat:"monitor" ~hist:h_monitor_call
     "monitor_call"
   @@ fun () ->
@@ -406,6 +413,27 @@ let resume_monitor_call st =
     | Device.Interrupted | Device.Starved -> Pending
   end
   else steps ()
+
+(* One call attempt is the admissibility analysis's atomic unit: each
+   [resume_monitor_call] invocation runs within a single power cycle
+   (interruption returns [Pending]), so its Monitor_work delta must stay
+   under the static per-call bound.  Record the worst attempt, on the
+   exception path too - an injected crash mid-call still spent energy. *)
+let resume_monitor_call st =
+  let before = Device.energy_in st.device Device.Monitor_work in
+  let note () =
+    let spent =
+      Energy.sub_exact (Device.energy_in st.device Device.Monitor_work) before
+    in
+    if Energy.(st.max_mcall_energy < spent) then st.max_mcall_energy <- spent
+  in
+  match resume_monitor_call_inner st with
+  | r ->
+      note ();
+      r
+  | exception e ->
+      note ();
+      raise e
 
 let begin_monitor_call st =
   (* Crash-consistency ordering: re-arm the thread and clear the failure
@@ -902,6 +930,8 @@ type instrumented = {
       (** monitor call in flight at end of run: (event, immortal pc) *)
   final_suite : Suite.t;
   adaptations : adaptation_record list;
+  max_call_energy : Energy.energy;
+      (** worst single monitor-call attempt observed (Monitor_work) *)
 }
 
 let run_instrumented ?(config = default_config) ?adaptations ~probe device app
@@ -922,6 +952,7 @@ let run_instrumented ?(config = default_config) ?adaptations ~probe device app
     partial;
     final_suite = st.exec.suite;
     adaptations = adaptation_records st;
+    max_call_energy = st.max_mcall_energy;
   }
 
 let runtime_fram_bytes device =

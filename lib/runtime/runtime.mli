@@ -26,7 +26,7 @@ open Artemis_util
 open Artemis_device
 open Artemis_task
 
-type monitor_deployment =
+type monitor_deployment = Artemis_energy_analysis.Energy_analysis.deployment =
   | Separate_module
       (** the paper's design: monitors as a separate module reached
           through the generic callMonitor interface (default) *)
@@ -37,6 +37,13 @@ type monitor_deployment =
   | External_wireless of { radio_power : Energy.power; round_trip : Time.t }
       (** Section 7: monitors on an external device; every event costs a
           radio round-trip but property evaluation is off-device *)
+(** Re-export of {!Artemis_energy_analysis.Energy_analysis.deployment}:
+    the simulator charges monitor calls through the same cost functions
+    the static energy-admissibility pass bounds, so the two can never
+    drift.  The runtime also installs that pass as the adaptation
+    validate step's admission check - an OTA update whose properties
+    could never complete a monitor call within one capacitor charge is
+    rejected as ["energy-inadmissible: ..."]. *)
 
 val default_external_wireless : monitor_deployment
 (** 30 mW radio, 8 ms round-trip per event (BLE-class magnitudes). *)
@@ -157,6 +164,11 @@ type instrumented = {
           an adaptation applied) *)
   adaptations : adaptation_record list;
       (** per-update delivery records, as in {!run_adaptive} *)
+  max_call_energy : Energy.energy;
+      (** the worst Monitor_work energy any single monitor-call attempt
+          (one [resume] within one power cycle, including attempts cut
+          short by injected failures) actually drew - the measurement the
+          energy-admissibility bound must dominate *)
 }
 
 val run_instrumented :

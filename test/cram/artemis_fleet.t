@@ -50,7 +50,7 @@ The report is byte-identical for every jobs/chunk combination:
 Bad inputs are reported with context:
 
   $ ../../bin/artemis_fleet.exe --scenario nope --seeds 1
-  artemis_fleet: unknown scenario "nope" (quickstart|health|quickstart-adapt|health-adapt|quickstart-fresh|stale-read|war-buggy)
+  artemis_fleet: unknown scenario "nope" (quickstart|health|quickstart-adapt|health-adapt|quickstart-fresh|stale-read|war-buggy|livelock-prop)
   [1]
   $ ../../bin/artemis_fleet.exe --harvester fixed:30 --seeds 1
   artemis_fleet: delay needs a unit suffix (us|ms|s|min): "30"

@@ -113,5 +113,39 @@ escape hatch, not a recommendation):
 Unknown scenarios are rejected:
 
   $ ../../bin/artemisc.exe --check nope
-  unknown scenario "nope" (quickstart|health|quickstart-adapt|health-adapt|quickstart-fresh|stale-read|war-buggy)
+  unknown scenario "nope" (quickstart|health|quickstart-adapt|health-adapt|quickstart-fresh|stale-read|war-buggy|livelock-prop)
   [1]
+
+The --energy-report flag runs the static energy-admissibility analysis
+(PR 9): per-property worst-case monitor-call bounds (dispatch + guard +
+body + NVM-write cycles at the scenario's cost model) against the
+device's usable charge budget.  Clean scenarios classify every property
+"progresses" and exit 0:
+
+  $ ../../bin/artemisc.exe --energy-report quickstart
+  energy-admissibility report: quickstart
+    deployment separate-module @ 1000000 Hz; budget usable 3000.000 uJ, reboot 3000.000 uJ (fixed-delay)
+    property                     origin     worst-case      call-us    call-uJ  class
+    maxTries_transmit            deployed   Started/start        390      0.468  progresses
+    deployed-suite call bound: 0.468 uJ (progresses)
+
+The seeded livelock-prop scenario carries an OTA payload whose 20-store
+monitor body bounds above the whole 1.0 uJ usable budget: the payload is
+classified "may livelock", the adaptation validate step refuses it as
+energy-inadmissible, and the report exits 1:
+
+  $ ../../bin/artemisc.exe --energy-report livelock-prop
+  energy-admissibility report: livelock-prop
+    deployment separate-module @ 1000000 Hz; budget usable 1.000 uJ, reboot 1.000 uJ (fixed-delay)
+    property                     origin     worst-case      call-us    call-uJ  class
+    maxTries_ping                deployed   Started/start        390      0.468  progresses
+    audit_log                    update #1  Idle/end           1410      1.692  may livelock
+    deployed-suite call bound: 0.468 uJ (progresses)
+    update #1: rejected by validate: energy-inadmissible: property 'audit_log' worst-case monitor-call bound 1.692 uJ exceeds the usable charge budget 1.000 uJ (may livelock)
+  [1]
+
+--energy-json emits the same analysis as one machine-readable line per
+scenario:
+
+  $ ../../bin/artemisc.exe --energy-report quickstart --energy-json
+  {"scenario": "quickstart", "deployment": "separate-module", "mcu_hz": 1000000, "budget": {"usable_uj": 3000.000, "reboot_uj": 3000.000, "policy": "fixed-delay"}, "suite_call_bound_uj": 0.468, "properties": [{"name": "maxTries_transmit", "origin": "deployed", "worst_state": "Started", "worst_kind": "start", "step_cycles": 120, "guard_cycles": 12, "body_cycles": 18, "write_cycles": 60, "call_us": 390, "call_uj": 0.468, "class": "progresses"}]}

@@ -94,7 +94,7 @@ pass (artemisc --check) exists to close:
 Bad input is rejected:
 
   $ ../../bin/faultsim.exe --scenario nope
-  unknown scenario "nope" (quickstart|health|quickstart-adapt|health-adapt|quickstart-fresh|stale-read|war-buggy)
+  unknown scenario "nope" (quickstart|health|quickstart-adapt|health-adapt|quickstart-fresh|stale-read|war-buggy|livelock-prop)
   [2]
   $ ../../bin/faultsim.exe --replay '42:99@0'
   bad replay line: site 99 out of range [0,19]
