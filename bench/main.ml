@@ -505,6 +505,18 @@ let engine_tests =
                   Artemis_faultsim.Scenario.quickstart_fresh ~seed:42 ~depth:1)));
       Test.make ~name:"adapt-apply" (stagedf (adapt_apply_kernel ()));
       Test.make ~name:"energy-bound-health" (stagedf (energy_bound_kernel ()));
+      (* the PR 10 runtime matrix: quickstart under all five task
+         backends with verdict-stream comparison - the differential
+         conformance check a release pays per scenario.  Agreement is
+         asserted, so a semantic divergence fails the bench rather than
+         skewing the number. *)
+      Test.make ~name:"matrix-compare"
+        (stagedf (fun () ->
+             let r =
+               Artemis_faultsim.Matrix.run Artemis_faultsim.Scenario.quickstart
+                 ~seed:42
+             in
+             assert r.Artemis_faultsim.Matrix.agreement));
     ]
 
 let run_bechamel ~fast tests =
@@ -654,7 +666,7 @@ let write_json ~file results ~obs ~freshness ~engines ~scalability
   let oc = open_out file in
   Printf.fprintf oc
     {|{
-  "bench": "energy-admissibility analysis + cost-model rounding fixes (PR9)",
+  "bench": "alpaca checkpoint-free backend + differential runtime matrix (PR10)",
   "kernels_ns": {
 %s
   },

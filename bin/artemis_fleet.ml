@@ -1,10 +1,11 @@
 (* artemis_fleet: run a fleet of simulated intermittent devices - a
-   scenario x seed x harvester x engine matrix - sharded over domains,
-   and print one deterministically-merged report. *)
+   scenario x seed x harvester x engine x backend matrix - sharded over
+   domains, and print one deterministically-merged report. *)
 
 open Cmdliner
 
-let load_spec spec_path name scenarios seeds seed_first harvesters engines =
+let load_spec spec_path name scenarios seeds seed_first harvesters engines
+    backends =
   match spec_path with
   | Some path -> (
       match In_channel.with_open_bin path In_channel.input_all with
@@ -19,9 +20,10 @@ let load_spec spec_path name scenarios seeds seed_first harvesters engines =
       Fleet.spec_of_json
         (Printf.sprintf
            "{\"name\": %s, \"scenarios\": %s, \"seeds\": {\"first\": %d, \
-            \"count\": %d}, \"harvesters\": %s, \"engines\": %s}"
+            \"count\": %d}, \"harvesters\": %s, \"engines\": %s, \
+            \"backends\": %s}"
            (Artemis.Json.quote name) (arr scenarios) seed_first seeds
-           (arr harvesters) (arr engines))
+           (arr harvesters) (arr engines) (arr backends))
 
 (* --progress: completion ticks with a wall-clock ETA on stderr.  Rendered
    from completion order, so it never touches the (deterministic) report. *)
@@ -47,8 +49,8 @@ let progress_printer total =
     prerr_string (line ^ String.make pad ' ');
     flush stderr
 
-let run spec_path name scenarios seeds seed_first harvesters engines jobs chunk
-    json devices out progress =
+let run spec_path name scenarios seeds seed_first harvesters engines backends
+    jobs chunk json devices out progress =
   if jobs < 0 then begin
     Printf.eprintf
       "artemis_fleet: --jobs must be 0 (auto) or positive (got %d)\n" jobs;
@@ -56,7 +58,10 @@ let run spec_path name scenarios seeds seed_first harvesters engines jobs chunk
   end
   else
     let jobs = if jobs = 0 then Artemis.Par.recommended_jobs () else jobs in
-    match load_spec spec_path name scenarios seeds seed_first harvesters engines with
+    match
+      load_spec spec_path name scenarios seeds seed_first harvesters engines
+        backends
+    with
     | Error msg ->
         Printf.eprintf "artemis_fleet: %s\n" msg;
         1
@@ -84,8 +89,8 @@ let spec_arg =
     & info [ "spec" ] ~docv:"FILE"
         ~doc:
           "Fleet spec JSON: {\"name\", \"scenarios\": [..], \"seeds\": \
-           {\"first\", \"count\"}, \"harvesters\": [..], \"engines\": [..]}. \
-           Overrides the inline flags below.")
+           {\"first\", \"count\"}, \"harvesters\": [..], \"engines\": [..], \
+           \"backends\": [..]}. Overrides the inline flags below.")
 
 let name_arg =
   Arg.(
@@ -105,7 +110,7 @@ let seeds_arg =
   Arg.(
     value & opt int 10
     & info [ "seeds" ] ~docv:"N"
-        ~doc:"Seeds per scenario/harvester/engine cell (default 10).")
+        ~doc:"Seeds per scenario/harvester/engine/backend cell (default 10).")
 
 let seed_first_arg =
   Arg.(
@@ -131,6 +136,15 @@ let engine_arg =
         ~doc:
           "Monitor engine(s) (repeatable): $(b,default), $(b,interpreted), \
            $(b,compiled) or $(b,table).")
+
+let backend_arg =
+  Arg.(
+    value
+    & opt_all string [ "immortal" ]
+    & info [ "backend" ] ~docv:"BACKEND"
+        ~doc:
+          "Task-execution backend(s) (repeatable): $(b,immortal), \
+           $(b,checkpoint), $(b,ink), $(b,mayfly) or $(b,alpaca).")
 
 let jobs_arg =
   Arg.(
@@ -177,7 +191,7 @@ let cmd =
     (Cmd.info "artemis_fleet" ~doc)
     Term.(
       const run $ spec_arg $ name_arg $ scenario_arg $ seeds_arg
-      $ seed_first_arg $ harvester_arg $ engine_arg $ jobs_arg $ chunk_arg
-      $ json_arg $ devices_arg $ out_arg $ progress_arg)
+      $ seed_first_arg $ harvester_arg $ engine_arg $ backend_arg $ jobs_arg
+      $ chunk_arg $ json_arg $ devices_arg $ out_arg $ progress_arg)
 
 let () = exit (Cmd.eval' cmd)

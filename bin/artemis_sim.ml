@@ -56,6 +56,25 @@ let load_adapt_script = function
           | Ok updates -> Ok (Some updates)
           | Error e -> Error e))
 
+(* --matrix SCENARIO: run the scenario under every registered backend
+   (immortal, checkpoint, ink, mayfly, alpaca) with the same monitors
+   and compare the verdict streams; exit 1 on divergence. *)
+let run_matrix name json seed =
+  match Artemis_faultsim.Scenario.find name with
+  | None ->
+      Printf.eprintf "artemis_sim: unknown scenario %S (%s)\n" name
+        (String.concat "|"
+           (List.map
+              (fun s -> s.Artemis_faultsim.Scenario.name)
+              Artemis_faultsim.Scenario.all));
+      2
+  | Some scenario ->
+      let report = Artemis_faultsim.Matrix.run scenario ~seed in
+      print_string
+        (if json then Artemis_faultsim.Matrix.to_json report
+         else Artemis_faultsim.Matrix.summary report);
+      if report.Artemis_faultsim.Matrix.agreement then 0 else 1
+
 (* --experiment NAME: run one of the lib/experiments sweeps (optionally
    fanned out over --jobs domains) instead of a single simulation. *)
 let run_experiment name jobs =
@@ -85,7 +104,7 @@ let run_experiment name jobs =
         other;
       2
 
-let run system_name engine delay_min continuous temp_base show_trace trace_limit show_summary csv_path trace_out metrics_out show_metrics adapt_path experiment jobs =
+let run system_name engine delay_min continuous temp_base show_trace trace_limit show_summary csv_path trace_out metrics_out show_metrics adapt_path experiment matrix matrix_json seed jobs =
   if jobs < 0 then begin
     Printf.eprintf "artemis_sim: --jobs must be 0 (auto) or positive (got %d)\n"
       jobs;
@@ -93,9 +112,10 @@ let run system_name engine delay_min continuous temp_base show_trace trace_limit
   end
   else
   let jobs = if jobs = 0 then Artemis.Par.recommended_jobs () else jobs in
-  match experiment with
-  | Some name -> run_experiment name jobs
-  | None ->
+  match (matrix, experiment) with
+  | Some name, _ -> run_matrix name matrix_json seed
+  | None, Some name -> run_experiment name jobs
+  | None, None ->
   let system =
     match system_name with
     | "artemis" -> Ok Config.Artemis_runtime
@@ -309,6 +329,30 @@ let experiment_arg =
            $(b,scalability), $(b,non-watching), $(b,harvester), \
            $(b,timekeeper) or $(b,ablation).")
 
+let matrix_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "matrix" ] ~docv:"SCENARIO"
+        ~doc:
+          "Run the named faultsim scenario under every registered task-\
+           execution backend (immortal, checkpoint, ink, mayfly, alpaca) \
+           with the same monitors, print the differential comparison, and \
+           exit 1 if any backend's verdict stream diverges from the \
+           reference.")
+
+let matrix_json_arg =
+  Arg.(
+    value & flag
+    & info [ "matrix-json" ]
+        ~doc:"Print the $(b,--matrix) report as JSON instead of a table.")
+
+let seed_arg =
+  Arg.(
+    value & opt int 42
+    & info [ "seed" ] ~docv:"SEED"
+        ~doc:"Scenario seed for $(b,--matrix) runs (default 42).")
+
 let jobs_arg =
   Arg.(
     value & opt int 1
@@ -326,6 +370,7 @@ let cmd =
       const run $ system_arg $ engine_arg $ delay_arg $ continuous_arg
       $ temp_arg $ trace_arg
       $ trace_limit_arg $ summary_arg $ csv_arg $ trace_out_arg
-      $ metrics_out_arg $ metrics_arg $ adapt_arg $ experiment_arg $ jobs_arg)
+      $ metrics_out_arg $ metrics_arg $ adapt_arg $ experiment_arg
+      $ matrix_arg $ matrix_json_arg $ seed_arg $ jobs_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,167 @@
+open Artemis_util
+module Nvm = Artemis_nvm.Nvm
+module Device = Artemis_device.Device
+module Event = Artemis_trace.Event
+module Task = Artemis_task.Task
+module Backend = Artemis_backend.Backend
+
+(* Numbered after the NVM and runtime sites by the fault-injection
+   engine: the four crash windows of the two-phase commit. *)
+let injection_sites =
+  [
+    "alpaca.log.before";
+    "alpaca.log.after";
+    "alpaca.swap.before";
+    "alpaca.swap.after";
+  ]
+
+module Chaos = struct
+  let torn_commit_log = ref false
+
+  let reset () = torn_commit_log := false
+end
+
+type config = {
+  log_base_cycles : int;
+  log_cycles_per_cell : int;
+  swap_base_cycles : int;
+  swap_cycles_per_cell : int;
+  mcu_power : Energy.power;
+  mcu_frequency_hz : int;
+}
+
+let default_config =
+  {
+    log_base_cycles = 60;
+    log_cycles_per_cell = 40;
+    swap_base_cycles = 40;
+    swap_cycles_per_cell = 30;
+    mcu_power = Energy.mw 1.2;
+    mcu_frequency_hz = 1_000_000;
+  }
+
+(* The sealed commit log: [Some (task, cells)] from the instant the
+   write set is durably promised until the swap publishes it.  Plain
+   data only (the redo thunks live host-side), so the region digests
+   used by the faultsim oracles stay meaningful. *)
+type log = (string * string list) option
+
+(* Under [Chaos.torn_commit_log] the recovery swap loses the youngest
+   Application-region entry of the redo log - the seeded "broken swap"
+   the task-atomicity oracle must catch. *)
+let drop_newest_application entries =
+  let rec go = function
+    | [] -> []
+    | (_, Nvm.Application, _) :: rest -> rest
+    | e :: rest -> e :: go rest
+  in
+  List.rev (go (List.rev entries))
+
+let setup ?(config = default_config) ~probe device _app =
+  let nvm = Device.nvm device in
+  let log : log Nvm.cell =
+    Nvm.cell nvm ~region:Runtime ~name:"alpaca.log" ~bytes:16 None
+  in
+  (* Host-side redo thunks (captured values, not pending views): like
+     every host-side mirror of durable state, they survive simulated
+     power failures; the durable [log] cell is what decides whether
+     they are authoritative. *)
+  let redo = ref [] in
+  let cycles_to_time cycles =
+    Time.of_us (cycles * 1_000_000 / config.mcu_frequency_hz)
+  in
+  let consume_cycles ~during cycles =
+    Device.consume device Device.Runtime_work ~during ~power:config.mcu_power
+      ~duration:(cycles_to_time cycles) ()
+  in
+  (* Phase two: publish a sealed log onto committed state and clear the
+     seal.  Idempotent - the redo thunks carry frozen values - so every
+     reboot inside the window simply re-runs it.  [recovery] marks calls
+     that finish a commit the crashed attempt could not report: they own
+     the task's completion record. *)
+  let rec swap ~recovery =
+    match Nvm.read log with
+    | None -> true
+    | Some (task_name, names) -> (
+        probe "alpaca.swap.before";
+        match
+          consume_cycles ~during:"alpaca.swap"
+            (config.swap_base_cycles
+            + (config.swap_cycles_per_cell * List.length names))
+        with
+        | Device.Starved -> false
+        | Device.Interrupted ->
+            (* the reboot re-enters recovery; retry on the fresh charge *)
+            if Device.horizon_exceeded device then false else swap ~recovery
+        | Device.Completed ->
+            let entries =
+              if recovery && !Chaos.torn_commit_log then
+                drop_newest_application !redo
+              else !redo
+            in
+            List.iter (fun (_, _, apply) -> apply ()) entries;
+            Nvm.write log None;
+            redo := [];
+            (* Clear strictly before the completion record, like the
+               reference backend's commit: a crash between the two loses
+               only the event. *)
+            if recovery then
+              Device.record device (Event.Task_completed { task = task_name });
+            probe "alpaca.swap.after";
+            true)
+  in
+  {
+    Backend.recover = (fun () -> ignore (swap ~recovery:true));
+    execute =
+      (fun ~task ~context ~commit ->
+        (* Privatization: the open transaction's pending views are the
+           task's scratch buffers - reads see them, committed state
+           does not, and a power failure anywhere before the log seals
+           discards them wholesale. *)
+        Nvm.begin_tx nvm;
+        match
+          Device.consume device Device.App ~during:task.Task.name
+            ~power:task.Task.power ~duration:task.Task.duration ()
+        with
+        | Device.Interrupted | Device.Starved -> Backend.Interrupted
+        | Device.Completed -> (
+            task.Task.body (context ());
+            commit ();
+            (* Phase one: freeze the write set and seal it behind the
+               single durable [log] write - the commit point. *)
+            let entries = Nvm.capture_tx nvm in
+            match
+              consume_cycles ~during:"alpaca.log"
+                (config.log_base_cycles
+                + (config.log_cycles_per_cell * List.length entries))
+            with
+            | Device.Interrupted | Device.Starved ->
+                (* the power failure aborted the open transaction; the
+                   log never sealed, so the captured set is void *)
+                Backend.Interrupted
+            | Device.Completed ->
+                probe "alpaca.log.before";
+                redo := entries;
+                Nvm.write log
+                  (Some (task.Task.name, List.map (fun (n, _, _) -> n) entries));
+                probe "alpaca.log.after";
+                (* the scratch buffers are spent: the sealed log is now
+                   the authoritative carrier of the write set *)
+                Nvm.drop_tx nvm;
+                if swap ~recovery:false then Backend.Committed
+                else Backend.Interrupted));
+    fram_bytes = (fun () -> 16);
+  }
+
+module B : Backend.S = struct
+  let name = "alpaca"
+
+  let description =
+    "checkpoint-free task privatization with two-phase (log-then-swap) commit"
+
+  let injection_sites = injection_sites
+  let bodies = Task.bodies
+  let setup ~probe device app = setup ~probe device app
+end
+
+let backend : Backend.b = (module B)

@@ -1,0 +1,86 @@
+(** The unified intermittent-runtime backend interface (PR 10).
+
+    The ARTEMIS runtime ({!Artemis_runtime.Runtime}) owns the scheduler
+    loop, the monitor-call machinery and verdict application; what
+    varies between intermittent-system families is {e how a task's
+    effects become durable} and what that protocol costs.  A [Backend]
+    abstracts exactly that seam:
+
+    - {b execute}: run one task attempt and commit its effects together
+      with the runtime's cursor advance (passed in as [commit]);
+    - {b recover}: reboot-time repair, called at every scheduler loop
+      entry (must be a cheap no-op when there is nothing to repair);
+    - {b bodies}: the backend's unit-of-re-execution surface for the
+      static WAR-hazard pass ({!Artemis_consistency.War});
+    - {b setup}: the backend's own persistent NVM cells, allocated once
+      so the stable-footprint oracle holds across crashes.
+
+    Because every backend runs the same monitors through the same
+    runtime, monitor verdicts must agree across backends on a given
+    scenario - the invariant the runtime matrix
+    ([Artemis_faultsim.Matrix]) checks - while energy and recovery cost
+    columns differ per family. *)
+
+module Nvm = Artemis_nvm.Nvm
+module Device = Artemis_device.Device
+module Task = Artemis_task.Task
+
+type outcome =
+  | Committed  (** the task body ran and its effects are durable *)
+  | Interrupted
+      (** a power failure (or starvation) cut the attempt short; all
+          task effects were rolled back or are recoverable by
+          [recover] *)
+
+type instance = {
+  recover : unit -> unit;
+      (** called at every scheduler loop entry, before the cursor is
+          read: finish any commit a crash interrupted.  Must cost one
+          cell read when there is nothing to do. *)
+  execute :
+    task:Task.t ->
+    context:(unit -> Task.context) ->
+    commit:(unit -> unit) ->
+    outcome;
+      (** run one attempt of [task].  [context ()] builds the task
+          context (evaluated after the task's energy was consumed, so
+          [now] is the completion time); [commit ()] performs the
+          runtime's own cursor write and must be made durable atomically
+          with the task's effects. *)
+  fram_bytes : unit -> int;
+      (** declared FRAM bytes of the cells [setup] allocated (the
+          backend's own footprint, excluded from the shared runtime's). *)
+}
+
+module type S = sig
+  val name : string
+  val description : string
+
+  val injection_sites : string list
+  (** Extra crash windows this backend's commit protocol exposes, in
+      numbering order (appended after the NVM and runtime sites by the
+      fault-injection engine).  Empty for backends whose commit point is
+      the single NVM transaction commit. *)
+
+  val bodies : Task.app -> (string * (Task.context -> unit)) list
+  (** The WAR-analysis surface: every distinct unit of re-execution,
+      named, in first-appearance order. *)
+
+  val setup : probe:(string -> unit) -> Device.t -> Task.app -> instance
+  (** Allocate the backend's persistent cells on [device] and return the
+      per-run protocol hooks.  Called once per run. *)
+end
+
+type b = (module S)
+
+val name : b -> string
+val description : b -> string
+val injection_sites : b -> string list
+val bodies : b -> Task.app -> (string * (Task.context -> unit)) list
+val setup : b -> probe:(string -> unit) -> Device.t -> Task.app -> instance
+
+val immortal : b
+(** The reference backend: the paper's ARTEMIS task-transaction
+    protocol.  Allocates no cells and reproduces the pre-refactor
+    runtime behaviour exactly; the runtime matrix measures every other
+    backend against it. *)

@@ -44,8 +44,21 @@ let index_of segments name =
 (* The WAR-analysis surface (PR 7): segment bodies are the checkpoint
    runtime's unit of re-execution - a power failure rolls back to the
    last checkpoint and re-runs the segment, so a segment-local
-   read-then-plain-write is non-idempotent exactly like a task's. *)
-let bodies p = List.map (fun s -> (s.name, s.body)) p.segments
+   read-then-plain-write is non-idempotent exactly like a task's.
+   Deduplicated by first appearance like [Task.bodies] and [Ink.bodies]
+   (PR 10): [validate] rejects duplicate names, but the analysis surface
+   must not depend on validation having run - the pre-fix version
+   analyzed (and double-reported) repeated segments. *)
+let bodies p =
+  let seen = Hashtbl.create 16 in
+  List.filter_map
+    (fun s ->
+      if Hashtbl.mem seen s.name then None
+      else begin
+        Hashtbl.add seen s.name ();
+        Some (s.name, s.body)
+      end)
+    p.segments
 
 let validate p =
   let ( let* ) r f = Result.bind r f in
@@ -267,3 +280,72 @@ let run ?(config = default_config) device p =
 let runtime_fram_bytes device =
   Nvm.footprint (Device.nvm device) ~kind:Artemis_nvm.Nvm.Fram
     ~region:Artemis_nvm.Nvm.Runtime
+
+(* --- the unified-backend adapter (PR 10) ---
+
+   Runs ARTEMIS [Task.app] tasks under the TICS/checkpoint commit
+   protocol inside the shared runtime: a cold entry (boot or power
+   failure) pays the restore before any task work, and every commit
+   pays the double-buffered snapshot cost inside the task transaction,
+   so the data and its checkpoint become durable atomically. *)
+module Backend_impl : Artemis_backend.Backend.S = struct
+  module Backend = Artemis_backend.Backend
+
+  let name = "checkpoint"
+
+  let description =
+    "TICS-style checkpointing (restore on cold entry, snapshot on commit)"
+
+  let injection_sites = []
+  let bodies = Task.bodies
+
+  let setup ~probe device _app =
+    ignore probe;
+    let config = default_config in
+    let nvm = Device.nvm device in
+    let live =
+      Nvm.cell nvm ~region:Runtime ~kind:Artemis_nvm.Nvm.Ram ~name:"cpb.live"
+        ~bytes:1 false
+    in
+    (* the double-buffered snapshot area (fixed: the shared runtime's
+       cursor+event state, not per-segment payloads) *)
+    let snapshot_bytes = 128 in
+    ignore (Nvm.cell nvm ~region:Runtime ~name:"cpb.snapshot" ~bytes:snapshot_bytes ());
+    let consume_cycles cycles =
+      Device.consume device Device.Runtime_work ~power:config.mcu_power
+        ~duration:(Time.of_us (cycles * 1_000_000 / config.mcu_frequency_hz))
+        ()
+    in
+    {
+      Backend.recover = (fun () -> ());
+      execute =
+        (fun ~task ~context ~commit ->
+          (* a cold entry (after boot or failure) pays the restore cost *)
+          (if not (Nvm.read live) then
+             match consume_cycles config.restore_cycles with
+             | Device.Completed -> Nvm.write live true
+             | Device.Interrupted | Device.Starved -> ());
+          if not (Nvm.read live) then Backend.Interrupted
+          else begin
+            Nvm.begin_tx nvm;
+            match
+              Device.consume device Device.App ~during:task.Task.name
+                ~power:task.Task.power ~duration:task.Task.duration ()
+            with
+            | Device.Interrupted | Device.Starved -> Backend.Interrupted
+            | Device.Completed -> (
+                task.Task.body (context ());
+                commit ();
+                (* the task's data and its checkpoint commit atomically:
+                   a failure during the snapshot discards the data too *)
+                match consume_cycles config.checkpoint_cycles with
+                | Device.Completed ->
+                    Nvm.commit_tx nvm;
+                    Backend.Committed
+                | Device.Interrupted | Device.Starved -> Backend.Interrupted)
+          end);
+      fram_bytes = (fun () -> snapshot_bytes);
+    }
+end
+
+let backend : Artemis_backend.Backend.b = (module Backend_impl)

@@ -95,3 +95,10 @@ val run : ?config:config -> Device.t -> program -> Artemis_trace.Stats.t
 val runtime_fram_bytes : Device.t -> int
 (** FRAM occupied by the checkpointing runtime: bookkeeping plus the
     largest snapshot (double-buffered). *)
+
+val backend : Artemis_backend.Backend.b
+(** The unified-backend adapter (PR 10, [name = "checkpoint"]): runs
+    ARTEMIS task apps under the TICS/checkpoint commit protocol inside
+    the shared runtime - restore cost on every cold entry, snapshot cost
+    inside every task commit.  Allocates [cpb.live] (RAM) and the
+    double-buffered [cpb.snapshot] cell. *)

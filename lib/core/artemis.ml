@@ -73,12 +73,34 @@ module To_c_project = Artemis_transform.To_c_project
 module Monitor = Artemis_monitor.Monitor
 module Suite = Artemis_monitor.Suite
 module Adapt = Artemis_adapt.Adapt
+module Backend = Artemis_backend.Backend
 module Runtime = Artemis_runtime.Runtime
 module Mayfly = Artemis_mayfly.Mayfly
 module Mayfly_lang = Artemis_mayfly.Mayfly_lang
 module Immortal = Artemis_immortal.Immortal
 module Checkpoint = Artemis_checkpoint.Checkpoint
 module Ink = Artemis_ink.Ink
+module Alpaca = Artemis_alpaca.Alpaca
+
+(** The runtime-matrix registry (PR 10): every task-execution backend the
+    shared runtime can host, reference family first.  All five run the
+    same applications, monitors, and fault-injection campaigns; only the
+    task commit protocol (and its energy/FRAM cost) differs. *)
+module Backends = struct
+  let all : Backend.b list =
+    [
+      Backend.immortal;
+      Checkpoint.backend;
+      Ink.backend;
+      Mayfly.backend;
+      Alpaca.backend;
+    ]
+
+  let names = List.map Backend.name all
+
+  let find name =
+    List.find_opt (fun b -> String.equal (Backend.name b) name) all
+end
 
 (** Compile a property specification (concrete syntax) into intermediate-
     language machines, validating it against the application when one is

@@ -1,9 +1,13 @@
 open Artemis
 module Par = Artemis_util.Par
 
-(* --- injection sites (Nvm numbering first, then Runtime) --- *)
+(* --- injection sites (Nvm numbering first, then Runtime, then the
+   Alpaca two-phase-commit windows appended by PR 10 so the historic
+   numbering [0,19] stays stable) --- *)
 
-let sites = Array.of_list (Nvm.injection_sites @ Runtime.injection_sites)
+let sites =
+  Array.of_list
+    (Nvm.injection_sites @ Runtime.injection_sites @ Alpaca.injection_sites)
 let site_count = Array.length sites
 
 (* Shared-mutable audit (PR 5): this table is populated once at module
@@ -277,30 +281,42 @@ let run_schedule (scenario : Scenario.t) ~seed schedule =
   let violations = ref [] in
   (* Oracle 1 state: the committed application region as of the last
      commit point.  Updated at every commit, checked at every injected
-     crash: a mid-transaction crash must not have moved it. *)
+     crash: a mid-transaction crash must not have moved it.  The Alpaca
+     two-phase protocol (PR 10) opens a second legitimate window: from
+     the instant the commit log seals ([alpaca.log.after]) the run may
+     also be in the {e promised} post-state - the sealed write set
+     captured logically (pending views included) at the seal - and in
+     nothing else until the swap publishes it ([alpaca.swap.after]). *)
   let app_committed = ref (Nvm.snapshot_region nvm ~region:Nvm.Application) in
   let commit_after = site_id "nvm.commit_tx.after" in
+  let log_after = site_id "alpaca.log.after" in
+  let swap_after = site_id "alpaca.swap.after" in
+  let sealed = ref false in
+  let promised = ref [] in
+  let changed_cells ~against now =
+    List.filter_map
+      (fun (name, digest) ->
+        match List.assoc_opt name against with
+        | Some d when d = digest -> None
+        | _ -> Some name)
+      now
+  in
   let check_atomicity label =
     let now = Nvm.snapshot_region nvm ~region:Nvm.Application in
-    if now <> !app_committed then begin
-      let changed =
-        List.filter_map
-          (fun (name, digest) ->
-            match List.assoc_opt name !app_committed with
-            | Some d when d = digest -> None
-            | _ -> Some name)
-          now
-      in
+    if now = !app_committed then ()
+    else if !sealed && now = !promised then
+      (* the sealed two-phase commit landed between checks *)
+      app_committed := now
+    else
       violations :=
         {
           oracle = "task-atomicity";
           detail =
             Printf.sprintf
               "committed app cells changed outside a commit at %s: %s" label
-              (String.concat "," changed);
+              (String.concat "," (changed_cells ~against:!app_committed now));
         }
         :: !violations
-    end
   in
   let probe label =
     let id = site_id label in
@@ -308,7 +324,28 @@ let run_schedule (scenario : Scenario.t) ~seed schedule =
     let occ = since.(id) in
     since.(id) <- occ + 1;
     if id = commit_after then
-      app_committed := Nvm.snapshot_region nvm ~region:Nvm.Application;
+      app_committed := Nvm.snapshot_region nvm ~region:Nvm.Application
+    else if id = log_after then begin
+      (* a new log can only seal after the previous one published *)
+      if !sealed then app_committed := !promised;
+      promised := Nvm.snapshot_region_logical nvm ~region:Nvm.Application;
+      sealed := true
+    end
+    else if id = swap_after then begin
+      let now = Nvm.snapshot_region nvm ~region:Nvm.Application in
+      if !sealed && now <> !promised then
+        violations :=
+          {
+            oracle = "task-atomicity";
+            detail =
+              Printf.sprintf
+                "two-phase commit published a torn write set: %s"
+                (String.concat "," (changed_cells ~against:!promised now));
+          }
+          :: !violations;
+      app_committed := now;
+      sealed := false
+    end;
     match !remaining with
     | (s, o) :: rest when s = id && o = occ ->
         remaining := rest;
@@ -321,8 +358,8 @@ let run_schedule (scenario : Scenario.t) ~seed schedule =
   in
   let result =
     Runtime.run_instrumented ~config:b.Scenario.config
-      ~adaptations:b.Scenario.adaptations ~probe b.Scenario.device
-      b.Scenario.app b.Scenario.suite
+      ~adaptations:b.Scenario.adaptations ~backend:b.Scenario.backend ~probe
+      b.Scenario.device b.Scenario.app b.Scenario.suite
   in
   check_atomicity "end-of-run";
   let violations =

@@ -13,7 +13,11 @@
 
     - {b task-atomicity}: committed application-region FRAM only ever
       changes at transaction commit points - an injected crash can never
-      expose a half-executed task;
+      expose a half-executed task.  Under the Alpaca backend (PR 10) the
+      two-phase commit opens one more legitimate window: from the
+      instant the commit log seals the region may also equal the
+      {e promised} post-state, and the swap must publish exactly that
+      write set (a torn publish is a violation);
     - {b golden re-execution}: replaying the journal of committed monitor
       calls against a pristine monitor suite reproduces the run's final
       monitor FRAM exactly (write-through immortal monitors lose nothing
@@ -39,7 +43,9 @@
 
 val sites : string array
 (** All injection-point labels, in numbering order:
-    {!Nvm.injection_sites} first, then {!Runtime.injection_sites}. *)
+    {!Nvm.injection_sites} first, then {!Runtime.injection_sites}, then
+    {!Artemis.Alpaca.injection_sites} (PR 10) - the historic ids [0,19]
+    are stable. *)
 
 val site_count : int
 

@@ -8,6 +8,7 @@ type built = {
   config : Runtime.config;
   adaptations : (int * Adapt.update) list;
   freshness : Consistency.Freshness.t option;
+  backend : Backend.b;
 }
 
 type t = {
@@ -20,7 +21,16 @@ let deploy ?engine device app spec ~seed =
   let machines = compile_exn ~app spec in
   let suite = deploy ?engine device machines in
   let config = { Runtime.default_config with seed } in
-  { device; app; suite; machines; config; adaptations = []; freshness = None }
+  {
+    device;
+    app;
+    suite;
+    machines;
+    config;
+    adaptations = [];
+    freshness = None;
+    backend = Backend.immortal;
+  }
 
 (* examples/quickstart.ml, reconstructed fresh on every call. *)
 let quickstart =
@@ -312,8 +322,28 @@ let livelock_prop =
 let with_engine engine base =
   { base with build = (fun ~engine:_ ~seed -> base.build ~engine:(Some engine) ~seed) }
 
+(* --- runtime-matrix scenarios (PR 10): same device and monitors, a
+   different task commit protocol --- *)
+
+let with_backend backend ~name ~description base =
+  {
+    name;
+    description;
+    build =
+      (fun ~engine ~seed ->
+        let b = base.build ~engine ~seed in
+        { b with backend });
+  }
+
+let quickstart_alpaca =
+  with_backend Alpaca.backend ~name:"quickstart-alpaca"
+    ~description:
+      "quickstart under the checkpoint-free Alpaca backend (two-phase \
+       log-then-swap commit, four protocol injection sites)"
+    quickstart
+
 let all =
   [ quickstart; health; quickstart_adapt; health_adapt; quickstart_fresh;
-    stale_read; war_buggy; livelock_prop ]
+    stale_read; war_buggy; livelock_prop; quickstart_alpaca ]
 
 let find name = List.find_opt (fun s -> s.name = name) all

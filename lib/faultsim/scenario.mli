@@ -24,6 +24,9 @@ type built = {
           chokepoint (PR 7); its violations become the campaign's
           [input-freshness] oracle.  [None] for scenarios without a
           freshness budget. *)
+  backend : Backend.b;
+      (** the task-execution backend the run hosts (PR 10);
+          {!Artemis.Backend.immortal} for the classic scenarios *)
 }
 
 type t = {
@@ -95,6 +98,17 @@ val with_engine : Monitor.engine -> t -> t
     same device and application but deploys its suite with [engine],
     ignoring any engine passed to [build].  Name and description are
     unchanged, so campaign reports stay comparable across engines. *)
+
+val with_backend : Backend.b -> name:string -> description:string -> t -> t
+(** Run the scenario's application under a different task-execution
+    backend (PR 10): same device, monitors and properties, a different
+    commit protocol.  The campaign's injection numbering is unchanged -
+    backend-specific sites simply never fire under other backends. *)
+
+val quickstart_alpaca : t
+(** {!quickstart} under the checkpoint-free Alpaca backend: tasks
+    privatize their writes and commit via the two-phase log-then-swap
+    protocol, exposing the four [alpaca.*] injection sites. *)
 
 val all : t list
 val find : string -> t option

@@ -121,6 +121,7 @@ type spec = {
   seed_count : int;
   profiles : profile list;
   engines : string list;
+  backends : string list;
 }
 
 let engine_of_string = function
@@ -132,6 +133,14 @@ let engine_of_string = function
       Error
         (Printf.sprintf "unknown engine %S (default|interpreted|compiled|table)"
            other)
+
+let backend_of_string name =
+  match Backends.find name with
+  | Some b -> Ok b
+  | None ->
+      Error
+        (Printf.sprintf "unknown backend %S (%s)" name
+           (String.concat "|" Backends.names))
 
 let validate_spec spec =
   let ( let* ) = Result.bind in
@@ -148,6 +157,10 @@ let validate_spec spec =
   in
   let* () =
     if spec.engines = [] then Error "spec needs at least one engine" else Ok ()
+  in
+  let* () =
+    if spec.backends = [] then Error "spec needs at least one backend"
+    else Ok ()
   in
   let* () =
     List.fold_left
@@ -168,6 +181,13 @@ let validate_spec spec =
         let* () = acc in
         Result.map ignore (engine_of_string name))
       (Ok ()) spec.engines
+  in
+  let* () =
+    List.fold_left
+      (fun acc name ->
+        let* () = acc in
+        Result.map ignore (backend_of_string name))
+      (Ok ()) spec.backends
   in
   Ok spec
 
@@ -232,12 +252,16 @@ let spec_of_json text =
     |> Result.map List.rev
   in
   let* engines = str_list "engines" [ "default" ] (Json.member "engines" doc) in
+  let* backends =
+    str_list "backends" [ "immortal" ] (Json.member "backends" doc)
+  in
   validate_spec
-    { fleet_name; scenarios; seed_first; seed_count; profiles; engines }
+    { fleet_name; scenarios; seed_first; seed_count; profiles; engines;
+      backends }
 
 let spec_size spec =
   List.length spec.scenarios * List.length spec.profiles
-  * List.length spec.engines * spec.seed_count
+  * List.length spec.engines * List.length spec.backends * spec.seed_count
 
 (* ------------------------------------------------------------------ *)
 (* Per-device runs *)
@@ -248,6 +272,7 @@ type device_result = {
   seed : int;
   profile : string;
   engine : string;
+  backend : string;
   outcome : string;
   power_failures : int;
   reboots : int;
@@ -264,6 +289,7 @@ type coord = {
   c_seed : int;
   c_profile : profile;
   c_engine : string;
+  c_backend : string * Backend.b;
 }
 
 (* Scenario-major decomposition of the flat device index; seeds vary
@@ -289,10 +315,21 @@ let expand spec =
            | Error msg -> failwith ("Fleet.run: " ^ msg))
          spec.engines)
   in
+  let backends =
+    Array.of_list
+      (List.map
+         (fun name ->
+           match backend_of_string name with
+           | Ok b -> (name, b)
+           | Error msg -> failwith ("Fleet.run: " ^ msg))
+         spec.backends)
+  in
   let np = Array.length profiles and ne = Array.length engines in
+  let nb = Array.length backends in
   let k = spec.seed_count in
   fun idx ->
     let seed_i = idx mod k and idx = idx / k in
+    let b_i = idx mod nb and idx = idx / nb in
     let e_i = idx mod ne and idx = idx / ne in
     let p_i = idx mod np and s_i = idx / np in
     let name, engine = engines.(e_i) in
@@ -307,6 +344,7 @@ let expand spec =
       c_seed = spec.seed_first + seed_i;
       c_profile = profiles.(p_i);
       c_engine = name;
+      c_backend = backends.(b_i);
     }
 
 let verdict_counts log =
@@ -329,9 +367,10 @@ let run_device ~index coord =
   (match policy_of_profile coord.c_profile with
   | None -> ()
   | Some policy -> Device.set_policy built.Scenario.device policy);
+  let backend_name, backend = coord.c_backend in
   let stats =
     Runtime.run ~config:built.Scenario.config
-      ~adaptations:built.Scenario.adaptations built.Scenario.device
+      ~adaptations:built.Scenario.adaptations ~backend built.Scenario.device
       built.Scenario.app built.Scenario.suite
   in
   let freshness_violations =
@@ -345,6 +384,7 @@ let run_device ~index coord =
     seed = coord.c_seed;
     profile = profile_label coord.c_profile;
     engine = coord.c_engine;
+    backend = backend_name;
     outcome =
       (match stats.Stats.outcome with
       | Stats.Completed -> "completed"
@@ -414,6 +454,7 @@ type group = {
   g_scenario : string;
   g_profile : string;
   g_engine : string;
+  g_backend : string;
   g_devices : int;
   g_completed : int;
   g_power_failures : int;
@@ -431,8 +472,8 @@ type report = {
   groups : group list;
 }
 
-(* One row per scenario x profile x engine, in matrix order: devices
-   arrive index-sorted, so each group's seed block is contiguous. *)
+(* One row per scenario x profile x engine x backend, in matrix order:
+   devices arrive index-sorted, so each group's seed block is contiguous. *)
 let group_rollup spec devices =
   let seed_count = spec.seed_count in
   let rec blocks i acc =
@@ -457,6 +498,7 @@ let group_rollup spec devices =
             g_scenario = first.scenario;
             g_profile = first.profile;
             g_engine = first.engine;
+            g_backend = first.backend;
             g_devices = 0;
             g_completed = 0;
             g_power_failures = 0;
@@ -556,6 +598,7 @@ let output_report_json ?(devices = false) oc report =
   emitf "  \"harvesters\": [%s],\n"
     (strings (List.map profile_label report.spec.profiles));
   emitf "  \"engines\": [%s],\n" (strings report.spec.engines);
+  emitf "  \"backends\": [%s],\n" (strings report.spec.backends);
   emitf "  \"outcomes\": {%s},\n" (pairs string_of_int report.outcomes);
   emitf "  \"verdicts\": {%s},\n" (pairs string_of_int report.verdict_totals);
   emitf "  \"energyPercentilesUj\": {%s},\n"
@@ -566,9 +609,10 @@ let output_report_json ?(devices = false) oc report =
     (fun i g ->
       emitf
         "    {\"scenario\": %s, \"harvester\": %s, \"engine\": %s, \
-         \"devices\": %d, \"completed\": %d, \"powerFailures\": %d, \
-         \"verdicts\": %d, \"energyUj\": %s}%s\n"
-        (str g.g_scenario) (str g.g_profile) (str g.g_engine) g.g_devices
+         \"backend\": %s, \"devices\": %d, \"completed\": %d, \
+         \"powerFailures\": %d, \"verdicts\": %d, \"energyUj\": %s}%s\n"
+        (str g.g_scenario) (str g.g_profile) (str g.g_engine)
+        (str g.g_backend) g.g_devices
         g.g_completed g.g_power_failures g.g_verdicts
         (Json.float_lit g.g_energy_uj)
         (if i = last_group then "" else ","))
@@ -577,11 +621,12 @@ let output_report_json ?(devices = false) oc report =
   let emit_device indent d last =
     emitf
       "%s{\"index\": %d, \"scenario\": %s, \"seed\": %d, \"harvester\": %s, \
-       \"engine\": %s, \"outcome\": %s, \"powerFailures\": %d, \"reboots\": \
-       %d, \"energyUj\": %s, \"monitorUj\": %s, \"activeUs\": %d, \"offUs\": \
-       %d, \"verdicts\": {%s}, \"freshnessViolations\": %d}%s\n"
+       \"engine\": %s, \"backend\": %s, \"outcome\": %s, \"powerFailures\": \
+       %d, \"reboots\": %d, \"energyUj\": %s, \"monitorUj\": %s, \
+       \"activeUs\": %d, \"offUs\": %d, \"verdicts\": {%s}, \
+       \"freshnessViolations\": %d}%s\n"
       indent d.index (str d.scenario) d.seed (str d.profile) (str d.engine)
-      (str d.outcome) d.power_failures d.reboots
+      (str d.backend) (str d.outcome) d.power_failures d.reboots
       (Json.float_lit d.energy_uj)
       (Json.float_lit d.monitor_uj)
       d.active_us d.off_us
@@ -607,12 +652,15 @@ let output_report_json ?(devices = false) oc report =
 let report_summary report =
   let buf = Buffer.create 512 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
-  add "fleet %s: %d devices (%d scenarios x %d harvesters x %d engines x %d seeds)\n"
+  add
+    "fleet %s: %d devices (%d scenarios x %d harvesters x %d engines x %d \
+     backends x %d seeds)\n"
     report.spec.fleet_name
     (Array.length report.devices)
     (List.length report.spec.scenarios)
     (List.length report.spec.profiles)
     (List.length report.spec.engines)
+    (List.length report.spec.backends)
     report.spec.seed_count;
   let kvs render kvs =
     String.concat " " (List.map (fun (k, v) -> k ^ "=" ^ render v) kvs)
@@ -625,8 +673,8 @@ let report_summary report =
   add "worst devices:\n";
   List.iter
     (fun d ->
-      add "  #%d %s seed=%d %s %s %s failures=%d energy=%.1fuJ%s\n" d.index
-        d.scenario d.seed d.profile d.engine d.outcome d.power_failures
+      add "  #%d %s seed=%d %s %s %s %s failures=%d energy=%.1fuJ%s\n" d.index
+        d.scenario d.seed d.profile d.engine d.backend d.outcome d.power_failures
         d.energy_uj
         (if d.freshness_violations > 0 then
            Printf.sprintf " freshness=%d" d.freshness_violations

@@ -2,7 +2,8 @@
 
     The paper simulates one intermittent device; production means a
     {e fleet}.  A {!spec} names the sweep axes - scenario x seed range x
-    harvester profile x monitor engine - and {!run} expands them into a
+    harvester profile x monitor engine x task backend - and {!run}
+    expands them into a
     device matrix, runs every device as an independent simulation
     sharded over domains with {!Artemis.Par.map}, and folds the
     per-device records into one deterministically-merged {!report}:
@@ -49,6 +50,9 @@ type spec = {
   profiles : profile list;
   engines : string list;
       (** ["default"] or {!Artemis.Monitor} engine names *)
+  backends : string list;
+      (** {!Artemis.Backends} names (PR 10); every device in the sweep
+          runs its scenario under the named task-execution backend *)
 }
 
 val spec_of_json : string -> (spec, string) result
@@ -56,15 +60,17 @@ val spec_of_json : string -> (spec, string) result
     [{"name": "smoke", "scenarios": ["quickstart"],
       "seeds": {"first": 0, "count": 100},
       "harvesters": ["default", "fixed:30s", "duty:200uw"],
-      "engines": ["compiled", "table"]}].
+      "engines": ["compiled", "table"],
+      "backends": ["immortal", "alpaca"]}].
     [name] defaults to ["fleet"], [seeds.first] to [0], [harvesters] to
-    [["default"]] and [engines] to [["default"]]; [scenarios] and
-    [seeds.count] are required.  Scenario, profile and engine names are
-    validated here, so {!run} cannot fail on a parsed spec. *)
+    [["default"]], [engines] to [["default"]] and [backends] to
+    [["immortal"]]; [scenarios] and [seeds.count] are required.
+    Scenario, profile, engine and backend names are validated here, so
+    {!run} cannot fail on a parsed spec. *)
 
 val spec_size : spec -> int
 (** Devices in the matrix:
-    [scenarios * profiles * engines * seed_count]. *)
+    [scenarios * profiles * engines * backends * seed_count]. *)
 
 (** {2 Per-device records} *)
 
@@ -74,6 +80,7 @@ type device_result = {
   seed : int;
   profile : string;  (** {!profile_label} *)
   engine : string;
+  backend : string;  (** {!Artemis.Backend.name} of the task backend *)
   outcome : string;  (** ["completed"] or ["dnf:<reason>"] *)
   power_failures : int;
   reboots : int;
@@ -93,6 +100,7 @@ type group = {
   g_scenario : string;
   g_profile : string;
   g_engine : string;
+  g_backend : string;
   g_devices : int;
   g_completed : int;
   g_power_failures : int;
@@ -108,7 +116,8 @@ type report = {
   energy_percentiles : (string * float) list;
       (** [("p50", uj); ("p90", _); ("p99", _); ("max", _)] *)
   worst : device_result list;  (** worst devices first; see {!worst_devices} *)
-  groups : group list;  (** one row per scenario x profile x engine *)
+  groups : group list;
+      (** one row per scenario x profile x engine x backend *)
 }
 
 val worst_devices : k:int -> device_result list -> device_result list
@@ -137,8 +146,8 @@ val run :
     progress/ETA output from it but never report content.
 
     @raise Invalid_argument if the spec is empty or [jobs < 1], and
-    [Failure] if a scenario/engine name does not resolve (impossible
-    for a spec from {!spec_of_json}). *)
+    [Failure] if a scenario/engine/backend name does not resolve
+    (impossible for a spec from {!spec_of_json}). *)
 
 val output_report_json : ?devices:bool -> out_channel -> report -> unit
 (** Stream the report as JSON with a fixed key order.  [devices]

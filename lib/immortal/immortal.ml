@@ -15,6 +15,7 @@ let create nvm ~region ~name ~steps =
 
 let pc t = Nvm.read t.pc_cell
 let length t = Array.length t.steps
+let fram_bytes _t = 2
 let steps t = t.steps
 let fresh t = pc t = 0
 let completed t = pc t >= Array.length t.steps

@@ -24,6 +24,12 @@ val create :
 val pc : t -> int
 val length : t -> int
 
+val fram_bytes : t -> int
+(** Persistent bytes the thread itself occupies (its 2-byte program
+    counter) - the backend-independent monitor-call overhead the
+    runtime-matrix footprint accounting separates from each backend's
+    own cells. *)
+
 val steps : t -> (unit -> unit) array
 (** The thread's step bodies, in program order - the access-recording
     surface for the static WAR-hazard analysis

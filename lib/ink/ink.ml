@@ -213,6 +213,60 @@ let finish st ~outcome =
     evicted_threads = evicted;
   }
 
+(* --- the unified-backend adapter (PR 10) ---
+
+   Runs ARTEMIS [Task.app] tasks under the InK execution discipline
+   inside the shared runtime: every task dispatch pays the reactive
+   kernel's event-handling cost before the task transaction opens, and
+   the kernel's scheduling progress commits atomically with the task. *)
+module Backend_impl : Artemis_backend.Backend.S = struct
+  module Backend = Artemis_backend.Backend
+
+  let name = "ink"
+  let description = "InK-style reactive kernel (event dispatch per task)"
+  let injection_sites = []
+  let bodies = Task.bodies
+
+  let setup ~probe device _app =
+    ignore probe;
+    let config = default_config in
+    let nvm = Device.nvm device in
+    let sched = Nvm.cell nvm ~region:Runtime ~name:"inkb.sched" ~bytes:3 0 in
+    let consume_kernel () =
+      Device.consume device Device.Runtime_work ~power:config.mcu_power
+        ~duration:
+          (Time.of_us
+             (config.kernel_cycles_per_event * 1_000_000
+             / config.mcu_frequency_hz))
+        ()
+    in
+    {
+      Backend.recover = (fun () -> ());
+      execute =
+        (fun ~task ~context ~commit ->
+          match consume_kernel () with
+          | Device.Interrupted | Device.Starved -> Backend.Interrupted
+          | Device.Completed -> (
+              Nvm.begin_tx nvm;
+              match
+                Device.consume device Device.App ~during:task.Task.name
+                  ~power:task.Task.power ~duration:task.Task.duration ()
+              with
+              | Device.Interrupted | Device.Starved -> Backend.Interrupted
+              | Device.Completed ->
+                  task.Task.body (context ());
+                  (* kernel progress joins the task transaction: a crash
+                     re-dispatches the same event, never skips one *)
+                  Nvm.tx_write sched (Nvm.read sched + 1);
+                  commit ();
+                  Nvm.commit_tx nvm;
+                  Backend.Committed));
+      fram_bytes = (fun () -> 3);
+    }
+end
+
+let backend : Artemis_backend.Backend.b = (module Backend_impl)
+
 let run ?(config = default_config) device armed_list =
   let st = make_state ~config device armed_list in
   Device.record device Event.Boot;

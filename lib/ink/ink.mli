@@ -60,3 +60,10 @@ type outcome = {
 val run : ?config:config -> Device.t -> armed list -> outcome
 (** Process every armed event to completion or eviction.
     @raise Invalid_argument if {!validate} rejects the input. *)
+
+val backend : Artemis_backend.Backend.b
+(** The unified-backend adapter (PR 10, [name = "ink"]): runs ARTEMIS
+    task apps under the InK execution discipline inside the shared
+    runtime - kernel event-dispatch cost before each task transaction,
+    scheduling progress ([inkb.sched]) committed atomically with the
+    task. *)

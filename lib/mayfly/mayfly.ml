@@ -274,3 +274,69 @@ let run ?(config = default_config) device app annotations =
 let runtime_fram_bytes device =
   Nvm.footprint (Device.nvm device) ~kind:Artemis_nvm.Nvm.Fram
     ~region:Artemis_nvm.Nvm.Runtime
+
+(* --- the unified-backend adapter (PR 10) ---
+
+   Runs ARTEMIS [Task.app] tasks under the Mayfly execution discipline
+   inside the shared runtime: the fused expiration table keeps a
+   completion timestamp for {e every} task (annotated or not - the
+   design Table 2 charges for), updated atomically with the task, and
+   each commit pays the fused in-loop property check. *)
+module Backend_impl : Artemis_backend.Backend.S = struct
+  module Backend = Artemis_backend.Backend
+
+  let name = "mayfly"
+
+  let description =
+    "Mayfly-style fused runtime (per-task expiration table, in-loop checks)"
+
+  let injection_sites = []
+  let bodies = Task.bodies
+
+  let setup ~probe device app =
+    ignore probe;
+    let config = default_config in
+    let nvm = Device.nvm device in
+    let stamps =
+      List.map
+        (fun task_name ->
+          ( task_name,
+            Nvm.cell nvm ~region:Runtime ~name:("mfb.end." ^ task_name)
+              ~bytes:9 (None : Time.t option) ))
+        (Task.task_names app)
+    in
+    let consume_check () =
+      Device.consume device Device.Runtime_work
+        ~power:(Cost_model.overhead_power config.cost_model)
+        ~duration:(Cost_model.mayfly_check_overhead config.cost_model ~properties:1)
+        ()
+    in
+    {
+      Backend.recover = (fun () -> ());
+      execute =
+        (fun ~task ~context ~commit ->
+          Nvm.begin_tx nvm;
+          match
+            Device.consume device Device.App ~during:task.Task.name
+              ~power:task.Task.power ~duration:task.Task.duration ()
+          with
+          | Device.Interrupted | Device.Starved -> Backend.Interrupted
+          | Device.Completed -> (
+              task.Task.body (context ());
+              (* expiration-table bookkeeping joins the task transaction *)
+              Nvm.tx_write
+                (List.assoc task.Task.name stamps)
+                (Some (Device.now device));
+              commit ();
+              (* the fused in-loop check runs before the commit becomes
+                 durable: an interruption rolls the whole attempt back *)
+              match consume_check () with
+              | Device.Interrupted | Device.Starved -> Backend.Interrupted
+              | Device.Completed ->
+                  Nvm.commit_tx nvm;
+                  Backend.Committed));
+      fram_bytes = (fun () -> 9 * List.length stamps);
+    }
+end
+
+let backend : Artemis_backend.Backend.b = (module Backend_impl)

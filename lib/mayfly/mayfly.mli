@@ -49,3 +49,10 @@ val run :
 
 val runtime_fram_bytes : Device.t -> int
 (** FRAM bytes of Mayfly's fused runtime cells (Table 2). *)
+
+val backend : Artemis_backend.Backend.b
+(** The unified-backend adapter (PR 10, [name = "mayfly"]): runs ARTEMIS
+    task apps under the Mayfly discipline inside the shared runtime -
+    a fused per-task expiration table ([mfb.end.<task>], one 9-byte cell
+    per task whether annotated or not) committed atomically with each
+    task, plus the fused in-loop check cost on every commit. *)

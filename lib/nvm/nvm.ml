@@ -67,12 +67,22 @@ type registered = {
   reg_bytes : int;
   reset_volatile : unit -> unit;
   digest_committed : unit -> string;
+  digest_logical : unit -> string;
 }
 
 (* One transactionally-dirty cell: how to publish its pending value and
    how to drop it.  Tracking these per-transaction keeps abort and
-   power-failure rollback O(dirty cells), not O(all cells). *)
-type dirty = { commit : unit -> unit; discard : unit -> unit }
+   power-failure rollback O(dirty cells), not O(all cells).  [capture]
+   (PR 10) freezes the cell's current pending value into a standalone
+   redo thunk, so a checkpoint-free runtime can log the write set and
+   re-apply it after the transaction's pending views are gone. *)
+type dirty = {
+  d_name : string;
+  d_region : region;
+  commit : unit -> unit;
+  discard : unit -> unit;
+  capture : unit -> unit -> unit;
+}
 
 type t = {
   obs : Obs.ctx;  (* recording surface; per-device since PR 5 *)
@@ -159,6 +169,10 @@ let cell t ~region ?(kind = Fram) ~name ~bytes init =
       reset_volatile = (fun () -> if kind = Ram then c.committed <- c.initial);
       digest_committed =
         (fun () -> Digest.string (Marshal.to_string c.committed [ Marshal.Closures ]));
+      digest_logical =
+        (fun () ->
+          let v = match c.pending with Some p -> p | None -> c.committed in
+          Digest.string (Marshal.to_string v [ Marshal.Closures ]));
     }
   in
   t.cells <- registered :: t.cells;
@@ -213,7 +227,13 @@ let tx_write c v =
            c.pending <- None
          in
          let discard () = c.pending <- None in
-         c.store.tx_dirty <- { commit; discard } :: c.store.tx_dirty
+         let capture () =
+           let v = match c.pending with Some p -> p | None -> c.committed in
+           fun () -> c.committed <- v
+         in
+         c.store.tx_dirty <-
+           { d_name = c.name; d_region = c.region; commit; discard; capture }
+           :: c.store.tx_dirty
      | Some _ -> ());
      c.pending <- Some v
    end);
@@ -237,6 +257,30 @@ let commit_tx t =
   Obs.Ctx.incr t.obs m_tx_commits;
   close_tx_span t "tx";
   fire t "nvm.commit_tx.after"
+
+(* --- checkpoint-free (Alpaca-style) commit support (PR 10) ---
+
+   A two-phase runtime first freezes the open transaction's write set
+   into standalone redo thunks ([capture_tx]), seals them behind a
+   durable log cell, then closes the transaction without publishing
+   anything ([drop_tx]) and replays the thunks onto committed state.
+   The thunks hold the captured values, not the cells' pending views,
+   so they survive the rollback a power failure performs on the open
+   transaction. *)
+
+let capture_tx t =
+  if not t.tx_open then invalid_arg "Nvm.capture_tx: no open transaction";
+  List.rev t.tx_dirty
+  |> List.map (fun d -> (d.d_name, d.d_region, d.capture ()))
+
+let drop_tx t =
+  if not t.tx_open then invalid_arg "Nvm.drop_tx: no open transaction";
+  List.iter (fun d -> d.discard ()) t.tx_dirty;
+  t.tx_dirty <- [];
+  t.tx_open <- false;
+  (* the write set was captured for redo: logically this is a commit *)
+  Obs.Ctx.incr t.obs m_tx_commits;
+  close_tx_span t "tx"
 
 let abort_tx t =
   if not t.tx_open then invalid_arg "Nvm.abort_tx: no open transaction";
@@ -268,3 +312,8 @@ let snapshot_region t ~region =
   List.rev t.cells
   |> List.filter (fun r -> r.reg_region = region)
   |> List.map (fun r -> (r.reg_name, r.digest_committed ()))
+
+let snapshot_region_logical t ~region =
+  List.rev t.cells
+  |> List.filter (fun r -> r.reg_region = region)
+  |> List.map (fun r -> (r.reg_name, r.digest_logical ()))

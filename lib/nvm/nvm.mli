@@ -126,6 +126,24 @@ val abort_tx : t -> unit
 (** Discard all buffered writes.
     @raise Invalid_argument if no transaction is open. *)
 
+val capture_tx : t -> (string * region * (unit -> unit)) list
+(** Freeze the open transaction's write set into a redo log: one
+    [(name, region, apply)] entry per dirty cell, in first-write order,
+    where [apply] publishes the value the cell's pending view held at
+    capture time.  The thunks are self-contained - they keep working
+    after the transaction is dropped or rolled back by a power failure,
+    and re-applying them is idempotent.  This is the logging half of an
+    Alpaca-style two-phase (log-then-swap) commit (PR 10).
+    @raise Invalid_argument if no transaction is open. *)
+
+val drop_tx : t -> unit
+(** Close the open transaction {e without} publishing or reverting: the
+    pending views are discarded because a {!capture_tx} redo log is now
+    the authoritative carrier of the write set.  Counts as a logical
+    commit in the metrics, not as a revert ({!revert_count} is
+    untouched - nothing observable was rolled back).
+    @raise Invalid_argument if no transaction is open. *)
+
 val in_tx : t -> bool
 
 val power_failure : t -> unit
@@ -159,6 +177,13 @@ val snapshot_region : t -> region:region -> (string * string) list
     in allocation order.  Pending transactional values are excluded, so
     two snapshots are equal iff the durable states are.  Used by the
     fault-injection oracles (task-transaction atomicity). *)
+
+val snapshot_region_logical : t -> region:region -> (string * string) list
+(** Like {!snapshot_region}, but digesting each cell's {e visible} value
+    (the pending transactional view when one exists).  At an Alpaca
+    commit point this is the post-state the sealed redo log promises;
+    the task-atomicity oracle compares the eventual committed state
+    against it (PR 10). *)
 
 (** Test-only chaos hooks for the oracle-sensitivity (mutation) suite:
     each flag re-introduces a known-bad behaviour so the faultsim

@@ -14,6 +14,7 @@ module Immortal = Artemis_immortal.Immortal
 module Obs = Artemis_obs.Obs
 module Adapt = Artemis_adapt.Adapt
 module Energy_analysis = Artemis_energy_analysis.Energy_analysis
+module Backend = Artemis_backend.Backend
 
 let m_monitor_calls = Obs.counter "monitor_calls"
 let h_task_attempt = Obs.histogram "task_attempt_us"
@@ -178,6 +179,9 @@ type state = {
   device : Device.t;
   app : Task.app;
   paths : Task.t array array;
+  binst : Backend.instance;
+      (** the task execute/commit protocol (PR 10): which intermittent-
+          system family makes task effects durable, and at what cost *)
   mutable exec : exec;  (** the active generation's deployment *)
   execs : (int, exec) Hashtbl.t;  (** generation -> deployment (host cache) *)
   adapt : Adapt.t;
@@ -239,7 +243,7 @@ let make_exec nvm ~gen suite event mcall_failures =
   { gen; suite; monitors; thread }
 
 let make_state ?(probe = fun _ -> ()) ?(journaling = false) ?(adaptations = [])
-    ~config device app suite =
+    ?(backend = Backend.immortal) ~config device app suite =
   (match Task.validate app with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Runtime.run: invalid application: " ^ msg));
@@ -303,10 +307,15 @@ let make_state ?(probe = fun _ -> ()) ?(journaling = false) ?(adaptations = [])
   in
   let execs = Hashtbl.create 4 in
   Hashtbl.replace execs 0 exec0;
+  (* Backend cells are allocated last, after the shared runtime's and the
+     adaptation manager's, so every backend sees the same cell prefix and
+     the footprint fingerprints stay deterministic per backend. *)
+  let binst = Backend.setup backend ~probe device app in
   {
     device;
     app;
     paths;
+    binst;
     exec = exec0;
     execs;
     adapt;
@@ -514,22 +523,20 @@ let execute_task st =
     ~hist:h_task_attempt task.Task.name
   @@ fun () ->
   let nvm = Device.nvm st.device in
-  Nvm.begin_tx nvm;
-  match
-    Device.consume st.device Device.App ~during:task.Task.name
-      ~power:task.Task.power ~duration:task.Task.duration ()
-  with
-  | Device.Interrupted | Device.Starved ->
-      (* the open transaction was rolled back by the power failure *)
-      ()
-  | Device.Completed ->
-      let ctx =
-        { Task.nvm; now = Device.now st.device; prng = st.prng }
-      in
-      task.Task.body ctx;
-      Nvm.tx_write st.cursor
-        { c with finished = true; end_ts = Device.now st.device };
-      Nvm.commit_tx nvm;
+  (* The commit protocol is the backend's (PR 10): the reference backend
+     runs the body inside one NVM transaction whose commit also flips
+     the cursor; Alpaca-style backends log-then-swap instead.  [context]
+     is evaluated only after the task's energy was consumed, so [now] is
+     the completion time; [commit] is the runtime's cursor write, made
+     durable atomically with the task's own effects. *)
+  let context () = { Task.nvm; now = Device.now st.device; prng = st.prng } in
+  let commit () =
+    Nvm.tx_write st.cursor
+      { c with finished = true; end_ts = Device.now st.device }
+  in
+  match st.binst.Backend.execute ~task ~context ~commit with
+  | Backend.Interrupted -> ()
+  | Backend.Committed ->
       (* Commit strictly before the completion record: the record
          chokepoint feeds observers like the input-freshness tracker
          (Consistency.Freshness via Device.set_on_record), whose stamps
@@ -803,8 +810,11 @@ let end_phase st =
 
 let finish st outcome = Artemis_device.Report.stats st.device ~outcome
 
-let run_internal ?probe ?journaling ?adaptations ~config device app suite =
-  let st = make_state ?probe ?journaling ?adaptations ~config device app suite in
+let run_internal ?probe ?journaling ?adaptations ?backend ~config device app
+    suite =
+  let st =
+    make_state ?probe ?journaling ?adaptations ?backend ~config device app suite
+  in
   Device.record device Event.Boot;
   (* initial hard reset: resetMonitor (Figure 8, line 14) *)
   Suite.hard_reset st.exec.suite;
@@ -824,6 +834,12 @@ let run_internal ?probe ?journaling ?adaptations ~config device app suite =
       finish st (Stats.Did_not_finish reason)
     end
     else begin
+      (* Reboot-time repair first (PR 10): a backend whose commit was
+         interrupted mid-protocol (e.g. an Alpaca swap with a sealed
+         log) finishes it before the scheduler reads the cursor - the
+         redo may be exactly what advances it.  One cell read when
+         there is nothing to repair. *)
+      st.binst.Backend.recover ();
       let c = Nvm.read st.cursor in
       if c.path > path_count st then begin
         let completed_round = Nvm.read st.round in
@@ -884,8 +900,8 @@ let run_internal ?probe ?journaling ?adaptations ~config device app suite =
   in
   (st, stats)
 
-let run ?(config = default_config) ?adaptations device app suite =
-  snd (run_internal ?adaptations ~config device app suite)
+let run ?(config = default_config) ?adaptations ?backend device app suite =
+  snd (run_internal ?adaptations ?backend ~config device app suite)
 
 let adaptation_records st =
   List.map
@@ -912,8 +928,9 @@ type adaptive = {
   final_generation : int;
 }
 
-let run_adaptive ?(config = default_config) ~adaptations device app suite =
-  let st, stats = run_internal ~adaptations ~config device app suite in
+let run_adaptive ?(config = default_config) ?backend ~adaptations device app
+    suite =
+  let st, stats = run_internal ~adaptations ?backend ~config device app suite in
   (* the run may end between a committed flip and the next update window *)
   sync_exec st;
   {
@@ -934,10 +951,11 @@ type instrumented = {
       (** worst single monitor-call attempt observed (Monitor_work) *)
 }
 
-let run_instrumented ?(config = default_config) ?adaptations ~probe device app
-    suite =
+let run_instrumented ?(config = default_config) ?adaptations ?backend ~probe
+    device app suite =
   let st, stats =
-    run_internal ~probe ~journaling:true ?adaptations ~config device app suite
+    run_internal ~probe ~journaling:true ?adaptations ?backend ~config device
+      app suite
   in
   sync_exec st;
   let m = Nvm.read st.mcall in

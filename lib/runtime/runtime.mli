@@ -66,13 +66,18 @@ val default_config : config
 val run :
   ?config:config ->
   ?adaptations:(int * Artemis_adapt.Adapt.update) list ->
+  ?backend:Artemis_backend.Backend.b ->
   Device.t -> Task.app -> Artemis_monitor.Suite.t ->
   Artemis_trace.Stats.t
 (** Execute one application run to completion (or non-termination).
     Events are recorded in the device's trace log.  [adaptations]
     schedules live property updates: each [(k, update)] is delivered over
     the radio at the first update window on or after scheduler iteration
-    [k] (see {!run_adaptive} for the result details).
+    [k] (see {!run_adaptive} for the result details).  [backend] selects
+    the task execute/commit protocol (PR 10) - which intermittent-system
+    family makes task effects durable; defaults to
+    {!Artemis_backend.Backend.immortal}, the paper's task-transaction
+    protocol, with byte-identical behaviour to the pre-backend runtime.
     @raise Invalid_argument if {!Task.validate} rejects the app. *)
 
 (** {2 Live property adaptation (PR 4)}
@@ -115,6 +120,7 @@ type adaptive = {
 
 val run_adaptive :
   ?config:config ->
+  ?backend:Artemis_backend.Backend.b ->
   adaptations:(int * Artemis_adapt.Adapt.update) list ->
   Device.t -> Task.app -> Artemis_monitor.Suite.t ->
   adaptive
@@ -174,6 +180,7 @@ type instrumented = {
 val run_instrumented :
   ?config:config ->
   ?adaptations:(int * Artemis_adapt.Adapt.update) list ->
+  ?backend:Artemis_backend.Backend.b ->
   probe:(string -> unit) ->
   Device.t -> Task.app -> Artemis_monitor.Suite.t ->
   instrumented

@@ -4,16 +4,16 @@ auto, so the pinned output below doubles as a parallel-determinism
 check on multi-core machines):
 
   $ ../../bin/artemis_fleet.exe --name smoke --scenario quickstart --seeds 4 --harvester default --harvester fixed:30s
-  fleet smoke: 8 devices (1 scenarios x 2 harvesters x 1 engines x 4 seeds)
+  fleet smoke: 8 devices (1 scenarios x 2 harvesters x 1 engines x 1 backends x 4 seeds)
   outcomes: completed=8
   verdicts: skipPath=8
   energy uJ: p50=9000.8 p90=9000.8 p99=9000.8 max=9000.8
   worst devices:
-    #0 quickstart seed=0 default default completed failures=3 energy=9000.8uJ
-    #1 quickstart seed=1 default default completed failures=3 energy=9000.8uJ
-    #2 quickstart seed=2 default default completed failures=3 energy=9000.8uJ
-    #3 quickstart seed=3 default default completed failures=3 energy=9000.8uJ
-    #4 quickstart seed=0 fixed:30s default completed failures=3 energy=9000.8uJ
+    #0 quickstart seed=0 default default immortal completed failures=3 energy=9000.8uJ
+    #1 quickstart seed=1 default default immortal completed failures=3 energy=9000.8uJ
+    #2 quickstart seed=2 default default immortal completed failures=3 energy=9000.8uJ
+    #3 quickstart seed=3 default default immortal completed failures=3 energy=9000.8uJ
+    #4 quickstart seed=0 fixed:30s default immortal completed failures=3 energy=9000.8uJ
 
 The same fleet can come from a spec file; the JSON report carries the
 per-cell roll-ups:
@@ -33,11 +33,11 @@ per-cell roll-ups:
     "seeds": {"first": 0, "count": 2},
     "harvesters": ["default"],
     "engines": ["compiled", "table"],
+    "backends": ["immortal"],
     "outcomes": {"completed": 4},
     "verdicts": {"skipPath": 4},
     "energyPercentilesUj": {"p50": 9000.840, "p90": 9000.840, "p99": 9000.840, "max": 9000.840},
     "groups": [
-      {"scenario": "quickstart", "harvester": "default", "engine": "compiled", "devices": 2, "completed": 2, "powerFailures": 6, "verdicts": 2, "energyUj": 18001.680},
 
 The report is byte-identical for every jobs/chunk combination:
 
@@ -47,10 +47,24 @@ The report is byte-identical for every jobs/chunk combination:
   $ cmp j1.json j8.json
   $ cmp j1.json auto.json
 
+Fleet campaigns can mix task-execution backends (PR 10): --backend
+adds a spec axis, one cell per scenario x harvester x engine x
+backend:
+
+  $ ../../bin/artemis_fleet.exe --scenario quickstart --seeds 2 \
+  >   --backend immortal --backend alpaca --backend checkpoint | head -4
+  fleet fleet: 6 devices (1 scenarios x 1 harvesters x 1 engines x 3 backends x 2 seeds)
+  outcomes: completed=6
+  verdicts: skipPath=6
+  energy uJ: p50=9000.8 p90=9000.8 p99=9000.8 max=9000.8
+  $ ../../bin/artemis_fleet.exe --backend tock --seeds 1
+  artemis_fleet: unknown backend "tock" (immortal|checkpoint|ink|mayfly|alpaca)
+  [1]
+
 Bad inputs are reported with context:
 
   $ ../../bin/artemis_fleet.exe --scenario nope --seeds 1
-  artemis_fleet: unknown scenario "nope" (quickstart|health|quickstart-adapt|health-adapt|quickstart-fresh|stale-read|war-buggy|livelock-prop)
+  artemis_fleet: unknown scenario "nope" (quickstart|health|quickstart-adapt|health-adapt|quickstart-fresh|stale-read|war-buggy|livelock-prop|quickstart-alpaca)
   [1]
   $ ../../bin/artemis_fleet.exe --harvester fixed:30 --seeds 1
   artemis_fleet: delay needs a unit suffix (us|ms|s|min): "30"

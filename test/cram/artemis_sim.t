@@ -81,3 +81,24 @@ rejected up front:
   $ ../../bin/artemis_sim.exe --adapt broken.json
   adapt script: expected a JSON array of updates
   [1]
+
+The runtime matrix (PR 10) runs one scenario under every registered
+task-execution backend with the same monitors; verdict streams must
+equal the immortal reference's (exit 1 on divergence), while energy
+and runtime-FRAM columns differ per family:
+
+  $ ../../bin/artemis_sim.exe --matrix quickstart
+  runtime matrix: quickstart (seed 42), verdict reference immortal
+  +------------+-----------+-------+-------+----------+---------+----------+-----------+----------+-------+
+  | backend    | outcome   | fails | execs | E_app mJ | E_rt mJ | E_mon mJ | rt FRAM B | verdicts | agree |
+  +------------+-----------+-------+-------+----------+---------+----------+-----------+----------+-------+
+  | immortal   | completed | 3     | 5     | 8.996    | 0.003   | 0.002    | 40        | 2        | yes   |
+  | checkpoint | completed | 3     | 5     | 8.993    | 0.006   | 0.002    | 168       | 2        | yes   |
+  | ink        | completed | 3     | 5     | 8.995    | 0.004   | 0.002    | 43        | 2        | yes   |
+  | mayfly     | completed | 3     | 5     | 8.996    | 0.003   | 0.002    | 58        | 2        | yes   |
+  | alpaca     | completed | 3     | 5     | 8.996    | 0.003   | 0.002    | 56        | 2        | yes   |
+  +------------+-----------+-------+-------+----------+---------+----------+-----------+----------+-------+
+  verdict streams: all 5 backends agree
+  $ ../../bin/artemis_sim.exe --matrix nope
+  artemis_sim: unknown scenario "nope" (quickstart|health|quickstart-adapt|health-adapt|quickstart-fresh|stale-read|war-buggy|livelock-prop|quickstart-alpaca)
+  [2]

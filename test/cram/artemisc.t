@@ -113,7 +113,7 @@ escape hatch, not a recommendation):
 Unknown scenarios are rejected:
 
   $ ../../bin/artemisc.exe --check nope
-  unknown scenario "nope" (quickstart|health|quickstart-adapt|health-adapt|quickstart-fresh|stale-read|war-buggy|livelock-prop)
+  unknown scenario "nope" (quickstart|health|quickstart-adapt|health-adapt|quickstart-fresh|stale-read|war-buggy|livelock-prop|quickstart-alpaca)
   [1]
 
 The --energy-report flag runs the static energy-admissibility analysis

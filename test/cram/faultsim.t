@@ -23,6 +23,10 @@ protocol's crash windows):
   17 rt.adapt.flip.before
   18 rt.adapt.flip.after
   19 rt.adapt.clear.after
+  20 alpaca.log.before
+  21 alpaca.log.after
+  22 alpaca.swap.before
+  23 alpaca.swap.after
 
 A depth-1 bounded-exhaustive campaign over the quickstart scenario
 crashes every dynamic (site, occurrence) instant the baseline run
@@ -32,9 +36,9 @@ plus byte-identical replay of every run).  The adaptation sites never
 fire without a scheduled update, so 12 of the 20 sites are coverable:
 
   $ ../../bin/faultsim.exe --scenario quickstart --depth 1
-  scenario quickstart: 20 injection sites
+  scenario quickstart: 24 injection sites
   baseline: completed, 0 violations
-  exhaustive (depth 1): 160 runs, coverage 12/20, 0 violations
+  exhaustive (depth 1): 160 runs, coverage 12/24, 0 violations
 
 The quickstart-adapt scenario delivers a live property update mid-run,
 which drives the campaign through every adaptation crash window as
@@ -42,15 +46,15 @@ well — the update still applies exactly once, and never as a torn
 suite, under a power failure at every single instant:
 
   $ ../../bin/faultsim.exe --scenario quickstart-adapt --depth 1
-  scenario quickstart-adapt: 20 injection sites
+  scenario quickstart-adapt: 24 injection sites
   baseline: completed, 0 violations
-  exhaustive (depth 1): 154 runs, coverage 20/20, 0 violations
+  exhaustive (depth 1): 154 runs, coverage 20/24, 0 violations
 
 The JSON report carries the same verdict with stable keys:
 
   $ ../../bin/faultsim.exe --scenario quickstart --depth 1 --json --skip-replay-check \
   >   | grep -E '"(coverage|total_runs|total_violations|shrunk)"'
-    "coverage": "12/20",
+    "coverage": "12/24",
     "total_runs": 160,
     "total_violations": 0,
     "shrunk": null
@@ -69,14 +73,14 @@ between the producing and consuming commits surfaces stale data — and
 only that oracle fires, with a one-line shrunk reproducer:
 
   $ ../../bin/faultsim.exe --scenario quickstart-fresh --depth 1
-  scenario quickstart-fresh: 20 injection sites
+  scenario quickstart-fresh: 24 injection sites
   baseline: completed, 0 violations
-  exhaustive (depth 1): 160 runs, coverage 12/20, 0 violations
+  exhaustive (depth 1): 160 runs, coverage 12/24, 0 violations
 
   $ ../../bin/faultsim.exe --scenario stale-read --depth 1 2>&1 | grep -v VIOLATION
-  scenario stale-read: 20 injection sites
+  scenario stale-read: 24 injection sites
   baseline: completed, 0 violations
-  exhaustive (depth 1): 112 runs, coverage 12/20, 100 violations
+  exhaustive (depth 1): 112 runs, coverage 12/24, 100 violations
   minimal reproducer: 42:0@6
   $ ../../bin/faultsim.exe --scenario stale-read --replay '42:0@6' 2>&1 | grep VIOLATION | head -1
   VIOLATION [input-freshness] report consumed sense data aged 30000580us (budget 10000000us) at 30101160us
@@ -87,17 +91,27 @@ region, so every dynamic oracle stays green — the gap the static WAR
 pass (artemisc --check) exists to close:
 
   $ ../../bin/faultsim.exe --scenario war-buggy --depth 1
-  scenario war-buggy: 20 injection sites
+  scenario war-buggy: 24 injection sites
   baseline: completed, 0 violations
-  exhaustive (depth 1): 110 runs, coverage 12/20, 0 violations
+  exhaustive (depth 1): 110 runs, coverage 12/24, 0 violations
+
+The checkpoint-free Alpaca backend (PR 10) adds four two-phase-commit
+injection sites (alpaca.log/swap x before/after); the depth-1
+exhaustive campaign crashes inside both commit phases and every oracle
+stays green - a torn publish would be a task-atomicity violation:
+
+  $ ../../bin/faultsim.exe --scenario quickstart-alpaca --depth 1
+  scenario quickstart-alpaca: 24 injection sites
+  baseline: completed, 0 violations
+  exhaustive (depth 1): 166 runs, coverage 16/24, 0 violations
 
 Bad input is rejected:
 
   $ ../../bin/faultsim.exe --scenario nope
-  unknown scenario "nope" (quickstart|health|quickstart-adapt|health-adapt|quickstart-fresh|stale-read|war-buggy|livelock-prop)
+  unknown scenario "nope" (quickstart|health|quickstart-adapt|health-adapt|quickstart-fresh|stale-read|war-buggy|livelock-prop|quickstart-alpaca)
   [2]
   $ ../../bin/faultsim.exe --replay '42:99@0'
-  bad replay line: site 99 out of range [0,19]
+  bad replay line: site 99 out of range [0,23]
   [2]
 
 The campaign fans out over worker domains with --jobs; the merged
@@ -105,9 +119,9 @@ report is byte-identical to the sequential one, so the summary, the
 JSON report and the exit status are the same for every job count:
 
   $ ../../bin/faultsim.exe --scenario quickstart --depth 1 --jobs 4
-  scenario quickstart: 20 injection sites
+  scenario quickstart: 24 injection sites
   baseline: completed, 0 violations
-  exhaustive (depth 1): 160 runs, coverage 12/20, 0 violations
+  exhaustive (depth 1): 160 runs, coverage 12/24, 0 violations
 
   $ ../../bin/faultsim.exe --scenario quickstart --depth 1 --json --skip-replay-check --jobs 1 > seq.json
   $ ../../bin/faultsim.exe --scenario quickstart --depth 1 --json --skip-replay-check --jobs 4 > par.json

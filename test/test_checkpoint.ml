@@ -202,9 +202,38 @@ let exactly_once_commits_qcheck =
       let stats = Cp.run device p in
       Helpers.completed stats && Channel.items out = [ 1; 2 ])
 
+(* PR 10 regression: the WAR-analysis surface deduplicates repeated
+   segment names by first appearance, like [Task.bodies] and
+   [Ink.bodies].  [validate] rejects such programs, but the analysis
+   surface must not depend on validation having run - the pre-fix
+   version reported duplicated segments twice, inflating hazard counts
+   for exactly the programs most likely to be buggy. *)
+let test_bodies_dedup () =
+  let hits = ref [] in
+  let body tag _ = hits := tag :: !hits in
+  let p =
+    program
+      [ seg "a" ~body:(body "a1"); seg "b" ~body:(body "b");
+        seg "a" ~body:(body "a2") ]
+  in
+  let named = Cp.bodies p in
+  Alcotest.(check (list string))
+    "each segment name analyzed once" [ "a"; "b" ] (List.map fst named);
+  (* first appearance wins, as for every other backend surface *)
+  let nvm = Nvm.create () in
+  let r = Consistency.War.analyze_bodies nvm named in
+  Alcotest.(check (list string))
+    "analysis order follows first appearance" [ "a"; "b" ]
+    r.Consistency.War.analyzed;
+  Alcotest.(check (list string))
+    "the first duplicate's body is the one analyzed" [ "a1"; "b" ]
+    (List.rev !hits)
+
 let suite =
   [
     Alcotest.test_case "program validation" `Quick test_validate;
+    Alcotest.test_case "bodies: duplicate segments analyzed once" `Quick
+      test_bodies_dedup;
     Alcotest.test_case "runs to completion" `Quick test_runs_to_completion;
     Alcotest.test_case "resumes from the last checkpoint" `Quick
       test_resumes_from_last_checkpoint;

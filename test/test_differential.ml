@@ -399,10 +399,112 @@ let runtime_deployment_equivalence =
       equal_outcome oi oc && equal_outcome oi ot && ri = rc && ri = rt
       && monitors_agree msi msc && monitors_agree msi mst)
 
+(* backend matrix differential (PR 10): for a random scenario, monitor
+   engine, seed and injected power-failure schedule over the shared
+   RUNTIME sites (rt.*, ids [6,19] - scheduler-loop bookkeeping every
+   backend drives identically), all five task-execution backends must
+   produce the immortal reference's verdict/action stream, duplicates
+   included.  Runtime-site occurrences are semantic instants, so the
+   same schedule crashes every backend at the same point of the same
+   attempt; NVM-site schedules would not be comparable (backends differ
+   in how many cell writes a commit costs, so occurrence k lands at
+   different instants - a crash inside alpaca's sealed verdict window
+   legitimately replays a verdict the reference never duplicates).
+   QCheck shrinks the schedule list on divergence, so a failure
+   collapses to a minimal (scenario, engine, seed, schedule)
+   reproducer. *)
+
+module FS = Artemis_faultsim.Faultsim
+module FScenario = Artemis_faultsim.Scenario
+
+let matrix_scenarios =
+  [ FScenario.quickstart; FScenario.health; FScenario.stale_read ]
+
+let matrix_engines =
+  [ Monitor.Interpreted; Monitor.Compiled; Monitor.Table ]
+
+let semantic_stream device =
+  List.filter_map
+    (fun (e : Event.timed) ->
+      match e.Event.event with
+      | Event.Monitor_verdict _ | Event.Runtime_action _ ->
+          Some (Event.to_string e.Event.event)
+      | _ -> None)
+    (Log.events (Device.log device))
+
+(* one injected run: a fresh build of [scenario] under [backend], with
+   the schedule consumed faultsim-style (occurrence counted since the
+   previous injection, each entry firing once) *)
+let injected_verdicts scenario backend ~seed schedule =
+  let built =
+    (FScenario.with_backend backend ~name:scenario.FScenario.name
+       ~description:scenario.FScenario.description scenario)
+      .FScenario.build ~engine:None ~seed
+  in
+  let since = Array.make FS.site_count 0 in
+  let remaining = ref schedule in
+  let probe label =
+    let id = FS.site_id label in
+    let occ = since.(id) in
+    since.(id) <- occ + 1;
+    match !remaining with
+    | (s, o) :: rest when s = id && o = occ ->
+        remaining := rest;
+        Array.fill since 0 FS.site_count 0;
+        raise (Nvm.Injected_failure label)
+    | _ -> ()
+  in
+  let result =
+    Runtime.run_instrumented ~config:built.FScenario.config
+      ~adaptations:built.FScenario.adaptations
+      ~backend:built.FScenario.backend ~probe built.FScenario.device
+      built.FScenario.app built.FScenario.suite
+  in
+  (semantic_stream built.FScenario.device,
+   (result.Runtime.stats.Stats.outcome = Stats.Completed))
+
+let rt_first = List.length Nvm.injection_sites
+let rt_count = List.length Runtime.injection_sites
+let clamp_entry (s, o) = (rt_first + (s mod rt_count), o mod 4)
+
+let backend_matrix_print ((s_i, e_i, seed), schedule) =
+  Printf.sprintf "scenario=%s engine=%d seed=%d schedule=%s"
+    (List.nth matrix_scenarios (s_i mod 3)).FScenario.name
+    (e_i mod 3) seed
+    (FS.schedule_to_string (List.map clamp_entry schedule))
+
+let backend_matrix_equivalence =
+  QCheck.Test.make
+    ~name:"all backends produce the reference verdict stream under injection"
+    ~count:30
+    QCheck.(
+      set_print backend_matrix_print
+        (pair
+           (triple small_nat small_nat small_nat)
+           (small_list (pair small_nat small_nat))))
+    (fun ((s_i, e_i, seed), schedule) ->
+      let scenario = List.nth matrix_scenarios (s_i mod 3) in
+      let engine = List.nth matrix_engines (e_i mod 3) in
+      let scenario = FScenario.with_engine engine scenario in
+      (* clamp the raw schedule onto the shared runtime sites *)
+      let schedule = List.map clamp_entry schedule in
+      let reference, ref_done =
+        injected_verdicts scenario Backend.immortal ~seed schedule
+      in
+      ref_done
+      && List.for_all
+           (fun b ->
+             let verdicts, completed =
+               injected_verdicts scenario b ~seed schedule
+             in
+             completed && verdicts = reference)
+           (List.tl Backends.all))
+
 let suite =
   [
     QCheck_alcotest.to_alcotest memory_equivalence;
     QCheck_alcotest.to_alcotest nvm_equivalence;
     QCheck_alcotest.to_alcotest suite_dispatch_equivalence;
     QCheck_alcotest.to_alcotest runtime_deployment_equivalence;
+    QCheck_alcotest.to_alcotest backend_matrix_equivalence;
   ]

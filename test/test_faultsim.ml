@@ -8,13 +8,18 @@ module Scenario = Artemis_faultsim.Scenario
 
 let test_site_numbering () =
   Alcotest.(check int)
-    "nvm sites then runtime sites"
-    (List.length Nvm.injection_sites + List.length Runtime.injection_sites)
+    "nvm sites, runtime sites, then alpaca sites"
+    (List.length Nvm.injection_sites
+    + List.length Runtime.injection_sites
+    + List.length Alpaca.injection_sites)
     F.site_count;
   Alcotest.(check string) "site 0" "nvm.write.before" F.sites.(0);
+  Alcotest.(check string) "first alpaca site" "alpaca.log.before"
+    F.sites.(List.length Nvm.injection_sites
+             + List.length Runtime.injection_sites);
   List.iteri
     (fun i label -> Alcotest.(check int) ("id of " ^ label) i (F.site_id label))
-    (Nvm.injection_sites @ Runtime.injection_sites)
+    (Nvm.injection_sites @ Runtime.injection_sites @ Alpaca.injection_sites)
 
 let test_schedule_roundtrip () =
   let cases = [ []; [ (0, 0) ]; [ (3, 2); (11, 0); (5, 7) ] ] in
@@ -35,8 +40,10 @@ let test_schedule_roundtrip () =
         (Result.is_error (F.schedule_of_string bad)))
     [ "x"; "1@"; "@2"; "99@0"; "1@-3" ]
 
-(* the rt.adapt.* sites only fire in scenarios with a scheduled update *)
+(* the rt.adapt.* sites only fire in scenarios with a scheduled update;
+   the alpaca.* sites only fire under the Alpaca backend *)
 let is_adapt_site i = List.mem F.sites.(i) Adapt.injection_sites
+let is_alpaca_site i = List.mem F.sites.(i) Alpaca.injection_sites
 
 let test_baseline_clean () =
   let r = F.run_schedule Scenario.quickstart ~seed:42 [] in
@@ -48,6 +55,10 @@ let test_baseline_clean () =
     (fun i h ->
       if is_adapt_site i then
         Alcotest.(check int) ("quiet without updates: " ^ F.sites.(i)) 0 h
+      else if is_alpaca_site i then
+        Alcotest.(check int)
+          ("quiet under the immortal backend: " ^ F.sites.(i))
+          0 h
       else
         Alcotest.(check bool) ("hit by a plain run: " ^ F.sites.(i)) true (h > 0))
     r.F.hits
@@ -60,7 +71,9 @@ let test_depth1_exhaustive_coverage () =
   Alcotest.(check int) "one run per dynamic instant" instants
     (List.length c.F.runs);
   Alcotest.(check int) "every fireable site injected"
-    (F.site_count - List.length Adapt.injection_sites)
+    (F.site_count
+    - List.length Adapt.injection_sites
+    - List.length Alpaca.injection_sites)
     (List.length c.F.covered);
   Alcotest.(check int) "zero violations" 0 (F.total_violations c);
   Alcotest.(check bool) "no reproducer" true (c.F.shrunk = None);

@@ -15,7 +15,8 @@ let test_spec_parse () =
       {|{"name": "smoke", "scenarios": ["quickstart", "health"],
          "seeds": {"first": 5, "count": 3},
          "harvesters": ["default", "fixed:30s", "duty:200uw", "constant:65uw"],
-         "engines": ["compiled", "table"]}|}
+         "engines": ["compiled", "table"],
+         "backends": ["immortal", "alpaca"]}|}
   in
   Alcotest.(check string) "name" "smoke" spec.Fleet.fleet_name;
   Alcotest.(check (list string))
@@ -26,7 +27,9 @@ let test_spec_parse () =
     "profiles round-trip"
     [ "default"; "fixed:30s"; "duty:200uw"; "constant:65uw" ]
     (List.map Fleet.profile_label spec.Fleet.profiles);
-  Alcotest.(check int) "size" (2 * 3 * 4 * 2) (Fleet.spec_size spec)
+  Alcotest.(check (list string))
+    "backends" [ "immortal"; "alpaca" ] spec.Fleet.backends;
+  Alcotest.(check int) "size" (2 * 3 * 4 * 2 * 2) (Fleet.spec_size spec)
 
 let test_spec_defaults () =
   let spec =
@@ -35,6 +38,8 @@ let test_spec_defaults () =
   Alcotest.(check string) "name" "fleet" spec.Fleet.fleet_name;
   Alcotest.(check int) "first" 0 spec.Fleet.seed_first;
   Alcotest.(check (list string)) "engines" [ "default" ] spec.Fleet.engines;
+  Alcotest.(check (list string))
+    "backends" [ "immortal" ] spec.Fleet.backends;
   Alcotest.(check int) "size" 2 (Fleet.spec_size spec)
 
 let contains ~frag s =
@@ -63,6 +68,10 @@ let test_spec_rejects () =
     {|{"scenarios": ["quickstart"], "seeds": {"count": 1},
        "engines": ["jit"]}|}
     "unknown engine";
+  rejected
+    {|{"scenarios": ["quickstart"], "seeds": {"count": 1},
+       "backends": ["tock"]}|}
+    "unknown backend";
   rejected {|{"scenarios": ["quickstart"], "seeds": {"count": 0}}|}
     "must be positive"
 
@@ -105,7 +114,8 @@ let fleet_jobs_invariant =
           (Printf.sprintf
              {|{"scenarios": ["%s"], "seeds": {"first": %d, "count": %d},
                 "harvesters": ["default", "fixed:5s"],
-                "engines": ["compiled", "table"]}|}
+                "engines": ["compiled", "table"],
+                "backends": ["immortal", "alpaca"]}|}
              scenario first count)
       in
       let baseline = report_bytes (Fleet.run ~jobs:1 spec) in
@@ -148,6 +158,7 @@ let device ?(outcome = "completed") ?(fresh = 0) ?(failures = 0)
     seed = index;
     profile = "default";
     engine = "default";
+    backend = "immortal";
     outcome;
     power_failures = failures;
     reboots = failures;
@@ -196,10 +207,13 @@ let test_rollups () =
   let spec =
     parse_ok
       {|{"scenarios": ["quickstart"], "seeds": {"count": 2},
-         "engines": ["compiled", "table"]}|}
+         "engines": ["compiled", "table"],
+         "backends": ["immortal", "alpaca"]}|}
   in
   let report = Fleet.run spec in
-  Alcotest.(check int) "two groups" 2 (List.length report.Fleet.groups);
+  Alcotest.(check int)
+    "engine x backend groups" 4
+    (List.length report.Fleet.groups);
   List.iter
     (fun g ->
       Alcotest.(check int) "group size" 2 g.Fleet.g_devices;

@@ -38,6 +38,7 @@ let oracle_counts campaign =
 let reset_all_chaos () =
   Nvm.Chaos.reset ();
   Runtime.Chaos.reset ();
+  Alpaca.Chaos.reset ();
   Consistency.Freshness.Chaos.reset ()
 
 (* Run [campaign ()] with [flag] set, hooks always cleared afterwards
@@ -82,7 +83,11 @@ let test_control () =
      read-modify-writes a Runtime-region cell (the static pass below is
      the only thing that catches it) *)
   let cw = F.exhaustive Scenario.war_buggy ~seed:42 ~depth:1 in
-  Alcotest.(check int) "war-buggy dynamically clean" 0 (F.total_violations cw)
+  Alcotest.(check int) "war-buggy dynamically clean" 0 (F.total_violations cw);
+  (* the alpaca two-phase commit is green under injection everywhere,
+     including its four protocol sites *)
+  let cal = F.exhaustive Scenario.quickstart_alpaca ~seed:42 ~depth:1 in
+  Alcotest.(check int) "quickstart-alpaca clean" 0 (F.total_violations cal)
 
 (* --- NVM-level mutations --- *)
 
@@ -154,6 +159,18 @@ let test_hazardous_nontx_write () =
        (fun (h : Consistency.War.hazard) -> h.haz_cell = "chan:samples")
        report.Consistency.War.hazards)
 
+(* --- alpaca two-phase-commit mutations (PR 10) --- *)
+
+(* The recovery swap loses the youngest Application-region entry of the
+   sealed redo log - a broken (non-atomic) publish.  Clean runs never
+   enter recovery with a sealed log, so the control stays green; any
+   injected crash inside the sealed window (between alpaca.log.after
+   and the log clear) now recovers to a torn application state, which
+   the task-atomicity oracle's promised-write-set check must report. *)
+let test_torn_commit_log () =
+  check_mutation ~name:"torn_commit_log" ~oracle:"task-atomicity"
+    Alpaca.Chaos.torn_commit_log Scenario.quickstart_alpaca
+
 (* --- freshness-level mutations --- *)
 
 (* Producer completions stop stamping their data: every consumer check
@@ -197,6 +214,8 @@ let suite =
     ("leak_on_recovery -> stable-footprint", `Quick, test_leak_on_recovery);
     ("hazardous_nontx_write -> task-atomicity + static WAR", `Quick,
       test_hazardous_nontx_write);
+    ("torn_commit_log -> task-atomicity (two-phase publish)", `Quick,
+      test_torn_commit_log);
     ("skip_freshness_stamp -> input-freshness", `Quick,
       test_skip_freshness_stamp);
     ("clock_skip_on_recovery -> input-freshness", `Quick,
